@@ -1,0 +1,55 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestLoadGridByName(t *testing.T) {
+	g, err := loadGrid("ieee14")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 14 {
+		t.Fatalf("buses = %d", g.N())
+	}
+}
+
+func TestLoadGridUnknown(t *testing.T) {
+	if _, err := loadGrid("definitely-not-a-case-or-file"); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestExportAndReloadCDF(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.cdf")
+	if err := export("ieee30", path); err != nil {
+		t.Fatal(err)
+	}
+	g, err := loadGrid(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 30 || g.E() != 41 {
+		t.Fatalf("reloaded %d buses / %d lines", g.N(), g.E())
+	}
+}
+
+func TestRunSmoke(t *testing.T) {
+	// run prints to stdout; just check it succeeds for a case name and a
+	// CDF file, with and without -lines.
+	if err := run("ieee14", 3, true); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "x.cdf")
+	if err := export("ieee14", path); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(path, 0, false); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,48 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+
+	"os"
+	"pmuoutage/internal/cases"
+	"pmuoutage/internal/dataset"
+)
+
+func writeDataset(t *testing.T) string {
+	t.Helper()
+	g := cases.IEEE14()
+	d, err := dataset.Generate(g, dataset.GenConfig{Steps: 10, Seed: 2, UseDC: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "d.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := d.WriteJSON(f); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunPatterns(t *testing.T) {
+	path := writeDataset(t)
+	for _, pattern := range []string{"none", "outage", "random", "cluster"} {
+		if err := run(path, pattern, 2, 3, 0.7, 1, false); err != nil {
+			t.Fatalf("pattern %s: %v", pattern, err)
+		}
+	}
+}
+
+func TestRunBadInputs(t *testing.T) {
+	path := writeDataset(t)
+	if err := run(path, "bogus", 2, 3, 0.7, 1, false); err == nil {
+		t.Fatal("expected unknown-pattern error")
+	}
+	if err := run("/does/not/exist.json", "none", 2, 3, 0.7, 1, false); err == nil {
+		t.Fatal("expected open error")
+	}
+}

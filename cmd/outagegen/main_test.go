@@ -1,0 +1,35 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"pmuoutage/internal/cases"
+	"pmuoutage/internal/dataset"
+)
+
+func TestRunWritesLoadableDataset(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "d.json")
+	if err := run("ieee14", 4, 1, true, 0, 0, path); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	d, err := dataset.ReadJSON(f, cases.IEEE14())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Normal.T() != 4 || len(d.ValidLines) == 0 {
+		t.Fatalf("dataset shape: normal %d, valid %d", d.Normal.T(), len(d.ValidLines))
+	}
+}
+
+func TestRunUnknownCase(t *testing.T) {
+	if err := run("nope", 2, 1, true, 0, 0, ""); err == nil {
+		t.Fatal("expected error")
+	}
+}

@@ -1,0 +1,67 @@
+// Missing data: the paper's headline scenario (Fig. 7). The PMUs at the
+// outage location stop reporting — killed by the very failure we need to
+// find — and the detector must localise the outage from the remaining
+// buses. A per-scenario classifier (MLR) collapses here; the subspace
+// method barely notices.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pmuoutage"
+)
+
+func main() {
+	sys, err := pmuoutage.NewSystem(pmuoutage.Options{
+		Case:       "ieee30",
+		TrainSteps: 40,
+		Seed:       7,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("IEEE 30-bus system: outage detection with data missing at the outage location")
+	fmt.Println()
+
+	hits, total := 0, 0
+	for _, target := range sys.ValidLines() {
+		line := sys.Lines()[target]
+		samples, err := sys.SimulateOutage([]int{target}, 1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		// The failure takes down both endpoint PMUs: their measurements
+		// never reach the control center.
+		smp := samples[0].WithMissing(line.FromBus-1, line.ToBus-1)
+		rep, err := sys.Detect(smp)
+		if err != nil {
+			log.Fatal(err)
+		}
+		total++
+		found := false
+		for _, l := range rep.Lines {
+			if l.Index == target {
+				found = true
+			}
+		}
+		if found {
+			hits++
+		} else {
+			got := "nothing"
+			if len(rep.Lines) > 0 {
+				got = fmt.Sprintf("line %d-%d", rep.Lines[0].FromBus, rep.Lines[0].ToBus)
+			} else if !rep.Outage {
+				got = "no outage"
+			}
+			fmt.Printf("  missed line %2d (bus %2d - bus %2d): detected %s\n",
+				target, line.FromBus, line.ToBus, got)
+		}
+	}
+	fmt.Println()
+	fmt.Printf("localised %d/%d outages with both endpoint PMUs dark (%.0f%%)\n",
+		hits, total, 100*float64(hits)/float64(total))
+	fmt.Println()
+	fmt.Println("Compare: run `go run ./cmd/experiments fig7` for the full")
+	fmt.Println("subspace-vs-MLR comparison across all four IEEE systems.")
+}

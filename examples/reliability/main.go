@@ -1,0 +1,92 @@
+// Reliability: sweep the system-wide PMU network reliability level of
+// the paper's Fig. 10 (Eqs. 13–15). Every PMU and its PDC link fail
+// independently; the detector sees whatever survives. The effective
+// false-alarm rate should stay small across realistic reliability
+// levels — unreliable telemetry must not read as grid failures.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pmuoutage"
+)
+
+func main() {
+	sys, err := pmuoutage.NewSystem(pmuoutage.Options{
+		Case:       "ieee14",
+		TrainSteps: 40,
+		Seed:       21,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	const perLevel = 40 // Monte Carlo draws per reliability level
+	fmt.Println("PMU network reliability sweep (IEEE 14-bus, normal operation + outages)")
+	fmt.Printf("%-12s %-10s %-10s %-12s\n", "reliability", "IA", "FA", "avg missing")
+	for _, r := range []float64{0.80, 0.85, 0.90, 0.95, 0.99} {
+		var iaSum, faSum float64
+		var missingTotal, n int
+		seed := int64(r * 100000)
+
+		// Normal-operation samples: any detected line is a false alarm.
+		normals, err := sys.SimulateOutage(nil, perLevel/2)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for k, smp := range normals {
+			miss, err := sys.DrawMissing(r, seed+int64(k))
+			if err != nil {
+				log.Fatal(err)
+			}
+			missingTotal += len(miss)
+			rep, err := sys.Detect(smp.WithMissing(miss...))
+			if err != nil {
+				log.Fatal(err)
+			}
+			n++
+			if rep.Outage {
+				faSum++
+			} else {
+				iaSum++
+			}
+		}
+		// Outage samples: the true line must survive the missing data.
+		for k := 0; k < perLevel/2; k++ {
+			target := sys.ValidLines()[k%len(sys.ValidLines())]
+			samples, err := sys.SimulateOutage([]int{target}, 1)
+			if err != nil {
+				log.Fatal(err)
+			}
+			miss, err := sys.DrawMissing(r, seed+1000+int64(k))
+			if err != nil {
+				log.Fatal(err)
+			}
+			missingTotal += len(miss)
+			rep, err := sys.Detect(samples[0].WithMissing(miss...))
+			if err != nil {
+				log.Fatal(err)
+			}
+			n++
+			hit, extra := false, 0
+			for _, l := range rep.Lines {
+				if l.Index == target {
+					hit = true
+				} else {
+					extra++
+				}
+			}
+			if hit {
+				iaSum++
+			}
+			if len(rep.Lines) > 0 {
+				faSum += float64(extra) / float64(len(rep.Lines))
+			}
+		}
+		fmt.Printf("%-12.2f %-10.3f %-10.3f %-12.2f\n",
+			r, iaSum/float64(n), faSum/float64(n), float64(missingTotal)/float64(n))
+	}
+	fmt.Println()
+	fmt.Println("Full Monte Carlo version over all systems: go run ./cmd/experiments fig10")
+}

@@ -1,0 +1,3 @@
+module pmuoutage
+
+go 1.22

@@ -1,0 +1,311 @@
+package cases
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+
+	"pmuoutage/internal/grid"
+)
+
+// This file implements the IEEE Common Data Format (CDF) — the exchange
+// format of the UW power-systems test case archive the paper cites
+// ([15]) — so real archive files can be loaded at runtime and grids can
+// be exported for other tools. The column layout follows the 1973 IEEE
+// "Common Format for Exchange of Solved Load Flow Data" spec.
+
+// cdf bus types.
+const (
+	cdfPQ      = 0
+	cdfPQLimit = 1
+	cdfPV      = 2
+	cdfSlack   = 3
+)
+
+// ParseCDF reads a grid from IEEE Common Data Format text. Bus numbers
+// may be non-contiguous (the archive's 57- and 118-bus files are); they
+// are remapped to dense internal indices while the original numbers are
+// kept as Bus.ID.
+func ParseCDF(r io.Reader) (*grid.Grid, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+
+	g := &grid.Grid{BaseMVA: 100}
+	if !sc.Scan() {
+		return nil, fmt.Errorf("cases: empty CDF input")
+	}
+	title := sc.Text()
+	if base, err := cdfFloat(title, 31, 37); err == nil && base > 0 {
+		g.BaseMVA = base
+	}
+	if len(title) >= 45 {
+		g.Name = strings.TrimSpace(title[45:])
+	}
+	if g.Name == "" {
+		g.Name = "cdf"
+	}
+
+	idOf := map[int]int{} // external bus number -> internal index
+	section := ""
+	lineNo := 1
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		trimmed := strings.TrimSpace(line)
+		switch {
+		case trimmed == "":
+			continue
+		case strings.HasPrefix(trimmed, "BUS DATA"):
+			section = "bus"
+			continue
+		case strings.HasPrefix(trimmed, "BRANCH DATA"):
+			section = "branch"
+			continue
+		case strings.HasPrefix(trimmed, "-999"):
+			section = ""
+			continue
+		case strings.HasPrefix(trimmed, "END OF DATA"):
+			section = ""
+			continue
+		}
+		switch section {
+		case "bus":
+			if err := parseBusCard(g, idOf, line); err != nil {
+				return nil, fmt.Errorf("cases: CDF line %d: %w", lineNo, err)
+			}
+		case "branch":
+			if err := parseBranchCard(g, idOf, line); err != nil {
+				return nil, fmt.Errorf("cases: CDF line %d: %w", lineNo, err)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("cases: CDF read: %w", err)
+	}
+	if g.N() == 0 {
+		return nil, fmt.Errorf("cases: CDF input has no bus data")
+	}
+	return g, nil
+}
+
+// parseBusCard decodes one fixed-column bus record.
+func parseBusCard(g *grid.Grid, idOf map[int]int, line string) error {
+	num, err := cdfInt(line, 0, 4)
+	if err != nil {
+		return fmt.Errorf("bus number: %w", err)
+	}
+	typ, err := cdfInt(line, 24, 26)
+	if err != nil {
+		return fmt.Errorf("bus %d type: %w", num, err)
+	}
+	vm, _ := cdfFloat(line, 27, 33)
+	vaDeg, _ := cdfFloat(line, 33, 40)
+	pd, _ := cdfFloat(line, 40, 49)
+	qd, _ := cdfFloat(line, 49, 59)
+	pg, _ := cdfFloat(line, 59, 67)
+	qg, _ := cdfFloat(line, 67, 75)
+	gs, _ := cdfFloat(line, 106, 114)
+	bs, _ := cdfFloat(line, 114, 122)
+
+	var bt grid.BusType
+	switch typ {
+	case cdfPQ, cdfPQLimit:
+		bt = grid.PQ
+	case cdfPV:
+		bt = grid.PV
+	case cdfSlack:
+		bt = grid.Slack
+	default:
+		return fmt.Errorf("bus %d: unknown type %d", num, typ)
+	}
+	if vm <= 0 {
+		vm = 1
+	}
+	if _, dup := idOf[num]; dup {
+		return fmt.Errorf("bus %d: duplicate record", num)
+	}
+	idOf[num] = g.N()
+	g.Buses = append(g.Buses, grid.Bus{
+		ID:   num,
+		Type: bt,
+		Pd:   pd / g.BaseMVA, Qd: qd / g.BaseMVA,
+		Pg: pg / g.BaseMVA, Qg: qg / g.BaseMVA,
+		Gs: gs, Bs: bs, // shunts are already per unit in CDF
+		Vm: vm, Va: vaDeg * math.Pi / 180,
+	})
+	return nil
+}
+
+// parseBranchCard decodes one fixed-column branch record.
+func parseBranchCard(g *grid.Grid, idOf map[int]int, line string) error {
+	from, err := cdfInt(line, 0, 4)
+	if err != nil {
+		return fmt.Errorf("branch from-bus: %w", err)
+	}
+	to, err := cdfInt(line, 5, 9)
+	if err != nil {
+		return fmt.Errorf("branch to-bus: %w", err)
+	}
+	fi, ok := idOf[from]
+	if !ok {
+		return fmt.Errorf("branch references unknown bus %d", from)
+	}
+	ti, ok := idOf[to]
+	if !ok {
+		return fmt.Errorf("branch references unknown bus %d", to)
+	}
+	r, _ := cdfFloat(line, 19, 29)
+	x, err := cdfFloat(line, 29, 40)
+	if err != nil {
+		return fmt.Errorf("branch %d-%d reactance: %w", from, to, err)
+	}
+	b, _ := cdfFloat(line, 40, 50)
+	tap, _ := cdfFloat(line, 76, 82)
+	shiftDeg, _ := cdfFloat(line, 83, 90)
+	g.Branches = append(g.Branches, grid.Branch{
+		From: fi, To: ti,
+		R: r, X: x, B: b,
+		Tap: tap, Shift: shiftDeg * math.Pi / 180,
+		Status: true,
+	})
+	return nil
+}
+
+// cdfInt parses an integer from fixed columns [lo, hi).
+func cdfInt(line string, lo, hi int) (int, error) {
+	s, err := cdfField(line, lo, hi)
+	if err != nil {
+		return 0, err
+	}
+	return strconv.Atoi(s)
+}
+
+// cdfFloat parses a float from fixed columns [lo, hi).
+func cdfFloat(line string, lo, hi int) (float64, error) {
+	s, err := cdfField(line, lo, hi)
+	if err != nil {
+		return 0, err
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+func cdfField(line string, lo, hi int) (string, error) {
+	if lo >= len(line) {
+		return "", fmt.Errorf("columns %d-%d past end of card", lo+1, hi)
+	}
+	if hi > len(line) {
+		hi = len(line)
+	}
+	s := strings.TrimSpace(line[lo:hi])
+	if s == "" {
+		return "", fmt.Errorf("columns %d-%d empty", lo+1, hi)
+	}
+	return s, nil
+}
+
+// card builds one fixed-column record: fields are placed right-justified
+// at the exact column ranges the parser (and the CDF spec) expects.
+type card []byte
+
+func newCard(width int) card {
+	c := make(card, width)
+	for i := range c {
+		c[i] = ' '
+	}
+	return c
+}
+
+func (c card) place(lo, hi int, s string) {
+	if len(s) > hi-lo {
+		s = s[:hi-lo] // truncate rather than corrupt neighbouring fields
+	}
+	copy(c[hi-len(s):hi], s)
+}
+
+func (c card) placeLeft(lo, hi int, s string) {
+	if len(s) > hi-lo {
+		s = s[:hi-lo]
+	}
+	copy(c[lo:lo+len(s)], s)
+}
+
+func (c card) String() string { return strings.TrimRight(string(c), " ") }
+
+// WriteCDF exports a grid as IEEE Common Data Format text that ParseCDF
+// (and other CDF consumers) can read back.
+func WriteCDF(w io.Writer, g *grid.Grid) error {
+	bw := bufio.NewWriter(w)
+	title := newCard(75)
+	title.placeLeft(1, 9, "01/01/70")
+	title.placeLeft(10, 30, "pmuoutage")
+	title.place(31, 37, fmt.Sprintf("%.1f", g.BaseMVA))
+	title.place(38, 42, "1970")
+	title.placeLeft(43, 44, "S")
+	title.placeLeft(45, 75, g.Name)
+	fmt.Fprintln(bw, title.String())
+
+	fmt.Fprintf(bw, "BUS DATA FOLLOWS %32d ITEMS\n", g.N())
+	for i := range g.Buses {
+		b := &g.Buses[i]
+		typ := cdfPQ
+		switch b.Type {
+		case grid.PV:
+			typ = cdfPV
+		case grid.Slack:
+			typ = cdfSlack
+		}
+		c := newCard(124)
+		c.place(0, 4, strconv.Itoa(b.ID))
+		c.placeLeft(5, 17, fmt.Sprintf("BUS%d", b.ID))
+		c.place(18, 20, "1") // area
+		c.place(20, 23, "1") // zone
+		c.place(24, 26, strconv.Itoa(typ))
+		c.place(27, 33, fmt.Sprintf("%.4f", b.Vm))
+		c.place(33, 40, fmt.Sprintf("%.2f", b.Va*180/math.Pi))
+		c.place(40, 49, fmt.Sprintf("%.2f", b.Pd*g.BaseMVA))
+		c.place(49, 59, fmt.Sprintf("%.2f", b.Qd*g.BaseMVA))
+		c.place(59, 67, fmt.Sprintf("%.2f", b.Pg*g.BaseMVA))
+		c.place(67, 75, fmt.Sprintf("%.2f", b.Qg*g.BaseMVA))
+		c.place(76, 83, "0.0") // base kV
+		c.place(84, 90, fmt.Sprintf("%.4f", b.Vm))
+		c.place(90, 98, "0.0")  // max MVAR
+		c.place(98, 106, "0.0") // min MVAR
+		c.place(106, 114, fmt.Sprintf("%.5f", b.Gs))
+		c.place(114, 122, fmt.Sprintf("%.5f", b.Bs))
+		fmt.Fprintln(bw, c.String())
+	}
+	fmt.Fprintln(bw, "-999")
+
+	inService := 0
+	for e := range g.Branches {
+		if g.Branches[e].Status {
+			inService++
+		}
+	}
+	fmt.Fprintf(bw, "BRANCH DATA FOLLOWS %29d ITEMS\n", inService)
+	for e := range g.Branches {
+		br := &g.Branches[e]
+		if !br.Status {
+			continue
+		}
+		c := newCard(92)
+		c.place(0, 4, strconv.Itoa(g.Buses[br.From].ID))
+		c.place(5, 9, strconv.Itoa(g.Buses[br.To].ID))
+		c.place(10, 12, "1") // area
+		c.place(12, 15, "1") // zone
+		c.place(16, 17, "1") // circuit
+		c.place(18, 19, "0") // type
+		c.place(19, 29, fmt.Sprintf("%.6f", br.R))
+		c.place(29, 40, fmt.Sprintf("%.6f", br.X))
+		c.place(40, 50, fmt.Sprintf("%.6f", br.B))
+		c.place(76, 82, fmt.Sprintf("%.4f", br.Tap))
+		c.place(83, 90, fmt.Sprintf("%.2f", br.Shift*180/math.Pi))
+		fmt.Fprintln(bw, c.String())
+	}
+	fmt.Fprintln(bw, "-999")
+	fmt.Fprintln(bw, "END OF DATA")
+	return bw.Flush()
+}

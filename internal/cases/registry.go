@@ -1,0 +1,44 @@
+package cases
+
+import (
+	"fmt"
+	"sort"
+
+	"pmuoutage/internal/grid"
+)
+
+// Builder constructs a test system.
+type Builder func() *grid.Grid
+
+var registry = map[string]Builder{
+	"ieee14":  IEEE14,
+	"ieee30":  IEEE30,
+	"ieee57":  IEEE57,
+	"ieee118": IEEE118,
+}
+
+// Names returns the registered case names in sorted order.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for k := range registry {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Load builds the named test system or returns an error listing the
+// available names.
+func Load(name string) (*grid.Grid, error) {
+	b, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("cases: unknown system %q (available: %v)", name, Names())
+	}
+	return b(), nil
+}
+
+// All returns every registered system, smallest first. The paper's
+// evaluation runs each experiment over exactly this set.
+func All() []*grid.Grid {
+	return []*grid.Grid{IEEE14(), IEEE30(), IEEE57(), IEEE118()}
+}

@@ -1,0 +1,206 @@
+package comm
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"pmuoutage/internal/dataset"
+	"pmuoutage/internal/pmunet"
+)
+
+// Assembled is one control-center sample: the merged measurements of a
+// time step with a missing-data mask for buses that never arrived.
+type Assembled struct {
+	Seq    int
+	Sample dataset.Sample
+}
+
+// Collector is the control-center endpoint: it accepts PDC connections,
+// merges cluster frames per sequence number, and emits assembled samples
+// after a deadline — late or lost data become missing entries rather
+// than blocking the application, matching the paper's online-detection
+// requirement.
+type Collector struct {
+	n        int
+	deadline time.Duration
+	out      chan Assembled
+
+	ln net.Listener
+
+	mu      sync.Mutex
+	pending map[int]*assembly
+	closed  bool
+	done    chan struct{}
+	wg      sync.WaitGroup
+}
+
+type assembly struct {
+	vm, va  []float64
+	have    pmunet.Mask // true = received
+	started time.Time
+}
+
+// NewCollector starts the control-center server for an n-bus grid on
+// listenAddr ("127.0.0.1:0" for ephemeral). deadline is how long a time
+// step waits for stragglers before being emitted with missing entries
+// (default 100ms). Assembled samples arrive on Samples().
+func NewCollector(n int, listenAddr string, deadline time.Duration) (*Collector, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("comm: collector needs positive bus count, got %d", n)
+	}
+	if deadline <= 0 {
+		deadline = 100 * time.Millisecond
+	}
+	ln, err := net.Listen("tcp", listenAddr)
+	if err != nil {
+		return nil, fmt.Errorf("comm: collector listen: %w", err)
+	}
+	c := &Collector{
+		n: n, deadline: deadline,
+		out:     make(chan Assembled, 64),
+		ln:      ln,
+		pending: map[int]*assembly{},
+		done:    make(chan struct{}),
+	}
+	c.wg.Add(2)
+	go c.acceptLoop()
+	go c.deadlineLoop()
+	return c, nil
+}
+
+// Addr returns the address PDCs should dial.
+func (c *Collector) Addr() string { return c.ln.Addr().String() }
+
+// Samples returns the stream of assembled samples. The channel closes
+// when the collector is closed.
+func (c *Collector) Samples() <-chan Assembled { return c.out }
+
+func (c *Collector) acceptLoop() {
+	defer c.wg.Done()
+	for {
+		conn, err := c.ln.Accept()
+		if err != nil {
+			return
+		}
+		c.wg.Add(1)
+		go c.readPDC(conn)
+	}
+}
+
+func (c *Collector) readPDC(conn net.Conn) {
+	defer c.wg.Done()
+	defer conn.Close()
+	sc := bufio.NewScanner(conn)
+	for sc.Scan() {
+		var cf ClusterFrame
+		if err := json.Unmarshal(sc.Bytes(), &cf); err != nil {
+			continue
+		}
+		c.ingest(cf)
+	}
+}
+
+func (c *Collector) ingest(cf ClusterFrame) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return
+	}
+	a := c.pending[cf.Seq]
+	if a == nil {
+		a = &assembly{
+			vm:      make([]float64, c.n),
+			va:      make([]float64, c.n),
+			have:    make(pmunet.Mask, c.n),
+			started: time.Now(),
+		}
+		c.pending[cf.Seq] = a
+	}
+	for i, bus := range cf.Buses {
+		if bus < 0 || bus >= c.n || i >= len(cf.Vm) || i >= len(cf.Va) {
+			continue // malformed aggregate entry
+		}
+		a.vm[bus] = cf.Vm[i]
+		a.va[bus] = cf.Va[i]
+		a.have[bus] = true
+	}
+	// Complete time steps are emitted immediately — no waiting when all
+	// data arrived.
+	if a.have.MissingCount() == 0 {
+		c.emitLocked(cf.Seq, a)
+	}
+}
+
+// emitLocked sends an assembly out; callers hold c.mu.
+func (c *Collector) emitLocked(seq int, a *assembly) {
+	delete(c.pending, seq)
+	missing := make(pmunet.Mask, c.n)
+	for i, got := range a.have {
+		missing[i] = !got
+	}
+	s := dataset.Sample{Vm: a.vm, Va: a.va}
+	if missing.AnyMissing() {
+		s.Mask = missing
+	}
+	select {
+	case c.out <- Assembled{Seq: seq, Sample: s}:
+	default:
+		// A stalled consumer must not deadlock the network path; the
+		// sample is dropped like any other late data.
+	}
+}
+
+func (c *Collector) deadlineLoop() {
+	defer c.wg.Done()
+	tick := time.NewTicker(c.deadline / 4)
+	defer tick.Stop()
+	for {
+		select {
+		case <-c.done:
+			return
+		case <-tick.C:
+			c.mu.Lock()
+			now := time.Now()
+			for seq, a := range c.pending {
+				if now.Sub(a.started) >= c.deadline {
+					c.emitLocked(seq, a)
+				}
+			}
+			c.mu.Unlock()
+		}
+	}
+}
+
+// Flush force-emits every pending assembly (used at shutdown and by
+// tests to avoid waiting for deadlines).
+func (c *Collector) Flush() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for seq, a := range c.pending {
+		c.emitLocked(seq, a)
+	}
+}
+
+// Close flushes, stops the server, and closes the Samples channel.
+func (c *Collector) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	for seq, a := range c.pending {
+		c.emitLocked(seq, a)
+	}
+	c.closed = true
+	c.mu.Unlock()
+
+	close(c.done)
+	err := c.ln.Close()
+	c.wg.Wait()
+	close(c.out)
+	return err
+}

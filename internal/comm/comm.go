@@ -1,0 +1,239 @@
+// Package comm implements the measurement data network of the paper's
+// Figure 1 as real TCP components: PMU senders stream per-bus phasor
+// frames to their Phasor Data Concentrator (PDC), PDCs aggregate a
+// cluster's frames per time step and relay them to the control-center
+// Collector, and the Collector assembles full-grid samples — marking
+// buses whose data never arrived as missing, exactly the unreliability
+// model the detector is built for (lossy links, dead PMUs, dark PDCs).
+//
+// The wire format is newline-delimited JSON, one frame per line.
+package comm
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+)
+
+// Frame is one PMU measurement: one bus, one time step.
+type Frame struct {
+	Bus int     `json:"bus"` // bus index
+	Seq int     `json:"seq"` // time-step sequence number
+	Vm  float64 `json:"vm"`
+	Va  float64 `json:"va"`
+}
+
+// ClusterFrame is a PDC's aggregate for one time step: the frames it
+// received from its cluster's PMUs (possibly a subset).
+type ClusterFrame struct {
+	PDC   int       `json:"pdc"`
+	Seq   int       `json:"seq"`
+	Buses []int     `json:"buses"`
+	Vm    []float64 `json:"vm"` // parallel to Buses
+	Va    []float64 `json:"va"`
+}
+
+// writeJSONLine marshals v and writes it as one line.
+func writeJSONLine(w io.Writer, v any) error {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}
+
+// PMU streams frames for one bus to a PDC over TCP. Loss probability
+// models an unreliable PMU→PDC channel; Down models a dead device.
+type PMU struct {
+	Bus  int
+	Loss float64 // per-frame drop probability on the sending side
+
+	mu   sync.Mutex
+	down bool
+	conn net.Conn
+	rng  *rand.Rand
+}
+
+// NewPMU creates a PMU for a bus, connected to the PDC at addr.
+func NewPMU(bus int, addr string, loss float64, seed int64) (*PMU, error) {
+	if loss < 0 || loss >= 1 {
+		return nil, fmt.Errorf("comm: loss probability %v outside [0,1)", loss)
+	}
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("comm: PMU %d dial: %w", bus, err)
+	}
+	return &PMU{Bus: bus, Loss: loss, conn: conn, rng: rand.New(rand.NewSource(seed))}, nil
+}
+
+// SetDown marks the device dead (frames silently dropped) or alive.
+func (p *PMU) SetDown(down bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.down = down
+}
+
+// Send transmits one measurement; dead devices and lossy links drop it.
+func (p *PMU) Send(seq int, vm, va float64) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.down || p.rng.Float64() < p.Loss {
+		return nil
+	}
+	return writeJSONLine(p.conn, Frame{Bus: p.Bus, Seq: seq, Vm: vm, Va: va})
+}
+
+// Close shuts the connection.
+func (p *PMU) Close() error { return p.conn.Close() }
+
+// PDC aggregates a cluster's PMU frames per sequence number and relays
+// cluster frames to the collector. A PDC taken down drops its whole
+// cluster — the correlated-loss pattern of §III-B.
+type PDC struct {
+	ID int
+
+	ln       net.Listener
+	upstream net.Conn
+	flushAge time.Duration
+
+	mu      sync.Mutex
+	down    bool
+	pending map[int]*ClusterFrame // seq -> partial aggregate
+	stamps  map[int]time.Time
+	done    chan struct{}
+	wg      sync.WaitGroup
+}
+
+// NewPDC starts a PDC listening on listenAddr (use "127.0.0.1:0" for an
+// ephemeral port) relaying to the collector at upstreamAddr. flushAge is
+// how long a partial aggregate waits for stragglers before being
+// forwarded (default 50ms).
+func NewPDC(id int, listenAddr, upstreamAddr string, flushAge time.Duration) (*PDC, error) {
+	if flushAge <= 0 {
+		flushAge = 50 * time.Millisecond
+	}
+	ln, err := net.Listen("tcp", listenAddr)
+	if err != nil {
+		return nil, fmt.Errorf("comm: PDC %d listen: %w", id, err)
+	}
+	up, err := net.Dial("tcp", upstreamAddr)
+	if err != nil {
+		ln.Close()
+		return nil, fmt.Errorf("comm: PDC %d upstream dial: %w", id, err)
+	}
+	p := &PDC{
+		ID: id, ln: ln, upstream: up, flushAge: flushAge,
+		pending: map[int]*ClusterFrame{}, stamps: map[int]time.Time{},
+		done: make(chan struct{}),
+	}
+	p.wg.Add(2)
+	go p.acceptLoop()
+	go p.flushLoop()
+	return p, nil
+}
+
+// Addr returns the address PMUs should dial.
+func (p *PDC) Addr() string { return p.ln.Addr().String() }
+
+// SetDown simulates a PDC failure: aggregates are dropped, not relayed.
+func (p *PDC) SetDown(down bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.down = down
+}
+
+func (p *PDC) acceptLoop() {
+	defer p.wg.Done()
+	for {
+		conn, err := p.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		p.wg.Add(1)
+		go p.readPMU(conn)
+	}
+}
+
+func (p *PDC) readPMU(conn net.Conn) {
+	defer p.wg.Done()
+	defer conn.Close()
+	sc := bufio.NewScanner(conn)
+	for sc.Scan() {
+		var f Frame
+		if err := json.Unmarshal(sc.Bytes(), &f); err != nil {
+			continue // corrupt frame: drop, keep the stream alive
+		}
+		p.ingest(f)
+	}
+}
+
+func (p *PDC) ingest(f Frame) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.down {
+		return
+	}
+	cf := p.pending[f.Seq]
+	if cf == nil {
+		cf = &ClusterFrame{PDC: p.ID, Seq: f.Seq}
+		p.pending[f.Seq] = cf
+		p.stamps[f.Seq] = time.Now()
+	}
+	cf.Buses = append(cf.Buses, f.Bus)
+	cf.Vm = append(cf.Vm, f.Vm)
+	cf.Va = append(cf.Va, f.Va)
+}
+
+func (p *PDC) flushLoop() {
+	defer p.wg.Done()
+	tick := time.NewTicker(p.flushAge / 2)
+	defer tick.Stop()
+	for {
+		select {
+		case <-p.done:
+			return
+		case <-tick.C:
+			p.flush(false)
+		}
+	}
+}
+
+// flush forwards aggregates older than flushAge (or all, if force).
+func (p *PDC) flush(force bool) {
+	p.mu.Lock()
+	var ready []*ClusterFrame
+	now := time.Now()
+	for seq, cf := range p.pending {
+		if force || now.Sub(p.stamps[seq]) >= p.flushAge {
+			ready = append(ready, cf)
+			delete(p.pending, seq)
+			delete(p.stamps, seq)
+		}
+	}
+	down := p.down
+	p.mu.Unlock()
+	if down {
+		return
+	}
+	for _, cf := range ready {
+		// Write errors mean the collector is gone; nothing to do here.
+		_ = writeJSONLine(p.upstream, cf)
+	}
+}
+
+// Close flushes pending aggregates and tears the PDC down.
+func (p *PDC) Close() error {
+	p.flush(true)
+	close(p.done)
+	p.ln.Close()
+	err := p.upstream.Close()
+	p.wg.Wait()
+	return err
+}

@@ -1,0 +1,221 @@
+package comm
+
+import (
+	"sort"
+	"testing"
+	"time"
+
+	"pmuoutage/internal/cases"
+	"pmuoutage/internal/pmunet"
+)
+
+// network spins up a collector, one PDC per cluster, and one PMU per bus
+// on the loopback interface.
+type network struct {
+	col  *Collector
+	pdcs []*PDC
+	pmus []*PMU
+}
+
+func buildNetwork(t *testing.T, n int, clusters [][]int, loss float64) *network {
+	t.Helper()
+	col, err := NewCollector(n, "127.0.0.1:0", 80*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw := &network{col: col, pmus: make([]*PMU, n)}
+	for ci, members := range clusters {
+		pdc, err := NewPDC(ci, "127.0.0.1:0", col.Addr(), 20*time.Millisecond)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nw.pdcs = append(nw.pdcs, pdc)
+		for _, bus := range members {
+			pmu, err := NewPMU(bus, pdc.Addr(), loss, int64(bus)+1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			nw.pmus[bus] = pmu
+		}
+	}
+	t.Cleanup(func() {
+		for _, p := range nw.pmus {
+			if p != nil {
+				p.Close()
+			}
+		}
+		for _, p := range nw.pdcs {
+			p.Close()
+		}
+		col.Close()
+	})
+	return nw
+}
+
+// broadcast sends one synthetic time step from every PMU.
+func (nw *network) broadcast(t *testing.T, seq int) {
+	t.Helper()
+	for bus, p := range nw.pmus {
+		if p == nil {
+			continue
+		}
+		if err := p.Send(seq, 1+float64(bus)/100, -float64(bus)/100); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// collect waits for one assembled sample or times out.
+func collect(t *testing.T, col *Collector, timeout time.Duration) Assembled {
+	t.Helper()
+	select {
+	case a, ok := <-col.Samples():
+		if !ok {
+			t.Fatal("collector closed early")
+		}
+		return a
+	case <-time.After(timeout):
+		t.Fatal("timed out waiting for assembled sample")
+	}
+	panic("unreachable")
+}
+
+func smallClusters() [][]int {
+	return [][]int{{0, 1, 2}, {3, 4}, {5, 6, 7}}
+}
+
+func TestCompleteAssembly(t *testing.T) {
+	nw := buildNetwork(t, 8, smallClusters(), 0)
+	nw.broadcast(t, 1)
+	a := collect(t, nw.col, 2*time.Second)
+	if a.Seq != 1 {
+		t.Fatalf("Seq = %d", a.Seq)
+	}
+	if !a.Sample.Complete() {
+		t.Fatalf("expected complete sample, mask = %v", a.Sample.Mask)
+	}
+	for bus := 0; bus < 8; bus++ {
+		if a.Sample.Vm[bus] != 1+float64(bus)/100 {
+			t.Fatalf("bus %d Vm = %v", bus, a.Sample.Vm[bus])
+		}
+	}
+}
+
+func TestDeadPMUBecomesMissing(t *testing.T) {
+	nw := buildNetwork(t, 8, smallClusters(), 0)
+	nw.pmus[4].SetDown(true)
+	nw.broadcast(t, 7)
+	a := collect(t, nw.col, 2*time.Second)
+	if a.Sample.Complete() {
+		t.Fatal("expected missing entry for dead PMU")
+	}
+	if !a.Sample.Missing(4) {
+		t.Fatalf("bus 4 should be missing, mask = %v", a.Sample.Mask)
+	}
+	if a.Sample.Missing(3) {
+		t.Fatal("bus 3 arrived but is marked missing")
+	}
+}
+
+func TestDarkPDCDropsWholeCluster(t *testing.T) {
+	nw := buildNetwork(t, 8, smallClusters(), 0)
+	nw.pdcs[2].SetDown(true) // cluster {5,6,7} goes dark
+	nw.broadcast(t, 3)
+	a := collect(t, nw.col, 2*time.Second)
+	var missing []int
+	for bus := 0; bus < 8; bus++ {
+		if a.Sample.Missing(bus) {
+			missing = append(missing, bus)
+		}
+	}
+	sort.Ints(missing)
+	want := []int{5, 6, 7}
+	if len(missing) != 3 || missing[0] != want[0] || missing[1] != want[1] || missing[2] != want[2] {
+		t.Fatalf("missing = %v, want %v", missing, want)
+	}
+}
+
+func TestLossyLinkEventuallyDrops(t *testing.T) {
+	nw := buildNetwork(t, 8, smallClusters(), 0.5)
+	sawMissing := false
+	for seq := 1; seq <= 10 && !sawMissing; seq++ {
+		nw.broadcast(t, seq)
+		a := collect(t, nw.col, 2*time.Second)
+		if a.Sample.Mask != nil && a.Sample.Mask.AnyMissing() {
+			sawMissing = true
+		}
+	}
+	if !sawMissing {
+		t.Fatal("50% loss never produced a missing entry in 10 steps")
+	}
+}
+
+func TestMultipleSequencesInterleaved(t *testing.T) {
+	nw := buildNetwork(t, 8, smallClusters(), 0)
+	nw.broadcast(t, 1)
+	nw.broadcast(t, 2)
+	seen := map[int]bool{}
+	for i := 0; i < 2; i++ {
+		a := collect(t, nw.col, 2*time.Second)
+		seen[a.Seq] = true
+		if !a.Sample.Complete() {
+			t.Fatalf("seq %d incomplete", a.Seq)
+		}
+	}
+	if !seen[1] || !seen[2] {
+		t.Fatalf("assembled seqs = %v", seen)
+	}
+}
+
+func TestPMUValidation(t *testing.T) {
+	if _, err := NewPMU(0, "127.0.0.1:1", -0.1, 1); err == nil {
+		t.Fatal("expected loss-range error")
+	}
+	if _, err := NewPMU(0, "127.0.0.1:0", 0, 1); err == nil {
+		t.Fatal("expected dial error for port 0")
+	}
+}
+
+func TestCollectorValidation(t *testing.T) {
+	if _, err := NewCollector(0, "127.0.0.1:0", 0); err == nil {
+		t.Fatal("expected bus-count error")
+	}
+}
+
+func TestCollectorCloseIdempotent(t *testing.T) {
+	col, err := NewCollector(4, "127.0.0.1:0", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := col.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := col.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEndToEndWithRealGridTopology(t *testing.T) {
+	// Use the IEEE-14 PDC partition for the network layout, dropping the
+	// outage-location PMUs, and check the assembled mask matches the
+	// pmunet outage mask.
+	g := cases.IEEE14()
+	p, err := pmunet.Build(g, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw := buildNetwork(t, g.N(), p.Clusters, 0)
+	e := 0
+	a, b := g.Endpoints(0)
+	nw.pmus[a].SetDown(true)
+	nw.pmus[b].SetDown(true)
+	nw.broadcast(t, 5)
+	got := collect(t, nw.col, 2*time.Second)
+	want := p.OutageLocationMask(0)
+	for bus := 0; bus < g.N(); bus++ {
+		if got.Sample.Missing(bus) != want[bus] {
+			t.Fatalf("bus %d: missing=%v, want %v (line %d endpoints %d,%d)",
+				bus, got.Sample.Missing(bus), want[bus], e, a, b)
+		}
+	}
+}

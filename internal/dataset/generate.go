@@ -1,0 +1,137 @@
+package dataset
+
+import (
+	"errors"
+	"fmt"
+
+	"pmuoutage/internal/grid"
+	"pmuoutage/internal/loadgen"
+	"pmuoutage/internal/powerflow"
+)
+
+// GenConfig controls data generation.
+type GenConfig struct {
+	// Steps is the number of time samples T per scenario. The paper uses
+	// a 24-hour window; Steps divides that day.
+	Steps int
+	// Seed makes the whole pipeline deterministic.
+	Seed int64
+	// SigmaVm/SigmaVa are the PMU noise levels (p.u. / radians);
+	// non-positive values select the loadgen defaults.
+	SigmaVm, SigmaVa float64
+	// OU overrides the load process; zero value selects DefaultOU(Steps).
+	OU loadgen.OUParams
+	// UseDC switches to the linear DC power flow — an order of magnitude
+	// faster, used by quick tests and large sweeps. Magnitudes are then
+	// flat 1.0 plus noise, so detection must use the angle channel.
+	UseDC bool
+	// LossFrac is the dispatch margin for system losses (default 2%).
+	LossFrac float64
+	// MaxIter caps Newton iterations per solve (default 30).
+	MaxIter int
+}
+
+func (c GenConfig) withDefaults() GenConfig {
+	if c.Steps <= 0 {
+		c.Steps = 24
+	}
+	if c.OU == (loadgen.OUParams{}) {
+		c.OU = loadgen.DefaultOU(c.Steps)
+	}
+	if c.LossFrac == 0 {
+		c.LossFrac = 0.02
+	}
+	return c
+}
+
+// ErrInvalidScenario marks an outage case excluded per §V-A: the line
+// removal islands the grid or the power flow fails to converge.
+var ErrInvalidScenario = errors.New("dataset: scenario islanded or did not converge")
+
+// GenerateScenario produces the sample set for one scenario on grid g.
+// It returns ErrInvalidScenario (wrapped) for islanding/non-convergence.
+func GenerateScenario(g *grid.Grid, sc Scenario, cfg GenConfig) (*Set, error) {
+	cfg = cfg.withDefaults()
+	work := g.WithoutLines(sc)
+	if !work.Connected() {
+		return nil, fmt.Errorf("%w: %s islands %s", ErrInvalidScenario, sc.Key(), g.Name)
+	}
+	// Seeds derive from the scenario so different cases get independent
+	// load noise while the whole pipeline stays reproducible.
+	seed := cfg.Seed
+	for _, e := range sc {
+		seed = seed*1000003 + int64(e) + 1
+	}
+	proc, err := loadgen.NewProcess(g.N(), cfg.OU, seed)
+	if err != nil {
+		return nil, err
+	}
+	noise := loadgen.NewNoiseModel(cfg.SigmaVm, cfg.SigmaVa, seed+1)
+
+	set := &Set{Case: sc}
+	warm := work.Clone()
+	for t := 0; t < cfg.Steps; t++ {
+		mult := proc.Step()
+		step := warm.Clone()
+		for i := range step.Buses {
+			step.Buses[i].Pd = work.Buses[i].Pd * mult[i]
+			step.Buses[i].Qd = work.Buses[i].Qd * mult[i]
+		}
+		step = powerflow.Dispatch(step, cfg.LossFrac)
+
+		var vm, va []float64
+		if cfg.UseDC {
+			sol, err := powerflow.SolveDC(step)
+			if err != nil {
+				return nil, fmt.Errorf("%w: %s step %d: %v", ErrInvalidScenario, sc.Key(), t, err)
+			}
+			vm, va = sol.Vm, sol.Va
+		} else {
+			sol, err := powerflow.SolveAC(step, powerflow.Options{MaxIter: cfg.MaxIter})
+			if err != nil {
+				// One retry from flat start; warm starts can stray after
+				// a big topology change.
+				sol, err = powerflow.SolveAC(step, powerflow.Options{FlatStart: true, MaxIter: cfg.MaxIter})
+				if err != nil {
+					return nil, fmt.Errorf("%w: %s step %d: %v", ErrInvalidScenario, sc.Key(), t, err)
+				}
+			}
+			vm, va = sol.Vm, sol.Va
+			// Warm-start the next step from this solution.
+			for i := range warm.Buses {
+				warm.Buses[i].Vm = vm[i]
+				warm.Buses[i].Va = va[i]
+			}
+		}
+		nvm, nva := noise.Perturb(vm, va)
+		set.Samples = append(set.Samples, Sample{Vm: nvm, Va: nva})
+	}
+	return set, nil
+}
+
+// Generate runs the full §V-A pipeline: the normal-operation set plus one
+// set per valid single-line outage. Lines whose removal islands the grid
+// or whose power flow diverges are skipped (E <= |E| in the paper).
+func Generate(g *grid.Grid, cfg GenConfig) (*Data, error) {
+	cfg = cfg.withDefaults()
+	normal, err := GenerateScenario(g, nil, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("dataset: normal case failed for %s: %w", g.Name, err)
+	}
+	d := &Data{G: g, Normal: normal, Outages: map[grid.Line]*Set{}}
+	for e := 0; e < g.E(); e++ {
+		set, err := GenerateScenario(g, Scenario{grid.Line(e)}, cfg)
+		if err != nil {
+			if errors.Is(err, ErrInvalidScenario) {
+				continue
+			}
+			return nil, err
+		}
+		d.Outages[grid.Line(e)] = set
+		d.ValidLines = append(d.ValidLines, grid.Line(e))
+	}
+	if len(d.ValidLines) == 0 {
+		return nil, fmt.Errorf("dataset: no valid outage cases for %s", g.Name)
+	}
+	return d, nil
+}

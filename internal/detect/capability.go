@@ -1,0 +1,176 @@
+// Package detect implements the paper's robust outage detector: per-node
+// detection-capability learning from normal-operation ellipses
+// (Eqs. 4–7), cluster-based detection groups with in- and out-of-cluster
+// alternatives (Eq. 8), group selection under missing data (Eq. 10), and
+// the proximity-rule decoder that turns scaled subspace proximities
+// (Eq. 11) into a candidate outage set F̂.
+package detect
+
+import (
+	"fmt"
+
+	"pmuoutage/internal/dataset"
+	"pmuoutage/internal/ellipse"
+	"pmuoutage/internal/grid"
+)
+
+// UnionProbIE computes the probability of the union of independent
+// events with probabilities ps via the inclusion–exclusion expansion of
+// Eq. (7). Exponential in len(ps); use UnionProb beyond ~20 events.
+func UnionProbIE(ps []float64) float64 {
+	n := len(ps)
+	if n == 0 {
+		return 0
+	}
+	if n > 24 {
+		return UnionProb(ps)
+	}
+	var total float64
+	for mask := 1; mask < 1<<uint(n); mask++ {
+		prod := 1.0
+		bits := 0
+		for j := 0; j < n; j++ {
+			if mask&(1<<uint(j)) != 0 {
+				prod *= ps[j]
+				bits++
+			}
+		}
+		if bits%2 == 1 {
+			total += prod
+		} else {
+			total -= prod
+		}
+	}
+	return clamp01(total)
+}
+
+// UnionProb computes the same union probability in closed form,
+// 1 − Π(1−p). For independent events it equals UnionProbIE exactly and
+// costs O(n).
+func UnionProb(ps []float64) float64 {
+	q := 1.0
+	for _, p := range ps {
+		q *= 1 - clamp01(p)
+	}
+	return clamp01(1 - q)
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+// Capabilities holds the learned per-node detection machinery: the
+// normal-operation ellipse Ω_k of every node and the capability matrix
+// P where P[i][k] = p_{i,k} of Eq. (6) — how reliably node k detects an
+// outage of any line of node i.
+type Capabilities struct {
+	Ellipses []*ellipse.Ellipse
+	P        [][]float64
+}
+
+// FitEllipses fits Ω_k for every node from the normal-operation
+// training set (Eq. 4). useMVEE selects the minimum-volume enclosing
+// ellipse instead of the default covariance-scaled fit.
+func FitEllipses(normal *dataset.Set, margin float64, useMVEE bool) ([]*ellipse.Ellipse, error) {
+	if normal.T() < 2 {
+		return nil, fmt.Errorf("detect: need at least 2 normal samples, got %d", normal.T())
+	}
+	n := normal.Samples[0].N()
+	out := make([]*ellipse.Ellipse, n)
+	vm := make([]float64, normal.T())
+	va := make([]float64, normal.T())
+	for k := 0; k < n; k++ {
+		for t, s := range normal.Samples {
+			vm[t], va[t] = s.Phasor2D(k)
+		}
+		var e *ellipse.Ellipse
+		var err error
+		if useMVEE {
+			e, err = ellipse.FitMVEE(vm, va, margin, 0)
+		} else {
+			e, err = ellipse.Fit(vm, va, margin)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("detect: ellipse for node %d: %w", k, err)
+		}
+		out[k] = e
+	}
+	return out, nil
+}
+
+// CaseCapability computes p_k(F | X_k^F) of Eq. (5): the count of outage
+// samples falling outside Ω_k, normalised by the count of normal
+// training samples inside Ω_k.
+func CaseCapability(om *ellipse.Ellipse, outage, normal *dataset.Set, k int) float64 {
+	if outage.T() == 0 || normal.T() == 0 {
+		return 0
+	}
+	outside := 0
+	for _, s := range outage.Samples {
+		vm, va := s.Phasor2D(k)
+		if !om.Contains(vm, va) {
+			outside++
+		}
+	}
+	inside := 0
+	for _, s := range normal.Samples {
+		vm, va := s.Phasor2D(k)
+		if om.Contains(vm, va) {
+			inside++
+		}
+	}
+	if inside == 0 {
+		return 0
+	}
+	return clamp01(float64(outside) / float64(inside))
+}
+
+// LearnCapabilities builds the full capability structure from training
+// data: ellipses from the normal set, then for every node pair (i, k)
+// the union capability p_{i,k} over all training cases involving node i
+// (Eqs. 6–7).
+func LearnCapabilities(d *dataset.Data, margin float64, useMVEE bool) (*Capabilities, error) {
+	ells, err := FitEllipses(d.Normal, margin, useMVEE)
+	if err != nil {
+		return nil, err
+	}
+	n := d.G.N()
+	p := make([][]float64, n)
+	// Pre-compute per-case capabilities: cap[e][k].
+	caseCap := map[grid.Line][]float64{}
+	for _, e := range d.ValidLines {
+		cc := make([]float64, n)
+		for k := 0; k < n; k++ {
+			cc[k] = CaseCapability(ells[k], d.Outages[e], d.Normal, k)
+		}
+		caseCap[e] = cc
+	}
+	for i := 0; i < n; i++ {
+		p[i] = make([]float64, n)
+		// F_i: all valid training cases involving node i.
+		var cases []grid.Line
+		for _, e := range d.ValidLines {
+			a, b := d.G.Endpoints(e)
+			if a == i || b == i {
+				cases = append(cases, e)
+			}
+		}
+		if len(cases) == 0 {
+			continue
+		}
+		ps := make([]float64, len(cases))
+		for k := 0; k < n; k++ {
+			for c, e := range cases {
+				ps[c] = caseCap[e][k]
+			}
+			p[i][k] = UnionProb(ps)
+		}
+	}
+	return &Capabilities{Ellipses: ells, P: p}, nil
+}

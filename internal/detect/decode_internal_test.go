@@ -1,0 +1,71 @@
+package detect
+
+import (
+	"testing"
+
+	"pmuoutage/internal/cases"
+	"pmuoutage/internal/dataset"
+	"pmuoutage/internal/pmunet"
+)
+
+// TestDecodeStagesUnderMissingOutageData breaks the Fig. 7 scenario into
+// pipeline stages so a regression points at the failing stage: the
+// outage gate, the proximity-rule candidate set, or the line filter.
+func TestDecodeStagesUnderMissingOutageData(t *testing.T) {
+	g := cases.IEEE14()
+	train, _ := dataset.Generate(g, dataset.GenConfig{Steps: 30, Seed: 11})
+	nw, _ := pmunet.Build(g, 3)
+	det, err := Train(train, nw, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	test, _ := dataset.Generate(g, dataset.GenConfig{Steps: 5, Seed: 999})
+	var nSamp, gate, bothEnds, hit, hitGivenEnds int
+	for _, e := range test.ValidLines {
+		a, b := g.Endpoints(e)
+		for _, smp := range test.OutageSet(e).Samples {
+			s := smp.WithMask(nw.OutageLocationMask(e))
+			r, err := det.Detect(s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			nSamp++
+			if !r.Outage {
+				continue
+			}
+			gate++
+			hasA, hasB := false, false
+			for _, c := range r.Candidates {
+				if c == a {
+					hasA = true
+				}
+				if c == b {
+					hasB = true
+				}
+			}
+			found := false
+			for _, l := range r.Lines {
+				if l == e {
+					found = true
+				}
+			}
+			if hasA && hasB {
+				bothEnds++
+				if found {
+					hitGivenEnds++
+				}
+			}
+			if found {
+				hit++
+			}
+		}
+	}
+	t.Logf("samples=%d gate-pass=%d both-endpoints-in-candidates=%d hit=%d hit|ends=%d",
+		nSamp, gate, bothEnds, hit, hitGivenEnds)
+	if float64(gate) < 0.85*float64(nSamp) {
+		t.Errorf("gate passed only %d/%d masked outage samples", gate, nSamp)
+	}
+	if float64(hit) < 0.6*float64(nSamp) {
+		t.Errorf("true line decoded in only %d/%d masked outage samples", hit, nSamp)
+	}
+}

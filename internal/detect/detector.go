@@ -1,0 +1,726 @@
+package detect
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"pmuoutage/internal/dataset"
+	"pmuoutage/internal/grid"
+	"pmuoutage/internal/mat"
+	"pmuoutage/internal/pmunet"
+	"pmuoutage/internal/subspace"
+)
+
+// Config tunes the detector. The zero value selects the defaults used
+// throughout the paper reproduction.
+type Config struct {
+	// Channel selects the phasor series for subspace learning. Angle is
+	// the default: topology changes redistribute flows and therefore
+	// angles, in both AC and DC data.
+	Channel dataset.Channel
+	// LineRank is the dimension kept per line-outage subspace (Eq. 2).
+	LineRank int
+	// S0Rank caps the dimension of the normal-operation subspace S⁰ —
+	// the dominant correlated load-variation directions learned from
+	// normal deviations. Directions below S0EnergyFrac of the top
+	// singular value are dropped.
+	S0Rank int
+	// S0EnergyFrac is the relative singular-value cutoff for S⁰.
+	S0EnergyFrac float64
+	// InterShare is the shared-direction threshold for S_i^∩.
+	InterShare float64
+	// EllipseMargin scales the normal-operation ellipses (Eq. 4).
+	EllipseMargin float64
+	// UseMVEE fits minimum-volume enclosing ellipses (Khachiyan) instead
+	// of the covariance-scaled approximation — tighter around skewed
+	// training clouds, a little slower to fit (ablation option).
+	UseMVEE bool
+	// Groups configures detection-group formation.
+	Groups GroupConfig
+	// NoOutageSlack multiplies the calibrated normal-deviation energy
+	// threshold; samples below it are declared outage-free.
+	NoOutageSlack float64
+	// GapFactor bounds the scaled-proximity spread of candidate nodes:
+	// the sorted prefix ends at the first jump beyond this factor.
+	GapFactor float64
+	// LineKeepFactor keeps candidate lines whose per-line subspace
+	// proximity is within this factor of the best line.
+	LineKeepFactor float64
+	// MaxCandidates caps the candidate node set of the proximity rule.
+	MaxCandidates int
+	// MaxLines caps |F̂|: only the best-scoring lines survive. Real
+	// events rarely outage more than a handful of lines at once, and an
+	// ambiguous flat proximity spectrum must not flood the operator.
+	MaxLines int
+	// UseRegressorProximity switches Eq. (9) to the literal regressor
+	// formulation (ablation; see DESIGN.md).
+	UseRegressorProximity bool
+	// DisableScaling turns off the Eq. (11) ratio scaling (ablation).
+	DisableScaling bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.LineRank <= 0 {
+		c.LineRank = 1
+	}
+	if c.S0Rank <= 0 {
+		c.S0Rank = 3
+	}
+	if c.S0EnergyFrac <= 0 || c.S0EnergyFrac >= 1 {
+		c.S0EnergyFrac = 0.1
+	}
+	if c.InterShare <= 0 || c.InterShare > 1 {
+		c.InterShare = 0.6
+	}
+	if c.EllipseMargin <= 0 {
+		c.EllipseMargin = 1.1
+	}
+	if c.NoOutageSlack <= 0 {
+		// 1.25 balances flagging weak-line outages (signatures close to
+		// the load-noise floor) against false alarms from normal samples
+		// drifting past the training window's maximum.
+		c.NoOutageSlack = 1.25
+	}
+	if c.GapFactor <= 1 {
+		c.GapFactor = 8
+	}
+	if c.LineKeepFactor <= 1 {
+		c.LineKeepFactor = 2
+	}
+	if c.MaxCandidates <= 0 {
+		c.MaxCandidates = 6
+	}
+	if c.MaxLines <= 0 {
+		c.MaxLines = 3
+	}
+	if c.Groups.Mix == 0 {
+		c.Groups.Mix = 1 // proposed robust group unless explicitly naive
+	}
+	return c
+}
+
+// Detector is a trained robust outage detector.
+type Detector struct {
+	cfg    Config
+	g      *grid.Grid
+	nw     *pmunet.Network
+	caps   *Capabilities
+	groups []Group
+
+	mean      []float64 // normal-operation mean in channel space
+	lineSubs  map[grid.Line]*subspace.Subspace
+	unionSubs []*subspace.Subspace // span of S_i^∪ per node (Eq. 3)
+	interSubs []*subspace.Subspace // S_i^∩ per node
+	nodeLines [][]grid.Line        // valid lines incident to each node
+	normalSub *subspace.Subspace   // S⁰: dominant load-variation directions
+
+	// noOutageThresh is the calibrated per-feature deviation energy
+	// above which a sample is treated as a potential outage.
+	noOutageThresh float64
+
+	validLines []grid.Line
+}
+
+// Train learns the detector from generated data and a PMU network.
+func Train(d *dataset.Data, nw *pmunet.Network, cfg Config) (*Detector, error) {
+	cfg = cfg.withDefaults()
+	if d.G != nw.G {
+		if d.G.Name != nw.G.Name || d.G.N() != nw.G.N() {
+			return nil, fmt.Errorf("detect: dataset grid %q and network grid %q differ", d.G.Name, nw.G.Name)
+		}
+	}
+	if d.Normal.T() < 2 {
+		return nil, fmt.Errorf("detect: need at least 2 normal training samples")
+	}
+	n := d.G.N()
+	ch := cfg.Channel
+	dim := ch.Dim(n)
+
+	det := &Detector{
+		cfg: cfg, g: d.G, nw: nw,
+		lineSubs:   map[grid.Line]*subspace.Subspace{},
+		normalSub:  subspace.Zero(dim),
+		validLines: append([]grid.Line(nil), d.ValidLines...),
+	}
+
+	// Normal-operation mean in channel space.
+	det.mean = make([]float64, dim)
+	for _, s := range d.Normal.Samples {
+		v := s.Vector(ch)
+		for i := range det.mean {
+			det.mean[i] += v[i]
+		}
+	}
+	for i := range det.mean {
+		det.mean[i] /= float64(d.Normal.T())
+	}
+
+	// Normal-operation subspace S⁰ (Eq. 2 on X⁰): the directions along
+	// which correlated load variation moves the deviation vector. Without
+	// it, ordinary load swings are indistinguishable from weak outages.
+	{
+		x0 := det.deviationMatrix(d.Normal)
+		svd := mat.FactorSVD(x0)
+		k := 0
+		for _, v := range svd.S {
+			if k >= cfg.S0Rank || v < cfg.S0EnergyFrac*svd.S[0] {
+				break
+			}
+			k++
+		}
+		if k > 0 {
+			idx := make([]int, k)
+			for i := range idx {
+				idx[i] = i
+			}
+			det.normalSub = subspace.FromBasis(svd.U.SelectCols(idx))
+		}
+	}
+
+	// Per-line signature subspaces from deviation data (Eq. 2), with the
+	// load-variation component projected out so the learned direction is
+	// the pure topology signature.
+	for _, e := range d.ValidLines {
+		x := det.normalSub.ProjectOut(det.deviationMatrix(d.Outages[e]))
+		s, err := subspace.Learn(x, cfg.LineRank)
+		if err != nil {
+			return nil, fmt.Errorf("detect: subspace for line %d: %w", e, err)
+		}
+		det.lineSubs[e] = s
+	}
+
+	// Node union/intersection subspaces (Eq. 3).
+	det.unionSubs = make([]*subspace.Subspace, n)
+	det.interSubs = make([]*subspace.Subspace, n)
+	det.nodeLines = make([][]grid.Line, n)
+	for i := 0; i < n; i++ {
+		var subs []*subspace.Subspace
+		for _, e := range d.ValidLines {
+			a, b := d.G.Endpoints(e)
+			if a == i || b == i {
+				subs = append(subs, det.lineSubs[e])
+				det.nodeLines[i] = append(det.nodeLines[i], e)
+			}
+		}
+		if len(subs) == 0 {
+			det.unionSubs[i] = subspace.Zero(dim)
+			det.interSubs[i] = subspace.Zero(dim)
+			continue
+		}
+		u, err := subspace.Union(subs...)
+		if err != nil {
+			return nil, err
+		}
+		in, err := subspace.Intersection(cfg.InterShare, subs...)
+		if err != nil {
+			return nil, err
+		}
+		det.unionSubs[i] = u
+		det.interSubs[i] = in
+	}
+
+	// Capabilities and detection groups.
+	caps, err := LearnCapabilities(d, cfg.EllipseMargin, cfg.UseMVEE)
+	if err != nil {
+		return nil, err
+	}
+	det.caps = caps
+
+	var loadings *mat.Dense
+	gcfg := cfg.Groups
+	gcfg.Channel = ch
+	if gcfg.Mix < 1 {
+		// Pool all outage deviations and take the dominant left singular
+		// vectors as PCA loadings for the naive orthogonal choice.
+		total := 0
+		for _, e := range d.ValidLines {
+			total += d.Outages[e].T()
+		}
+		pool := mat.NewDense(dim, total)
+		c := 0
+		for _, e := range d.ValidLines {
+			x := det.deviationMatrix(d.Outages[e])
+			for t := 0; t < x.Cols(); t++ {
+				pool.SetCol(c, x.Col(t))
+				c++
+			}
+		}
+		svd := mat.FactorSVD(pool)
+		k := 5
+		if r := svd.Rank(0); k > r {
+			k = r
+		}
+		if k == 0 {
+			k = 1
+		}
+		idx := make([]int, k)
+		for i := range idx {
+			idx[i] = i
+		}
+		loadings = svd.U.SelectCols(idx)
+	}
+	// Detection groups must out-dimension the subspaces they score
+	// against: a group of g available features, minus the S⁰ rank, must
+	// exceed the largest union-subspace rank or the restricted residual
+	// degenerates to zero for hub nodes. Derive the floor from the grid.
+	maxDeg := 0
+	for i := 0; i < n; i++ {
+		if deg := d.G.Degree(i); deg > maxDeg {
+			maxDeg = deg
+		}
+	}
+	minSize := maxDeg*cfg.LineRank + det.normalSub.Rank() + 4
+	if minSize > n {
+		minSize = n
+	}
+	if gcfg.Size < minSize {
+		gcfg.Size = minSize
+	}
+	groups, err := BuildGroups(nw, caps, loadings, gcfg)
+	if err != nil {
+		return nil, err
+	}
+	det.groups = groups
+
+	// Calibrate the no-outage threshold: the largest per-feature
+	// deviation energy seen across normal training samples.
+	var maxE float64
+	for _, s := range d.Normal.Samples {
+		e := det.deviationEnergy(s)
+		if e > maxE {
+			maxE = e
+		}
+	}
+	det.noOutageThresh = maxE * cfg.NoOutageSlack
+	return det, nil
+}
+
+// deviationMatrix converts a sample set into centered channel vectors.
+func (det *Detector) deviationMatrix(set *dataset.Set) *mat.Dense {
+	dim := len(det.mean)
+	x := mat.NewDense(dim, set.T())
+	for t, s := range set.Samples {
+		v := s.Vector(det.cfg.Channel)
+		for i := range v {
+			v[i] -= det.mean[i]
+		}
+		x.SetCol(t, v)
+	}
+	return x
+}
+
+// deviation returns the centered channel vector of one sample plus the
+// feature-level availability mask.
+func (det *Detector) deviation(s dataset.Sample) ([]float64, pmunet.Mask) {
+	v := s.Vector(det.cfg.Channel)
+	for i := range v {
+		v[i] -= det.mean[i]
+	}
+	return v, s.MaskFor(det.cfg.Channel)
+}
+
+// deviationEnergy is the mean squared S⁰-filtered deviation over the
+// available features: the part of the deviation that ordinary load
+// variation cannot explain.
+func (det *Detector) deviationEnergy(s dataset.Sample) float64 {
+	v, m := det.deviation(s)
+	var avail []int
+	for i := range v {
+		if !m[i] {
+			avail = append(avail, i)
+		}
+	}
+	if len(avail) == 0 {
+		return 0
+	}
+	xd := make([]float64, len(avail))
+	for k, i := range avail {
+		xd[k] = v[i]
+	}
+	r0, err := det.normalSub.ResidualD(xd, avail)
+	if err != nil {
+		return 0
+	}
+	var e float64
+	for _, x := range r0 {
+		e += x * x
+	}
+	return e / float64(len(avail))
+}
+
+// featureIndices maps bus members to channel feature indices, dropping
+// buses whose measurements are missing in the mask.
+func (det *Detector) featureIndices(members []int, m pmunet.Mask) []int {
+	n := det.g.N()
+	var out []int
+	for _, b := range members {
+		switch det.cfg.Channel {
+		case dataset.Stacked:
+			if !m[b] {
+				out = append(out, b, b+n)
+			}
+		default:
+			if !m[b] {
+				out = append(out, b)
+			}
+		}
+	}
+	return out
+}
+
+// groupFor realises Eq. (10) for the cluster of node i. The detection
+// group "can use data from nodes inside and outside the missing data
+// cluster" (§IV-B, Fig. 2), so the working set is the union of the
+// in-cluster members D_C(C) and the out-of-cluster alternates D_C(C̄),
+// with masked members dropped. When the whole cluster is dark this
+// leaves exactly D_C(C̄) — the literal Eq. (10) switch — while partial
+// missing keeps every surviving member contributing. If the group still
+// collapses, it falls back to every available bus.
+func (det *Detector) groupFor(i int, busMask pmunet.Mask) []int {
+	c := det.nw.ClusterOf(i)
+	g := det.groups[c]
+	members := make([]int, 0, len(g.InCluster)+len(g.OutCluster))
+	seen := map[int]bool{}
+	for _, lists := range [][]int{g.InCluster, g.OutCluster} {
+		for _, b := range lists {
+			if !seen[b] {
+				seen[b] = true
+				members = append(members, b)
+			}
+		}
+	}
+	feat := det.featureIndices(members, det.busMaskFor(busMask))
+	if len(feat) >= 2 {
+		return feat
+	}
+	return det.featureIndices(allBuses(det.g.N()), det.busMaskFor(busMask))
+}
+
+// busMaskFor normalises a possibly-nil bus mask.
+func (det *Detector) busMaskFor(m pmunet.Mask) pmunet.Mask {
+	if m != nil {
+		return m
+	}
+	return pmunet.NoneMissing(det.g.N())
+}
+
+func allBuses(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// Result is the output of one detection.
+type Result struct {
+	// Outage reports whether the sample is classified as containing at
+	// least one line outage.
+	Outage bool
+	// Lines is the identified outage set F̂ (empty when Outage is false).
+	Lines []grid.Line
+	// NodeScores holds the scaled proximity p̂rox of every node
+	// (Eq. 11); lower means closer to that node's outage subspaces.
+	NodeScores []float64
+	// Candidates is the connected node prefix chosen by the proximity
+	// rule.
+	Candidates []int
+	// DeviationEnergy is the per-feature deviation energy used for the
+	// outage/no-outage decision.
+	DeviationEnergy float64
+}
+
+// Detect runs the full pipeline of §IV-C on one sample, which may
+// contain missing measurements (mask set).
+func (det *Detector) Detect(s dataset.Sample) (*Result, error) {
+	if s.N() != det.g.N() {
+		return nil, fmt.Errorf("detect: sample has %d buses, grid %d", s.N(), det.g.N())
+	}
+	busMask := det.busMaskFor(s.Mask)
+	dev, featMask := det.deviation(s)
+
+	res := &Result{DeviationEnergy: det.deviationEnergy(s)}
+
+	// Outage / no-outage gate: with only normal-level deviation energy
+	// on the available features, declare normal operation. This is what
+	// lets the detector tell missing data apart from physical failures
+	// (Fig. 8): missing entries are excluded rather than imputed, so
+	// they contribute no phantom deviation.
+	if res.DeviationEnergy <= det.noOutageThresh {
+		return res, nil
+	}
+	res.Outage = true
+
+	n := det.g.N()
+	res.NodeScores = make([]float64, n)
+	for i := 0; i < n; i++ {
+		group := det.groupFor(i, busMask)
+		group = dropMasked(group, featMask)
+		if len(group) == 0 {
+			res.NodeScores[i] = math.Inf(1)
+			continue
+		}
+		r0, p0, xe, err := det.normalResidual(dev, group)
+		if err != nil {
+			return nil, err
+		}
+		// Proximity to S_i^∪: Eq. (3) defines it as the set union of the
+		// node's line subspaces, and the distance of a point to a union
+		// of subspaces is the minimum of the member distances. Scoring
+		// with the minimum (rather than the linear span) keeps every
+		// node's fit at the same rank, so high-degree hubs cannot absorb
+		// arbitrary deviations into a large spanning basis.
+		pu := math.Inf(1)
+		for _, e := range det.nodeLines[i] {
+			p, err := det.subProx(det.lineSubs[e], r0, group)
+			if err != nil {
+				return nil, err
+			}
+			if p < pu {
+				pu = p
+			}
+		}
+		if math.IsInf(pu, 1) {
+			res.NodeScores[i] = pu
+			continue
+		}
+		if det.cfg.DisableScaling {
+			res.NodeScores[i] = pu / xe
+			continue
+		}
+		pi, err := det.subProx(det.interSubs[i], r0, group)
+		if err != nil {
+			return nil, err
+		}
+		// Normalising the three proximities by the restricted sample
+		// energy makes the Eq. (11) score dimensionless, so rankings
+		// stay comparable when Eq. (10) assigns different detection
+		// groups to different nodes under missing data.
+		res.NodeScores[i] = subspace.ScaledProximity(pu/xe, pi/xe, p0/xe)
+	}
+
+	res.Candidates = det.proximityRule(res.NodeScores)
+	res.Lines = det.decodeLines(res.Candidates, dev, featMask, busMask)
+	if len(res.Lines) == 0 {
+		// The proximity rule found no line-consistent candidate set;
+		// report the outage with the best-scoring node's incident lines
+		// as a conservative fallback.
+		best := argmin(res.NodeScores)
+		if best >= 0 {
+			res.Lines = det.bestIncidentLine(best, dev, featMask, busMask)
+		}
+	}
+	return res, nil
+}
+
+// normalResidual extracts the group-restricted deviation, removes the
+// S⁰ (load-variation) component, and returns the residual vector, its
+// squared norm p0 = prox_{S⁰}, and the restricted sample energy ‖x_D‖²
+// used to normalise proximities across detection groups.
+func (det *Detector) normalResidual(dev []float64, group []int) ([]float64, float64, float64, error) {
+	xd := make([]float64, len(group))
+	for k, i := range group {
+		xd[k] = dev[i]
+	}
+	xe := mat.Norm2(xd)
+	xe = xe * xe
+	if xe == 0 {
+		xe = math.SmallestNonzeroFloat64
+	}
+	r0, err := det.normalSub.ResidualD(xd, group)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	n := mat.Norm2(r0)
+	return r0, n * n, xe, nil
+}
+
+// subProx measures the residual energy of the S⁰-filtered restricted
+// deviation against a subspace's row-restricted basis.
+func (det *Detector) subProx(s *subspace.Subspace, r0 []float64, group []int) (float64, error) {
+	if det.cfg.UseRegressorProximity && s.Rank() > 0 {
+		// Ablation: scatter the filtered residual back to full dimension
+		// and use the literal Eq. (9) regressor formulation.
+		full := make([]float64, s.Dim())
+		for k, i := range group {
+			full[i] = r0[k]
+		}
+		return s.RegressorProximity(full, group)
+	}
+	r, err := s.ResidualD(r0, group)
+	if err != nil {
+		return 0, err
+	}
+	n := mat.Norm2(r)
+	return n * n, nil
+}
+
+func dropMasked(group []int, featMask pmunet.Mask) []int {
+	var out []int
+	for _, i := range group {
+		if !featMask[i] {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// proximityRule implements the decoder of §IV-C: sort nodes by scaled
+// proximity ascending and keep the prefix that (a) stays within
+// GapFactor of the best score, (b) forms a connected subgraph, and (c)
+// has at most MaxCandidates members.
+func (det *Detector) proximityRule(scores []float64) []int {
+	order := make([]int, len(scores))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return scores[order[a]] < scores[order[b]] })
+	if len(order) == 0 || math.IsInf(scores[order[0]], 1) {
+		return nil
+	}
+	best := scores[order[0]]
+	if best <= 0 {
+		best = math.SmallestNonzeroFloat64
+	}
+	cand := []int{order[0]}
+	for _, i := range order[1:] {
+		if len(cand) >= det.cfg.MaxCandidates {
+			break
+		}
+		if scores[i] > best*det.cfg.GapFactor {
+			break
+		}
+		next := append(append([]int(nil), cand...), i)
+		if det.g.SubgraphConnected(next) {
+			cand = next
+		}
+		// Nodes that break connectivity are skipped but do not end the
+		// scan: electrically-close, topologically-distant nodes can
+		// interleave in the ranking.
+	}
+	sort.Ints(cand)
+	return cand
+}
+
+// decodeLines turns the candidate node set into F̂: lines whose both
+// endpoints are candidates, filtered by their per-line subspace
+// proximity (only lines within LineKeepFactor of the best survive).
+func (det *Detector) decodeLines(cand []int, dev []float64, featMask pmunet.Mask, busMask pmunet.Mask) []grid.Line {
+	in := map[int]bool{}
+	for _, v := range cand {
+		in[v] = true
+	}
+	type scored struct {
+		e grid.Line
+		p float64
+	}
+	var ls []scored
+	for _, e := range det.validLines {
+		a, b := det.g.Endpoints(e)
+		// The proximity rule's candidate prefix may drop one endpoint of
+		// the true line — typically the masked one whose own cluster had
+		// to fall back to a remote detection group — so lines with at
+		// least one candidate endpoint stay in the running; the per-line
+		// subspace filter below does the final discrimination.
+		if !in[a] && !in[b] {
+			continue
+		}
+		group := det.groupFor(a, busMask)
+		group = dropMasked(group, featMask)
+		if len(group) == 0 {
+			continue
+		}
+		r0, _, xe, err := det.normalResidual(dev, group)
+		if err != nil {
+			continue
+		}
+		p, err := det.subProx(det.lineSubs[e], r0, group)
+		if err != nil {
+			continue
+		}
+		ls = append(ls, scored{e, p / xe})
+	}
+	if len(ls) == 0 {
+		return nil
+	}
+	sort.SliceStable(ls, func(a, b int) bool { return ls[a].p < ls[b].p })
+	best := ls[0].p
+	if best <= 0 {
+		best = math.SmallestNonzeroFloat64
+	}
+	var out []grid.Line
+	for _, s := range ls {
+		if len(out) >= det.cfg.MaxLines {
+			break
+		}
+		if s.p <= best*det.cfg.LineKeepFactor {
+			out = append(out, s.e)
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return out
+}
+
+// bestIncidentLine scores the valid lines of one node and returns the
+// closest, as a last-resort localisation.
+func (det *Detector) bestIncidentLine(node int, dev []float64, featMask, busMask pmunet.Mask) []grid.Line {
+	bestLine := grid.Line(-1)
+	bestP := math.Inf(1)
+	for _, e := range det.validLines {
+		a, b := det.g.Endpoints(e)
+		if a != node && b != node {
+			continue
+		}
+		group := dropMasked(det.groupFor(node, busMask), featMask)
+		if len(group) == 0 {
+			continue
+		}
+		r0, _, xe, err := det.normalResidual(dev, group)
+		if err != nil {
+			continue
+		}
+		p, err := det.subProx(det.lineSubs[e], r0, group)
+		if err != nil {
+			continue
+		}
+		if p/xe < bestP {
+			bestP, bestLine = p/xe, e
+		}
+	}
+	if bestLine < 0 {
+		return nil
+	}
+	return []grid.Line{bestLine}
+}
+
+func argmin(v []float64) int {
+	best := -1
+	bestV := math.Inf(1)
+	for i, x := range v {
+		if x < bestV {
+			bestV, best = x, i
+		}
+	}
+	return best
+}
+
+// Grid returns the detector's grid.
+func (det *Detector) Grid() *grid.Grid { return det.g }
+
+// Network returns the detector's PMU network.
+func (det *Detector) Network() *pmunet.Network { return det.nw }
+
+// Capabilities exposes the learned capability matrix (read-only use).
+func (det *Detector) Capabilities() *Capabilities { return det.caps }
+
+// DetectionGroups exposes the per-cluster groups (read-only use).
+func (det *Detector) DetectionGroups() []Group { return det.groups }
+
+// ValidLines returns the lines with learned outage subspaces.
+func (det *Detector) ValidLines() []grid.Line {
+	return append([]grid.Line(nil), det.validLines...)
+}
+
+// NoOutageThreshold returns the calibrated deviation-energy threshold.
+func (det *Detector) NoOutageThreshold() float64 { return det.noOutageThresh }

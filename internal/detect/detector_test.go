@@ -1,0 +1,248 @@
+package detect
+
+import (
+	"math/rand"
+	"testing"
+
+	"pmuoutage/internal/cases"
+	"pmuoutage/internal/dataset"
+	"pmuoutage/internal/grid"
+	"pmuoutage/internal/metrics"
+	"pmuoutage/internal/pmunet"
+)
+
+// trainIEEE14 builds a detector on IEEE-14 with fresh train data and
+// returns independent test data generated with a different seed.
+func trainIEEE14(t *testing.T, cfg Config) (*Detector, *dataset.Data) {
+	t.Helper()
+	g := cases.IEEE14()
+	train, err := dataset.Generate(g, dataset.GenConfig{Steps: 20, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw, err := pmunet.Build(g, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	det, err := Train(train, nw, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	test, err := dataset.Generate(g, dataset.GenConfig{Steps: 6, Seed: 999})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return det, test
+}
+
+func TestTrainValidation(t *testing.T) {
+	g := cases.IEEE14()
+	nw, _ := pmunet.Build(g, 3)
+	if _, err := Train(&dataset.Data{G: g, Normal: &dataset.Set{}}, nw, Config{}); err == nil {
+		t.Fatal("expected error for empty normal set")
+	}
+	other, _ := pmunet.Build(cases.IEEE30(), 3)
+	d, err := dataset.Generate(g, dataset.GenConfig{Steps: 3, Seed: 1, UseDC: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Train(d, other, Config{}); err == nil {
+		t.Fatal("expected grid mismatch error")
+	}
+}
+
+func TestDetectNormalSampleIsQuiet(t *testing.T) {
+	det, test := trainIEEE14(t, Config{})
+	for _, s := range test.Normal.Samples {
+		r, err := det.Detect(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Outage {
+			t.Fatalf("normal sample flagged as outage (energy %.3g thresh %.3g)",
+				r.DeviationEnergy, det.NoOutageThreshold())
+		}
+		if len(r.Lines) != 0 {
+			t.Fatal("normal sample must yield empty line set")
+		}
+	}
+}
+
+func TestDetectCompleteDataIdentifiesOutages(t *testing.T) {
+	det, test := trainIEEE14(t, Config{})
+	var acc metrics.Accumulator
+	flagged, total := 0, 0
+	for _, e := range test.ValidLines {
+		truth := []grid.Line{e}
+		for _, s := range test.OutageSet(e).Samples {
+			r, err := det.Detect(s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			total++
+			if r.Outage {
+				flagged++
+			}
+			acc.Add(truth, r.Lines)
+		}
+	}
+	// A few lightly-loaded lines have signatures below the load-noise
+	// floor — the paper's IA is not 1.0 either — but the vast majority
+	// of outages must be flagged.
+	if frac := float64(flagged) / float64(total); frac < 0.9 {
+		t.Errorf("only %.0f%% of outage samples flagged", 100*frac)
+	}
+	if acc.IA() < 0.85 {
+		t.Errorf("complete-data IA = %.3f, want >= 0.85", acc.IA())
+	}
+	if acc.FA() > 0.15 {
+		t.Errorf("complete-data FA = %.3f, want <= 0.15", acc.FA())
+	}
+	t.Logf("complete data: %s", acc.String())
+}
+
+func TestDetectMissingOutageData(t *testing.T) {
+	// Figure 7's pattern: endpoints of the outaged line are missing.
+	det, test := trainIEEE14(t, Config{})
+	var acc metrics.Accumulator
+	for _, e := range test.ValidLines {
+		truth := []grid.Line{e}
+		mask := det.Network().OutageLocationMask(e)
+		for _, s := range test.OutageSet(e).Samples {
+			r, err := det.Detect(s.WithMask(mask))
+			if err != nil {
+				t.Fatal(err)
+			}
+			acc.Add(truth, r.Lines)
+		}
+	}
+	if acc.IA() < 0.6 {
+		t.Errorf("missing-outage-data IA = %.3f, want >= 0.6", acc.IA())
+	}
+	t.Logf("missing outage data: %s", acc.String())
+}
+
+func TestDetectRandomMissingOnNormalSamples(t *testing.T) {
+	// Figure 8: normal samples with random missing entries must NOT be
+	// classified as outages.
+	det, test := trainIEEE14(t, Config{})
+	rng := rand.New(rand.NewSource(4))
+	var acc metrics.Accumulator
+	for _, s := range test.Normal.Samples {
+		for k := 1; k <= 3; k++ {
+			mask := det.Network().RandomMask(k, nil, rng)
+			r, err := det.Detect(s.WithMask(mask))
+			if err != nil {
+				t.Fatal(err)
+			}
+			acc.Add(nil, r.Lines)
+		}
+	}
+	if acc.FA() > 0.1 {
+		t.Errorf("missing-data-on-normal FA = %.3f, want ~0", acc.FA())
+	}
+	t.Logf("random missing on normal: %s", acc.String())
+}
+
+func TestDetectSampleSizeMismatch(t *testing.T) {
+	det, _ := trainIEEE14(t, Config{})
+	if _, err := det.Detect(dataset.Sample{Vm: []float64{1}, Va: []float64{0}}); err == nil {
+		t.Fatal("expected size mismatch error")
+	}
+}
+
+func TestDetectAccessors(t *testing.T) {
+	det, _ := trainIEEE14(t, Config{})
+	if det.Grid().Name != "ieee14" {
+		t.Fatal("Grid accessor wrong")
+	}
+	if det.Network().NumClusters() != 3 {
+		t.Fatal("Network accessor wrong")
+	}
+	if det.Capabilities() == nil || len(det.DetectionGroups()) != 3 {
+		t.Fatal("capability/group accessors wrong")
+	}
+	if len(det.ValidLines()) == 0 {
+		t.Fatal("no valid lines")
+	}
+	if det.NoOutageThreshold() <= 0 {
+		t.Fatal("threshold not calibrated")
+	}
+}
+
+func TestGroupSelect(t *testing.T) {
+	g := Group{InCluster: []int{1, 2}, OutCluster: []int{7, 8}}
+	if got := g.Select(false); got[0] != 1 {
+		t.Fatal("intact cluster must use in-cluster members")
+	}
+	if got := g.Select(true); got[0] != 7 {
+		t.Fatal("missing cluster must use out-of-cluster members")
+	}
+}
+
+func TestBuildGroupsMixZeroNeedsLoadings(t *testing.T) {
+	g := cases.IEEE14()
+	d, err := dataset.Generate(g, dataset.GenConfig{Steps: 6, Seed: 2, UseDC: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw, _ := pmunet.Build(g, 3)
+	caps, err := LearnCapabilities(d, 1.1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := BuildGroups(nw, caps, nil, GroupConfig{Mix: 0.5}); err == nil {
+		t.Fatal("expected loadings-required error")
+	}
+	groups, err := BuildGroups(nw, caps, nil, GroupConfig{Mix: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c, gr := range groups {
+		if len(gr.InCluster) == 0 || len(gr.OutCluster) == 0 {
+			t.Fatalf("cluster %d has empty group side", c)
+		}
+		// Out-of-cluster members must be outside the cluster.
+		in := map[int]bool{}
+		for _, v := range nw.Clusters[c] {
+			in[v] = true
+		}
+		for _, v := range gr.OutCluster {
+			if in[v] {
+				t.Fatalf("cluster %d: out-group member %d is inside", c, v)
+			}
+		}
+	}
+}
+
+func TestDetectorAblationVariantsRun(t *testing.T) {
+	// Regressor proximity and unscaled variants must at least run and
+	// flag outages (quality is compared in the benches).
+	for _, cfg := range []Config{
+		{UseRegressorProximity: true},
+		{DisableScaling: true},
+		{UseMVEE: true},
+	} {
+		det, test := trainIEEE14(t, cfg)
+		e := test.ValidLines[0]
+		r, err := det.Detect(test.OutageSet(e).Samples[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !r.Outage {
+			t.Error("ablation variant missed an obvious outage")
+		}
+	}
+}
+
+func TestDetectChannelMagnitude(t *testing.T) {
+	det, test := trainIEEE14(t, Config{Channel: dataset.Magnitude})
+	e := test.ValidLines[0]
+	r, err := det.Detect(test.OutageSet(e).Samples[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Outage {
+		t.Error("magnitude channel missed an obvious outage")
+	}
+}

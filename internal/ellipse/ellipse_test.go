@@ -1,0 +1,190 @@
+package ellipse
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestFitValidation(t *testing.T) {
+	if _, err := Fit([]float64{1}, []float64{1}, 1); err != ErrTooFewPoints {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := Fit([]float64{1, 2}, []float64{1}, 1); err != ErrTooFewPoints {
+		t.Fatalf("mismatched lengths: err = %v", err)
+	}
+}
+
+func TestAllTrainingPointsInside(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(100)
+		vm := make([]float64, n)
+		va := make([]float64, n)
+		for i := range vm {
+			vm[i] = 1 + 0.02*rng.NormFloat64()
+			va[i] = -0.2 + 0.05*rng.NormFloat64()
+		}
+		e, err := Fit(vm, va, 1.1)
+		if err != nil {
+			return false
+		}
+		for i := range vm {
+			if !e.Contains(vm[i], va[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFarPointsOutside(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	n := 200
+	vm := make([]float64, n)
+	va := make([]float64, n)
+	for i := range vm {
+		vm[i] = 1 + 0.001*rng.NormFloat64()
+		va[i] = 0.1 + 0.002*rng.NormFloat64()
+	}
+	e, err := Fit(vm, va, 1.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A point 50 sigma away must be outside.
+	if e.Contains(1+0.05, 0.1) {
+		t.Fatal("far point inside ellipse")
+	}
+	if e.Contains(1, 0.3) {
+		t.Fatal("far angle point inside ellipse")
+	}
+	// The mean is inside.
+	if !e.Contains(1, 0.1) {
+		t.Fatal("center not inside")
+	}
+}
+
+func TestDegenerateDirectionHandled(t *testing.T) {
+	// Constant angle (like the slack bus): ellipse must still fit and
+	// classify sanely.
+	vm := []float64{0.99, 1.0, 1.01, 1.0}
+	va := []float64{0, 0, 0, 0}
+	e, err := Fit(vm, va, 1.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range vm {
+		if !e.Contains(vm[i], va[i]) {
+			t.Fatal("training point outside degenerate-fit ellipse")
+		}
+	}
+	// Any nonzero angle deviation is far outside given zero variance.
+	if e.Contains(1.0, 0.05) {
+		t.Fatal("large angle deviation must be outside")
+	}
+}
+
+func TestQuadAtBoundary(t *testing.T) {
+	// With margin exactly 1, the farthest point must sit on the boundary.
+	vm := []float64{1, 1.02, 0.98, 1}
+	va := []float64{0, 0.01, -0.01, 0.02}
+	e, err := Fit(vm, va, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var maxQ float64
+	for i := range vm {
+		if q := e.Quad(vm[i], va[i]); q > maxQ {
+			maxQ = q
+		}
+	}
+	if math.Abs(maxQ-1) > 1e-9 {
+		t.Fatalf("max quad = %v, want 1", maxQ)
+	}
+}
+
+func TestMarginDefault(t *testing.T) {
+	vm := []float64{1, 1.01, 0.99}
+	va := []float64{0, 0.01, -0.01}
+	e, err := Fit(vm, va, 0) // non-positive -> default 1.1
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range vm {
+		if q := e.Quad(vm[i], va[i]); q > 1/(1.1*1.1)+1e-9 {
+			t.Fatalf("default margin not applied: quad = %v", q)
+		}
+	}
+}
+
+func TestAxesOrdered(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 10 + rng.Intn(50)
+		vm := make([]float64, n)
+		va := make([]float64, n)
+		for i := range vm {
+			vm[i] = rng.NormFloat64()
+			va[i] = 3 * rng.NormFloat64()
+		}
+		e, err := Fit(vm, va, 1.1)
+		if err != nil {
+			return false
+		}
+		major, minor := e.Axes()
+		return major >= minor && minor > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAxesCircle(t *testing.T) {
+	// Unit-ish isotropic cloud: axes nearly equal.
+	rng := rand.New(rand.NewSource(6))
+	n := 5000
+	vm := make([]float64, n)
+	va := make([]float64, n)
+	for i := range vm {
+		vm[i] = rng.NormFloat64()
+		va[i] = rng.NormFloat64()
+	}
+	e, err := Fit(vm, va, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	major, minor := e.Axes()
+	if major/minor > 1.2 {
+		t.Fatalf("isotropic cloud gave axes ratio %.2f", major/minor)
+	}
+}
+
+func TestCorrelatedCloud(t *testing.T) {
+	// Strongly correlated data: points along the correlation direction
+	// stay inside, perpendicular outliers fall outside.
+	rng := rand.New(rand.NewSource(7))
+	n := 500
+	vm := make([]float64, n)
+	va := make([]float64, n)
+	for i := range vm {
+		u := rng.NormFloat64()
+		vm[i] = u + 0.01*rng.NormFloat64()
+		va[i] = u + 0.01*rng.NormFloat64()
+	}
+	e, err := Fit(vm, va, 1.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// On-axis point at moderate distance: inside.
+	if !e.Contains(0.5, 0.5) {
+		t.Fatal("correlated direction point should be inside")
+	}
+	// Perpendicular point at the same Euclidean distance: far outside.
+	if e.Contains(0.5, -0.5) {
+		t.Fatal("anti-correlated point should be outside")
+	}
+}

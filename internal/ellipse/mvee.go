@@ -1,0 +1,154 @@
+package ellipse
+
+import (
+	"math"
+)
+
+// FitMVEE computes the minimum-volume enclosing ellipse of the 2-D
+// points by Khachiyan's algorithm — the tightest ellipse satisfying
+// Eq. (4) exactly, as opposed to Fit's covariance-scaled approximation.
+// margin > 1 inflates the result the same way Fit's margin does. tol
+// controls the Khachiyan duality gap (default 1e-7).
+//
+// MVEE is the rigorous reading of "all PMU voltage phasor data are
+// inside the ellipse": the covariance fit can be badly loose when the
+// training cloud has outliers in one direction. The detect package
+// exposes it as an alternative via Config.UseMVEE; the ablation bench
+// compares the two.
+func FitMVEE(vm, va []float64, margin, tol float64) (*Ellipse, error) {
+	n := len(vm)
+	if n < 2 || len(va) != n {
+		return nil, ErrTooFewPoints
+	}
+	if margin <= 0 {
+		margin = 1.1
+	}
+	if tol <= 0 {
+		tol = 1e-7
+	}
+	// Degenerate clouds (collinear or constant) make the Khachiyan
+	// system singular; jitter floor mirrors Fit's variance floor.
+	const floor = 1e-10
+
+	// Khachiyan's algorithm in d = 2: lift points to Q = [x; y; 1],
+	// iterate weights u. M_j = q_jᵀ (Q diag(u) Qᵀ)⁻¹ q_j.
+	u := make([]float64, n)
+	for i := range u {
+		u[i] = 1 / float64(n)
+	}
+	const d = 2
+	maxIter := 2000
+	for iter := 0; iter < maxIter; iter++ {
+		// Build S = Σ u_j q_j q_jᵀ (3x3, symmetric).
+		var s [3][3]float64
+		for j := 0; j < n; j++ {
+			q := [3]float64{vm[j], va[j], 1}
+			for a := 0; a < 3; a++ {
+				for b := 0; b < 3; b++ {
+					s[a][b] += u[j] * q[a] * q[b]
+				}
+			}
+		}
+		s[0][0] += floor
+		s[1][1] += floor
+		inv, ok := invert3(s)
+		if !ok {
+			return nil, ErrTooFewPoints
+		}
+		// Find the point with maximum Mahalanobis value.
+		maxM, maxJ := -1.0, 0
+		for j := 0; j < n; j++ {
+			q := [3]float64{vm[j], va[j], 1}
+			var m float64
+			for a := 0; a < 3; a++ {
+				for b := 0; b < 3; b++ {
+					m += q[a] * inv[a][b] * q[b]
+				}
+			}
+			if m > maxM {
+				maxM, maxJ = m, j
+			}
+		}
+		// Convergence: maxM <= (d+1)(1+tol).
+		if maxM <= float64(d+1)*(1+tol) {
+			break
+		}
+		step := (maxM - float64(d+1)) / (float64(d+1) * (maxM - 1))
+		for j := range u {
+			u[j] *= 1 - step
+		}
+		u[maxJ] += step
+	}
+
+	// Center c = Σ u_j p_j; shape A = (1/d) (Σ u_j p_j p_jᵀ − c cᵀ)⁻¹.
+	var cx, cy float64
+	for j := 0; j < n; j++ {
+		cx += u[j] * vm[j]
+		cy += u[j] * va[j]
+	}
+	var pxx, pxy, pyy float64
+	for j := 0; j < n; j++ {
+		pxx += u[j] * vm[j] * vm[j]
+		pxy += u[j] * vm[j] * va[j]
+		pyy += u[j] * va[j] * va[j]
+	}
+	pxx -= cx * cx
+	pxy -= cx * cy
+	pyy -= cy * cy
+	if pxx < floor {
+		pxx = floor
+	}
+	if pyy < floor {
+		pyy = floor
+	}
+	det := pxx*pyy - pxy*pxy
+	if det <= 0 {
+		maxCross := math.Sqrt(pxx*pyy) * 0.999
+		if pxy > maxCross {
+			pxy = maxCross
+		}
+		if pxy < -maxCross {
+			pxy = -maxCross
+		}
+		det = pxx*pyy - pxy*pxy
+	}
+	inv11 := pyy / det
+	inv12 := -pxy / det
+	inv22 := pxx / det
+	scale := 1 / (float64(d) * margin * margin)
+	e := &Ellipse{
+		C: [2]float64{cx, cy},
+		A: [3]float64{inv11 * scale, inv12 * scale, inv22 * scale},
+	}
+	// Khachiyan converges to tolerance, not exactly; inflate minimally
+	// so the Eq. (4) containment contract holds for every input point.
+	var maxQ float64
+	for j := 0; j < n; j++ {
+		if q := e.Quad(vm[j], va[j]); q > maxQ {
+			maxQ = q
+		}
+	}
+	if maxQ > 1 {
+		e.A[0] /= maxQ
+		e.A[1] /= maxQ
+		e.A[2] /= maxQ
+	}
+	return e, nil
+}
+
+// invert3 inverts a symmetric 3x3 matrix; ok is false when singular.
+func invert3(m [3][3]float64) ([3][3]float64, bool) {
+	a, b, c := m[0][0], m[0][1], m[0][2]
+	d, e, f := m[1][0], m[1][1], m[1][2]
+	g, h, i := m[2][0], m[2][1], m[2][2]
+	det := a*(e*i-f*h) - b*(d*i-f*g) + c*(d*h-e*g)
+	if det == 0 || math.IsNaN(det) || math.IsInf(det, 0) {
+		return [3][3]float64{}, false
+	}
+	inv := [3][3]float64{
+		{(e*i - f*h) / det, (c*h - b*i) / det, (b*f - c*e) / det},
+		{(f*g - d*i) / det, (a*i - c*g) / det, (c*d - a*f) / det},
+		{(d*h - e*g) / det, (b*g - a*h) / det, (a*e - b*d) / det},
+	}
+	return inv, true
+}

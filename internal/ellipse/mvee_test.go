@@ -1,0 +1,159 @@
+package ellipse
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMVEEValidation(t *testing.T) {
+	if _, err := FitMVEE([]float64{1}, []float64{1}, 1, 0); err != ErrTooFewPoints {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := FitMVEE([]float64{1, 2}, []float64{1}, 1, 0); err != ErrTooFewPoints {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestMVEEContainsAllPoints(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(60)
+		vm := make([]float64, n)
+		va := make([]float64, n)
+		for i := range vm {
+			vm[i] = 1 + 0.02*rng.NormFloat64()
+			va[i] = -0.3 + 0.05*rng.NormFloat64()
+		}
+		e, err := FitMVEE(vm, va, 1.05, 0)
+		if err != nil {
+			return false
+		}
+		for i := range vm {
+			if !e.Contains(vm[i], va[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMVEETighterThanCovarianceFit(t *testing.T) {
+	// With a heavy outlier, the covariance fit inflates in every
+	// direction while the MVEE hugs the hull: the MVEE area must not
+	// exceed the covariance ellipse's.
+	rng := rand.New(rand.NewSource(3))
+	n := 120
+	vm := make([]float64, n)
+	va := make([]float64, n)
+	for i := range vm {
+		vm[i] = 0.003 * rng.NormFloat64()
+		va[i] = 0.003 * rng.NormFloat64()
+	}
+	vm[0], va[0] = 0.05, 0.05 // outlier
+
+	cov, err := Fit(vm, va, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mvee, err := FitMVEE(vm, va, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	areaOf := func(e *Ellipse) float64 {
+		maj, min := e.Axes()
+		return math.Pi * maj * min
+	}
+	if areaOf(mvee) > areaOf(cov)*1.01 {
+		t.Fatalf("MVEE area %.3g exceeds covariance fit %.3g", areaOf(mvee), areaOf(cov))
+	}
+}
+
+func TestMVEEKnownSquare(t *testing.T) {
+	// MVEE of the four corners of the unit square centered at origin:
+	// the circle of radius sqrt(2)/... the enclosing ellipse is the
+	// circle through the corners, x² + y² = 0.5.
+	vm := []float64{0.5, -0.5, 0.5, -0.5}
+	va := []float64{0.5, 0.5, -0.5, -0.5}
+	e, err := FitMVEE(vm, va, 1, 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(e.C[0]) > 1e-6 || math.Abs(e.C[1]) > 1e-6 {
+		t.Fatalf("center = %v, want origin", e.C)
+	}
+	maj, min := e.Axes()
+	want := math.Sqrt(0.5)
+	if math.Abs(maj-want) > 1e-3 || math.Abs(min-want) > 1e-3 {
+		t.Fatalf("axes = %v/%v, want %v", maj, min, want)
+	}
+	// Corners on the boundary (within tolerance + containment inflation).
+	for i := range vm {
+		if q := e.Quad(vm[i], va[i]); q < 0.99 || q > 1.0001 {
+			t.Fatalf("corner %d quad = %v, want ~1", i, q)
+		}
+	}
+}
+
+func TestMVEEDegenerateLine(t *testing.T) {
+	// Collinear points: floor regularisation must keep the fit usable.
+	vm := []float64{0, 1, 2, 3}
+	va := []float64{0, 0, 0, 0}
+	e, err := FitMVEE(vm, va, 1.1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range vm {
+		if !e.Contains(vm[i], va[i]) {
+			t.Fatal("collinear point escaped MVEE")
+		}
+	}
+	if e.Contains(1.5, 1) {
+		t.Fatal("point far off the line must be outside")
+	}
+}
+
+func TestInvert3RoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var m [3][3]float64
+		for a := 0; a < 3; a++ {
+			for b := a; b < 3; b++ {
+				v := rng.NormFloat64()
+				m[a][b], m[b][a] = v, v
+			}
+			m[a][a] += 4 // diagonally dominant => invertible
+		}
+		inv, ok := invert3(m)
+		if !ok {
+			return false
+		}
+		// m * inv ~ I
+		for a := 0; a < 3; a++ {
+			for b := 0; b < 3; b++ {
+				var s float64
+				for k := 0; k < 3; k++ {
+					s += m[a][k] * inv[k][b]
+				}
+				want := 0.0
+				if a == b {
+					want = 1
+				}
+				if math.Abs(s-want) > 1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	if _, ok := invert3([3][3]float64{}); ok {
+		t.Fatal("zero matrix must not invert")
+	}
+}

@@ -1,0 +1,61 @@
+package experiments
+
+import "testing"
+
+func TestRecoveryExperimentShape(t *testing.T) {
+	rows, err := Recovery(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(rows))
+	}
+	byMethod := map[string]Row{}
+	for _, r := range rows {
+		byMethod[r.Method] = r
+		if r.N == 0 {
+			t.Fatalf("row %v has no samples", r)
+		}
+	}
+	sub, ok1 := byMethod["subspace"]
+	rec, ok2 := byMethod["mlr+rec"]
+	if !ok1 || !ok2 {
+		t.Fatalf("missing methods in %v", byMethod)
+	}
+	// The paper's argument: recovery from normal-operation structure
+	// cannot reconstruct the outage signature at the outage location, so
+	// recover-then-classify stays well below the recovery-free subspace
+	// method.
+	if rec.IA >= sub.IA {
+		t.Errorf("recover-then-classify IA %.3f should trail subspace IA %.3f", rec.IA, sub.IA)
+	}
+	if rec.X <= 0 {
+		t.Errorf("recovery row must report positive mean latency, got %v", rec.X)
+	}
+}
+
+func TestMultiOutageExperimentShape(t *testing.T) {
+	cfg := quickCfg()
+	cfg.TestSteps = 8 // 2 samples per pair
+	rows, err := MultiOutage(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(rows))
+	}
+	for _, r := range rows {
+		if r.N == 0 {
+			t.Fatalf("row %v evaluated nothing", r)
+		}
+		// Multi-line events must be at least partially localised: IA of
+		// Eq. 12 gives 0.5 for one of the two lines found.
+		if r.IA < 0.4 {
+			t.Errorf("%s IA = %.3f, want >= 0.4", r.Method, r.IA)
+		}
+		// Everything reported should overwhelmingly be a true line.
+		if r.FA > 0.3 {
+			t.Errorf("%s FA = %.3f, want <= 0.3", r.Method, r.FA)
+		}
+	}
+}

@@ -1,0 +1,259 @@
+package experiments
+
+import (
+	"math/rand"
+
+	"pmuoutage/internal/dataset"
+	"pmuoutage/internal/detect"
+	"pmuoutage/internal/grid"
+	"pmuoutage/internal/metrics"
+	"pmuoutage/internal/pmunet"
+)
+
+// Fig4 reproduces Figure 4: the effect of detection-group formation.
+// The x axis is the fraction of group members selected by learned
+// detection capability (Eq. 8); x = 0 is the naive PCA-orthogonal
+// choice, x = 1 the proposed robust group. Complete data, single-line
+// outages, subspace method only.
+func Fig4(cfg Config) ([]Row, error) {
+	cfg = cfg.withDefaults()
+	mixes := []float64{0, 0.25, 0.5, 0.75, 1}
+	var rows []Row
+	for _, system := range cfg.Systems {
+		for _, mix := range mixes {
+			c := cfg
+			c.Detect.Groups.Mix = mix
+			if mix == 0 {
+				// Mix = 0 (zero value) means "default" to detect.Train,
+				// so the pure naive choice is requested with -1.
+				c.Detect.Groups.Mix = -1
+			}
+			b, err := c.prepare(system, false)
+			if err != nil {
+				return nil, err
+			}
+			sub, _, err := b.evalOutages(nil, cfg.Seed+31)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, Row{
+				Figure: "fig4", System: system, Method: "subspace",
+				X: mix, IA: sub.IA(), FA: sub.FA(), N: sub.N(),
+			})
+		}
+	}
+	return rows, nil
+}
+
+// Fig5 reproduces Figure 5: the complete-data case, subspace vs MLR,
+// over all systems.
+func Fig5(cfg Config) ([]Row, error) {
+	cfg = cfg.withDefaults()
+	var rows []Row
+	for _, system := range cfg.Systems {
+		b, err := cfg.prepare(system, true)
+		if err != nil {
+			return nil, err
+		}
+		sub, base, err := b.evalOutages(nil, cfg.Seed+41)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows,
+			Row{Figure: "fig5", System: system, Method: "subspace", IA: sub.IA(), FA: sub.FA(), N: sub.N()},
+			Row{Figure: "fig5", System: system, Method: "mlr", IA: base.IA(), FA: base.FA(), N: base.N()},
+		)
+	}
+	return rows, nil
+}
+
+// Fig7 reproduces Figure 7: data from the outage endpoints are missing
+// (Fig. 6 top pattern).
+func Fig7(cfg Config) ([]Row, error) {
+	cfg = cfg.withDefaults()
+	var rows []Row
+	for _, system := range cfg.Systems {
+		b, err := cfg.prepare(system, true)
+		if err != nil {
+			return nil, err
+		}
+		mask := func(e grid.Line, _ *rand.Rand) pmunet.Mask {
+			return b.nw.OutageLocationMask(e)
+		}
+		sub, base, err := b.evalOutages(mask, cfg.Seed+51)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows,
+			Row{Figure: "fig7", System: system, Method: "subspace", IA: sub.IA(), FA: sub.FA(), N: sub.N()},
+			Row{Figure: "fig7", System: system, Method: "mlr", IA: base.IA(), FA: base.FA(), N: base.N()},
+		)
+	}
+	return rows, nil
+}
+
+// Fig8 reproduces Figure 8: test samples are normal operation with a
+// few random missing points (Fig. 6 middle pattern) — can the methods
+// tell a data problem from a physical failure? |F| = 0 conventions of
+// §V-C2 apply.
+func Fig8(cfg Config) ([]Row, error) {
+	cfg = cfg.withDefaults()
+	var rows []Row
+	for _, system := range cfg.Systems {
+		b, err := cfg.prepare(system, true)
+		if err != nil {
+			return nil, err
+		}
+		var sub, base metrics.Accumulator
+		// Several missing-point counts, several draws each.
+		for _, k := range []int{1, 2, 3, 5} {
+			mask := func(_ grid.Line, rng *rand.Rand) pmunet.Mask {
+				return b.nw.RandomMask(k, nil, rng)
+			}
+			s, m, err := b.evalNormal(mask, cfg.Seed+61+int64(k))
+			if err != nil {
+				return nil, err
+			}
+			mergeInto(&sub, s)
+			mergeInto(&base, m)
+		}
+		rows = append(rows,
+			Row{Figure: "fig8", System: system, Method: "subspace", IA: sub.IA(), FA: sub.FA(), N: sub.N()},
+			Row{Figure: "fig8", System: system, Method: "mlr", IA: base.IA(), FA: base.FA(), N: base.N()},
+		)
+	}
+	return rows, nil
+}
+
+// Fig9 reproduces Figure 9: outage samples with random missing data NOT
+// at the outage location (Fig. 6 bottom pattern) — missing data and
+// outages uncorrelated.
+func Fig9(cfg Config) ([]Row, error) {
+	cfg = cfg.withDefaults()
+	var rows []Row
+	for _, system := range cfg.Systems {
+		b, err := cfg.prepare(system, true)
+		if err != nil {
+			return nil, err
+		}
+		mask := func(e grid.Line, rng *rand.Rand) pmunet.Mask {
+			a, bb := b.g.Endpoints(e)
+			k := 1 + rng.Intn(3)
+			return b.nw.RandomMask(k, []int{a, bb}, rng)
+		}
+		sub, base, err := b.evalOutages(mask, cfg.Seed+71)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows,
+			Row{Figure: "fig9", System: system, Method: "subspace", IA: sub.IA(), FA: sub.FA(), N: sub.N()},
+			Row{Figure: "fig9", System: system, Method: "mlr", IA: base.IA(), FA: base.FA(), N: base.N()},
+		)
+	}
+	return rows, nil
+}
+
+// Fig10 reproduces Figure 10: the effective false-alarm rate FA(r) of
+// Eqs. (13)–(15) as a function of system-wide PMU network reliability.
+// The 2^L pattern sum is estimated by Monte Carlo: each trial draws a
+// missing-data pattern from the Eq. (15) device distribution, which
+// weights patterns by exactly p_l(r). Outage and normal samples are both
+// evaluated so FA captures false lines and phantom outages.
+func Fig10(cfg Config) ([]Row, error) {
+	cfg = cfg.withDefaults()
+	levels := []float64{0.80, 0.85, 0.90, 0.95, 0.99}
+	var rows []Row
+	for _, system := range cfg.Systems {
+		b, err := cfg.prepare(system, false)
+		if err != nil {
+			return nil, err
+		}
+		l := b.g.N()
+		for _, r := range levels {
+			rel, err := pmunet.FromSystemReliability(r, l)
+			if err != nil {
+				return nil, err
+			}
+			mask := func(_ grid.Line, rng *rand.Rand) pmunet.Mask {
+				return b.nw.SampleMask(rel, rng)
+			}
+			sub, _, err := b.evalOutages(mask, cfg.Seed+81+int64(r*1000))
+			if err != nil {
+				return nil, err
+			}
+			subN, _, err := b.evalNormal(mask, cfg.Seed+91+int64(r*1000))
+			if err != nil {
+				return nil, err
+			}
+			mergeInto(&sub, subN)
+			rows = append(rows, Row{
+				Figure: "fig10", System: system, Method: "subspace",
+				X: r, IA: sub.IA(), FA: sub.FA(), N: sub.N(),
+			})
+		}
+	}
+	return rows, nil
+}
+
+// Ablation compares the design choices DESIGN.md calls out: the literal
+// Eq. (9) regressor vs the projection residual, Eq. (11) scaling on/off,
+// and the measurement channel, on the Fig. 7 missing-outage-data
+// scenario where the differences matter most.
+func Ablation(cfg Config) ([]Row, error) {
+	cfg = cfg.withDefaults()
+	variants := []struct {
+		name string
+		mod  func(*detect.Config)
+	}{
+		{"residual", func(*detect.Config) {}},
+		{"regressor", func(c *detect.Config) { c.UseRegressorProximity = true }},
+		{"unscaled", func(c *detect.Config) { c.DisableScaling = true }},
+		{"magnitude", func(c *detect.Config) { c.Channel = dataset.Magnitude }},
+		{"stacked", func(c *detect.Config) { c.Channel = dataset.Stacked }},
+		{"mvee", func(c *detect.Config) { c.UseMVEE = true }},
+	}
+	var rows []Row
+	for _, system := range cfg.Systems {
+		for _, v := range variants {
+			c := cfg
+			v.mod(&c.Detect)
+			b, err := c.prepare(system, false)
+			if err != nil {
+				return nil, err
+			}
+			mask := func(e grid.Line, _ *rand.Rand) pmunet.Mask {
+				return b.nw.OutageLocationMask(e)
+			}
+			sub, _, err := b.evalOutages(mask, cfg.Seed+101)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, Row{
+				Figure: "ablation", System: system, Method: v.name,
+				IA: sub.IA(), FA: sub.FA(), N: sub.N(),
+			})
+		}
+	}
+	return rows, nil
+}
+
+// mergeInto folds the counts of src into dst by re-adding its averages
+// weighted by sample count.
+func mergeInto(dst *metrics.Accumulator, src metrics.Accumulator) {
+	for i := 0; i < src.N(); i++ {
+		dst.AddScores(src.IA(), src.FA())
+	}
+}
+
+// All runs every figure and returns the concatenated rows.
+func All(cfg Config) ([]Row, error) {
+	var rows []Row
+	for _, fn := range []func(Config) ([]Row, error){Fig4, Fig5, Fig7, Fig8, Fig9, Fig10} {
+		r, err := fn(cfg)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, r...)
+	}
+	return rows, nil
+}

@@ -1,0 +1,333 @@
+package grid
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// ring returns an n-bus ring grid with uniform impedances and a slack at
+// bus 0.
+func ring(n int) *Grid {
+	g := &Grid{Name: "ring", BaseMVA: 100}
+	for i := 0; i < n; i++ {
+		b := Bus{ID: i + 1, Type: PQ, Vm: 1}
+		if i == 0 {
+			b.Type = Slack
+		}
+		g.Buses = append(g.Buses, b)
+	}
+	for i := 0; i < n; i++ {
+		g.Branches = append(g.Branches, Branch{
+			From: i, To: (i + 1) % n, R: 0.01, X: 0.1, Status: true,
+		})
+	}
+	return g
+}
+
+func TestBusTypeString(t *testing.T) {
+	if PQ.String() != "PQ" || PV.String() != "PV" || Slack.String() != "slack" {
+		t.Fatal("BusType.String mismatch")
+	}
+	if BusType(9).String() == "" {
+		t.Fatal("unknown BusType must still format")
+	}
+}
+
+func TestBranchAdmittance(t *testing.T) {
+	br := Branch{R: 3, X: 4}
+	y := br.Admittance()
+	// 1/(3+4i) = (3-4i)/25
+	if cmplx.Abs(y-complex(0.12, -0.16)) > 1e-15 {
+		t.Fatalf("Admittance = %v", y)
+	}
+	if (&Branch{}).Admittance() != 0 {
+		t.Fatal("zero-impedance branch must yield zero admittance")
+	}
+}
+
+func TestCloneDeep(t *testing.T) {
+	g := ring(4)
+	c := g.Clone()
+	c.Buses[0].Pd = 99
+	c.Branches[0].Status = false
+	if g.Buses[0].Pd == 99 || !g.Branches[0].Status {
+		t.Fatal("Clone is shallow")
+	}
+}
+
+func TestWithoutLine(t *testing.T) {
+	g := ring(5)
+	ng := g.WithoutLine(2)
+	if ng.Branches[2].Status {
+		t.Fatal("line still in service")
+	}
+	if !g.Branches[2].Status {
+		t.Fatal("original grid mutated")
+	}
+	// A ring stays connected after one removal...
+	if !ng.Connected() {
+		t.Fatal("ring minus one line must stay connected")
+	}
+	// ...but not after two adjacent removals isolating a node.
+	ng2 := g.WithoutLines([]Line{0, 1})
+	if ng2.Connected() {
+		t.Fatal("expected islanding")
+	}
+}
+
+func TestSlackIndex(t *testing.T) {
+	g := ring(3)
+	idx, err := g.SlackIndex()
+	if err != nil || idx != 0 {
+		t.Fatalf("SlackIndex = %d, %v", idx, err)
+	}
+	g.Buses[1].Type = Slack
+	if _, err := g.SlackIndex(); err == nil {
+		t.Fatal("expected error for two slacks")
+	}
+	g.Buses[0].Type = PQ
+	g.Buses[1].Type = PQ
+	if _, err := g.SlackIndex(); err == nil {
+		t.Fatal("expected error for no slack")
+	}
+}
+
+func TestNeighborsAndLines(t *testing.T) {
+	g := ring(5)
+	nb := g.Neighbors(0)
+	if len(nb) != 2 || nb[0] != 1 || nb[1] != 4 {
+		t.Fatalf("Neighbors(0) = %v", nb)
+	}
+	lines := g.LinesOf(0)
+	if len(lines) != 2 {
+		t.Fatalf("LinesOf(0) = %v", lines)
+	}
+	if g.Degree(0) != 2 {
+		t.Fatalf("Degree(0) = %d", g.Degree(0))
+	}
+	// Out-of-service lines disappear from adjacency.
+	ng := g.WithoutLine(lines[0])
+	if ng.Degree(0) != 1 {
+		t.Fatalf("Degree after outage = %d", ng.Degree(0))
+	}
+}
+
+func TestSubgraphConnected(t *testing.T) {
+	g := ring(6)
+	if !g.SubgraphConnected([]int{1, 2, 3}) {
+		t.Fatal("contiguous ring arc must be connected")
+	}
+	if g.SubgraphConnected([]int{0, 3}) {
+		t.Fatal("opposite ring nodes are not adjacent-connected")
+	}
+	if !g.SubgraphConnected(nil) || !g.SubgraphConnected([]int{2}) {
+		t.Fatal("empty and singleton sets are connected")
+	}
+}
+
+func TestHopDistances(t *testing.T) {
+	g := ring(6)
+	d := g.HopDistances(0)
+	want := []int{0, 1, 2, 3, 2, 1}
+	for i, w := range want {
+		if d[i] != w {
+			t.Fatalf("HopDistances = %v, want %v", d, want)
+		}
+	}
+	ng := g.WithoutLines([]Line{0, 5}) // isolate bus 0
+	d = ng.HopDistances(1)
+	if d[0] != -1 {
+		t.Fatalf("unreachable bus must be -1, got %d", d[0])
+	}
+}
+
+func TestFindLineEndpoints(t *testing.T) {
+	g := ring(4)
+	e := g.FindLine(1, 2)
+	if e < 0 {
+		t.Fatal("line not found")
+	}
+	a, b := g.Endpoints(e)
+	if !(a == 1 && b == 2) && !(a == 2 && b == 1) {
+		t.Fatalf("Endpoints = (%d,%d)", a, b)
+	}
+	if g.FindLine(0, 2) != -1 {
+		t.Fatal("nonexistent line must be -1")
+	}
+	// Reverse direction lookup.
+	if g.FindLine(2, 1) != e {
+		t.Fatal("FindLine must be symmetric")
+	}
+}
+
+func TestYbusRowSumsZeroWithoutShunts(t *testing.T) {
+	// With no shunts, taps, or charging, each Ybus row sums to zero
+	// (Laplacian structure).
+	g := ring(5)
+	y := g.Ybus()
+	for i := 0; i < 5; i++ {
+		var s complex128
+		for j := 0; j < 5; j++ {
+			s += y.At(i, j)
+		}
+		if cmplx.Abs(s) > 1e-12 {
+			t.Fatalf("row %d sum = %v", i, s)
+		}
+	}
+}
+
+func TestYbusSymmetricWithoutTaps(t *testing.T) {
+	g := ring(5)
+	y := g.Ybus()
+	for i := 0; i < 5; i++ {
+		for j := 0; j < 5; j++ {
+			if cmplx.Abs(y.At(i, j)-y.At(j, i)) > 1e-12 {
+				t.Fatalf("Ybus not symmetric at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestYbusTapAsymmetry(t *testing.T) {
+	g := ring(3)
+	g.Branches[0].Tap = 0.95
+	y := g.Ybus()
+	if cmplx.Abs(y.At(0, 1)-y.At(1, 0)) > 1e-12 {
+		t.Fatal("real tap (no shift) keeps Ybus symmetric")
+	}
+	// Diagonal scaling differs: from-side sees y/t^2.
+	g2 := ring(3)
+	y2 := g2.Ybus()
+	if cmplx.Abs(y.At(0, 0)-y2.At(0, 0)) < 1e-12 {
+		t.Fatal("tap must change the from-side diagonal")
+	}
+}
+
+func TestYbusShuntAndCharging(t *testing.T) {
+	g := ring(3)
+	g.Buses[1].Bs = 0.5
+	g.Branches[0].B = 0.2
+	y := g.Ybus()
+	// Bus 1 diagonal gains j0.5 shunt plus j0.1 charging from branch 0.
+	base := ring(3).Ybus().At(1, 1)
+	if cmplx.Abs(y.At(1, 1)-(base+complex(0, 0.6))) > 1e-12 {
+		t.Fatalf("shunt/charging not applied: %v vs %v", y.At(1, 1), base)
+	}
+}
+
+func TestLaplacianProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(8)
+		g := ring(n)
+		// Random chords with random reactances.
+		for k := 0; k < n/2; k++ {
+			a, b := rng.Intn(n), rng.Intn(n)
+			if a == b {
+				continue
+			}
+			g.Branches = append(g.Branches, Branch{
+				From: a, To: b, X: 0.05 + rng.Float64(), Status: true,
+			})
+		}
+		l := g.Laplacian()
+		// Rows sum to zero; matrix symmetric; diagonal nonnegative.
+		for i := 0; i < n; i++ {
+			var s float64
+			for j := 0; j < n; j++ {
+				s += l.At(i, j)
+				if math.Abs(l.At(i, j)-l.At(j, i)) > 1e-12 {
+					return false
+				}
+			}
+			if math.Abs(s) > 1e-9 || l.At(i, i) < 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	g := ring(4)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := g.Clone()
+	bad.Branches[0].From = 99
+	if bad.Validate() == nil {
+		t.Fatal("expected endpoint range error")
+	}
+	bad = g.Clone()
+	bad.Branches[0].To = bad.Branches[0].From
+	if bad.Validate() == nil {
+		t.Fatal("expected self-loop error")
+	}
+	bad = g.Clone()
+	bad.Branches[0].R, bad.Branches[0].X = 0, 0
+	if bad.Validate() == nil {
+		t.Fatal("expected zero-impedance error")
+	}
+	bad = g.Clone()
+	for e := range bad.Branches {
+		if bad.Branches[e].From == 2 || bad.Branches[e].To == 2 {
+			bad.Branches[e].Status = false
+		}
+	}
+	if bad.Validate() == nil {
+		t.Fatal("expected connectivity error")
+	}
+	empty := &Grid{Name: "empty"}
+	if empty.Validate() == nil {
+		t.Fatal("expected no-bus error")
+	}
+}
+
+func TestTotalLoad(t *testing.T) {
+	g := ring(3)
+	g.Buses[1].Pd = 0.5
+	g.Buses[2].Pd = 0.25
+	if got := g.TotalLoad(); math.Abs(got-0.75) > 1e-15 {
+		t.Fatalf("TotalLoad = %v", got)
+	}
+}
+
+func TestAlgebraicConnectivity(t *testing.T) {
+	g := ring(8)
+	l2, err := g.AlgebraicConnectivity()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Ring of 8 with weights 1/X = 10: lambda_2 = 10 * 2(1-cos(2pi/8)).
+	want := 10 * 2 * (1 - math.Cos(2*math.Pi/8))
+	if math.Abs(l2-want) > 1e-6 {
+		t.Fatalf("Fiedler value = %v, want %v", l2, want)
+	}
+	// Removing one ring line weakens but keeps connectivity.
+	weak, err := g.WithoutLine(0).AlgebraicConnectivity()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if weak <= 0 || weak >= l2 {
+		t.Fatalf("weakened Fiedler value = %v, want in (0, %v)", weak, l2)
+	}
+	// Islanding drives it to zero.
+	split, err := g.WithoutLines([]Line{0, 4}).AlgebraicConnectivity()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(split) > 1e-8 {
+		t.Fatalf("islanded Fiedler value = %v, want 0", split)
+	}
+	// Degenerate sizes error.
+	tiny := &Grid{Name: "tiny", Buses: []Bus{{ID: 1, Type: Slack}}}
+	if _, err := tiny.AlgebraicConnectivity(); err == nil {
+		t.Fatal("expected error for 1-bus grid")
+	}
+}

@@ -1,0 +1,163 @@
+package mat
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+)
+
+// CDense is a row-major dense matrix of complex128 values, used for bus
+// admittance (Ybus) matrices in the AC power-flow solver.
+type CDense struct {
+	rows, cols int
+	data       []complex128
+}
+
+// NewCDense returns an r-by-c zero complex matrix.
+func NewCDense(r, c int) *CDense {
+	if r < 0 || c < 0 {
+		panic(fmt.Sprintf("mat: negative dimension %dx%d", r, c))
+	}
+	return &CDense{rows: r, cols: c, data: make([]complex128, r*c)}
+}
+
+// Rows returns the number of rows.
+func (m *CDense) Rows() int { return m.rows }
+
+// Cols returns the number of columns.
+func (m *CDense) Cols() int { return m.cols }
+
+// At returns the element at row i, column j.
+func (m *CDense) At(i, j int) complex128 {
+	m.check(i, j)
+	return m.data[i*m.cols+j]
+}
+
+// Set assigns the element at row i, column j.
+func (m *CDense) Set(i, j int, v complex128) {
+	m.check(i, j)
+	m.data[i*m.cols+j] = v
+}
+
+// Add adds v to the element at row i, column j.
+func (m *CDense) Add(i, j int, v complex128) {
+	m.check(i, j)
+	m.data[i*m.cols+j] += v
+}
+
+func (m *CDense) check(i, j int) {
+	if i < 0 || i >= m.rows || j < 0 || j >= m.cols {
+		panic(fmt.Sprintf("mat: index (%d,%d) out of range %dx%d", i, j, m.rows, m.cols))
+	}
+}
+
+// Clone returns a deep copy of m.
+func (m *CDense) Clone() *CDense {
+	d := make([]complex128, len(m.data))
+	copy(d, m.data)
+	return &CDense{rows: m.rows, cols: m.cols, data: d}
+}
+
+// MulVec returns the matrix-vector product m*x.
+func (m *CDense) MulVec(x []complex128) []complex128 {
+	if m.cols != len(x) {
+		panic(fmt.Sprintf("mat: CDense.MulVec dimension mismatch %dx%d * %d", m.rows, m.cols, len(x)))
+	}
+	out := make([]complex128, m.rows)
+	for i := 0; i < m.rows; i++ {
+		row := m.data[i*m.cols : (i+1)*m.cols]
+		var s complex128
+		for j, v := range row {
+			s += v * x[j]
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// CLU holds a complex LU factorization with partial pivoting.
+type CLU struct {
+	lu  *CDense
+	piv []int
+}
+
+// FactorCLU computes the LU factorization of a square complex matrix with
+// partial pivoting (by modulus).
+func FactorCLU(a *CDense) (*CLU, error) {
+	n := a.rows
+	if a.cols != n {
+		return nil, fmt.Errorf("mat: FactorCLU requires square matrix, got %dx%d", a.rows, a.cols)
+	}
+	lu := a.Clone()
+	piv := make([]int, n)
+	for i := range piv {
+		piv[i] = i
+	}
+	for k := 0; k < n; k++ {
+		p := k
+		mx := cmplx.Abs(lu.data[k*n+k])
+		for i := k + 1; i < n; i++ {
+			if a := cmplx.Abs(lu.data[i*n+k]); a > mx {
+				mx, p = a, i
+			}
+		}
+		if mx == 0 || math.IsNaN(mx) {
+			return nil, ErrSingular
+		}
+		if p != k {
+			rk := lu.data[k*n : (k+1)*n]
+			rp := lu.data[p*n : (p+1)*n]
+			for j := range rk {
+				rk[j], rp[j] = rp[j], rk[j]
+			}
+			piv[k], piv[p] = piv[p], piv[k]
+		}
+		pivVal := lu.data[k*n+k]
+		for i := k + 1; i < n; i++ {
+			m := lu.data[i*n+k] / pivVal
+			lu.data[i*n+k] = m
+			if m == 0 {
+				continue
+			}
+			ri := lu.data[i*n : (i+1)*n]
+			rk := lu.data[k*n : (k+1)*n]
+			for j := k + 1; j < n; j++ {
+				ri[j] -= m * rk[j]
+			}
+		}
+	}
+	return &CLU{lu: lu, piv: piv}, nil
+}
+
+// Solve solves A*x = b for a single complex right-hand side.
+func (f *CLU) Solve(b []complex128) ([]complex128, error) {
+	n := f.lu.rows
+	if len(b) != n {
+		return nil, fmt.Errorf("mat: CLU.Solve rhs length %d != %d", len(b), n)
+	}
+	x := make([]complex128, n)
+	for i, p := range f.piv {
+		x[i] = b[p]
+	}
+	for i := 1; i < n; i++ {
+		row := f.lu.data[i*n : (i+1)*n]
+		var s complex128
+		for j := 0; j < i; j++ {
+			s += row[j] * x[j]
+		}
+		x[i] -= s
+	}
+	for i := n - 1; i >= 0; i-- {
+		row := f.lu.data[i*n : (i+1)*n]
+		s := x[i]
+		for j := i + 1; j < n; j++ {
+			s -= row[j] * x[j]
+		}
+		d := row[i]
+		if d == 0 {
+			return nil, ErrSingular
+		}
+		x[i] = s / d
+	}
+	return x, nil
+}

@@ -1,0 +1,121 @@
+package mat
+
+import (
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randCDense(rng *rand.Rand, n int) *CDense {
+	m := NewCDense(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			m.Set(i, j, complex(rng.NormFloat64(), rng.NormFloat64()))
+		}
+		m.Add(i, i, complex(float64(n)+2, 0)) // well conditioned
+	}
+	return m
+}
+
+func TestCDenseAtSet(t *testing.T) {
+	m := NewCDense(2, 3)
+	if m.Rows() != 2 || m.Cols() != 3 {
+		t.Fatalf("dims = %dx%d, want 2x3", m.Rows(), m.Cols())
+	}
+	m.Set(1, 2, 3+4i)
+	m.Add(1, 2, 1+1i)
+	if got := m.At(1, 2); got != 4+5i {
+		t.Fatalf("At = %v, want 4+5i", got)
+	}
+}
+
+func TestCDenseCloneIndependence(t *testing.T) {
+	m := NewCDense(2, 2)
+	m.Set(0, 0, 1)
+	c := m.Clone()
+	c.Set(0, 0, 9)
+	if m.At(0, 0) == 9 {
+		t.Fatal("Clone shares storage")
+	}
+}
+
+func TestCLUSolveProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(10)
+		a := randCDense(rng, n)
+		b := make([]complex128, n)
+		for i := range b {
+			b[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+		}
+		f, err := FactorCLU(a)
+		if err != nil {
+			return false
+		}
+		x, err := f.Solve(b)
+		if err != nil {
+			return false
+		}
+		r := a.MulVec(x)
+		for i := range b {
+			if cmplx.Abs(r[i]-b[i]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCLUSingular(t *testing.T) {
+	a := NewCDense(2, 2)
+	a.Set(0, 0, 1+1i)
+	a.Set(0, 1, 2+2i)
+	a.Set(1, 0, 2+2i)
+	a.Set(1, 1, 4+4i)
+	if _, err := FactorCLU(a); err == nil {
+		t.Fatal("expected ErrSingular")
+	}
+}
+
+func TestCLUNonSquare(t *testing.T) {
+	if _, err := FactorCLU(NewCDense(2, 3)); err == nil {
+		t.Fatal("expected error for non-square matrix")
+	}
+}
+
+func TestCLUPivoting(t *testing.T) {
+	// Zero leading diagonal forces a pivot swap.
+	a := NewCDense(2, 2)
+	a.Set(0, 1, 1)
+	a.Set(1, 0, 1)
+	f, err := FactorCLU(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, err := f.Solve([]complex128{2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmplx.Abs(x[0]-3) > 1e-12 || cmplx.Abs(x[1]-2) > 1e-12 {
+		t.Fatalf("x = %v, want [3 2]", x)
+	}
+}
+
+func TestCDenseMulVecKnown(t *testing.T) {
+	m := NewCDense(2, 2)
+	m.Set(0, 0, 1i)
+	m.Set(0, 1, 1)
+	m.Set(1, 0, 2)
+	m.Set(1, 1, -1i)
+	got := m.MulVec([]complex128{1 + 1i, 2})
+	want := []complex128{1i*(1+1i) + 2, 2*(1+1i) - 2i}
+	for i := range want {
+		if cmplx.Abs(got[i]-want[i]) > 1e-14 {
+			t.Fatalf("MulVec[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}

@@ -1,0 +1,162 @@
+package mat
+
+import (
+	"fmt"
+	"math"
+)
+
+// QR holds a Householder QR factorization A = Q*R for an m-by-n matrix
+// with m >= n. Q is m-by-n with orthonormal columns (thin form), R is
+// n-by-n upper triangular.
+type QR struct {
+	q *Dense
+	r *Dense
+}
+
+// FactorQR computes the thin QR factorization of a (rows >= cols).
+func FactorQR(a *Dense) (*QR, error) {
+	m, n := a.rows, a.cols
+	if m < n {
+		return nil, fmt.Errorf("mat: FactorQR requires rows >= cols, got %dx%d", m, n)
+	}
+	r := a.Clone()
+	// Accumulate Householder reflectors, then form thin Q explicitly.
+	vs := make([][]float64, 0, n)
+	for k := 0; k < n; k++ {
+		// Householder vector for column k below the diagonal.
+		col := make([]float64, m-k)
+		for i := k; i < m; i++ {
+			col[i-k] = r.data[i*n+k]
+		}
+		alpha := Norm2(col)
+		if alpha == 0 {
+			vs = append(vs, nil)
+			continue
+		}
+		if col[0] > 0 {
+			alpha = -alpha
+		}
+		v := col
+		v[0] -= alpha
+		vn := Norm2(v)
+		if vn == 0 {
+			vs = append(vs, nil)
+			continue
+		}
+		for i := range v {
+			v[i] /= vn
+		}
+		// Apply reflector to R: R[k:,k:] -= 2 v (v^T R[k:,k:]).
+		for j := k; j < n; j++ {
+			var s float64
+			for i := k; i < m; i++ {
+				s += v[i-k] * r.data[i*n+j]
+			}
+			s *= 2
+			for i := k; i < m; i++ {
+				r.data[i*n+j] -= s * v[i-k]
+			}
+		}
+		vs = append(vs, v)
+	}
+	// Thin Q = H_0 H_1 ... H_{n-1} * [I_n; 0].
+	q := NewDense(m, n)
+	for j := 0; j < n; j++ {
+		q.data[j*n+j] = 1
+	}
+	for k := n - 1; k >= 0; k-- {
+		v := vs[k]
+		if v == nil {
+			continue
+		}
+		for j := 0; j < n; j++ {
+			var s float64
+			for i := k; i < m; i++ {
+				s += v[i-k] * q.data[i*n+j]
+			}
+			s *= 2
+			for i := k; i < m; i++ {
+				q.data[i*n+j] -= s * v[i-k]
+			}
+		}
+	}
+	// Zero the numerical junk below R's diagonal and truncate to n-by-n.
+	rr := NewDense(n, n)
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			rr.data[i*n+j] = r.data[i*n+j]
+		}
+	}
+	return &QR{q: q, r: rr}, nil
+}
+
+// Q returns the thin orthonormal factor.
+func (f *QR) Q() *Dense { return f.q }
+
+// R returns the upper-triangular factor.
+func (f *QR) R() *Dense { return f.r }
+
+// SolveLeastSquares returns the minimum-residual solution of A*x ~= b
+// using the factorization (A must have full column rank).
+func (f *QR) SolveLeastSquares(b []float64) ([]float64, error) {
+	m, n := f.q.rows, f.q.cols
+	if len(b) != m {
+		return nil, fmt.Errorf("mat: SolveLeastSquares rhs length %d != %d", len(b), m)
+	}
+	// y = Q^T b
+	y := make([]float64, n)
+	for j := 0; j < n; j++ {
+		var s float64
+		for i := 0; i < m; i++ {
+			s += f.q.data[i*n+j] * b[i]
+		}
+		y[j] = s
+	}
+	// Back-substitute R x = y.
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		s := y[i]
+		for j := i + 1; j < n; j++ {
+			s -= f.r.data[i*n+j] * x[j]
+		}
+		d := f.r.data[i*n+i]
+		if math.Abs(d) < 1e-300 {
+			return nil, ErrSingular
+		}
+		x[i] = s / d
+	}
+	return x, nil
+}
+
+// Orthonormalize returns an orthonormal basis for the column space of a,
+// dropping columns that are (numerically) linearly dependent. The result
+// has the same number of rows as a and at most min(rows, cols) columns.
+func Orthonormalize(a *Dense) *Dense {
+	m := a.rows
+	cols := make([][]float64, 0, a.cols)
+	for j := 0; j < a.cols; j++ {
+		v := a.Col(j)
+		// Modified Gram–Schmidt with reorthogonalization pass.
+		for pass := 0; pass < 2; pass++ {
+			for _, u := range cols {
+				c := Dot(u, v)
+				for i := range v {
+					v[i] -= c * u[i]
+				}
+			}
+		}
+		n := Norm2(v)
+		if n <= 1e-10*math.Sqrt(float64(m)) {
+			continue // dependent column
+		}
+		for i := range v {
+			v[i] /= n
+		}
+		cols = append(cols, v)
+	}
+	out := NewDense(m, len(cols))
+	for j, v := range cols {
+		out.SetCol(j, v)
+	}
+	return out
+}

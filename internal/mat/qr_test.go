@@ -1,0 +1,161 @@
+package mat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestQRReconstruction(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(6)
+		m := n + rng.Intn(6)
+		a := randDense(rng, m, n)
+		qr, err := FactorQR(a)
+		if err != nil {
+			return false
+		}
+		return qr.Q().Mul(qr.R()).Equalf(a, 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQROrthonormalQ(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	a := randDense(rng, 9, 4)
+	qr, err := FactorQR(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !isOrthonormalCols(qr.Q(), 1e-10) {
+		t.Fatal("Q columns not orthonormal")
+	}
+}
+
+func TestQRUpperTriangularR(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	a := randDense(rng, 7, 5)
+	qr, err := FactorQR(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := qr.R()
+	for i := 1; i < 5; i++ {
+		for j := 0; j < i; j++ {
+			if r.At(i, j) != 0 {
+				t.Fatalf("R[%d,%d] = %v, want 0", i, j, r.At(i, j))
+			}
+		}
+	}
+}
+
+func TestQRWideRejected(t *testing.T) {
+	if _, err := FactorQR(NewDense(2, 5)); err == nil {
+		t.Fatal("expected error for wide matrix")
+	}
+}
+
+func TestQRLeastSquares(t *testing.T) {
+	// Overdetermined system with known exact solution plus orthogonal
+	// residual: fit y = 2x + 1 through exact points.
+	xs := []float64{0, 1, 2, 3, 4}
+	a := NewDense(len(xs), 2)
+	b := make([]float64, len(xs))
+	for i, x := range xs {
+		a.Set(i, 0, x)
+		a.Set(i, 1, 1)
+		b[i] = 2*x + 1
+	}
+	qr, err := FactorQR(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := qr.SolveLeastSquares(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sol[0]-2) > 1e-10 || math.Abs(sol[1]-1) > 1e-10 {
+		t.Fatalf("least squares = %v, want [2 1]", sol)
+	}
+}
+
+func TestQRLeastSquaresResidualOrthogonal(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m, n := 8, 3
+		a := randDense(rng, m, n)
+		b := make([]float64, m)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		qr, err := FactorQR(a)
+		if err != nil {
+			return false
+		}
+		x, err := qr.SolveLeastSquares(b)
+		if err != nil {
+			return false
+		}
+		// Residual must be orthogonal to the column space.
+		r := Sub(b, a.MulVec(x))
+		at := a.T()
+		for i := 0; i < n; i++ {
+			if math.Abs(Dot(at.Row(i), r)) > 1e-8 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOrthonormalizeBasis(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	a := randDense(rng, 8, 4)
+	q := Orthonormalize(a)
+	if q.Cols() != 4 {
+		t.Fatalf("Orthonormalize dropped independent columns: %d", q.Cols())
+	}
+	if !isOrthonormalCols(q, 1e-10) {
+		t.Fatal("result not orthonormal")
+	}
+}
+
+func TestOrthonormalizeDropsDependent(t *testing.T) {
+	a := NewDense(4, 3)
+	v := []float64{1, 2, 3, 4}
+	a.SetCol(0, v)
+	a.SetCol(1, ScaleVec(2, v)) // dependent
+	a.SetCol(2, []float64{0, 1, 0, 0})
+	q := Orthonormalize(a)
+	if q.Cols() != 2 {
+		t.Fatalf("got %d basis vectors, want 2", q.Cols())
+	}
+}
+
+func TestOrthonormalizeSpanPreserved(t *testing.T) {
+	rng := rand.New(rand.NewSource(24))
+	a := randDense(rng, 6, 3)
+	q := Orthonormalize(a)
+	// Every original column must be reproduced by projection onto q.
+	for j := 0; j < a.Cols(); j++ {
+		c := a.Col(j)
+		proj := make([]float64, len(c))
+		for k := 0; k < q.Cols(); k++ {
+			u := q.Col(k)
+			alpha := Dot(u, c)
+			for i := range proj {
+				proj[i] += alpha * u[i]
+			}
+		}
+		if Norm2(Sub(c, proj)) > 1e-9 {
+			t.Fatalf("column %d not in span of basis", j)
+		}
+	}
+}

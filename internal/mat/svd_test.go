@@ -1,0 +1,211 @@
+package mat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func isOrthonormalCols(m *Dense, tol float64) bool {
+	_, k := m.Dims()
+	g := m.T().Mul(m)
+	return g.Equalf(Identity(k), tol)
+}
+
+func TestSVDReconstructionProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r := 1 + rng.Intn(10)
+		c := 1 + rng.Intn(10)
+		a := randDense(rng, r, c)
+		s := FactorSVD(a)
+		return s.Reconstruct().Equalf(a, 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSVDOrthonormalFactors(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, dims := range [][2]int{{8, 5}, {5, 8}, {6, 6}, {1, 4}, {4, 1}} {
+		a := randDense(rng, dims[0], dims[1])
+		s := FactorSVD(a)
+		if !isOrthonormalCols(s.U, 1e-10) {
+			t.Errorf("%v: U columns not orthonormal", dims)
+		}
+		if !isOrthonormalCols(s.V, 1e-10) {
+			t.Errorf("%v: V columns not orthonormal", dims)
+		}
+	}
+}
+
+func TestSVDSingularValuesSortedNonnegative(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := randDense(rng, 2+rng.Intn(8), 2+rng.Intn(8))
+		s := FactorSVD(a)
+		for i, v := range s.S {
+			if v < 0 {
+				return false
+			}
+			if i > 0 && s.S[i-1] < v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSVDKnownDiagonal(t *testing.T) {
+	a := NewDenseData(3, 3, []float64{
+		3, 0, 0,
+		0, 1, 0,
+		0, 0, 2,
+	})
+	s := FactorSVD(a)
+	want := []float64{3, 2, 1}
+	for i, w := range want {
+		if math.Abs(s.S[i]-w) > 1e-12 {
+			t.Fatalf("S[%d] = %v, want %v", i, s.S[i], w)
+		}
+	}
+}
+
+func TestSVDRankDeficient(t *testing.T) {
+	// Rank-1 outer product.
+	u := []float64{1, 2, 3}
+	v := []float64{4, 5}
+	a := NewDense(3, 2)
+	for i := range u {
+		for j := range v {
+			a.Set(i, j, u[i]*v[j])
+		}
+	}
+	s := FactorSVD(a)
+	if r := s.Rank(0); r != 1 {
+		t.Fatalf("Rank = %d, want 1", r)
+	}
+	// Largest singular value = |u|*|v|.
+	want := Norm2(u) * Norm2(v)
+	if math.Abs(s.S[0]-want) > 1e-10 {
+		t.Fatalf("S[0] = %v, want %v", s.S[0], want)
+	}
+}
+
+func TestSVDFrobeniusInvariant(t *testing.T) {
+	// ||A||_F^2 == sum of squared singular values.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := randDense(rng, 3+rng.Intn(6), 3+rng.Intn(6))
+		s := FactorSVD(a)
+		var ss float64
+		for _, v := range s.S {
+			ss += v * v
+		}
+		fn := a.FrobeniusNorm()
+		return math.Abs(fn*fn-ss) < 1e-9*(1+fn*fn)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSVDZeroMatrix(t *testing.T) {
+	s := FactorSVD(NewDense(3, 2))
+	for _, v := range s.S {
+		if v != 0 {
+			t.Fatalf("zero matrix has nonzero singular value %v", v)
+		}
+	}
+	if s.Rank(0) != 0 {
+		t.Fatalf("zero matrix Rank = %d, want 0", s.Rank(0))
+	}
+}
+
+func TestSVDSmallestSingularDirectionIsNullspace(t *testing.T) {
+	// Build a matrix with a known (approximate) null direction; the last
+	// right singular vector must align with it. This is the property the
+	// detector relies on (low singular directions encode topology).
+	rng := rand.New(rand.NewSource(13))
+	n := 6
+	a := randDense(rng, 20, n)
+	null := make([]float64, n)
+	for i := range null {
+		null[i] = rng.NormFloat64()
+	}
+	nn := Norm2(null)
+	for i := range null {
+		null[i] /= nn
+	}
+	// Project the null direction out of every row of a.
+	for i := 0; i < 20; i++ {
+		row := a.RawRow(i)
+		c := Dot(row, null)
+		for j := range row {
+			row[j] -= c * null[j]
+		}
+	}
+	s := FactorSVD(a)
+	last := s.V.Col(n - 1)
+	if got := math.Abs(Dot(last, null)); got < 1-1e-8 {
+		t.Fatalf("|<v_min, null>| = %v, want ~1", got)
+	}
+}
+
+func TestPseudoInversePenroseConditions(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r := 1 + rng.Intn(7)
+		c := 1 + rng.Intn(7)
+		a := randDense(rng, r, c)
+		p := PseudoInverse(a)
+		apa := a.Mul(p).Mul(a)
+		pap := p.Mul(a).Mul(p)
+		if !apa.Equalf(a, 1e-8) || !pap.Equalf(p, 1e-8) {
+			return false
+		}
+		// Symmetry conditions.
+		ap := a.Mul(p)
+		pa := p.Mul(a)
+		return ap.Equalf(ap.T(), 1e-8) && pa.Equalf(pa.T(), 1e-8)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPseudoInverseOfInvertibleIsInverse(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	n := 5
+	a := randDense(rng, n, n)
+	for i := 0; i < n; i++ {
+		a.Add(i, i, 6)
+	}
+	p := PseudoInverse(a)
+	if !a.Mul(p).Equalf(Identity(n), 1e-8) {
+		t.Fatal("pinv of invertible matrix is not the inverse")
+	}
+}
+
+func BenchmarkSVD50x50(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	a := randDense(rng, 50, 50)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		FactorSVD(a)
+	}
+}
+
+func BenchmarkSVD118x40(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	a := randDense(rng, 118, 40)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		FactorSVD(a)
+	}
+}

@@ -1,0 +1,33 @@
+package mlr
+
+import (
+	"testing"
+
+	"pmuoutage/internal/grid"
+	"pmuoutage/internal/metrics"
+)
+
+func TestMarginSweepDiagnostic(t *testing.T) {
+	train := trainData(t, 20, 11)
+	test := trainData(t, 5, 999)
+	for _, margin := range []float64{1.0001, 1.2, 1.5, 2} {
+		c, err := Train(train, Config{NormalMargin: margin})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var acc metrics.Accumulator
+		for _, e := range test.ValidLines {
+			truth := []grid.Line{e}
+			for _, s := range test.OutageSet(e).Samples {
+				acc.Add(truth, c.Classify(s))
+			}
+		}
+		normRight := 0
+		for _, s := range test.Normal.Samples {
+			if len(c.Classify(s)) == 0 {
+				normRight++
+			}
+		}
+		t.Logf("margin %.2f: outage %s normal-right=%d/%d", margin, acc.String(), normRight, len(test.Normal.Samples))
+	}
+}

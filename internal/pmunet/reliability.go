@@ -1,0 +1,103 @@
+package pmunet
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Reliability describes the per-device availability of the measurement
+// chain, following Eq. (14): each of the L PMUs and its PMU→PDC link
+// fail independently; PDC→CC links are considered reliable.
+//
+// The per-device working probability is q = r_PMU * r_PMU→PDC, and the
+// system-wide reliability level is r = q^L.
+type Reliability struct {
+	RPMU  float64 // availability of one PMU device
+	RLink float64 // availability of its PMU→PDC link
+}
+
+// Validate checks both probabilities are in (0, 1].
+func (r Reliability) Validate() error {
+	if r.RPMU <= 0 || r.RPMU > 1 || r.RLink <= 0 || r.RLink > 1 {
+		return fmt.Errorf("pmunet: reliability values must be in (0,1]: %+v", r)
+	}
+	return nil
+}
+
+// DeviceAvailability returns q = r_PMU * r_PMU→PDC.
+func (r Reliability) DeviceAvailability() float64 { return r.RPMU * r.RLink }
+
+// SystemReliability returns r = q^L per Eq. (14) for L devices.
+func (r Reliability) SystemReliability(l int) float64 {
+	return math.Pow(r.DeviceAvailability(), float64(l))
+}
+
+// FromSystemReliability inverts Eq. (14): given a target system-wide
+// level r for L devices it returns the per-device availability q = r^(1/L)
+// packed into a Reliability with the link folded into RPMU.
+func FromSystemReliability(r float64, l int) (Reliability, error) {
+	if r <= 0 || r > 1 || l <= 0 {
+		return Reliability{}, fmt.Errorf("pmunet: invalid system reliability %v for L=%d", r, l)
+	}
+	q := math.Pow(r, 1/float64(l))
+	return Reliability{RPMU: q, RLink: 1}, nil
+}
+
+// SampleMask draws one missing-data pattern from the Eq. (15)
+// distribution: each device is independently down with probability 1-q.
+// This is the Monte Carlo view of the 2^L pattern sum in Eq. (13).
+func (nw *Network) SampleMask(rel Reliability, rng *rand.Rand) Mask {
+	q := rel.DeviceAvailability()
+	m := NoneMissing(nw.G.N())
+	for i := range m {
+		if rng.Float64() >= q {
+			m[i] = true
+		}
+	}
+	return m
+}
+
+// PatternProbability returns p_l(r) of Eq. (15) for a specific pattern:
+// the product over devices of q (working) or 1-q (missing).
+func PatternProbability(m Mask, rel Reliability) float64 {
+	q := rel.DeviceAvailability()
+	p := 1.0
+	for _, missing := range m {
+		if missing {
+			p *= 1 - q
+		} else {
+			p *= q
+		}
+	}
+	return p
+}
+
+// EnumeratePatterns calls fn for every one of the 2^L missing-data
+// patterns together with its Eq. (15) probability. It is only feasible
+// for small L (the IEEE 14-bus system already needs 2^14 = 16384 calls);
+// larger systems should use SampleMask Monte Carlo instead. fn returning
+// false stops the enumeration early.
+func (nw *Network) EnumeratePatterns(rel Reliability, fn func(m Mask, p float64) bool) error {
+	l := nw.G.N()
+	if l > 22 {
+		return fmt.Errorf("pmunet: refusing to enumerate 2^%d patterns; use SampleMask", l)
+	}
+	q := rel.DeviceAvailability()
+	m := NoneMissing(l)
+	var rec func(i int, p float64) bool
+	rec = func(i int, p float64) bool {
+		if i == l {
+			return fn(m.Clone(), p)
+		}
+		m[i] = false
+		if !rec(i+1, p*q) {
+			return false
+		}
+		m[i] = true
+		defer func() { m[i] = false }()
+		return rec(i+1, p*(1-q))
+	}
+	rec(0, 1)
+	return nil
+}

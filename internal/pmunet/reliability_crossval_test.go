@@ -1,0 +1,46 @@
+package pmunet
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestEnumerationMatchesMonteCarlo cross-validates the two evaluations of
+// Eq. (13): the exact 2^L weighted sum and the SampleMask Monte Carlo
+// estimator must agree on a simple pattern statistic (expected missing
+// count), since the figures rely on the Monte Carlo path for large L.
+func TestEnumerationMatchesMonteCarlo(t *testing.T) {
+	g := miniGrid(10)
+	nw, err := Build(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel := Reliability{RPMU: 0.92, RLink: 0.98}
+
+	var exact float64
+	err = nw.EnumeratePatterns(rel, func(m Mask, p float64) bool {
+		exact += p * float64(m.MissingCount())
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(17))
+	const trials = 200000
+	var mc float64
+	for k := 0; k < trials; k++ {
+		mc += float64(nw.SampleMask(rel, rng).MissingCount())
+	}
+	mc /= trials
+
+	// Analytic check too: E[missing] = L * (1 - q).
+	analytic := 10 * (1 - rel.DeviceAvailability())
+	if math.Abs(exact-analytic) > 1e-9 {
+		t.Fatalf("enumeration expectation %v, analytic %v", exact, analytic)
+	}
+	if math.Abs(mc-exact) > 0.02*exact+0.005 {
+		t.Fatalf("Monte Carlo %v vs exact %v", mc, exact)
+	}
+}

@@ -1,0 +1,341 @@
+// Package subspace implements the subspace machinery of §IV: learning a
+// signature subspace per outage case from the SVD of its data matrix
+// (Eq. 2), composing them into node-based union and intersection
+// subspaces (Eq. 3), and estimating the proximity of a (possibly
+// incomplete) test sample to a subspace using only the rows of a
+// detection group (Eq. 9) with the ratio scaling of Eq. (11).
+//
+// All data are handled as deviations from the normal-operation mean:
+// with the linear model X = Y⁺P of Eq. (1), a topology change rotates
+// the operating point, so the deviation of an outage sample from the
+// normal mean concentrates along a case-specific direction. Those
+// directions are exactly what the SVD extracts. The normal-operation
+// subspace S⁰ is the zero subspace in deviation space — proximity to it
+// is simply the squared deviation magnitude — which makes Eq. (11) a
+// well-defined ratio.
+package subspace
+
+import (
+	"errors"
+	"fmt"
+
+	"pmuoutage/internal/mat"
+)
+
+// Subspace is a linear subspace of the feature space with an orthonormal
+// basis stored column-wise (d rows, k columns). An empty basis (k = 0)
+// is the zero subspace, used for S⁰.
+type Subspace struct {
+	basis *mat.Dense
+}
+
+// ErrNoData is returned when learning from an empty matrix.
+var ErrNoData = errors.New("subspace: no data")
+
+// Zero returns the zero subspace of dimension d — the paper's S⁰ in
+// deviation coordinates.
+func Zero(d int) *Subspace {
+	return &Subspace{basis: mat.NewDense(d, 0)}
+}
+
+// FromBasis wraps an already-orthonormal basis. The matrix is used
+// directly; callers must not mutate it afterwards.
+func FromBasis(b *mat.Dense) *Subspace { return &Subspace{basis: b} }
+
+// Dim returns the ambient dimension d.
+func (s *Subspace) Dim() int { return s.basis.Rows() }
+
+// Rank returns the subspace dimension k.
+func (s *Subspace) Rank() int { return s.basis.Cols() }
+
+// Basis returns the orthonormal basis (d x k). Callers must not mutate.
+func (s *Subspace) Basis() *mat.Dense { return s.basis }
+
+// Learn extracts the k-dimensional signature subspace from a data matrix
+// X (features x time) of deviation samples via the SVD of Eq. (2),
+// keeping the left singular vectors with the largest singular values.
+// k is clamped to the numerical rank of X.
+func Learn(x *mat.Dense, k int) (*Subspace, error) {
+	d, t := x.Dims()
+	if d == 0 || t == 0 {
+		return nil, ErrNoData
+	}
+	if k <= 0 {
+		k = 1
+	}
+	svd := mat.FactorSVD(x)
+	r := svd.Rank(0)
+	if k > r {
+		k = r
+	}
+	if k == 0 {
+		return Zero(d), nil
+	}
+	idx := make([]int, k)
+	for i := range idx {
+		idx[i] = i
+	}
+	return &Subspace{basis: svd.U.SelectCols(idx)}, nil
+}
+
+// Union returns the smallest subspace containing all the given
+// subspaces: the paper's S_i^∪ over the outage subspaces of node i's
+// lines. Bases are concatenated and re-orthonormalised.
+func Union(subs ...*Subspace) (*Subspace, error) {
+	if len(subs) == 0 {
+		return nil, fmt.Errorf("subspace: Union of nothing")
+	}
+	d := subs[0].Dim()
+	total := 0
+	for _, s := range subs {
+		if s.Dim() != d {
+			return nil, fmt.Errorf("subspace: Union dimension mismatch %d vs %d", s.Dim(), d)
+		}
+		total += s.Rank()
+	}
+	if total == 0 {
+		return Zero(d), nil
+	}
+	cat := mat.NewDense(d, total)
+	j := 0
+	for _, s := range subs {
+		for c := 0; c < s.Rank(); c++ {
+			cat.SetCol(j, s.basis.Col(c))
+			j++
+		}
+	}
+	return &Subspace{basis: mat.Orthonormalize(cat)}, nil
+}
+
+// Intersection returns the directions shared by all the given subspaces
+// — the paper's S_i^∩. Exact intersections of generic signature
+// subspaces are empty, so the implementation returns the near-common
+// directions: eigenvectors of the averaged projector P̄ = (1/m) Σ U_j U_jᵀ
+// with eigenvalue at least minShare (1.0 demands exact membership in all
+// subspaces; the detector uses ~0.6). If no direction qualifies, the
+// single most-shared direction is returned, matching the paper's intent
+// that S_i^∩ captures "the impact of node i and all its possible
+// outages".
+func Intersection(minShare float64, subs ...*Subspace) (*Subspace, error) {
+	if len(subs) == 0 {
+		return nil, fmt.Errorf("subspace: Intersection of nothing")
+	}
+	d := subs[0].Dim()
+	if minShare <= 0 || minShare > 1 {
+		minShare = 0.6
+	}
+	for _, s := range subs {
+		if s.Dim() != d {
+			return nil, fmt.Errorf("subspace: Intersection dimension mismatch %d vs %d", s.Dim(), d)
+		}
+	}
+	// The averaged projector P̄ = (1/m) Σ U_j U_jᵀ has its range inside
+	// the span W of the union of the subspaces, so its eigenproblem can
+	// be solved in W's coordinates: M = Wᵀ P̄ W is r×r with r = rank(W),
+	// typically a handful, instead of the d×d ambient problem.
+	w, err := Union(subs...)
+	if err != nil {
+		return nil, err
+	}
+	r := w.Rank()
+	if r == 0 {
+		return Zero(d), nil
+	}
+	wt := w.basis.T()
+	m := mat.NewDense(r, r)
+	nonzero := 0
+	for _, s := range subs {
+		if s.Rank() == 0 {
+			continue
+		}
+		nonzero++
+		c := wt.Mul(s.basis) // r x k
+		m = m.AddMat(c.Mul(c.T()))
+	}
+	if nonzero == 0 {
+		return Zero(d), nil
+	}
+	m = m.Scale(1 / float64(nonzero))
+	svd := mat.FactorSVD(m)
+	// M is symmetric PSD: singular values are its eigenvalues, in [0,1].
+	var keep []int
+	for i, v := range svd.S {
+		if v >= minShare-1e-12 {
+			keep = append(keep, i)
+		}
+	}
+	if len(keep) == 0 {
+		keep = []int{0} // most-shared direction fallback
+	}
+	return &Subspace{basis: w.basis.Mul(svd.U.SelectCols(keep))}, nil
+}
+
+// ResidualD projects a restricted vector xd (already indexed by the
+// detection group) onto the row-restricted basis U_D and returns the
+// residual xd − U_D (U_D)⁺ xd. For the zero subspace it returns a copy
+// of xd. This is the building block detectors chain: first remove the
+// normal-operation (load-variation) component, then measure the residual
+// against an outage subspace.
+func (s *Subspace) ResidualD(xd []float64, group []int) ([]float64, error) {
+	if len(xd) != len(group) {
+		return nil, fmt.Errorf("subspace: restricted vector length %d != group %d", len(xd), len(group))
+	}
+	out := make([]float64, len(xd))
+	copy(out, xd)
+	if s.Rank() == 0 {
+		return out, nil
+	}
+	for _, i := range group {
+		if i < 0 || i >= s.Dim() {
+			return nil, fmt.Errorf("subspace: group index %d out of range %d", i, s.Dim())
+		}
+	}
+	ud := s.basis.SelectRows(group)
+	alpha := mat.PseudoInverse(ud).MulVec(out)
+	fit := ud.MulVec(alpha)
+	for i := range out {
+		out[i] -= fit[i]
+	}
+	return out, nil
+}
+
+// ProjectOut returns the matrix whose columns are x's columns with their
+// component in s removed (full-dimension projection, complete data).
+// Used at training time to strip load variation from outage signatures.
+func (s *Subspace) ProjectOut(x *mat.Dense) *mat.Dense {
+	if s.Rank() == 0 {
+		return x.Clone()
+	}
+	u := s.basis
+	// x - U (Uᵀ x): basis is orthonormal in full dimension.
+	ut := u.T()
+	return x.SubMat(u.Mul(ut.Mul(x)))
+}
+
+// Proximity computes the Eq. (9) proximity of a deviation sample to the
+// subspace using only the feature rows listed in group (the detection
+// group D): the squared residual of projecting x_D onto the row-restricted
+// basis U_D,
+//
+//	prox_S(x) = || x_D − U_D (U_D)⁺ x_D ||²₂ .
+//
+// For the zero subspace this degenerates to ||x_D||², the deviation
+// energy — proximity to normal operation. group indexes features (not
+// buses); callers map bus-level detection groups through the channel.
+func (s *Subspace) Proximity(x []float64, group []int) (float64, error) {
+	if len(x) != s.Dim() {
+		return 0, fmt.Errorf("subspace: sample dim %d != %d", len(x), s.Dim())
+	}
+	if len(group) == 0 {
+		return 0, fmt.Errorf("subspace: empty detection group")
+	}
+	xd := make([]float64, len(group))
+	for k, i := range group {
+		if i < 0 || i >= len(x) {
+			return 0, fmt.Errorf("subspace: group index %d out of range %d", i, len(x))
+		}
+		xd[k] = x[i]
+	}
+	if s.Rank() == 0 {
+		n := mat.Norm2(xd)
+		return n * n, nil
+	}
+	ud := s.basis.SelectRows(group)
+	// Least-squares coefficients alpha = U_D⁺ x_D via the pseudo-inverse
+	// (U_D is not orthonormal after row selection).
+	alpha := mat.PseudoInverse(ud).MulVec(xd)
+	res := mat.Sub(xd, ud.MulVec(alpha))
+	n := mat.Norm2(res)
+	return n * n, nil
+}
+
+// Regressor returns the Eq. (9) regressor matrix
+// Φ(S) = −(S(D)ᵀ)⁺ S(N\D)ᵀ, mapping detection-group coordinates to the
+// complement rows, per the model-identification construction of [12].
+// It is exposed for the ablation study comparing the literal regressor
+// formulation against the projection residual used by Proximity.
+func (s *Subspace) Regressor(group []int) (*mat.Dense, error) {
+	if s.Rank() == 0 {
+		return nil, fmt.Errorf("subspace: zero subspace has no regressor")
+	}
+	d := s.Dim()
+	in := make([]bool, d)
+	for _, i := range group {
+		if i < 0 || i >= d {
+			return nil, fmt.Errorf("subspace: group index %d out of range %d", i, d)
+		}
+		in[i] = true
+	}
+	var rest []int
+	for i := 0; i < d; i++ {
+		if !in[i] {
+			rest = append(rest, i)
+		}
+	}
+	sd := s.basis.SelectRows(group) // S(D): |D| x k
+	sr := s.basis.SelectRows(rest)  // S(N\D): |rest| x k
+	phi := mat.PseudoInverse(sd.T()).Mul(sr.T()).Scale(-1)
+	return phi, nil
+}
+
+// RegressorProximity is the ablation variant of Proximity: it first
+// reconstructs the complement rows with the Eq. (9) regressor, then
+// measures the full-vector projection residual of the completed sample.
+func (s *Subspace) RegressorProximity(x []float64, group []int) (float64, error) {
+	if s.Rank() == 0 {
+		return s.Proximity(x, group)
+	}
+	d := s.Dim()
+	phi, err := s.Regressor(group)
+	if err != nil {
+		return 0, err
+	}
+	in := make([]bool, d)
+	for _, i := range group {
+		in[i] = true
+	}
+	var rest []int
+	for i := 0; i < d; i++ {
+		if !in[i] {
+			rest = append(rest, i)
+		}
+	}
+	xd := make([]float64, len(group))
+	for k, i := range group {
+		xd[k] = x[i]
+	}
+	full := make([]float64, d)
+	for k, i := range group {
+		full[i] = xd[k]
+	}
+	if len(rest) > 0 {
+		// Φ has shape k x |rest| after the transposes; reconstruct via
+		// xr = -Φᵀ ... the construction keeps x in the subspace's row
+		// relation: S(rest)ᵀ xr ≈ -S(D)ᵀ xd, i.e. xr = Φᵀ xd.
+		xr := phi.T().MulVec(xd)
+		for k, i := range rest {
+			full[i] = xr[k]
+		}
+	}
+	// Full-dimension projection residual with the orthonormal basis.
+	u := s.basis
+	alpha := u.T().MulVec(full)
+	res := mat.Sub(full, u.MulVec(alpha))
+	n := mat.Norm2(res)
+	return n * n, nil
+}
+
+// ScaledProximity applies Eq. (11): the union proximity scaled by the
+// intersection/normal ratio,
+//
+//	p̂rox_{S_i^∪}(x) = prox_{S_i^∪}(x) · prox_{S_i^∩}(x) / prox_{S⁰}(x).
+//
+// A tiny floor keeps the ratio finite when the sample sits exactly on
+// the normal operating point.
+func ScaledProximity(union, inter, normal float64) float64 {
+	const floor = 1e-18
+	if normal < floor {
+		normal = floor
+	}
+	return union * inter / normal
+}

@@ -1,0 +1,356 @@
+// Package pmuoutage is a robust power-line outage detector for PMU
+// (phasor measurement unit) data streams, reproducing Cordova-Garcia &
+// Wang, "Robust Power Line Outage Detection with Unreliable Phasor
+// Measurements" (ICDE 2017).
+//
+// The library detects and localises transmission-line outages from bus
+// voltage phasors even when arbitrary subsets of the measurements are
+// missing — PMU dropouts, PDC failures, or data lost at the outage
+// location itself. It learns per-node subspace signatures from
+// historical (or simulated) data rather than per-scenario classifiers,
+// which is what makes it robust to missing entries.
+//
+// A complete round trip:
+//
+//	sys, err := pmuoutage.NewSystem(pmuoutage.Options{Case: "ieee14"})
+//	if err != nil { ... }
+//	samples, err := sys.SimulateOutage([]int{4}, 3) // 3 samples of line-4 outage
+//	report, err := sys.Detect(samples[0])
+//	// report.Outage == true, report.Lines == [{buses of line 4}]
+//
+// Everything is deterministic in Options.Seed. The heavy machinery —
+// Newton–Raphson AC power flow, SVD subspace learning, detection-group
+// formation — lives in internal packages; this package is the stable
+// surface.
+package pmuoutage
+
+import (
+	"fmt"
+	"math/rand"
+
+	"pmuoutage/internal/cases"
+	"pmuoutage/internal/dataset"
+	"pmuoutage/internal/detect"
+	"pmuoutage/internal/grid"
+	"pmuoutage/internal/metrics"
+	"pmuoutage/internal/pmunet"
+	"pmuoutage/internal/stream"
+)
+
+// Options configures NewSystem.
+type Options struct {
+	// Case names a built-in test system: "ieee14", "ieee30", "ieee57"
+	// or "ieee118" (default "ieee14"). See Cases.
+	Case string
+	// Clusters is the number of PDC clusters the PMU network is grouped
+	// into; 0 derives max(3, buses/10).
+	Clusters int
+	// TrainSteps is the length of the simulated training window per
+	// scenario (default 40).
+	TrainSteps int
+	// Seed makes data generation and training deterministic (default 1).
+	Seed int64
+	// UseDC switches the power-flow substrate to the fast linear DC
+	// approximation. The default is the full Newton–Raphson AC solver.
+	UseDC bool
+	// Detector overrides the detector configuration (advanced use).
+	Detector detect.Config
+}
+
+func (o Options) withDefaults() Options {
+	if o.Case == "" {
+		o.Case = "ieee14"
+	}
+	if o.TrainSteps <= 0 {
+		o.TrainSteps = 40
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// Cases lists the built-in test system names.
+func Cases() []string { return cases.Names() }
+
+// Sample is one time instant of PMU data for all buses: per-unit voltage
+// magnitudes, angles in radians, and the indices of buses whose
+// measurements are missing.
+type Sample struct {
+	Vm, Va  []float64
+	Missing []int
+}
+
+// Line describes one power line by its internal index and its endpoint
+// bus numbers (1-based, as in the IEEE case data).
+type Line struct {
+	Index   int
+	FromBus int
+	ToBus   int
+}
+
+// Report is the outcome of one detection.
+type Report struct {
+	// Outage reports whether the sample contains at least one line outage.
+	Outage bool
+	// Lines is the identified outage set F̂.
+	Lines []Line
+	// NodeScores are the scaled subspace proximities per bus (lower =
+	// closer to that bus's outage signatures).
+	NodeScores []float64
+	// DeviationEnergy is the anomaly energy behind the outage decision.
+	DeviationEnergy float64
+}
+
+// System is a trained outage-detection system bound to one grid.
+type System struct {
+	opts Options
+	g    *grid.Grid
+	nw   *pmunet.Network
+	data *dataset.Data
+	det  *detect.Detector
+}
+
+// NewSystem builds the grid, simulates training data (normal operation
+// plus every valid single-line outage), and trains the detector.
+func NewSystem(opts Options) (*System, error) {
+	opts = opts.withDefaults()
+	g, err := cases.Load(opts.Case)
+	if err != nil {
+		return nil, err
+	}
+	clusters := opts.Clusters
+	if clusters <= 0 {
+		clusters = g.N() / 10
+		if clusters < 3 {
+			clusters = 3
+		}
+	}
+	nw, err := pmunet.Build(g, clusters)
+	if err != nil {
+		return nil, err
+	}
+	data, err := dataset.Generate(g, dataset.GenConfig{
+		Steps: opts.TrainSteps, Seed: opts.Seed, UseDC: opts.UseDC,
+	})
+	if err != nil {
+		return nil, err
+	}
+	det, err := detect.Train(data, nw, opts.Detector)
+	if err != nil {
+		return nil, err
+	}
+	return &System{opts: opts, g: g, nw: nw, data: data, det: det}, nil
+}
+
+// Buses returns the number of buses in the system.
+func (s *System) Buses() int { return s.g.N() }
+
+// Lines returns every line of the system with its endpoints.
+func (s *System) Lines() []Line {
+	out := make([]Line, s.g.E())
+	for e := range out {
+		a, b := s.g.Endpoints(grid.Line(e))
+		out[e] = Line{Index: e, FromBus: s.g.Buses[a].ID, ToBus: s.g.Buses[b].ID}
+	}
+	return out
+}
+
+// ValidLines returns the indices of lines whose outage is detectable
+// (removal neither islands the grid nor diverges the power flow).
+func (s *System) ValidLines() []int {
+	var out []int
+	for _, e := range s.det.ValidLines() {
+		out = append(out, int(e))
+	}
+	return out
+}
+
+// Clusters returns the PDC cluster partition as bus-index groups.
+func (s *System) Clusters() [][]int {
+	out := make([][]int, len(s.nw.Clusters))
+	for i, c := range s.nw.Clusters {
+		out[i] = append([]int(nil), c...)
+	}
+	return out
+}
+
+// Detect classifies one sample, which may have missing measurements.
+func (s *System) Detect(sample Sample) (*Report, error) {
+	if len(sample.Vm) != s.g.N() || len(sample.Va) != s.g.N() {
+		return nil, fmt.Errorf("pmuoutage: sample has %d/%d values, grid has %d buses",
+			len(sample.Vm), len(sample.Va), s.g.N())
+	}
+	ds := dataset.Sample{Vm: sample.Vm, Va: sample.Va}
+	if len(sample.Missing) > 0 {
+		m := pmunet.NoneMissing(s.g.N())
+		for _, i := range sample.Missing {
+			if i < 0 || i >= s.g.N() {
+				return nil, fmt.Errorf("pmuoutage: missing index %d out of range %d", i, s.g.N())
+			}
+			m[i] = true
+		}
+		ds.Mask = m
+	}
+	r, err := s.det.Detect(ds)
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{
+		Outage:          r.Outage,
+		NodeScores:      r.NodeScores,
+		DeviationEnergy: r.DeviationEnergy,
+	}
+	for _, e := range r.Lines {
+		a, b := s.g.Endpoints(e)
+		rep.Lines = append(rep.Lines, Line{Index: int(e), FromBus: s.g.Buses[a].ID, ToBus: s.g.Buses[b].ID})
+	}
+	return rep, nil
+}
+
+// SimulateOutage generates n fresh test samples with the given lines out
+// of service, using an independent random seed stream from training.
+// Pass no lines for normal-operation samples.
+func (s *System) SimulateOutage(lineIdx []int, n int) ([]Sample, error) {
+	if n <= 0 {
+		n = 1
+	}
+	var sc dataset.Scenario
+	for _, e := range lineIdx {
+		if e < 0 || e >= s.g.E() {
+			return nil, fmt.Errorf("pmuoutage: line %d out of range %d", e, s.g.E())
+		}
+		sc = append(sc, grid.Line(e))
+	}
+	set, err := dataset.GenerateScenario(s.g, sc, dataset.GenConfig{
+		Steps: n, Seed: s.opts.Seed + 99991, UseDC: s.opts.UseDC,
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Sample, set.T())
+	for i, smp := range set.Samples {
+		out[i] = Sample{Vm: smp.Vm, Va: smp.Va}
+	}
+	return out, nil
+}
+
+// Evaluate scores the detector on fresh samples of every valid
+// single-line outage and returns the mean identification accuracy and
+// false-alarm rate (Eq. 12 of the paper). perCase controls how many
+// samples are drawn per outage case.
+func (s *System) Evaluate(perCase int) (ia, fa float64, err error) {
+	if perCase <= 0 {
+		perCase = 5
+	}
+	var acc metrics.Accumulator
+	for _, e := range s.det.ValidLines() {
+		samples, err := s.SimulateOutage([]int{int(e)}, perCase)
+		if err != nil {
+			return 0, 0, err
+		}
+		for _, smp := range samples {
+			r, err := s.Detect(smp)
+			if err != nil {
+				return 0, 0, err
+			}
+			var got []grid.Line
+			for _, l := range r.Lines {
+				got = append(got, grid.Line(l.Index))
+			}
+			acc.Add([]grid.Line{e}, got)
+		}
+	}
+	return acc.IA(), acc.FA(), nil
+}
+
+// DrawMissing samples a missing-data pattern from the PMU-network
+// reliability model of the paper (Eqs. 13–15): given a target
+// system-wide reliability level r in (0, 1], every PMU (and its link to
+// the PDC) fails independently with probability 1 − r^(1/L). It returns
+// the missing bus indices; draws are deterministic in seed.
+func (s *System) DrawMissing(systemReliability float64, seed int64) ([]int, error) {
+	rel, err := pmunet.FromSystemReliability(systemReliability, s.g.N())
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	mask := s.nw.SampleMask(rel, rng)
+	var out []int
+	for i, missing := range mask {
+		if missing {
+			out = append(out, i)
+		}
+	}
+	return out, nil
+}
+
+// WithMissing returns a copy of the sample with the given bus indices
+// marked missing — convenient for building unreliable-data scenarios.
+func (smp Sample) WithMissing(buses ...int) Sample {
+	out := Sample{Vm: smp.Vm, Va: smp.Va}
+	out.Missing = append(append([]int(nil), smp.Missing...), buses...)
+	return out
+}
+
+// Monitor wraps the online detection layer: feed samples as they arrive
+// and receive debounced, confirmed outage events. Create one with
+// System.NewMonitor.
+type Monitor struct {
+	sys *System
+	mon *stream.Monitor
+}
+
+// Event is a confirmed outage event from a Monitor.
+type Event struct {
+	// Seq is the 1-based index of the confirming sample.
+	Seq int
+	// Latency is the number of samples from onset to confirmation.
+	Latency int
+	// Lines is the identified outage set at confirmation time.
+	Lines []Line
+}
+
+// NewMonitor creates an online monitor over the trained detector.
+// confirm is the number of consecutive positive samples needed before an
+// event fires (default 3); cooldown suppresses duplicate events after a
+// confirmation (default 10 samples).
+func (s *System) NewMonitor(confirm, cooldown int) (*Monitor, error) {
+	m, err := stream.NewMonitor(s.det, stream.Config{Confirm: confirm, Cooldown: cooldown})
+	if err != nil {
+		return nil, err
+	}
+	return &Monitor{sys: s, mon: m}, nil
+}
+
+// Ingest scores one sample; it returns a non-nil Event exactly when the
+// sample confirms a new outage.
+func (m *Monitor) Ingest(sample Sample) (*Event, error) {
+	ds := dataset.Sample{Vm: sample.Vm, Va: sample.Va}
+	if len(sample.Missing) > 0 {
+		mask := pmunet.NoneMissing(m.sys.g.N())
+		for _, i := range sample.Missing {
+			if i < 0 || i >= m.sys.g.N() {
+				return nil, fmt.Errorf("pmuoutage: missing index %d out of range %d", i, m.sys.g.N())
+			}
+			mask[i] = true
+		}
+		ds.Mask = mask
+	}
+	ev, err := m.mon.Ingest(ds)
+	if err != nil {
+		return nil, err
+	}
+	if ev == nil {
+		return nil, nil
+	}
+	out := &Event{Seq: ev.Seq, Latency: ev.Latency()}
+	for _, e := range ev.Lines {
+		a, b := m.sys.g.Endpoints(e)
+		out.Lines = append(out.Lines, Line{Index: int(e), FromBus: m.sys.g.Buses[a].ID, ToBus: m.sys.g.Buses[b].ID})
+	}
+	return out, nil
+}
+
+// Reset clears the monitor's streak and cooldown state.
+func (m *Monitor) Reset() { m.mon.Reset() }

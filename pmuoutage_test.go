@@ -1,0 +1,261 @@
+package pmuoutage
+
+import (
+	"testing"
+)
+
+func newQuickSystem(t *testing.T) *System {
+	t.Helper()
+	sys, err := NewSystem(Options{Case: "ieee14", TrainSteps: 20, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func TestCasesList(t *testing.T) {
+	cs := Cases()
+	if len(cs) != 4 {
+		t.Fatalf("Cases = %v", cs)
+	}
+}
+
+func TestNewSystemUnknownCase(t *testing.T) {
+	if _, err := NewSystem(Options{Case: "bogus"}); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestSystemAccessors(t *testing.T) {
+	sys := newQuickSystem(t)
+	if sys.Buses() != 14 {
+		t.Fatalf("Buses = %d", sys.Buses())
+	}
+	lines := sys.Lines()
+	if len(lines) != 20 {
+		t.Fatalf("Lines = %d", len(lines))
+	}
+	if lines[0].FromBus != 1 || lines[0].ToBus != 2 {
+		t.Fatalf("line 0 endpoints = %d-%d, want 1-2", lines[0].FromBus, lines[0].ToBus)
+	}
+	if len(sys.ValidLines()) != 19 {
+		t.Fatalf("ValidLines = %d, want 19", len(sys.ValidLines()))
+	}
+	cl := sys.Clusters()
+	if len(cl) != 3 {
+		t.Fatalf("Clusters = %d", len(cl))
+	}
+	total := 0
+	for _, c := range cl {
+		total += len(c)
+	}
+	if total != 14 {
+		t.Fatalf("cluster partition covers %d buses", total)
+	}
+}
+
+func TestDetectRoundTrip(t *testing.T) {
+	sys := newQuickSystem(t)
+	// Normal samples stay quiet.
+	normal, err := sys.SimulateOutage(nil, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, smp := range normal {
+		rep, err := sys.Detect(smp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Outage {
+			t.Error("normal sample flagged as outage")
+		}
+	}
+	// A strong outage is detected and localised.
+	e := sys.ValidLines()[0]
+	samples, err := sys.SimulateOutage([]int{e}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := sys.Detect(samples[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Outage {
+		t.Fatal("outage not flagged")
+	}
+	found := false
+	for _, l := range rep.Lines {
+		if l.Index == e {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("line %d not in detected set %v", e, rep.Lines)
+	}
+	if len(rep.NodeScores) != 14 {
+		t.Fatal("node scores missing")
+	}
+}
+
+func TestDetectWithMissing(t *testing.T) {
+	sys := newQuickSystem(t)
+	e := sys.ValidLines()[0]
+	samples, err := sys.SimulateOutage([]int{e}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := sys.Lines()
+	smp := samples[0].WithMissing(lines[e].FromBus-1, lines[e].ToBus-1)
+	rep, err := sys.Detect(smp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Outage {
+		t.Error("outage with masked endpoints not flagged")
+	}
+}
+
+func TestDetectValidation(t *testing.T) {
+	sys := newQuickSystem(t)
+	if _, err := sys.Detect(Sample{Vm: []float64{1}, Va: []float64{0}}); err == nil {
+		t.Fatal("expected size error")
+	}
+	samples, _ := sys.SimulateOutage(nil, 1)
+	bad := samples[0].WithMissing(99)
+	if _, err := sys.Detect(bad); err == nil {
+		t.Fatal("expected missing-index error")
+	}
+}
+
+func TestSimulateOutageValidation(t *testing.T) {
+	sys := newQuickSystem(t)
+	if _, err := sys.SimulateOutage([]int{999}, 1); err == nil {
+		t.Fatal("expected range error")
+	}
+	// Islanding scenario must error.
+	island := -1
+	valid := map[int]bool{}
+	for _, e := range sys.ValidLines() {
+		valid[e] = true
+	}
+	for e := 0; e < len(sys.Lines()); e++ {
+		if !valid[e] {
+			island = e
+		}
+	}
+	if island < 0 {
+		t.Skip("no islanding line")
+	}
+	if _, err := sys.SimulateOutage([]int{island}, 1); err == nil {
+		t.Fatal("expected islanding error")
+	}
+}
+
+func TestEvaluate(t *testing.T) {
+	sys := newQuickSystem(t)
+	ia, fa, err := sys.Evaluate(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ia < 0.8 {
+		t.Errorf("Evaluate IA = %.3f, want >= 0.8", ia)
+	}
+	if fa > 0.2 {
+		t.Errorf("Evaluate FA = %.3f, want <= 0.2", fa)
+	}
+	t.Logf("Evaluate: IA=%.3f FA=%.3f", ia, fa)
+}
+
+func TestMonitorFacade(t *testing.T) {
+	sys := newQuickSystem(t)
+	mon, err := sys.NewMonitor(2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	normal, err := sys.SimulateOutage(nil, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range normal {
+		ev, err := mon.Ingest(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ev != nil {
+			t.Fatal("event on normal stream")
+		}
+	}
+	e := sys.ValidLines()[0]
+	outage, err := sys.SimulateOutage([]int{e}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var confirmed *Event
+	for _, s := range outage {
+		ev, err := mon.Ingest(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ev != nil {
+			confirmed = ev
+			break
+		}
+	}
+	if confirmed == nil {
+		t.Fatal("persistent outage not confirmed")
+	}
+	if confirmed.Latency != 2 {
+		t.Errorf("latency = %d, want 2", confirmed.Latency)
+	}
+	found := false
+	for _, l := range confirmed.Lines {
+		if l.Index == e {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("event lines %v missing true line %d", confirmed.Lines, e)
+	}
+	mon.Reset()
+	// Bad missing index propagates.
+	bad := outage[0].WithMissing(999)
+	if _, err := mon.Ingest(bad); err == nil {
+		t.Fatal("expected missing-index error")
+	}
+}
+
+func TestDrawMissing(t *testing.T) {
+	sys := newQuickSystem(t)
+	if _, err := sys.DrawMissing(0, 1); err == nil {
+		t.Fatal("expected error for r=0")
+	}
+	// Deterministic in seed.
+	a, err := sys.DrawMissing(0.5, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := sys.DrawMissing(0.5, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatal("DrawMissing not deterministic")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("DrawMissing not deterministic")
+		}
+	}
+	// Low reliability must eventually produce missing entries.
+	total := 0
+	for seed := int64(0); seed < 20; seed++ {
+		m, err := sys.DrawMissing(0.2, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += len(m)
+	}
+	if total == 0 {
+		t.Fatal("r=0.2 never produced missing data in 20 draws")
+	}
+}
