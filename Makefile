@@ -1,0 +1,30 @@
+GO ?= go
+
+.PHONY: build vet lint test race bench verify
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+# gridlint: the repo's own analyzers (cmd/gridlint, internal/analysis).
+# Suppress an intentional finding with
+#   //gridlint:ignore <analyzer> <reason>
+lint:
+	$(GO) run ./cmd/gridlint ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# One-iteration benchmark smoke: catches benchmarks that panic or no
+# longer compile without paying for stable timings.
+bench:
+	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
+
+# The tier-1 gate (see ROADMAP.md): build, vet, gridlint, race tests,
+# benchmark smoke.
+verify: build vet lint race bench

@@ -1,0 +1,105 @@
+// Command gridlint runs the repo's custom static-analysis passes (see
+// internal/analysis) over the given packages. It is part of the tier-1
+// verify gate:
+//
+//	go build ./... && go vet ./... && go run ./cmd/gridlint ./... && go test -race ./...
+//
+// Usage:
+//
+//	gridlint [-only a,b] [-list] [packages...]
+//
+// Packages default to ./... . A pattern is either a directory or a
+// directory followed by /... for a recursive walk (testdata, hidden,
+// and _-prefixed directories are skipped). Exit status is 1 when any
+// diagnostic is reported, 2 on operational errors.
+//
+// Suppress a finding with an end-of-line or preceding-line comment:
+//
+//	//gridlint:ignore <analyzer> <reason>
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"pmuoutage/internal/analysis"
+)
+
+func main() {
+	only := flag.String("only", "", "comma-separated analyzer subset to run (default: all)")
+	list := flag.Bool("list", false, "list analyzers and exit")
+	flag.Parse()
+
+	if *list {
+		for _, a := range analysis.All() {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	analyzers := analysis.All()
+	if *only != "" {
+		analyzers = nil
+		for _, name := range strings.Split(*only, ",") {
+			a, err := analysis.ByName(strings.TrimSpace(name))
+			if err != nil {
+				fatal(err)
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	root, err := findModuleRoot()
+	if err != nil {
+		fatal(err)
+	}
+	loader, err := analysis.NewLoader(root)
+	if err != nil {
+		fatal(err)
+	}
+	dirs, err := loader.Expand(patterns)
+	if err != nil {
+		fatal(err)
+	}
+	diags, err := analysis.RunDirs(loader, analyzers, dirs)
+	if err != nil {
+		fatal(err)
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "gridlint: %d finding(s) in %d package(s)\n", len(diags), len(dirs))
+		os.Exit(1)
+	}
+}
+
+// findModuleRoot walks up from the working directory to the nearest
+// go.mod.
+func findModuleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(dir + "/go.mod"); err == nil {
+			return dir, nil
+		}
+		parent := dir[:strings.LastIndex(dir, "/")+1]
+		parent = strings.TrimSuffix(parent, "/")
+		if parent == "" || parent == dir {
+			return "", fmt.Errorf("gridlint: no go.mod found above working directory")
+		}
+		dir = parent
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "gridlint:", err)
+	os.Exit(2)
+}

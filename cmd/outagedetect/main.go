@@ -50,7 +50,7 @@ func run(dataPath, pattern string, k, clusters int, trainFrac float64, seed int6
 		return err
 	}
 	name, err := dataset.SystemName(f)
-	f.Close()
+	_ = f.Close() // read-only; a close error cannot lose data
 	if err != nil {
 		return err
 	}

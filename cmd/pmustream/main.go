@@ -104,11 +104,13 @@ func run(caseName string, lineIdx, steps, outageAt int, killPMUs bool, loss floa
 		}
 	}
 	defer func() {
+		// Best-effort teardown: the demo is over, sockets may already be
+		// closed by the publisher goroutine (Close is idempotent).
 		for _, p := range pmus {
-			p.Close()
+			_ = p.Close()
 		}
 		for _, p := range pdcs {
-			p.Close()
+			_ = p.Close()
 		}
 	}()
 	fmt.Printf("network up: %d PMUs, %d PDCs, collector at %s\n", g.N(), len(pdcs), col.Addr())
@@ -140,10 +142,10 @@ func run(caseName string, lineIdx, steps, outageAt int, killPMUs bool, loss floa
 		// Give the fabric a moment to drain, then flush.
 		time.Sleep(150 * time.Millisecond)
 		for _, p := range pdcs {
-			p.Close()
+			_ = p.Close() // flushes; write errors just mean the demo is done
 		}
 		col.Flush()
-		col.Close()
+		_ = col.Close() // closes the Samples channel, ending the consumer loop
 	}()
 
 	// Consumer: feed assembled samples to the monitor.

@@ -1,0 +1,156 @@
+// Package analysis is gridlint's multichecker framework: a small,
+// stdlib-only (go/ast, go/parser, go/types, go/token) static-analysis
+// harness plus the repo-tailored analyzers that gate every PR (see
+// DESIGN.md "Static analysis & race gate").
+//
+// The framework mirrors the shape of golang.org/x/tools/go/analysis
+// without the dependency: an Analyzer inspects one type-checked package
+// through a Pass and reports Diagnostics; the Runner loads packages,
+// applies //gridlint:ignore suppressions, and aggregates results.
+//
+// Suppression: a diagnostic is silenced by a comment of the form
+//
+//	//gridlint:ignore <analyzer> <reason...>
+//
+// placed either on the same line as the offending code or on the line
+// directly above it. The analyzer name "all" silences every analyzer.
+// A reason is mandatory — ignore directives without one are themselves
+// reported as diagnostics, so suppressions stay auditable.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding: a position, the analyzer that produced it,
+// and a human-readable message.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+// String formats the diagnostic in the conventional file:line:col form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// Analyzer is one static-analysis pass.
+type Analyzer struct {
+	// Name identifies the analyzer in output and ignore directives.
+	Name string
+	// Doc is a one-line description shown by gridlint -list.
+	Doc string
+	// Run inspects the package behind pass and reports findings through
+	// pass.Report. Returning an error aborts the whole run (reserved for
+	// internal failures, not findings).
+	Run func(pass *Pass) error
+}
+
+// Pass carries one type-checked package to an analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+	// Module is the module path of the repo under analysis; analyzers
+	// use it to classify callees as repo-internal. Empty disables the
+	// classification (golden tests).
+	Module string
+
+	diags *[]Diagnostic
+}
+
+// Report records a finding at pos.
+func (p *Pass) Report(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// IgnorePrefix is the comment directive that suppresses a diagnostic.
+const IgnorePrefix = "//gridlint:ignore"
+
+// ignoreDirective is one parsed //gridlint:ignore comment.
+type ignoreDirective struct {
+	line     int
+	analyzer string
+	reason   string
+}
+
+// parseIgnores extracts the ignore directives of a file and reports
+// malformed ones (missing analyzer or reason) as diagnostics.
+func parseIgnores(fset *token.FileSet, f *ast.File, diags *[]Diagnostic) []ignoreDirective {
+	var out []ignoreDirective
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if !strings.HasPrefix(c.Text, IgnorePrefix) {
+				continue
+			}
+			pos := fset.Position(c.Pos())
+			rest := strings.TrimSpace(strings.TrimPrefix(c.Text, IgnorePrefix))
+			name, reason, _ := strings.Cut(rest, " ")
+			reason = strings.TrimSpace(reason)
+			if name == "" || reason == "" {
+				*diags = append(*diags, Diagnostic{
+					Pos:      pos,
+					Analyzer: "gridlint",
+					Message:  "malformed ignore directive: want //gridlint:ignore <analyzer> <reason>",
+				})
+				continue
+			}
+			out = append(out, ignoreDirective{line: pos.Line, analyzer: name, reason: reason})
+		}
+	}
+	return out
+}
+
+// suppress drops diagnostics covered by an ignore directive on the same
+// line or the line directly above. Directives are matched per file.
+func suppress(diags []Diagnostic, ignores map[string][]ignoreDirective) []Diagnostic {
+	out := diags[:0]
+	for _, d := range diags {
+		if d.Analyzer == "gridlint" || !suppressed(d, ignores[d.Pos.Filename]) {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+func suppressed(d Diagnostic, dirs []ignoreDirective) bool {
+	for _, dir := range dirs {
+		if dir.analyzer != d.Analyzer && dir.analyzer != "all" {
+			continue
+		}
+		if dir.line == d.Pos.Line || dir.line == d.Pos.Line-1 {
+			return true
+		}
+	}
+	return false
+}
+
+// sortDiagnostics orders findings by file, line, column, analyzer for
+// stable output.
+func sortDiagnostics(diags []Diagnostic) {
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+}

@@ -1,0 +1,95 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// DimCheck guards the numeric core against silent out-of-range panics:
+// inside the subspace, mlr, and ellipse packages (SVD subspaces Eq. 2,
+// MVEE ellipses Eq. 4, proximity decoding Eq. 9–11), an index into a
+// matrix-shaped value ([][]T) with a non-constant index must be
+// dimension-guarded in the same function — either a len(...) mention of
+// that value or a range over it. Those packages receive externally
+// shaped data (detection groups, masks, training windows) where a
+// dimension mismatch is a data bug, not a programming invariant.
+var DimCheck = &Analyzer{
+	Name: "dimcheck",
+	Doc:  "flag unguarded indexing into matrix values in subspace/mlr/ellipse",
+	Run:  runDimCheck,
+}
+
+// dimCheckPackages are the package names the analyzer applies to.
+var dimCheckPackages = map[string]bool{
+	"subspace": true,
+	"mlr":      true,
+	"ellipse":  true,
+}
+
+func runDimCheck(pass *Pass) error {
+	if !dimCheckPackages[pass.Pkg.Name()] {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					checkDims(pass, n.Body)
+				}
+				return false
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkDims inspects one function body (function literals inherit the
+// guards of their enclosing function — a closure over a checked matrix
+// is still checked).
+func checkDims(pass *Pass, body *ast.BlockStmt) {
+	guarded := map[string]bool{}
+	// Pass 1: collect guards — len(E) mentions and range-over-E.
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && id.Name == "len" && len(n.Args) == 1 {
+				if _, isBuiltin := pass.Info.Uses[id].(*types.Builtin); isBuiltin {
+					guarded[types.ExprString(n.Args[0])] = true
+				}
+			}
+		case *ast.RangeStmt:
+			guarded[types.ExprString(n.X)] = true
+		}
+		return true
+	})
+	// Pass 2: flag unguarded non-constant indexing into [][]T values.
+	ast.Inspect(body, func(n ast.Node) bool {
+		ix, ok := n.(*ast.IndexExpr)
+		if !ok {
+			return true
+		}
+		if !isMatrix(pass.Info.TypeOf(ix.X)) || isConstExpr(pass, ix.Index) {
+			return true
+		}
+		expr := types.ExprString(ix.X)
+		if !guarded[expr] {
+			pass.Report(ix.Pos(), "index into matrix %s without a len() guard or range over it in this function; dimension mismatches must fail loudly, not panic", expr)
+		}
+		return true
+	})
+}
+
+// isMatrix reports whether t is a slice of slices (matrix-shaped).
+func isMatrix(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	outer, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	_, ok = outer.Elem().Underlying().(*types.Slice)
+	return ok
+}

@@ -1,0 +1,118 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ErrCheck flags call statements that silently drop an error result when
+// the callee is repo-internal (pmuoutage/...) or one of the stdlib I/O
+// packages whose errors carry the unreliable-network semantics this
+// system is built around. Deliberate drops must be spelled `_ = f()` (or
+// annotated), so a reviewer can see the decision. defer/go statements
+// are exempt — the conventional `defer f.Close()` stays idiomatic.
+var ErrCheck = &Analyzer{
+	Name: "errcheck",
+	Doc:  "flag dropped error returns from repo-internal and stdlib I/O calls",
+	Run:  runErrCheck,
+}
+
+// errcheckStdlib is the set of stdlib packages whose dropped errors are
+// flagged. fmt is deliberately absent: fmt.Printf-to-stdout noise would
+// drown the real findings.
+var errcheckStdlib = map[string]bool{
+	"io":            true,
+	"io/fs":         true,
+	"os":            true,
+	"net":           true,
+	"bufio":         true,
+	"encoding/json": true,
+	"encoding/csv":  true,
+	"compress/gzip": true,
+}
+
+func runErrCheck(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			stmt, ok := n.(*ast.ExprStmt)
+			if !ok {
+				return true
+			}
+			call, ok := ast.Unparen(stmt.X).(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := callee(pass, call)
+			if fn == nil || !returnsError(fn) || !errcheckTarget(pass, fn) {
+				return true
+			}
+			pass.Report(call.Pos(), "error result of %s is dropped; handle it or assign to _ explicitly", calleeName(fn))
+			return true
+		})
+	}
+	return nil
+}
+
+// callee resolves the static *types.Func a call dispatches to, or nil
+// for builtins, conversions, and calls through function values.
+func callee(pass *Pass, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := pass.Info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := pass.Info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// returnsError reports whether any result of fn is of type error.
+func returnsError(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	errType := types.Universe.Lookup("error").Type()
+	for i := 0; i < sig.Results().Len(); i++ {
+		if types.Identical(sig.Results().At(i).Type(), errType) {
+			return true
+		}
+	}
+	return false
+}
+
+// errcheckTarget reports whether fn belongs to a package whose dropped
+// errors this analyzer polices: the package under analysis itself, the
+// repo module, or the stdlib I/O set.
+func errcheckTarget(pass *Pass, fn *types.Func) bool {
+	pkg := fn.Pkg()
+	if pkg == nil {
+		return false
+	}
+	if pkg == pass.Pkg {
+		return true
+	}
+	path := pkg.Path()
+	if pass.Module != "" && (path == pass.Module || strings.HasPrefix(path, pass.Module+"/")) {
+		return true
+	}
+	return errcheckStdlib[path]
+}
+
+func calleeName(fn *types.Func) string {
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if named, ok := t.(*types.Named); ok {
+			return named.Obj().Name() + "." + fn.Name()
+		}
+	}
+	if fn.Pkg() != nil {
+		return fn.Pkg().Name() + "." + fn.Name()
+	}
+	return fn.Name()
+}

@@ -1,0 +1,60 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// FloatCmp flags == and != between floating-point (or complex) operands.
+// The detector's decision logic — proximity scores, deviation-energy
+// thresholds, capability probabilities — must use epsilon comparisons
+// (metrics.NearEqual / metrics.NearZero): exact float equality silently
+// flips under reordering, FMA contraction, or a change of BLAS-style
+// kernel. Comparisons where both operands are compile-time constants are
+// allowed (they are evaluated exactly, once).
+var FloatCmp = &Analyzer{
+	Name: "floatcmp",
+	Doc:  "flag ==/!= on floating-point operands; use epsilon compares",
+	Run:  runFloatCmp,
+}
+
+func runFloatCmp(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			if !isFloatish(pass.Info.TypeOf(be.X)) && !isFloatish(pass.Info.TypeOf(be.Y)) {
+				return true
+			}
+			if isConstExpr(pass, be.X) && isConstExpr(pass, be.Y) {
+				return true
+			}
+			p := "=="
+			if be.Op == token.NEQ {
+				p = "!="
+			}
+			pass.Report(be.OpPos, "floating-point %s comparison; use an epsilon compare (e.g. metrics.NearEqual/NearZero) or annotate why exact equality is intended", p)
+			return true
+		})
+	}
+	return nil
+}
+
+// isFloatish reports whether t is a floating-point or complex basic type
+// (through named types).
+func isFloatish(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&(types.IsFloat|types.IsComplex) != 0
+}
+
+// isConstExpr reports whether the expression has a compile-time value.
+func isConstExpr(pass *Pass, e ast.Expr) bool {
+	tv, ok := pass.Info.Types[e]
+	return ok && tv.Value != nil
+}

@@ -1,0 +1,55 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// GlobalRand flags uses of math/rand's package-level generator
+// (rand.Float64, rand.Intn, rand.Shuffle, ...). Every stochastic path in
+// this repo — synthetic grids, OU load processes, measurement noise,
+// fault injection — must be reproducible from a seed, so randomness is
+// always drawn from an injected *rand.Rand (rand.New(rand.NewSource(s))
+// remains allowed: it constructs exactly such a generator).
+var GlobalRand = &Analyzer{
+	Name: "globalrand",
+	Doc:  "flag math/rand package-level functions; inject a seeded *rand.Rand",
+	Run:  runGlobalRand,
+}
+
+// globalRandAllowed are the math/rand package-level functions that do
+// not touch the global generator.
+var globalRandAllowed = map[string]bool{
+	"New":       true,
+	"NewSource": true,
+	"NewZipf":   true,
+}
+
+func runGlobalRand(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			path := fn.Pkg().Path()
+			if path != "math/rand" && path != "math/rand/v2" {
+				return true
+			}
+			sig, ok := fn.Type().(*types.Signature)
+			if !ok || sig.Recv() != nil { // methods on *rand.Rand are the fix, not the bug
+				return true
+			}
+			if globalRandAllowed[fn.Name()] {
+				return true
+			}
+			pass.Report(sel.Pos(), "rand.%s uses the global math/rand generator; experiments must inject a seeded *rand.Rand", fn.Name())
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,123 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// GoroutineLeak flags `go` statements launched from functions with no
+// visible join mechanism: no sync.WaitGroup in scope, no channel
+// operation (send, receive, close, range, select), and no
+// context.Context. The ingestion layer (comm, stream) and the experiment
+// drivers spawn collectors and publishers; one forgotten join turns a
+// fault-injection test into a goroutine leak that -race cannot see
+// because the leaked goroutine never races — it just accumulates.
+//
+// The check is a per-function heuristic: evidence anywhere in the
+// launching function (including the launched body) counts as a join.
+var GoroutineLeak = &Analyzer{
+	Name: "goroutineleak",
+	Doc:  "flag go statements with no WaitGroup, channel join, or context in scope",
+	Run:  runGoroutineLeak,
+}
+
+func runGoroutineLeak(pass *Pass) error {
+	for _, f := range pass.Files {
+		// Stack of enclosing function bodies; GoStmts are judged against
+		// the innermost enclosing function.
+		var stack []ast.Node
+		var visit func(n ast.Node) bool
+		visit = func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					stack = append(stack, n.Body)
+					ast.Inspect(n.Body, visit)
+					stack = stack[:len(stack)-1]
+				}
+				return false
+			case *ast.FuncLit:
+				stack = append(stack, n.Body)
+				ast.Inspect(n.Body, visit)
+				stack = stack[:len(stack)-1]
+				return false
+			case *ast.GoStmt:
+				if len(stack) == 0 {
+					return true
+				}
+				encl := stack[len(stack)-1]
+				if !hasJoinEvidence(pass, encl) {
+					pass.Report(n.Pos(), "goroutine launched with no WaitGroup, channel operation, or context in the enclosing function; it cannot be joined or cancelled")
+				}
+				return true
+			}
+			return true
+		}
+		ast.Inspect(f, visit)
+	}
+	return nil
+}
+
+// hasJoinEvidence scans a function body for anything that could join or
+// bound a goroutine's lifetime.
+func hasJoinEvidence(pass *Pass, body ast.Node) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.SendStmt, *ast.SelectStmt:
+			found = true
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				found = true
+			}
+		case *ast.RangeStmt:
+			if isChan(pass.Info.TypeOf(n.X)) {
+				found = true
+			}
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && id.Name == "close" {
+				if _, isBuiltin := pass.Info.Uses[id].(*types.Builtin); isBuiltin {
+					found = true
+				}
+			}
+		case ast.Expr:
+			if t := pass.Info.TypeOf(n); isWaitGroup(t) || isContext(t) || isChan(t) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+func isChan(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Chan)
+	return ok
+}
+
+func isWaitGroup(t types.Type) bool { return isNamedFrom(t, "sync", "WaitGroup") }
+func isContext(t types.Type) bool   { return isNamedFrom(t, "context", "Context") }
+
+// isNamedFrom reports whether t (or its pointee) is the named type
+// pkg.Name.
+func isNamedFrom(t types.Type, pkgPath, name string) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == pkgPath && obj.Name() == name
+}

@@ -1,0 +1,188 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// LockSmell combines two sync-hygiene checks over the concurrent
+// ingestion layer:
+//
+//  1. lock-by-value: receivers and parameters whose (non-pointer) type
+//     contains a sync primitive — copying a struct with a mutex forks
+//     the lock, so two goroutines can hold "the same" critical section.
+//  2. defer-less unlock: a mutex locked in a function whose matching
+//     Unlock is a plain statement rather than deferred. Any early
+//     return or panic between the pair leaves the mutex held forever —
+//     exactly the shape of bug fault-injection tests trip over.
+var LockSmell = &Analyzer{
+	Name: "locksmell",
+	Doc:  "flag by-value sync copies and defer-less Lock/Unlock pairs",
+	Run:  runLockSmell,
+}
+
+var syncLockTypes = map[string]bool{
+	"Mutex": true, "RWMutex": true, "WaitGroup": true,
+	"Once": true, "Cond": true, "Pool": true, "Map": true,
+}
+
+func runLockSmell(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				checkLockByValue(pass, n)
+				if n.Body != nil {
+					checkDeferlessUnlock(pass, n.Body)
+				}
+				return true
+			case *ast.FuncLit:
+				checkDeferlessUnlock(pass, n.Body)
+				return true
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkLockByValue flags receiver and parameter declarations that copy
+// sync primitives by value.
+func checkLockByValue(pass *Pass, fd *ast.FuncDecl) {
+	report := func(field *ast.Field, what string) {
+		for _, name := range field.Names {
+			t := pass.Info.TypeOf(name)
+			if containsLock(t, nil) {
+				pass.Report(field.Pos(), "%s %s passes %s by value; it contains a sync primitive — use a pointer", what, name.Name, t)
+			}
+		}
+	}
+	if fd.Recv != nil {
+		for _, field := range fd.Recv.List {
+			report(field, "receiver")
+		}
+	}
+	if fd.Type.Params != nil {
+		for _, field := range fd.Type.Params.List {
+			report(field, "parameter")
+		}
+	}
+}
+
+// containsLock reports whether a value of type t carries a sync
+// primitive by value (pointers, slices, maps, and channels indirect and
+// are therefore safe to copy).
+func containsLock(t types.Type, seen map[types.Type]bool) bool {
+	if t == nil {
+		return false
+	}
+	if seen[t] {
+		return false
+	}
+	if seen == nil {
+		seen = map[types.Type]bool{}
+	}
+	seen[t] = true
+	if named, ok := t.(*types.Named); ok {
+		obj := named.Obj()
+		if obj.Pkg() != nil && obj.Pkg().Path() == "sync" && syncLockTypes[obj.Name()] {
+			return true
+		}
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if containsLock(u.Field(i).Type(), seen) {
+				return true
+			}
+		}
+	case *types.Array:
+		return containsLock(u.Elem(), seen)
+	}
+	return false
+}
+
+// lockOp is one Lock/Unlock-family call found in a function body.
+type lockOp struct {
+	recv     string // rendered receiver expression, e.g. "c.mu"
+	name     string // Lock, RLock, Unlock, RUnlock
+	deferred bool
+	pos      ast.Node
+}
+
+// checkDeferlessUnlock flags Lock/RLock calls whose pairing Unlock in
+// the same function is a plain statement instead of a defer. Nested
+// function literals are their own scopes and are skipped here (they are
+// visited separately), except literals invoked directly by a defer —
+// their unlocks count as deferred for the enclosing function.
+func checkDeferlessUnlock(pass *Pass, body *ast.BlockStmt) {
+	var ops []lockOp
+	collectLockOps(pass, body, false, &ops)
+
+	deferUnlocked := map[string]bool{}
+	plainUnlocked := map[string]bool{}
+	for _, op := range ops {
+		if op.name == "Unlock" || op.name == "RUnlock" {
+			if op.deferred {
+				deferUnlocked[op.recv] = true
+			} else {
+				plainUnlocked[op.recv] = true
+			}
+		}
+	}
+	for _, op := range ops {
+		if op.name != "Lock" && op.name != "RLock" {
+			continue
+		}
+		if deferUnlocked[op.recv] || !plainUnlocked[op.recv] {
+			continue
+		}
+		pass.Report(op.pos.Pos(), "%s.%s() is released by a plain %s.Unlock(); an early return or panic between them leaks the lock — defer the unlock or extract the critical section", op.recv, op.name, op.recv)
+	}
+}
+
+func collectLockOps(pass *Pass, n ast.Node, deferred bool, ops *[]lockOp) {
+	ast.Inspect(n, func(node ast.Node) bool {
+		switch node := node.(type) {
+		case *ast.FuncLit:
+			return false // separate scope, visited on its own
+		case *ast.DeferStmt:
+			if lit, ok := ast.Unparen(node.Call.Fun).(*ast.FuncLit); ok {
+				collectLockOps(pass, lit.Body, true, ops)
+				return false
+			}
+			if op, ok := asLockOp(pass, node.Call); ok {
+				op.deferred = true
+				*ops = append(*ops, op)
+				return false
+			}
+			return true
+		case *ast.CallExpr:
+			if op, ok := asLockOp(pass, node); ok {
+				op.deferred = deferred
+				*ops = append(*ops, op)
+			}
+			return true
+		}
+		return true
+	})
+}
+
+// asLockOp recognises a call to a sync.Mutex / sync.RWMutex locking
+// method (including through embedding) and renders its receiver.
+func asLockOp(pass *Pass, call *ast.CallExpr) (lockOp, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return lockOp{}, false
+	}
+	fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return lockOp{}, false
+	}
+	switch fn.Name() {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+	default:
+		return lockOp{}, false
+	}
+	return lockOp{recv: types.ExprString(sel.X), name: fn.Name(), pos: call}, true
+}

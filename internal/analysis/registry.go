@@ -1,0 +1,25 @@
+package analysis
+
+import "fmt"
+
+// All returns every registered analyzer, in stable output order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		DimCheck,
+		ErrCheck,
+		FloatCmp,
+		GlobalRand,
+		GoroutineLeak,
+		LockSmell,
+	}
+}
+
+// ByName resolves a comma-separated-friendly analyzer name.
+func ByName(name string) (*Analyzer, error) {
+	for _, a := range All() {
+		if a.Name == name {
+			return a, nil
+		}
+	}
+	return nil, fmt.Errorf("analysis: unknown analyzer %q", name)
+}

@@ -1,0 +1,35 @@
+// Package subspace is golden-test input for the dimcheck analyzer; the
+// package is named subspace because dimcheck only engages on the
+// numeric-core package names (subspace, mlr, ellipse).
+package subspace
+
+func unguarded(m [][]float64, i int) float64 {
+	var s float64
+	for _, v := range m[i] { // want `index into matrix m without a len\(\) guard`
+		s += v
+	}
+	return s
+}
+
+func guarded(m [][]float64, i int) float64 {
+	if i < 0 || i >= len(m) {
+		return 0
+	}
+	var s float64
+	for _, v := range m[i] {
+		s += v
+	}
+	return s
+}
+
+func ranged(m [][]float64) float64 {
+	var s float64
+	for i := range m {
+		s += m[i][0]
+	}
+	return s
+}
+
+func constIndex(m [][]float64) float64 {
+	return m[0][0] // constant indices are compile-visible: not a finding
+}

@@ -1,0 +1,23 @@
+// Package errcheck is golden-test input for the errcheck analyzer.
+package errcheck
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+func apply() error { return nil }
+
+func drops(f *os.File, data []byte) {
+	apply()                   // want `error result of errcheck.apply is dropped`
+	os.Remove("stale")        // want `error result of os.Remove is dropped`
+	f.Close()                 // want `error result of File.Close is dropped`
+	json.Unmarshal(data, nil) // want `error result of json.Unmarshal is dropped`
+	fmt.Println("fmt is exempt by design; CLI output noise would drown real findings")
+	_ = apply() // explicit drop is visible to reviewers: not a finding
+	defer f.Close()
+	if err := apply(); err != nil {
+		_ = err
+	}
+}

@@ -1,0 +1,23 @@
+// Package floatcmp is golden-test input for the floatcmp analyzer: each
+// `// want` comment carries a regexp that must match a diagnostic
+// reported on that line.
+package floatcmp
+
+func cmp(a, b float64, i, j int) bool {
+	if a == b { // want `floating-point == comparison`
+		return true
+	}
+	if a != b { // want `floating-point != comparison`
+		return false
+	}
+	if i == j { // ints are exact; not a finding
+		return true
+	}
+	const half = 0.5
+	if half == 0.5 { // both sides constant: compile-time identity
+		return true
+	}
+	var f float32
+	var z complex128
+	return f == 0 || z == 0 // want `floating-point == comparison` `floating-point == comparison`
+}

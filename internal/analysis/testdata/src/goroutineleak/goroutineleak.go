@@ -1,0 +1,39 @@
+// Package goroutineleak is golden-test input for the goroutineleak
+// analyzer.
+package goroutineleak
+
+import (
+	"context"
+	"sync"
+)
+
+func work() {}
+
+func leak() {
+	go work() // want `goroutine launched with no WaitGroup, channel operation, or context`
+}
+
+func waitGroupJoin() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+	wg.Wait()
+}
+
+func channelJoin() {
+	done := make(chan struct{})
+	go func() {
+		work()
+		close(done)
+	}()
+	<-done
+}
+
+func contextBound(ctx context.Context) {
+	go func() {
+		<-ctx.Done()
+	}()
+}

@@ -1,0 +1,18 @@
+// Package suppress is golden-test input for //gridlint:ignore handling,
+// run under the floatcmp analyzer: every comparison here would be a
+// finding, and only the unannotated one may survive.
+package suppress
+
+func eq(a, b float64) bool {
+	if a == b { //gridlint:ignore floatcmp same-line suppression under test
+		return true
+	}
+	//gridlint:ignore floatcmp line-above suppression under test
+	if a != b {
+		return false
+	}
+	//gridlint:ignore all wildcard suppression under test
+	ok := a == b
+	_ = ok
+	return a == b // want `floating-point == comparison`
+}

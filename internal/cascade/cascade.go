@@ -75,7 +75,7 @@ func Flows(g *grid.Grid) ([]float64, error) {
 		p := make([]float64, len(idx))
 		for e := range g.Branches {
 			br := &g.Branches[e]
-			if !br.Status || br.X == 0 || !reach[br.From] {
+			if !br.Status || br.X == 0 || !reach[br.From] { //gridlint:ignore floatcmp X==0 marks an unmodelled branch sentinel, never a computed reactance
 				continue
 			}
 			w := 1 / br.X
@@ -105,7 +105,7 @@ func Flows(g *grid.Grid) ([]float64, error) {
 	out := make([]float64, g.E())
 	for e := range g.Branches {
 		br := &g.Branches[e]
-		if !br.Status || br.X == 0 || !reach[br.From] || !reach[br.To] {
+		if !br.Status || br.X == 0 || !reach[br.From] || !reach[br.To] { //gridlint:ignore floatcmp X==0 marks an unmodelled branch sentinel, never a computed reactance
 			continue
 		}
 		out[e] = (theta[br.From] - theta[br.To]) / br.X
@@ -344,7 +344,7 @@ func overloadMargin(g *grid.Grid, ratings Ratings) (float64, error) {
 	}
 	worst := 0.0
 	for e := range g.Branches {
-		if !g.Branches[e].Status || ratings[e] == 0 {
+		if !g.Branches[e].Status || ratings[e] == 0 { //gridlint:ignore floatcmp zero rating is the unrated-branch sentinel from the case file
 			continue
 		}
 		if r := math.Abs(flows[e]) / ratings[e]; r > worst {

@@ -32,6 +32,7 @@ type Collector struct {
 	ln net.Listener
 
 	mu      sync.Mutex
+	conns   map[net.Conn]struct{} // accepted PDC conns, so Close can unblock readers
 	pending map[int]*assembly
 	closed  bool
 	done    chan struct{}
@@ -63,6 +64,7 @@ func NewCollector(n int, listenAddr string, deadline time.Duration) (*Collector,
 		n: n, deadline: deadline,
 		out:     make(chan Assembled, 64),
 		ln:      ln,
+		conns:   map[net.Conn]struct{}{},
 		pending: map[int]*assembly{},
 		done:    make(chan struct{}),
 	}
@@ -86,13 +88,36 @@ func (c *Collector) acceptLoop() {
 		if err != nil {
 			return
 		}
+		if !c.track(conn) {
+			_ = conn.Close() // accept raced with Close
+			continue
+		}
 		c.wg.Add(1)
 		go c.readPDC(conn)
 	}
 }
 
+// track registers an accepted connection so Close can unblock its
+// reader; it refuses connections that race with shutdown.
+func (c *Collector) track(conn net.Conn) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return false
+	}
+	c.conns[conn] = struct{}{}
+	return true
+}
+
+func (c *Collector) untrack(conn net.Conn) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.conns, conn)
+}
+
 func (c *Collector) readPDC(conn net.Conn) {
 	defer c.wg.Done()
+	defer c.untrack(conn)
 	defer conn.Close()
 	sc := bufio.NewScanner(conn)
 	for sc.Scan() {
@@ -163,14 +188,19 @@ func (c *Collector) deadlineLoop() {
 		case <-c.done:
 			return
 		case <-tick.C:
-			c.mu.Lock()
-			now := time.Now()
-			for seq, a := range c.pending {
-				if now.Sub(a.started) >= c.deadline {
-					c.emitLocked(seq, a)
-				}
-			}
-			c.mu.Unlock()
+			c.sweep()
+		}
+	}
+}
+
+// sweep emits every assembly past its deadline.
+func (c *Collector) sweep() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := time.Now()
+	for seq, a := range c.pending {
+		if now.Sub(a.started) >= c.deadline {
+			c.emitLocked(seq, a)
 		}
 	}
 }
@@ -185,22 +215,40 @@ func (c *Collector) Flush() {
 	}
 }
 
-// Close flushes, stops the server, and closes the Samples channel.
+// Close flushes, stops the server, and closes the Samples channel. It is
+// idempotent, and it closes accepted PDC connections so reader
+// goroutines parked in Scan cannot deadlock the final Wait.
 func (c *Collector) Close() error {
+	conns, ok := c.shutdown()
+	if !ok {
+		return nil // already closed
+	}
+	err := c.ln.Close()
+	for _, conn := range conns {
+		_ = conn.Close() // unblocks the conn's readPDC goroutine
+	}
+	c.wg.Wait()
+	close(c.out)
+	return err
+}
+
+// shutdown drains pending assemblies, marks the collector closed, and
+// hands back the tracked connections; it reports false if Close already
+// ran.
+func (c *Collector) shutdown() ([]net.Conn, bool) {
 	c.mu.Lock()
+	defer c.mu.Unlock()
 	if c.closed {
-		c.mu.Unlock()
-		return nil
+		return nil, false
 	}
 	for seq, a := range c.pending {
 		c.emitLocked(seq, a)
 	}
 	c.closed = true
-	c.mu.Unlock()
-
 	close(c.done)
-	err := c.ln.Close()
-	c.wg.Wait()
-	close(c.out)
-	return err
+	conns := make([]net.Conn, 0, len(c.conns))
+	for conn := range c.conns {
+		conns = append(conns, conn)
+	}
+	return conns, true
 }

@@ -12,6 +12,7 @@ package comm
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"math/rand"
@@ -105,6 +106,8 @@ type PDC struct {
 
 	mu      sync.Mutex
 	down    bool
+	closed  bool
+	conns   map[net.Conn]struct{} // accepted PMU conns, so Close can unblock readers
 	pending map[int]*ClusterFrame // seq -> partial aggregate
 	stamps  map[int]time.Time
 	done    chan struct{}
@@ -125,11 +128,12 @@ func NewPDC(id int, listenAddr, upstreamAddr string, flushAge time.Duration) (*P
 	}
 	up, err := net.Dial("tcp", upstreamAddr)
 	if err != nil {
-		ln.Close()
+		_ = ln.Close() // already failing; the dial error is the one to report
 		return nil, fmt.Errorf("comm: PDC %d upstream dial: %w", id, err)
 	}
 	p := &PDC{
 		ID: id, ln: ln, upstream: up, flushAge: flushAge,
+		conns:   map[net.Conn]struct{}{},
 		pending: map[int]*ClusterFrame{}, stamps: map[int]time.Time{},
 		done: make(chan struct{}),
 	}
@@ -156,13 +160,36 @@ func (p *PDC) acceptLoop() {
 		if err != nil {
 			return // listener closed
 		}
+		if !p.track(conn) {
+			_ = conn.Close() // accept raced with Close
+			continue
+		}
 		p.wg.Add(1)
 		go p.readPMU(conn)
 	}
 }
 
+// track registers an accepted connection so Close can unblock its
+// reader; it refuses connections that race with shutdown.
+func (p *PDC) track(conn net.Conn) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return false
+	}
+	p.conns[conn] = struct{}{}
+	return true
+}
+
+func (p *PDC) untrack(conn net.Conn) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	delete(p.conns, conn)
+}
+
 func (p *PDC) readPMU(conn net.Conn) {
 	defer p.wg.Done()
+	defer p.untrack(conn)
 	defer conn.Close()
 	sc := bufio.NewScanner(conn)
 	for sc.Scan() {
@@ -207,18 +234,7 @@ func (p *PDC) flushLoop() {
 
 // flush forwards aggregates older than flushAge (or all, if force).
 func (p *PDC) flush(force bool) {
-	p.mu.Lock()
-	var ready []*ClusterFrame
-	now := time.Now()
-	for seq, cf := range p.pending {
-		if force || now.Sub(p.stamps[seq]) >= p.flushAge {
-			ready = append(ready, cf)
-			delete(p.pending, seq)
-			delete(p.stamps, seq)
-		}
-	}
-	down := p.down
-	p.mu.Unlock()
+	ready, down := p.takeReady(force)
 	if down {
 		return
 	}
@@ -228,12 +244,53 @@ func (p *PDC) flush(force bool) {
 	}
 }
 
-// Close flushes pending aggregates and tears the PDC down.
+// takeReady removes and returns the aggregates due for forwarding,
+// along with the down flag sampled under the same lock.
+func (p *PDC) takeReady(force bool) (ready []*ClusterFrame, down bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	now := time.Now()
+	for seq, cf := range p.pending {
+		if force || now.Sub(p.stamps[seq]) >= p.flushAge {
+			ready = append(ready, cf)
+			delete(p.pending, seq)
+			delete(p.stamps, seq)
+		}
+	}
+	return ready, p.down
+}
+
+// Close flushes pending aggregates and tears the PDC down. It is
+// idempotent, and it closes accepted PMU connections so reader
+// goroutines parked in Scan cannot deadlock the final Wait.
 func (p *PDC) Close() error {
 	p.flush(true)
-	close(p.done)
-	p.ln.Close()
-	err := p.upstream.Close()
+	conns, ok := p.shutdown()
+	if !ok {
+		return nil // already closed
+	}
+	errLn := p.ln.Close()
+	for _, c := range conns {
+		_ = c.Close() // unblocks the conn's readPMU goroutine
+	}
+	errUp := p.upstream.Close()
 	p.wg.Wait()
-	return err
+	return errors.Join(errLn, errUp)
+}
+
+// shutdown marks the PDC closed and hands back the tracked connections;
+// it reports false if Close already ran.
+func (p *PDC) shutdown() ([]net.Conn, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return nil, false
+	}
+	p.closed = true
+	close(p.done)
+	conns := make([]net.Conn, 0, len(p.conns))
+	for c := range p.conns {
+		conns = append(conns, c)
+	}
+	return conns, true
 }

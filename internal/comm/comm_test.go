@@ -195,6 +195,87 @@ func TestCollectorCloseIdempotent(t *testing.T) {
 	}
 }
 
+// closeWithin fails the test if fn does not return within d — the
+// regression guard for Close calls that used to deadlock in wg.Wait
+// while reader goroutines sat in Scan on still-open connections.
+func closeWithin(t *testing.T, d time.Duration, what string, fn func() error) {
+	t.Helper()
+	done := make(chan error, 1)
+	go func() { done <- fn() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("%s: %v", what, err)
+		}
+	case <-time.After(d):
+		t.Fatalf("%s did not return within %v", what, d)
+	}
+}
+
+func TestPDCCloseIdempotent(t *testing.T) {
+	col, err := NewCollector(4, "127.0.0.1:0", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer col.Close()
+	pdc, err := NewPDC(0, "127.0.0.1:0", col.Addr(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pdc.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Second close must neither panic (done was closed once already) nor
+	// report the already-closed sockets.
+	if err := pdc.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPDCCloseWithConnectedPMUs(t *testing.T) {
+	col, err := NewCollector(4, "127.0.0.1:0", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer col.Close()
+	pdc, err := NewPDC(0, "127.0.0.1:0", col.Addr(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pmus []*PMU
+	for bus := 0; bus < 2; bus++ {
+		pmu, err := NewPMU(bus, pdc.Addr(), 0, int64(bus)+1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer pmu.Close()
+		pmus = append(pmus, pmu)
+	}
+	// Make sure the PDC has actually accepted the connections and its
+	// readers are parked in Scan before closing it out from under them.
+	for _, pmu := range pmus {
+		if err := pmu.Send(1, 1, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	time.Sleep(50 * time.Millisecond)
+	closeWithin(t, 2*time.Second, "PDC.Close with live PMU conns", pdc.Close)
+}
+
+func TestCollectorCloseWithConnectedPDCs(t *testing.T) {
+	col, err := NewCollector(4, "127.0.0.1:0", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pdc, err := NewPDC(0, "127.0.0.1:0", col.Addr(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pdc.Close()
+	time.Sleep(50 * time.Millisecond) // let the collector accept the PDC conn
+	closeWithin(t, 2*time.Second, "Collector.Close with live PDC conn", col.Close)
+}
+
 func TestEndToEndWithRealGridTopology(t *testing.T) {
 	// Use the IEEE-14 PDC partition for the network layout, dropping the
 	// outage-location PMUs, and check the assembled mask matches the

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"errors"
 	"math"
+	"reflect"
 	"testing"
 
 	"pmuoutage/internal/cases"
@@ -123,6 +124,31 @@ func TestGenerateScenarioDeterministic(t *testing.T) {
 			if a.Samples[t0].Vm[i] != b.Samples[t0].Vm[i] {
 				t.Fatal("generation not deterministic")
 			}
+		}
+	}
+}
+
+func TestGenerateFullDeterministic(t *testing.T) {
+	// The whole pipeline — load process, noise, per-scenario seeds — must
+	// be a pure function of (grid, config): no global rand anywhere.
+	g := cases.IEEE14()
+	a, err := Generate(g, smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(g, smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.ValidLines, b.ValidLines) {
+		t.Fatalf("valid lines differ: %v vs %v", a.ValidLines, b.ValidLines)
+	}
+	if !reflect.DeepEqual(a.Normal.Samples, b.Normal.Samples) {
+		t.Fatal("normal sets differ between identically-seeded runs")
+	}
+	for _, e := range a.ValidLines {
+		if !reflect.DeepEqual(a.OutageSet(e).Samples, b.OutageSet(e).Samples) {
+			t.Fatalf("line %d outage sets differ between identically-seeded runs", e)
 		}
 	}
 }

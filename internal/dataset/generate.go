@@ -38,7 +38,7 @@ func (c GenConfig) withDefaults() GenConfig {
 	if c.OU == (loadgen.OUParams{}) {
 		c.OU = loadgen.DefaultOU(c.Steps)
 	}
-	if c.LossFrac == 0 {
+	if c.LossFrac <= 0 {
 		c.LossFrac = 0.02
 	}
 	return c

@@ -8,6 +8,7 @@ import (
 	"pmuoutage/internal/dataset"
 	"pmuoutage/internal/grid"
 	"pmuoutage/internal/mat"
+	"pmuoutage/internal/metrics"
 	"pmuoutage/internal/pmunet"
 	"pmuoutage/internal/subspace"
 )
@@ -94,7 +95,7 @@ func (c Config) withDefaults() Config {
 	if c.MaxLines <= 0 {
 		c.MaxLines = 3
 	}
-	if c.Groups.Mix == 0 {
+	if c.Groups.Mix == 0 { //gridlint:ignore floatcmp zero-value config sentinel, never a computed float
 		c.Groups.Mix = 1 // proposed robust group unless explicitly naive
 	}
 	return c
@@ -525,9 +526,7 @@ func (det *Detector) normalResidual(dev []float64, group []int) ([]float64, floa
 	}
 	xe := mat.Norm2(xd)
 	xe = xe * xe
-	if xe == 0 {
-		xe = math.SmallestNonzeroFloat64
-	}
+	xe = metrics.PositiveFloor(xe, math.SmallestNonzeroFloat64)
 	r0, err := det.normalSub.ResidualD(xd, group)
 	if err != nil {
 		return nil, 0, 0, err

@@ -1,6 +1,7 @@
 package detect
 
 import (
+	"math"
 	"math/rand"
 	"testing"
 
@@ -65,6 +66,49 @@ func TestDetectNormalSampleIsQuiet(t *testing.T) {
 		if len(r.Lines) != 0 {
 			t.Fatal("normal sample must yield empty line set")
 		}
+	}
+}
+
+// TestDetectThresholdBoundary straddles the outage/no-outage gate with
+// controlled deviation energy. The S⁰-filtered residual is linear in the
+// deviation from the training mean, so energy is exactly quadratic in a
+// scale factor alpha, and alpha* = sqrt(thresh/E(1)) sits on the gate:
+// samples just inside must stay quiet, just outside must trip it.
+func TestDetectThresholdBoundary(t *testing.T) {
+	det, test := trainIEEE14(t, Config{})
+	base := test.OutageSet(test.ValidLines[0]).Samples[0]
+	e1 := det.deviationEnergy(base)
+	if e1 <= 0 {
+		t.Fatalf("outage sample has no deviation energy (%v)", e1)
+	}
+	// sample(alpha) = mean + alpha*(base - mean) on the angle channel.
+	mk := func(alpha float64) dataset.Sample {
+		va := make([]float64, len(base.Va))
+		for i := range va {
+			va[i] = det.mean[i] + alpha*(base.Va[i]-det.mean[i])
+		}
+		return dataset.Sample{Vm: base.Vm, Va: va}
+	}
+	// Sanity: the quadratic scaling law the boundary construction relies on.
+	if e4 := det.deviationEnergy(mk(2)); !metrics.NearEqual(e4, 4*e1, 1e-9) {
+		t.Fatalf("energy not quadratic in scale: E(2)=%v, 4*E(1)=%v", e4, 4*e1)
+	}
+	alpha := math.Sqrt(det.NoOutageThreshold() / e1)
+	below, err := det.Detect(mk(0.99 * alpha))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if below.Outage {
+		t.Fatalf("energy %.6g just below threshold %.6g flagged as outage",
+			below.DeviationEnergy, det.NoOutageThreshold())
+	}
+	above, err := det.Detect(mk(1.01 * alpha))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !above.Outage {
+		t.Fatalf("energy %.6g just above threshold %.6g not flagged",
+			above.DeviationEnergy, det.NoOutageThreshold())
 	}
 }
 

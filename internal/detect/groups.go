@@ -7,6 +7,7 @@ import (
 
 	"pmuoutage/internal/dataset"
 	"pmuoutage/internal/mat"
+	"pmuoutage/internal/metrics"
 	"pmuoutage/internal/pmunet"
 )
 
@@ -154,8 +155,8 @@ func orthogonalMembers(loadings *mat.Dense, pool []int, ch dataset.Channel, n, w
 			v = loadings.Row(i)
 		}
 		nrm := mat.Norm2(v)
-		if nrm == 0 {
-			continue
+		if metrics.NearZero(nrm, metrics.DefaultEps) {
+			continue // numerically dead loading row; dividing by it would amplify noise
 		}
 		cands = append(cands, loadingCand{i, v, nrm})
 	}

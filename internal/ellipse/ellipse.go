@@ -8,6 +8,8 @@ package ellipse
 import (
 	"errors"
 	"math"
+
+	"pmuoutage/internal/metrics"
 )
 
 // Ellipse is the set Ω = {x ∈ R² : (x-c)ᵀ A (x-c) ≤ 1} with A symmetric
@@ -88,9 +90,7 @@ func Fit(vm, va []float64, margin float64) (*Ellipse, error) {
 			maxD = d
 		}
 	}
-	if maxD == 0 {
-		maxD = floor
-	}
+	maxD = metrics.PositiveFloor(maxD, floor)
 	s := 1 / (maxD * margin * margin)
 	return &Ellipse{
 		C: [2]float64{cx, cy},

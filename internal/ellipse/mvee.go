@@ -142,7 +142,7 @@ func invert3(m [3][3]float64) ([3][3]float64, bool) {
 	d, e, f := m[1][0], m[1][1], m[1][2]
 	g, h, i := m[2][0], m[2][1], m[2][2]
 	det := a*(e*i-f*h) - b*(d*i-f*g) + c*(d*h-e*g)
-	if det == 0 || math.IsNaN(det) || math.IsInf(det, 0) {
+	if det == 0 || math.IsNaN(det) || math.IsInf(det, 0) { //gridlint:ignore floatcmp exact-zero determinant means singular by construction; near-singular handled by caller's conditioning floor
 		return [3][3]float64{}, false
 	}
 	inv := [3][3]float64{

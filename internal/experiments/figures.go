@@ -23,7 +23,7 @@ func Fig4(cfg Config) ([]Row, error) {
 		for _, mix := range mixes {
 			c := cfg
 			c.Detect.Groups.Mix = mix
-			if mix == 0 {
+			if mix == 0 { //gridlint:ignore floatcmp compares against the exact literal 0 from the sweep list above
 				// Mix = 0 (zero value) means "default" to detect.Train,
 				// so the pure naive choice is requested with -1.
 				c.Detect.Groups.Mix = -1

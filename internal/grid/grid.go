@@ -63,7 +63,7 @@ type Branch struct {
 // Admittance returns the series admittance of the branch.
 func (br *Branch) Admittance() complex128 {
 	d := br.R*br.R + br.X*br.X
-	if d == 0 {
+	if d == 0 { //gridlint:ignore floatcmp zero-impedance sentinel from the case file; Validate rejects it for live grids
 		return 0
 	}
 	return complex(br.R/d, -br.X/d)
@@ -296,7 +296,7 @@ func (g *Grid) Ybus() *mat.CDense {
 		ys := br.Admittance()
 		bc := complex(0, br.B/2)
 		tap := br.Tap
-		if tap == 0 {
+		if tap == 0 { //gridlint:ignore floatcmp tap==0 is the case-file sentinel for unity ratio
 			tap = 1
 		}
 		// Complex tap ratio a = tap * e^{j*shift}.
@@ -322,7 +322,7 @@ func (g *Grid) Laplacian() *mat.Dense {
 	n := g.N()
 	l := mat.NewDense(n, n)
 	for _, br := range g.Branches {
-		if !br.Status || br.X == 0 {
+		if !br.Status || br.X == 0 { //gridlint:ignore floatcmp X==0 marks an unmodelled branch sentinel, never a computed reactance
 			continue
 		}
 		w := 1 / br.X
@@ -382,7 +382,7 @@ func (g *Grid) Validate() error {
 		if br.From == br.To {
 			return fmt.Errorf("grid %q: branch %d is a self loop at %d", g.Name, e, br.From)
 		}
-		if br.R == 0 && br.X == 0 {
+		if br.R == 0 && br.X == 0 { //gridlint:ignore floatcmp validating literal zeros read from the case file
 			return fmt.Errorf("grid %q: branch %d has zero impedance", g.Name, e)
 		}
 	}

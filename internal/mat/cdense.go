@@ -101,7 +101,7 @@ func FactorCLU(a *CDense) (*CLU, error) {
 				mx, p = a, i
 			}
 		}
-		if mx == 0 || math.IsNaN(mx) {
+		if mx == 0 || math.IsNaN(mx) { //gridlint:ignore floatcmp LAPACK-style exact-zero pivot column means structurally singular
 			return nil, ErrSingular
 		}
 		if p != k {
@@ -116,7 +116,7 @@ func FactorCLU(a *CDense) (*CLU, error) {
 		for i := k + 1; i < n; i++ {
 			m := lu.data[i*n+k] / pivVal
 			lu.data[i*n+k] = m
-			if m == 0 {
+			if m == 0 { //gridlint:ignore floatcmp exact-zero multiplier skip; near-zero still eliminates correctly
 				continue
 			}
 			ri := lu.data[i*n : (i+1)*n]
@@ -154,7 +154,7 @@ func (f *CLU) Solve(b []complex128) ([]complex128, error) {
 			s -= row[j] * x[j]
 		}
 		d := row[i]
-		if d == 0 {
+		if d == 0 { //gridlint:ignore floatcmp LAPACK-style exact-zero diagonal means singular back-substitution
 			return nil, ErrSingular
 		}
 		x[i] = s / d

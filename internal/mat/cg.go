@@ -43,7 +43,7 @@ func SolveCG(a *Dense, b []float64, opts CGOptions) ([]float64, error) {
 		m[i] = 1 / d
 	}
 	bn := Norm2(b)
-	if bn == 0 {
+	if bn == 0 { //gridlint:ignore floatcmp exact-zero RHS has the exact solution x=0
 		return make([]float64, n), nil
 	}
 	x := make([]float64, n)
@@ -63,7 +63,7 @@ func SolveCG(a *Dense, b []float64, opts CGOptions) ([]float64, error) {
 			row := a.RawRow(i)
 			var s float64
 			for j, v := range row {
-				if v != 0 {
+				if v != 0 { //gridlint:ignore floatcmp sparse accumulate skips exact structural zeros only
 					s += v * p[j]
 				}
 			}

@@ -151,7 +151,7 @@ func (m *Dense) Mul(b *Dense) *Dense {
 		arow := m.data[i*m.cols : (i+1)*m.cols]
 		orow := out.data[i*out.cols : (i+1)*out.cols]
 		for k, a := range arow {
-			if a == 0 {
+			if a == 0 { //gridlint:ignore floatcmp sparse multiply skips exact structural zeros only
 				continue
 			}
 			brow := b.data[k*b.cols : (k+1)*b.cols]

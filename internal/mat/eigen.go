@@ -51,7 +51,7 @@ func FactorEigenSym(a *Dense, tol float64) (*Eigen, error) {
 		for p := 0; p < n-1; p++ {
 			for q := p + 1; q < n; q++ {
 				apq := w.At(p, q)
-				if apq == 0 {
+				if apq == 0 { //gridlint:ignore floatcmp Jacobi rotation of an exactly-zero off-diagonal is the identity
 					continue
 				}
 				app := w.At(p, p)

@@ -39,7 +39,7 @@ func FactorLU(a *Dense) (*LU, error) {
 				mx, p = a, i
 			}
 		}
-		if mx == 0 || math.IsNaN(mx) {
+		if mx == 0 || math.IsNaN(mx) { //gridlint:ignore floatcmp LAPACK-style exact-zero pivot column means structurally singular
 			return nil, ErrSingular
 		}
 		if p != k {
@@ -55,7 +55,7 @@ func FactorLU(a *Dense) (*LU, error) {
 		for i := k + 1; i < n; i++ {
 			m := lu.data[i*n+k] / pivVal
 			lu.data[i*n+k] = m
-			if m == 0 {
+			if m == 0 { //gridlint:ignore floatcmp exact-zero multiplier skip; near-zero still eliminates correctly
 				continue
 			}
 			ri := lu.data[i*n : (i+1)*n]
@@ -96,7 +96,7 @@ func (f *LU) Solve(b []float64) ([]float64, error) {
 			s -= row[j] * x[j]
 		}
 		d := row[i]
-		if d == 0 {
+		if d == 0 { //gridlint:ignore floatcmp LAPACK-style exact-zero diagonal means singular back-substitution
 			return nil, ErrSingular
 		}
 		x[i] = s / d

@@ -29,7 +29,7 @@ func FactorQR(a *Dense) (*QR, error) {
 			col[i-k] = r.data[i*n+k]
 		}
 		alpha := Norm2(col)
-		if alpha == 0 {
+		if alpha == 0 { //gridlint:ignore floatcmp exactly-zero column needs no Householder reflector
 			vs = append(vs, nil)
 			continue
 		}
@@ -39,7 +39,7 @@ func FactorQR(a *Dense) (*QR, error) {
 		v := col
 		v[0] -= alpha
 		vn := Norm2(v)
-		if vn == 0 {
+		if vn == 0 { //gridlint:ignore floatcmp exactly-zero reflector after shift is a no-op
 			vs = append(vs, nil)
 			continue
 		}

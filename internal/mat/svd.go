@@ -52,7 +52,7 @@ func FactorSVD(a *Dense) *SVD {
 					beta += wq * wq
 					gamma += wp * wq
 				}
-				if alpha == 0 || beta == 0 {
+				if alpha == 0 || beta == 0 { //gridlint:ignore floatcmp one-sided Jacobi skips exactly-null columns; tol handles near-zero below
 					continue
 				}
 				if math.Abs(gamma) <= tol*math.Sqrt(alpha*beta) {
@@ -165,7 +165,7 @@ func PseudoInverse(a *Dense) *Dense {
 		inv := 1 / s.S[t]
 		for i := 0; i < n; i++ {
 			vi := s.V.data[i*k+t] * inv
-			if vi == 0 {
+			if vi == 0 { //gridlint:ignore floatcmp sparse accumulate skips exact structural zeros only
 				continue
 			}
 			orow := out.data[i*m : (i+1)*m]

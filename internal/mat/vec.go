@@ -26,7 +26,7 @@ func Norm2(v []float64) float64 {
 	var scale, ssq float64
 	ssq = 1
 	for _, x := range v {
-		if x == 0 {
+		if x == 0 { //gridlint:ignore floatcmp scaled-norm accumulation skips exact zeros to keep scale well-defined
 			continue
 		}
 		ax := math.Abs(x)
@@ -39,7 +39,7 @@ func Norm2(v []float64) float64 {
 			ssq += r * r
 		}
 	}
-	if scale == 0 {
+	if scale == 0 { //gridlint:ignore floatcmp scale is exactly zero iff every element was exactly zero
 		return 0
 	}
 	return scale * math.Sqrt(ssq)

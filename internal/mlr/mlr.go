@@ -155,7 +155,7 @@ func Train(d *dataset.Data, cfg Config) (*Classifier, error) {
 				if c == ys[i] {
 					delta--
 				}
-				if delta == 0 {
+				if delta == 0 { //gridlint:ignore floatcmp exact-zero gradient fast path; a near-zero delta still contributes correctly below
 					continue
 				}
 				gc := grad[c]
@@ -223,7 +223,11 @@ func (c *Classifier) ClassifyWithProb(s dataset.Sample) ([]grid.Line, float64) {
 		}
 		z[j] = (v - c.mean[j]) / c.std[j]
 	}
-	probs := make([]float64, len(c.w))
+	// Sized by the class table, which softmax fills one entry per weight
+	// row: a trained model has len(w) == len(classes), and sizing by the
+	// table makes the later classes[best] lookup panic-free by
+	// construction.
+	probs := make([]float64, len(c.classes))
 	softmax(c.w, z, probs)
 	best, bestP := 0, probs[0]
 	for cls, p := range probs {

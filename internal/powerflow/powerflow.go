@@ -127,7 +127,7 @@ func SolveAC(g *grid.Grid, opts Options) (*Solution, error) {
 			gr := gm.RawRow(i)
 			br := bm.RawRow(i)
 			for j := 0; j < n; j++ {
-				if gr[j] == 0 && br[j] == 0 {
+				if gr[j] == 0 && br[j] == 0 { //gridlint:ignore floatcmp structural sparsity skip: admittance entries are exactly zero off the graph
 					continue
 				}
 				d := va[i] - va[j]
@@ -219,7 +219,7 @@ func jacobian(n int, gm, bm *mat.Dense, vm, va, pcalc, qcalc []float64, pvpq, pq
 		gi := gm.RawRow(i)
 		bi := bm.RawRow(i)
 		for k := 0; k < n; k++ {
-			if gi[k] == 0 && bi[k] == 0 && k != i {
+			if gi[k] == 0 && bi[k] == 0 && k != i { //gridlint:ignore floatcmp structural sparsity skip: admittance entries are exactly zero off the graph
 				continue
 			}
 			d := va[i] - va[k]
