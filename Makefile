@@ -21,9 +21,13 @@ race:
 	$(GO) test -race ./...
 
 # One-iteration benchmark smoke: catches benchmarks that panic or no
-# longer compile without paying for stable timings.
+# longer compile without paying for stable timings. The pipeline benches
+# additionally run at -cpu 1,4 (sequential vs parallel, identical
+# output), and benchpipeline writes the timings to BENCH_pipeline.json.
 bench:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
+	$(GO) test -run='^$$' -bench=Pipeline -benchtime=1x -cpu 1,4 .
+	$(GO) run ./cmd/benchpipeline -o BENCH_pipeline.json
 
 # The tier-1 gate (see ROADMAP.md): build, vet, gridlint, race tests,
 # benchmark smoke.

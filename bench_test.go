@@ -14,6 +14,7 @@ package pmuoutage
 // over all four systems.
 
 import (
+	"context"
 	"testing"
 
 	"pmuoutage/internal/cases"
@@ -74,7 +75,7 @@ func BenchmarkFig4DetectionGroups(b *testing.B) {
 	var rows []experiments.Row
 	var err error
 	for i := 0; i < b.N; i++ {
-		rows, err = experiments.Fig4(benchCfg("ieee14"))
+		rows, err = experiments.Fig4(context.Background(), benchCfg("ieee14"))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -88,7 +89,7 @@ func BenchmarkFig5CompleteData(b *testing.B) {
 	var rows []experiments.Row
 	var err error
 	for i := 0; i < b.N; i++ {
-		rows, err = experiments.Fig5(benchCfg())
+		rows, err = experiments.Fig5(context.Background(), benchCfg())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -102,7 +103,7 @@ func BenchmarkFig7MissingOutageData(b *testing.B) {
 	var rows []experiments.Row
 	var err error
 	for i := 0; i < b.N; i++ {
-		rows, err = experiments.Fig7(benchCfg())
+		rows, err = experiments.Fig7(context.Background(), benchCfg())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -117,7 +118,7 @@ func BenchmarkFig8RandomMissingNormal(b *testing.B) {
 	var rows []experiments.Row
 	var err error
 	for i := 0; i < b.N; i++ {
-		rows, err = experiments.Fig8(benchCfg())
+		rows, err = experiments.Fig8(context.Background(), benchCfg())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -131,7 +132,7 @@ func BenchmarkFig9RandomMissingOutage(b *testing.B) {
 	var rows []experiments.Row
 	var err error
 	for i := 0; i < b.N; i++ {
-		rows, err = experiments.Fig9(benchCfg())
+		rows, err = experiments.Fig9(context.Background(), benchCfg())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -145,7 +146,7 @@ func BenchmarkFig10Reliability(b *testing.B) {
 	var rows []experiments.Row
 	var err error
 	for i := 0; i < b.N; i++ {
-		rows, err = experiments.Fig10(benchCfg("ieee14"))
+		rows, err = experiments.Fig10(context.Background(), benchCfg("ieee14"))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -160,7 +161,7 @@ func BenchmarkAblationProximity(b *testing.B) {
 	var rows []experiments.Row
 	var err error
 	for i := 0; i < b.N; i++ {
-		rows, err = experiments.Ablation(benchCfg("ieee14"))
+		rows, err = experiments.Ablation(context.Background(), benchCfg("ieee14"))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -169,6 +170,54 @@ func BenchmarkAblationProximity(b *testing.B) {
 		b.Logf("%s", r.String())
 	}
 	reportRows(b, rows)
+}
+
+// --- parallel-pipeline benchmarks ---
+//
+// These two run the worker-pooled stages with Workers = 0 (GOMAXPROCS),
+// so `go test -bench=Pipeline -cpu 1,4` measures the sequential baseline
+// and the 4-way speedup of the same byte-identical computation.
+// cmd/benchpipeline runs the identical workloads standalone and writes
+// BENCH_pipeline.json for `make bench`.
+
+// BenchmarkPipelineTrainIEEE30 measures the parallel training path —
+// per-line SVDs, per-node subspaces, Eq. 5–7 capability tables — at the
+// current GOMAXPROCS.
+func BenchmarkPipelineTrainIEEE30(b *testing.B) {
+	g := cases.IEEE30()
+	d, err := dataset.Generate(g, dataset.GenConfig{Steps: 20, Seed: 1, UseDC: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	nw, err := pmunet.Build(g, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := detect.TrainContext(ctx, d, nw, detect.Config{Workers: 0}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPipelineFig10MonteCarlo measures the sharded Fig. 10 Monte
+// Carlo reliability estimator at the current GOMAXPROCS.
+func BenchmarkPipelineFig10MonteCarlo(b *testing.B) {
+	g := cases.IEEE30()
+	nw, err := pmunet.Build(g, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rel := pmunet.Reliability{RPMU: 0.97, RLink: 0.99}
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := nw.ReliabilityMonteCarlo(ctx, rel, 100000, 1, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
 }
 
 // --- substrate micro-benchmarks ---
@@ -275,7 +324,7 @@ func BenchmarkExtensionRecovery(b *testing.B) {
 	var rows []experiments.Row
 	var err error
 	for i := 0; i < b.N; i++ {
-		rows, err = experiments.Recovery(benchCfg("ieee14"))
+		rows, err = experiments.Recovery(context.Background(), benchCfg("ieee14"))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -293,7 +342,7 @@ func BenchmarkExtensionMultiOutage(b *testing.B) {
 	var rows []experiments.Row
 	var err error
 	for i := 0; i < b.N; i++ {
-		rows, err = experiments.MultiOutage(benchCfg("ieee14"))
+		rows, err = experiments.MultiOutage(context.Background(), benchCfg("ieee14"))
 		if err != nil {
 			b.Fatal(err)
 		}

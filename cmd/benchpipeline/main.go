@@ -1,0 +1,114 @@
+// Command benchpipeline measures the worker-pooled pipeline stages —
+// dataset generation, detector training, the Fig. 10 Monte Carlo — with
+// one worker and with all CPUs, and writes the timings as JSON. The two
+// configurations compute byte-identical results (see internal/par), so
+// the ratio is pure scheduling overhead vs speedup.
+//
+// Usage:
+//
+//	benchpipeline [-o BENCH_pipeline.json] [-reps 3]
+//
+// The JSON has one entry per (stage, workers) pair with the best-of-reps
+// wall time in nanoseconds, plus the machine's GOMAXPROCS so single-CPU
+// results are readable for what they are.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"pmuoutage/internal/cases"
+	"pmuoutage/internal/dataset"
+	"pmuoutage/internal/detect"
+	"pmuoutage/internal/pmunet"
+)
+
+type result struct {
+	Stage   string `json:"stage"`
+	Workers int    `json:"workers"` // 0 was resolved to GOMAXPROCS
+	NsOp    int64  `json:"ns_op"`   // best of -reps runs
+}
+
+type report struct {
+	GOMAXPROCS int      `json:"gomaxprocs"`
+	Reps       int      `json:"reps"`
+	Results    []result `json:"results"`
+}
+
+func main() {
+	out := flag.String("o", "BENCH_pipeline.json", "output file")
+	reps := flag.Int("reps", 3, "repetitions per stage (best run wins)")
+	flag.Parse()
+
+	if err := run(*out, *reps); err != nil {
+		fmt.Fprintln(os.Stderr, "benchpipeline:", err)
+		os.Exit(1)
+	}
+}
+
+func run(out string, reps int) error {
+	if reps <= 0 {
+		reps = 1
+	}
+	ctx := context.Background()
+	g := cases.IEEE30()
+	nw, err := pmunet.Build(g, 3)
+	if err != nil {
+		return err
+	}
+	d, err := dataset.Generate(g, dataset.GenConfig{Steps: 20, Seed: 1, UseDC: true})
+	if err != nil {
+		return err
+	}
+
+	stages := []struct {
+		name string
+		fn   func(workers int) error
+	}{
+		{"dataset/generate-ieee30-dc", func(workers int) error {
+			_, err := dataset.GenerateContext(ctx, g, dataset.GenConfig{Steps: 20, Seed: 1, UseDC: true, Workers: workers})
+			return err
+		}},
+		{"detect/train-ieee30", func(workers int) error {
+			_, err := detect.TrainContext(ctx, d, nw, detect.Config{Workers: workers})
+			return err
+		}},
+		{"pmunet/montecarlo-100k", func(workers int) error {
+			_, err := nw.ReliabilityMonteCarlo(ctx, pmunet.Reliability{RPMU: 0.97, RLink: 0.99}, 100000, 1, workers)
+			return err
+		}},
+	}
+
+	rep := report{GOMAXPROCS: runtime.GOMAXPROCS(0), Reps: reps}
+	workerSet := []int{1}
+	if rep.GOMAXPROCS > 1 {
+		workerSet = append(workerSet, rep.GOMAXPROCS)
+	}
+	for _, st := range stages {
+		for _, workers := range workerSet {
+			best := time.Duration(-1)
+			for r := 0; r < reps; r++ {
+				start := time.Now()
+				if err := st.fn(workers); err != nil {
+					return fmt.Errorf("%s workers=%d: %w", st.name, workers, err)
+				}
+				if el := time.Since(start); best < 0 || el < best {
+					best = el
+				}
+			}
+			rep.Results = append(rep.Results, result{Stage: st.name, Workers: workers, NsOp: best.Nanoseconds()})
+			fmt.Printf("%-28s workers=%-2d %12s\n", st.name, workers, best.Round(time.Microsecond))
+		}
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(out, append(data, '\n'), 0o644)
+}

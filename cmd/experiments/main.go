@@ -8,14 +8,20 @@
 //	experiments [flags] fig4|fig5|fig7|fig8|fig9|fig10|ablation|recovery|multi|all
 //
 // Full AC runs over all four systems take minutes; use -systems and -dc
-// to scope things down.
+// to scope things down, or -workers to bound the parallelism (0 uses
+// every CPU; results are identical for any worker count). Ctrl-C
+// cancels the run cleanly mid-figure.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"pmuoutage/internal/experiments"
@@ -28,6 +34,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed")
 	useDC := flag.Bool("dc", false, "DC power-flow approximation (fast)")
 	clusters := flag.Int("clusters", 0, "PDC clusters (default max(3, N/10))")
+	workers := flag.Int("workers", 0, "worker-pool size (0 = GOMAXPROCS; output is worker-count independent)")
 	flag.Usage = func() {
 		fmt.Fprintln(os.Stderr, "usage: experiments [flags] fig4|fig5|fig7|fig8|fig9|fig10|ablation|recovery|multi|all")
 		flag.PrintDefaults()
@@ -44,12 +51,13 @@ func main() {
 		Seed:       *seed,
 		UseDC:      *useDC,
 		Clusters:   *clusters,
+		Workers:    *workers,
 	}
 	if *systems != "" {
 		cfg.Systems = strings.Split(*systems, ",")
 	}
 
-	runs := map[string]func(experiments.Config) ([]experiments.Row, error){
+	runs := map[string]func(context.Context, experiments.Config) ([]experiments.Row, error){
 		"fig4":     experiments.Fig4,
 		"fig5":     experiments.Fig5,
 		"fig7":     experiments.Fig7,
@@ -69,9 +77,16 @@ func main() {
 		os.Exit(2)
 	}
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	start := time.Now()
-	rows, err := fn(cfg)
+	rows, err := fn(ctx, cfg)
 	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintln(os.Stderr, "experiments: interrupted")
+			os.Exit(130)
+		}
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}

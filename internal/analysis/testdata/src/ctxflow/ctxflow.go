@@ -1,0 +1,93 @@
+// Package ctxflow is golden-test input for the ctxflow analyzer.
+package ctxflow
+
+import (
+	"context"
+	"sync"
+
+	"pmuoutage/internal/par"
+)
+
+func work() {}
+
+// SpawnNoCtx fans out without a context: flagged.
+func SpawnNoCtx() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // want `exported function SpawnNoCtx launches goroutines but has no context.Context parameter`
+		defer wg.Done()
+		work()
+	}()
+	wg.Wait()
+}
+
+// SpawnWithCtx fans out but takes a context: clean.
+func SpawnWithCtx(ctx context.Context) {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		work()
+	}()
+	select {
+	case <-done:
+	case <-ctx.Done():
+	}
+}
+
+// PoolNoCtx calls the worker pool without a context of its own: flagged
+// even though it forwards a background context.
+func PoolNoCtx(n int) error {
+	return par.ForEach(context.Background(), 0, n, func(context.Context, int) error { // want `exported function PoolNoCtx fans out over the par worker pool`
+		return nil
+	})
+}
+
+// PoolWithCtx forwards its caller's context: clean.
+func PoolWithCtx(ctx context.Context, n int) error {
+	return par.ForEach(ctx, 0, n, func(context.Context, int) error { return nil })
+}
+
+// spawnUnexported is unexported: the contract applies to the API
+// surface only.
+func spawnUnexported() {
+	done := make(chan struct{})
+	go func() { close(done) }()
+	<-done
+}
+
+// NestedLiteralSpawn hides the go statement inside a function literal;
+// the literal shares the enclosing scope, so the exported function is
+// still the one fanning out.
+func NestedLiteralSpawn() {
+	fn := func() {
+		done := make(chan struct{})
+		go func() { close(done) }() // want `exported function NestedLiteralSpawn launches goroutines`
+		<-done
+	}
+	fn()
+}
+
+// Wrapper merely delegates to its Context variant: clean, the fan-out
+// lives in the callee.
+func Wrapper(n int) error {
+	return PoolWithCtx(context.Background(), n)
+}
+
+const fixedBuf = 16
+
+// BufferBounds exercises the channel-capacity check.
+func BufferBounds(n int, ctx context.Context) {
+	_ = make(chan int)           // unbuffered: clean
+	_ = make(chan int, 8)        // literal constant: clean
+	_ = make(chan int, fixedBuf) // named constant: clean
+	_ = make(chan int, n)        // want `channel buffer capacity is not a compile-time constant`
+	_ = make([]int, n)           // a slice, not a channel: clean
+}
+
+// SuppressedSpawn shows the audited escape hatch.
+func SuppressedSpawn() {
+	done := make(chan struct{})
+	//gridlint:ignore ctxflow fixture: lifetime bound by the done channel
+	go func() { close(done) }()
+	<-done
+}

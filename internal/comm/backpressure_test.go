@@ -1,0 +1,79 @@
+package comm
+
+import (
+	"testing"
+	"time"
+)
+
+// TestPendingMapBounded is the backpressure regression test: a stream of
+// sequence numbers that never complete (every frame covers only bus 0 of
+// 4) must not grow the pending map past maxPending. Before the bound, a
+// PDC stuck on skewed timestamps could hold an assembly per sequence
+// forever within one deadline window. The deadline is set long so the
+// sweep cannot drain anything — only the eviction path is under test.
+func TestPendingMapBounded(t *testing.T) {
+	c, err := NewCollector(4, "127.0.0.1:0", time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	for seq := 0; seq < 4*maxPending; seq++ {
+		c.ingest(ClusterFrame{PDC: 0, Seq: seq, Buses: []int{0}, Vm: []float64{1}, Va: []float64{0}})
+	}
+	c.mu.Lock()
+	n := len(c.pending)
+	c.mu.Unlock()
+	if n > maxPending {
+		t.Fatalf("pending map grew to %d assemblies, bound is %d", n, maxPending)
+	}
+
+	// The evicted assemblies were emitted (up to the out buffer), not
+	// dropped silently, and each carries its gaps as missing data.
+	select {
+	case a := <-c.Samples():
+		if a.Sample.Complete() {
+			t.Fatalf("evicted assembly %d emitted as complete", a.Seq)
+		}
+		if !a.Sample.Mask[1] || a.Sample.Mask[0] {
+			t.Fatalf("evicted assembly %d has wrong mask %v", a.Seq, a.Sample.Mask)
+		}
+	default:
+		t.Fatal("no evicted assembly was emitted")
+	}
+}
+
+// TestEvictionTakesStalest checks the eviction order: when the bound is
+// hit, the oldest assembly goes first, so fresh sequences still get
+// their full deadline.
+func TestEvictionTakesStalest(t *testing.T) {
+	c, err := NewCollector(4, "127.0.0.1:0", time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	for seq := 0; seq < maxPending; seq++ {
+		c.ingest(ClusterFrame{PDC: 0, Seq: seq, Buses: []int{0}, Vm: []float64{1}, Va: []float64{0}})
+	}
+	// Age the first assembly far into the past, then overflow by one.
+	c.mu.Lock()
+	c.pending[0].started = time.Now().Add(-time.Hour)
+	c.mu.Unlock()
+	c.ingest(ClusterFrame{PDC: 0, Seq: maxPending, Buses: []int{0}, Vm: []float64{1}, Va: []float64{0}})
+
+	c.mu.Lock()
+	_, survived := c.pending[0]
+	_, fresh := c.pending[maxPending]
+	c.mu.Unlock()
+	if survived {
+		t.Fatal("stalest assembly survived the eviction")
+	}
+	if !fresh {
+		t.Fatal("the new sequence was not admitted after eviction")
+	}
+	a := <-c.Samples()
+	if a.Seq != 0 {
+		t.Fatalf("evicted Seq = %d, want the stalest (0)", a.Seq)
+	}
+}

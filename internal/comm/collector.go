@@ -45,6 +45,15 @@ type assembly struct {
 	started time.Time
 }
 
+// maxPending bounds the number of partially-assembled time steps the
+// collector holds. A PDC that keeps opening new sequence numbers without
+// ever completing them (clock skew, replay, a stuck upstream) would
+// otherwise grow the pending map without limit faster than the deadline
+// sweep can drain it. At the bound, the stalest assembly is force-emitted
+// with its gaps as missing data — the same treatment the deadline gives
+// stragglers, applied early under memory pressure.
+const maxPending = 256
+
 // NewCollector starts the control-center server for an n-bus grid on
 // listenAddr ("127.0.0.1:0" for ephemeral). deadline is how long a time
 // step waits for stragglers before being emitted with missing entries
@@ -69,6 +78,7 @@ func NewCollector(n int, listenAddr string, deadline time.Duration) (*Collector,
 		done:    make(chan struct{}),
 	}
 	c.wg.Add(2)
+	//gridlint:ignore ctxflow server lifetime is bound by Close, not a per-call context
 	go c.acceptLoop()
 	go c.deadlineLoop()
 	return c, nil
@@ -137,6 +147,9 @@ func (c *Collector) ingest(cf ClusterFrame) {
 	}
 	a := c.pending[cf.Seq]
 	if a == nil {
+		if len(c.pending) >= maxPending {
+			c.evictStalestLocked()
+		}
 		a = &assembly{
 			vm:      make([]float64, c.n),
 			va:      make([]float64, c.n),
@@ -157,6 +170,21 @@ func (c *Collector) ingest(cf ClusterFrame) {
 	// data arrived.
 	if a.have.MissingCount() == 0 {
 		c.emitLocked(cf.Seq, a)
+	}
+}
+
+// evictStalestLocked force-emits the oldest pending assembly to make
+// room for a new sequence; callers hold c.mu.
+func (c *Collector) evictStalestLocked() {
+	stalest := -1
+	var oldest time.Time
+	for seq, a := range c.pending {
+		if stalest < 0 || a.started.Before(oldest) {
+			stalest, oldest = seq, a.started
+		}
+	}
+	if stalest >= 0 {
+		c.emitLocked(stalest, c.pending[stalest])
 	}
 }
 

@@ -138,6 +138,7 @@ func NewPDC(id int, listenAddr, upstreamAddr string, flushAge time.Duration) (*P
 		done: make(chan struct{}),
 	}
 	p.wg.Add(2)
+	//gridlint:ignore ctxflow server lifetime is bound by Close, not a per-call context
 	go p.acceptLoop()
 	go p.flushLoop()
 	return p, nil

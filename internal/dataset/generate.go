@@ -1,11 +1,13 @@
 package dataset
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
 	"pmuoutage/internal/grid"
 	"pmuoutage/internal/loadgen"
+	"pmuoutage/internal/par"
 	"pmuoutage/internal/powerflow"
 )
 
@@ -29,6 +31,11 @@ type GenConfig struct {
 	LossFrac float64
 	// MaxIter caps Newton iterations per solve (default 30).
 	MaxIter int
+	// Workers bounds the scenario-level parallelism of Generate
+	// (0 = GOMAXPROCS). Results are byte-identical for every worker
+	// count: each scenario derives its own RNG seeds from Seed and the
+	// scenario itself, so no random stream is shared across scenarios.
+	Workers int
 }
 
 func (c GenConfig) withDefaults() GenConfig {
@@ -51,6 +58,14 @@ var ErrInvalidScenario = errors.New("dataset: scenario islanded or did not conve
 // GenerateScenario produces the sample set for one scenario on grid g.
 // It returns ErrInvalidScenario (wrapped) for islanding/non-convergence.
 func GenerateScenario(g *grid.Grid, sc Scenario, cfg GenConfig) (*Set, error) {
+	return GenerateScenarioContext(context.Background(), g, sc, cfg)
+}
+
+// GenerateScenarioContext is GenerateScenario with cancellation: the
+// per-step solve loop stops at the first context error. The work of one
+// scenario is inherently sequential (each step warm-starts from the
+// last), so there is no Workers option at this level.
+func GenerateScenarioContext(ctx context.Context, g *grid.Grid, sc Scenario, cfg GenConfig) (*Set, error) {
 	cfg = cfg.withDefaults()
 	work := g.WithoutLines(sc)
 	if !work.Connected() {
@@ -71,6 +86,9 @@ func GenerateScenario(g *grid.Grid, sc Scenario, cfg GenConfig) (*Set, error) {
 	set := &Set{Case: sc}
 	warm := work.Clone()
 	for t := 0; t < cfg.Steps; t++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		mult := proc.Step()
 		step := warm.Clone()
 		for i := range step.Buses {
@@ -113,19 +131,40 @@ func GenerateScenario(g *grid.Grid, sc Scenario, cfg GenConfig) (*Set, error) {
 // set per valid single-line outage. Lines whose removal islands the grid
 // or whose power flow diverges are skipped (E <= |E| in the paper).
 func Generate(g *grid.Grid, cfg GenConfig) (*Data, error) {
+	return GenerateContext(context.Background(), g, cfg)
+}
+
+// GenerateContext is Generate with cancellation and bounded parallelism:
+// the per-scenario simulations fan out over cfg.Workers workers. Every
+// scenario seeds its own load process and noise model from (Seed,
+// scenario), so the assembled Data is byte-identical whatever the worker
+// count — including the sequential Workers = 1 order.
+func GenerateContext(ctx context.Context, g *grid.Grid, cfg GenConfig) (*Data, error) {
 	cfg = cfg.withDefaults()
-	normal, err := GenerateScenario(g, nil, cfg)
+	normal, err := GenerateScenarioContext(ctx, g, nil, cfg)
 	if err != nil {
 		return nil, fmt.Errorf("dataset: normal case failed for %s: %w", g.Name, err)
 	}
-	d := &Data{G: g, Normal: normal, Outages: map[grid.Line]*Set{}}
-	for e := 0; e < g.E(); e++ {
-		set, err := GenerateScenario(g, Scenario{grid.Line(e)}, cfg)
+	// One slot per line; invalid scenarios (islanding/divergence) stay
+	// nil. Slots are index-exclusive, so the fan-out is data-race-free
+	// and the assembly below sees sequential order.
+	sets, err := par.Map(ctx, cfg.Workers, g.E(), func(ctx context.Context, e int) (*Set, error) {
+		set, err := GenerateScenarioContext(ctx, g, Scenario{grid.Line(e)}, cfg)
 		if err != nil {
 			if errors.Is(err, ErrInvalidScenario) {
-				continue
+				return nil, nil // skipped per §V-A, not a failure
 			}
 			return nil, err
+		}
+		return set, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	d := &Data{G: g, Normal: normal, Outages: map[grid.Line]*Set{}}
+	for e, set := range sets {
+		if set == nil {
+			continue
 		}
 		d.Outages[grid.Line(e)] = set
 		d.ValidLines = append(d.ValidLines, grid.Line(e))

@@ -1,0 +1,112 @@
+package dataset
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"math"
+	"reflect"
+	"sort"
+	"testing"
+
+	"pmuoutage/internal/cases"
+	"pmuoutage/internal/grid"
+)
+
+// fingerprint hashes every float of the generated data bit-exactly, in
+// sequential order: the normal set, each outage set ascending by line,
+// then the valid-line list. The golden constants below were produced by
+// the pre-parallel (PR 1) sequential Generate, so these tests pin the
+// refactor to the historical output, not just to itself.
+func fingerprint(d *Data) string {
+	h := sha256.New()
+	add := func(set *Set) {
+		for _, s := range set.Samples {
+			for _, v := range s.Vm {
+				binary.Write(h, binary.LittleEndian, math.Float64bits(v))
+			}
+			for _, v := range s.Va {
+				binary.Write(h, binary.LittleEndian, math.Float64bits(v))
+			}
+		}
+	}
+	add(d.Normal)
+	var lines []int
+	for e := range d.Outages {
+		lines = append(lines, int(e))
+	}
+	sort.Ints(lines)
+	for _, e := range lines {
+		binary.Write(h, binary.LittleEndian, int64(e))
+		add(d.Outages[grid.Line(e)])
+	}
+	for _, e := range d.ValidLines {
+		binary.Write(h, binary.LittleEndian, int64(e))
+	}
+	return fmt.Sprintf("%x", h.Sum(nil))[:16]
+}
+
+func TestGenerateGoldenFingerprint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("AC generation in -short")
+	}
+	for _, tc := range []struct {
+		name   string
+		cfg    GenConfig
+		golden string
+	}{
+		{"ieee14-ac-6", GenConfig{Steps: 6, Seed: 1}, "bade84976607297d"},
+		{"ieee14-dc-10", GenConfig{Steps: 10, Seed: 1, UseDC: true}, "cb671e8c79319266"},
+	} {
+		for _, workers := range []int{0, 1, 8} {
+			cfg := tc.cfg
+			cfg.Workers = workers
+			d, err := Generate(cases.IEEE14(), cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := fingerprint(d); got != tc.golden {
+				t.Errorf("%s workers=%d: fingerprint %s, want pre-refactor golden %s",
+					tc.name, workers, got, tc.golden)
+			}
+		}
+	}
+}
+
+func TestGenerateWorkersEquivalence(t *testing.T) {
+	g := cases.IEEE14()
+	cfg := smallConfig()
+	cfg.Workers = 1
+	seq, err := Generate(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Workers = 8
+	parl, err := Generate(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seq.ValidLines, parl.ValidLines) {
+		t.Fatalf("valid lines differ: %v vs %v", seq.ValidLines, parl.ValidLines)
+	}
+	if !reflect.DeepEqual(seq.Normal, parl.Normal) {
+		t.Fatal("normal sets differ between worker counts")
+	}
+	for _, e := range seq.ValidLines {
+		if !reflect.DeepEqual(seq.OutageSet(e), parl.OutageSet(e)) {
+			t.Fatalf("line %d sets differ between worker counts", e)
+		}
+	}
+}
+
+func TestGenerateContextCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := GenerateContext(ctx, cases.IEEE14(), smallConfig()); err == nil {
+		t.Fatal("cancelled context must fail generation")
+	}
+	if _, err := GenerateScenarioContext(ctx, cases.IEEE14(), nil, smallConfig()); err == nil {
+		t.Fatal("cancelled context must fail scenario generation")
+	}
+}

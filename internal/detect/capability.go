@@ -7,11 +7,13 @@
 package detect
 
 import (
+	"context"
 	"fmt"
 
 	"pmuoutage/internal/dataset"
 	"pmuoutage/internal/ellipse"
 	"pmuoutage/internal/grid"
+	"pmuoutage/internal/par"
 )
 
 // UnionProbIE computes the probability of the union of independent
@@ -78,14 +80,19 @@ type Capabilities struct {
 // training set (Eq. 4). useMVEE selects the minimum-volume enclosing
 // ellipse instead of the default covariance-scaled fit.
 func FitEllipses(normal *dataset.Set, margin float64, useMVEE bool) ([]*ellipse.Ellipse, error) {
+	return FitEllipsesContext(context.Background(), normal, margin, useMVEE, 1)
+}
+
+// FitEllipsesContext is FitEllipses with cancellation and one fit per
+// worker slot; each node's (vm, va) scratch is private to its item.
+func FitEllipsesContext(ctx context.Context, normal *dataset.Set, margin float64, useMVEE bool, workers int) ([]*ellipse.Ellipse, error) {
 	if normal.T() < 2 {
 		return nil, fmt.Errorf("detect: need at least 2 normal samples, got %d", normal.T())
 	}
 	n := normal.Samples[0].N()
-	out := make([]*ellipse.Ellipse, n)
-	vm := make([]float64, normal.T())
-	va := make([]float64, normal.T())
-	for k := 0; k < n; k++ {
+	return par.Map(ctx, workers, n, func(_ context.Context, k int) (*ellipse.Ellipse, error) {
+		vm := make([]float64, normal.T())
+		va := make([]float64, normal.T())
 		for t, s := range normal.Samples {
 			vm[t], va[t] = s.Phasor2D(k)
 		}
@@ -99,9 +106,8 @@ func FitEllipses(normal *dataset.Set, margin float64, useMVEE bool) ([]*ellipse.
 		if err != nil {
 			return nil, fmt.Errorf("detect: ellipse for node %d: %w", k, err)
 		}
-		out[k] = e
-	}
-	return out, nil
+		return e, nil
+	})
 }
 
 // CaseCapability computes p_k(F | X_k^F) of Eq. (5): the count of outage
@@ -136,22 +142,38 @@ func CaseCapability(om *ellipse.Ellipse, outage, normal *dataset.Set, k int) flo
 // the union capability p_{i,k} over all training cases involving node i
 // (Eqs. 6–7).
 func LearnCapabilities(d *dataset.Data, margin float64, useMVEE bool) (*Capabilities, error) {
-	ells, err := FitEllipses(d.Normal, margin, useMVEE)
+	return LearnCapabilitiesContext(context.Background(), d, margin, useMVEE, 1)
+}
+
+// LearnCapabilitiesContext is LearnCapabilities with cancellation and
+// bounded parallelism: the ellipse fits, the per-case capability rows of
+// Eq. (5), and the per-node union rows of Eqs. (6)-(7) each fan out over
+// workers. Every row is index-exclusive, so the table is byte-identical
+// for any worker count.
+func LearnCapabilitiesContext(ctx context.Context, d *dataset.Data, margin float64, useMVEE bool, workers int) (*Capabilities, error) {
+	ells, err := FitEllipsesContext(ctx, d.Normal, margin, useMVEE, workers)
 	if err != nil {
 		return nil, err
 	}
 	n := d.G.N()
-	p := make([][]float64, n)
-	// Pre-compute per-case capabilities: cap[e][k].
-	caseCap := map[grid.Line][]float64{}
-	for _, e := range d.ValidLines {
+	// Pre-compute per-case capabilities: cap[e][k], one valid line per slot.
+	caps, err := par.Map(ctx, workers, len(d.ValidLines), func(_ context.Context, j int) ([]float64, error) {
+		e := d.ValidLines[j]
 		cc := make([]float64, n)
 		for k := 0; k < n; k++ {
 			cc[k] = CaseCapability(ells[k], d.Outages[e], d.Normal, k)
 		}
-		caseCap[e] = cc
+		return cc, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	for i := 0; i < n; i++ {
+	caseCap := map[grid.Line][]float64{}
+	for j, e := range d.ValidLines {
+		caseCap[e] = caps[j]
+	}
+	p := make([][]float64, n)
+	err = par.ForEach(ctx, workers, n, func(_ context.Context, i int) error {
 		p[i] = make([]float64, n)
 		// F_i: all valid training cases involving node i.
 		var cases []grid.Line
@@ -162,7 +184,7 @@ func LearnCapabilities(d *dataset.Data, margin float64, useMVEE bool) (*Capabili
 			}
 		}
 		if len(cases) == 0 {
-			continue
+			return nil
 		}
 		ps := make([]float64, len(cases))
 		for k := 0; k < n; k++ {
@@ -171,6 +193,10 @@ func LearnCapabilities(d *dataset.Data, margin float64, useMVEE bool) (*Capabili
 			}
 			p[i][k] = UnionProb(ps)
 		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return &Capabilities{Ellipses: ells, P: p}, nil
 }

@@ -1,6 +1,7 @@
 package detect
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -9,6 +10,7 @@ import (
 	"pmuoutage/internal/grid"
 	"pmuoutage/internal/mat"
 	"pmuoutage/internal/metrics"
+	"pmuoutage/internal/par"
 	"pmuoutage/internal/pmunet"
 	"pmuoutage/internal/subspace"
 )
@@ -59,6 +61,11 @@ type Config struct {
 	UseRegressorProximity bool
 	// DisableScaling turns off the Eq. (11) ratio scaling (ablation).
 	DisableScaling bool
+	// Workers bounds the parallelism of training's per-line and per-node
+	// stages (0 = GOMAXPROCS). The trained detector is byte-identical
+	// for every worker count: each line/node computes from its own data
+	// and lands at its own index.
+	Workers int
 }
 
 func (c Config) withDefaults() Config {
@@ -125,6 +132,13 @@ type Detector struct {
 
 // Train learns the detector from generated data and a PMU network.
 func Train(d *dataset.Data, nw *pmunet.Network, cfg Config) (*Detector, error) {
+	return TrainContext(context.Background(), d, nw, cfg)
+}
+
+// TrainContext is Train with cancellation and bounded parallelism: the
+// per-line subspace SVDs, the per-node union/intersection subspaces, and
+// the Eq. 5-7 capability tables each fan out over cfg.Workers workers.
+func TrainContext(ctx context.Context, d *dataset.Data, nw *pmunet.Network, cfg Config) (*Detector, error) {
 	cfg = cfg.withDefaults()
 	if d.G != nw.G {
 		if d.G.Name != nw.G.Name || d.G.N() != nw.G.N() {
@@ -181,21 +195,29 @@ func Train(d *dataset.Data, nw *pmunet.Network, cfg Config) (*Detector, error) {
 
 	// Per-line signature subspaces from deviation data (Eq. 2), with the
 	// load-variation component projected out so the learned direction is
-	// the pure topology signature.
-	for _, e := range d.ValidLines {
-		x := det.normalSub.ProjectOut(det.deviationMatrix(d.Outages[e]))
-		s, err := subspace.Learn(x, cfg.LineRank)
-		if err != nil {
-			return nil, fmt.Errorf("detect: subspace for line %d: %w", e, err)
-		}
-		det.lineSubs[e] = s
+	// the pure topology signature. One SVD per valid line, fanned out.
+	lineSubs, err := par.Map(ctx, cfg.Workers, len(d.ValidLines),
+		func(_ context.Context, k int) (*subspace.Subspace, error) {
+			e := d.ValidLines[k]
+			x := det.normalSub.ProjectOut(det.deviationMatrix(d.Outages[e]))
+			s, err := subspace.Learn(x, cfg.LineRank)
+			if err != nil {
+				return nil, fmt.Errorf("detect: subspace for line %d: %w", e, err)
+			}
+			return s, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	for k, e := range d.ValidLines {
+		det.lineSubs[e] = lineSubs[k]
 	}
 
-	// Node union/intersection subspaces (Eq. 3).
+	// Node union/intersection subspaces (Eq. 3), one node per slot.
 	det.unionSubs = make([]*subspace.Subspace, n)
 	det.interSubs = make([]*subspace.Subspace, n)
 	det.nodeLines = make([][]grid.Line, n)
-	for i := 0; i < n; i++ {
+	err = par.ForEach(ctx, cfg.Workers, n, func(_ context.Context, i int) error {
 		var subs []*subspace.Subspace
 		for _, e := range d.ValidLines {
 			a, b := d.G.Endpoints(e)
@@ -207,22 +229,26 @@ func Train(d *dataset.Data, nw *pmunet.Network, cfg Config) (*Detector, error) {
 		if len(subs) == 0 {
 			det.unionSubs[i] = subspace.Zero(dim)
 			det.interSubs[i] = subspace.Zero(dim)
-			continue
+			return nil
 		}
 		u, err := subspace.Union(subs...)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		in, err := subspace.Intersection(cfg.InterShare, subs...)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		det.unionSubs[i] = u
 		det.interSubs[i] = in
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 
 	// Capabilities and detection groups.
-	caps, err := LearnCapabilities(d, cfg.EllipseMargin, cfg.UseMVEE)
+	caps, err := LearnCapabilitiesContext(ctx, d, cfg.EllipseMargin, cfg.UseMVEE, cfg.Workers)
 	if err != nil {
 		return nil, err
 	}

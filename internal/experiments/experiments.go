@@ -5,6 +5,8 @@
 package experiments
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -15,6 +17,7 @@ import (
 	"pmuoutage/internal/grid"
 	"pmuoutage/internal/metrics"
 	"pmuoutage/internal/mlr"
+	"pmuoutage/internal/par"
 	"pmuoutage/internal/pmunet"
 )
 
@@ -55,6 +58,12 @@ type Config struct {
 	// Detector/baseline overrides (zero values = package defaults).
 	Detect detect.Config
 	MLR    mlr.Config
+	// Workers bounds the parallelism of a run (0 = GOMAXPROCS): figure
+	// rows — one per (system, sweep point) — fan out over workers, and
+	// the same count is handed down to data generation and training.
+	// Row values and order are identical for every worker count because
+	// every row derives its own seeds.
+	Workers int
 }
 
 func (c Config) withDefaults() Config {
@@ -120,8 +129,10 @@ type cachedData struct {
 }
 
 // prepare builds grid, network, train/test data, the trained detector and
-// the MLR baseline for one system.
-func (c Config) prepare(system string, needMLR bool) (*bundle, error) {
+// the MLR baseline for one system. The data generation is cached across
+// figures and safe to hit from concurrent rows; training runs per call
+// because the detector configuration varies per row.
+func (c Config) prepare(ctx context.Context, system string, needMLR bool) (*bundle, error) {
 	key := dataKey{system, c.TrainSteps, c.TestSteps, c.Seed, c.UseDC, c.clustersForKey()}
 	entry, _ := dataCache.LoadOrStore(key, &cachedData{})
 	cd := entry.(*cachedData)
@@ -136,15 +147,15 @@ func (c Config) prepare(system string, needMLR bool) (*bundle, error) {
 			cd.err = err
 			return
 		}
-		gen := dataset.GenConfig{Steps: c.TrainSteps, Seed: c.Seed, UseDC: c.UseDC}
-		train, err := dataset.Generate(g, gen)
+		gen := dataset.GenConfig{Steps: c.TrainSteps, Seed: c.Seed, UseDC: c.UseDC, Workers: c.Workers}
+		train, err := dataset.GenerateContext(ctx, g, gen)
 		if err != nil {
 			cd.err = err
 			return
 		}
 		gen.Steps = c.TestSteps
 		gen.Seed = c.Seed + 7777
-		test, err := dataset.Generate(g, gen)
+		test, err := dataset.GenerateContext(ctx, g, gen)
 		if err != nil {
 			cd.err = err
 			return
@@ -152,10 +163,17 @@ func (c Config) prepare(system string, needMLR bool) (*bundle, error) {
 		cd.g, cd.nw, cd.train, cd.test = g, nw, train, test
 	})
 	if cd.err != nil {
+		// A cancelled first caller must not poison the cache for later
+		// runs: drop the entry so the next call regenerates.
+		if errors.Is(cd.err, context.Canceled) || errors.Is(cd.err, context.DeadlineExceeded) {
+			dataCache.CompareAndDelete(key, entry)
+		}
 		return nil, cd.err
 	}
 	g, nw, train, test := cd.g, cd.nw, cd.train, cd.test
-	det, err := detect.Train(train, nw, c.Detect)
+	dcfg := c.Detect
+	dcfg.Workers = c.Workers
+	det, err := detect.TrainContext(ctx, train, nw, dcfg)
 	if err != nil {
 		return nil, err
 	}
@@ -170,15 +188,35 @@ func (c Config) prepare(system string, needMLR bool) (*bundle, error) {
 	return b, nil
 }
 
+// rowJobs runs one job per (system, sweep point) pair over the
+// configured workers and concatenates the per-job rows in job order, so
+// parallel output is identical to the sequential loop it replaced.
+func rowJobs(ctx context.Context, cfg Config, n int, job func(ctx context.Context, i int) ([]Row, error)) ([]Row, error) {
+	per, err := par.Map(ctx, cfg.Workers, n, job)
+	if err != nil {
+		return nil, err
+	}
+	var rows []Row
+	for _, r := range per {
+		rows = append(rows, r...)
+	}
+	return rows, nil
+}
+
 // maskFn produces the missing-data mask for one test detection; nil
 // means complete data.
 type maskFn func(e grid.Line, rng *rand.Rand) pmunet.Mask
 
 // evalOutages runs every valid outage case's test samples through both
 // methods with the given missing-data pattern and accumulates Eq. (12).
-func (b *bundle) evalOutages(mask maskFn, seed int64) (sub, base metrics.Accumulator, err error) {
+// The mask RNG is private to the call, so rows evaluating concurrently
+// draw exactly the patterns the sequential loop drew.
+func (b *bundle) evalOutages(ctx context.Context, mask maskFn, seed int64) (sub, base metrics.Accumulator, err error) {
 	rng := rand.New(rand.NewSource(seed))
 	for _, e := range b.test.ValidLines {
+		if err := ctx.Err(); err != nil {
+			return sub, base, err
+		}
 		truth := []grid.Line{e}
 		for _, s := range b.test.OutageSet(e).Samples {
 			smp := s
@@ -199,9 +237,12 @@ func (b *bundle) evalOutages(mask maskFn, seed int64) (sub, base metrics.Accumul
 }
 
 // evalNormal runs normal-operation test samples (|F| = 0 conventions).
-func (b *bundle) evalNormal(mask maskFn, seed int64) (sub, base metrics.Accumulator, err error) {
+func (b *bundle) evalNormal(ctx context.Context, mask maskFn, seed int64) (sub, base metrics.Accumulator, err error) {
 	rng := rand.New(rand.NewSource(seed))
 	for _, s := range b.test.Normal.Samples {
+		if err := ctx.Err(); err != nil {
+			return sub, base, err
+		}
 		smp := s
 		if mask != nil {
 			smp = s.WithMask(mask(-1, rng))

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -28,7 +29,7 @@ func TestRowString(t *testing.T) {
 }
 
 func TestFig5Shape(t *testing.T) {
-	rows, err := Fig5(quickCfg())
+	rows, err := Fig5(context.Background(), quickCfg())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -55,7 +56,7 @@ func TestFig5Shape(t *testing.T) {
 }
 
 func TestFig7Shape(t *testing.T) {
-	rows, err := Fig7(quickCfg())
+	rows, err := Fig7(context.Background(), quickCfg())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -75,7 +76,7 @@ func TestFig7Shape(t *testing.T) {
 }
 
 func TestFig8Shape(t *testing.T) {
-	rows, err := Fig8(quickCfg())
+	rows, err := Fig8(context.Background(), quickCfg())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -98,7 +99,7 @@ func TestFig8Shape(t *testing.T) {
 }
 
 func TestFig9Shape(t *testing.T) {
-	rows, err := Fig9(quickCfg())
+	rows, err := Fig9(context.Background(), quickCfg())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -117,7 +118,7 @@ func TestFig9Shape(t *testing.T) {
 
 func TestFig4Shape(t *testing.T) {
 	cfg := quickCfg()
-	rows, err := Fig4(cfg)
+	rows, err := Fig4(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -141,7 +142,7 @@ func TestFig4Shape(t *testing.T) {
 
 func TestFig10Shape(t *testing.T) {
 	cfg := quickCfg()
-	rows, err := Fig10(cfg)
+	rows, err := Fig10(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -156,7 +157,7 @@ func TestFig10Shape(t *testing.T) {
 }
 
 func TestAblationRuns(t *testing.T) {
-	rows, err := Ablation(quickCfg())
+	rows, err := Ablation(context.Background(), quickCfg())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -180,7 +181,7 @@ func TestAblationRuns(t *testing.T) {
 func TestUnknownSystemFails(t *testing.T) {
 	cfg := quickCfg()
 	cfg.Systems = []string{"nope"}
-	if _, err := Fig5(cfg); err == nil {
+	if _, err := Fig5(context.Background(), cfg); err == nil {
 		t.Fatal("expected error for unknown system")
 	}
 }

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"time"
@@ -22,11 +23,11 @@ import (
 // plain MLR, recover-then-MLR, and the recovery-free subspace method.
 // The Row.X of the recovery row carries the mean recovery time per
 // sample in microseconds — the latency cost the paper cautions about.
-func Recovery(cfg Config) ([]Row, error) {
+func Recovery(ctx context.Context, cfg Config) ([]Row, error) {
 	cfg = cfg.withDefaults()
-	var rows []Row
-	for _, system := range cfg.Systems {
-		b, err := cfg.prepare(system, true)
+	return rowJobs(ctx, cfg, len(cfg.Systems), func(ctx context.Context, si int) ([]Row, error) {
+		system := cfg.Systems[si]
+		b, err := cfg.prepare(ctx, system, true)
 		if err != nil {
 			return nil, err
 		}
@@ -45,6 +46,9 @@ func Recovery(cfg Config) ([]Row, error) {
 		var recTime time.Duration
 		recN := 0
 		for _, e := range b.test.ValidLines {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			truth := []grid.Line{e}
 			mask := b.nw.OutageLocationMask(e)
 			for _, s := range b.test.OutageSet(e).Samples {
@@ -75,13 +79,12 @@ func Recovery(cfg Config) ([]Row, error) {
 			}
 		}
 		meanMicros := float64(recTime.Microseconds()) / float64(recN)
-		rows = append(rows,
-			Row{Figure: "recovery", System: system, Method: "subspace", IA: sub.IA(), FA: sub.FA(), N: sub.N()},
-			Row{Figure: "recovery", System: system, Method: "mlr", IA: plain.IA(), FA: plain.FA(), N: plain.N()},
-			Row{Figure: "recovery", System: system, Method: "mlr+rec", X: meanMicros, IA: rec.IA(), FA: rec.FA(), N: rec.N()},
-		)
-	}
-	return rows, nil
+		return []Row{
+			{Figure: "recovery", System: system, Method: "subspace", IA: sub.IA(), FA: sub.FA(), N: sub.N()},
+			{Figure: "recovery", System: system, Method: "mlr", IA: plain.IA(), FA: plain.FA(), N: plain.N()},
+			{Figure: "recovery", System: system, Method: "mlr+rec", X: meanMicros, IA: rec.IA(), FA: rec.FA(), N: rec.N()},
+		}, nil
+	})
 }
 
 // MultiOutage runs the severe-event extension: two lines of the same
@@ -91,11 +94,11 @@ func Recovery(cfg Config) ([]Row, error) {
 // the training data only ever contain single-line outages — the point of
 // the node-based design is exactly that multi-line events at a node are
 // detectable without having been trained as scenarios.
-func MultiOutage(cfg Config) ([]Row, error) {
+func MultiOutage(ctx context.Context, cfg Config) ([]Row, error) {
 	cfg = cfg.withDefaults()
-	var rows []Row
-	for _, system := range cfg.Systems {
-		b, err := cfg.prepare(system, false)
+	return rowJobs(ctx, cfg, len(cfg.Systems), func(ctx context.Context, si int) ([]Row, error) {
+		system := cfg.Systems[si]
+		b, err := cfg.prepare(ctx, system, false)
 		if err != nil {
 			return nil, err
 		}
@@ -105,6 +108,9 @@ func MultiOutage(cfg Config) ([]Row, error) {
 		}
 		var complete, dark metrics.Accumulator
 		for _, p := range pairs {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			sc := dataset.Scenario{p.e1, p.e2}
 			set, err := dataset.GenerateScenario(b.g, sc, dataset.GenConfig{
 				Steps: cfg.TestSteps / 4, Seed: cfg.Seed + 31337 + int64(p.e1)*997 + int64(p.e2),
@@ -129,12 +135,11 @@ func MultiOutage(cfg Config) ([]Row, error) {
 				dark.Add(truth, r.Lines)
 			}
 		}
-		rows = append(rows,
-			Row{Figure: "multi", System: system, Method: "complete", IA: complete.IA(), FA: complete.FA(), N: complete.N()},
-			Row{Figure: "multi", System: system, Method: "node-dark", IA: dark.IA(), FA: dark.FA(), N: dark.N()},
-		)
-	}
-	return rows, nil
+		return []Row{
+			{Figure: "multi", System: system, Method: "complete", IA: complete.IA(), FA: complete.FA(), N: complete.N()},
+			{Figure: "multi", System: system, Method: "node-dark", IA: dark.IA(), FA: dark.FA(), N: dark.N()},
+		}, nil
+	})
 }
 
 type outagePair struct {

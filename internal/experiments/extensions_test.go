@@ -1,9 +1,12 @@
 package experiments
 
-import "testing"
+import (
+	"context"
+	"testing"
+)
 
 func TestRecoveryExperimentShape(t *testing.T) {
-	rows, err := Recovery(quickCfg())
+	rows, err := Recovery(context.Background(), quickCfg())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -37,7 +40,7 @@ func TestRecoveryExperimentShape(t *testing.T) {
 func TestMultiOutageExperimentShape(t *testing.T) {
 	cfg := quickCfg()
 	cfg.TestSteps = 8 // 2 samples per pair
-	rows, err := MultiOutage(cfg)
+	rows, err := MultiOutage(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,49 @@
+package experiments
+
+import (
+	"context"
+	"reflect"
+	"testing"
+)
+
+// TestFiguresWorkersEquivalence pins the determinism contract of the
+// parallel row fan-out: every figure must produce identical rows — same
+// values, same order — for any worker count, because each row derives
+// its own seeds.
+func TestFiguresWorkersEquivalence(t *testing.T) {
+	ctx := context.Background()
+	figures := map[string]func(context.Context, Config) ([]Row, error){
+		"fig4":  Fig4,
+		"fig5":  Fig5,
+		"fig10": Fig10,
+	}
+	for name, fn := range figures {
+		cfg := quickCfg()
+		cfg.Workers = 1
+		seq, err := fn(ctx, cfg)
+		if err != nil {
+			t.Fatalf("%s sequential: %v", name, err)
+		}
+		cfg.Workers = 8
+		parl, err := fn(ctx, cfg)
+		if err != nil {
+			t.Fatalf("%s parallel: %v", name, err)
+		}
+		if !reflect.DeepEqual(seq, parl) {
+			t.Errorf("%s: workers=8 rows differ from workers=1:\nseq:  %v\npar:  %v", name, seq, parl)
+		}
+	}
+}
+
+// TestFiguresContextCancelled checks a cancelled context aborts a run
+// with the context error rather than partial rows.
+func TestFiguresContextCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	cfg := quickCfg()
+	cfg.Seed = 999 // private seed: don't poison the shared data cache
+	rows, err := Fig5(ctx, cfg)
+	if err == nil {
+		t.Fatalf("cancelled context must fail, got %d rows", len(rows))
+	}
+}

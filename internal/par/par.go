@@ -1,0 +1,195 @@
+// Package par is the deterministic parallel-execution layer behind the
+// detector's offline pipeline: data generation fans out per scenario,
+// training fans out per line and per node, and the reliability sweep
+// shards its Monte Carlo trials (see DESIGN.md "Parallel execution").
+//
+// The package is stdlib-only and deliberately small. Its one structural
+// guarantee is determinism: Map and ForEach assign results by input
+// index, so the output of a parallel run is byte-identical to the
+// sequential one as long as the per-item work is itself deterministic —
+// which the pipeline arranges by splitting RNG seeds per item instead of
+// sharing one stream. Worker counts therefore change wall-clock time,
+// never results.
+//
+// Error semantics are "first error wins": the first failure is
+// returned, remaining unstarted items are skipped, and the shared
+// context is cancelled so in-flight items can stop early. A panicking item does not vanish into its worker
+// goroutine: the panic is captured, transported back, and re-raised on
+// the calling goroutine wrapped in a Panic value that records the item
+// index and original payload.
+package par
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// Workers resolves a worker-count option: n itself when positive,
+// otherwise GOMAXPROCS (the "0 = use every core" convention shared by
+// every Workers field in the pipeline).
+func Workers(n int) int {
+	if n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Panic wraps a panic captured inside a worker so it can be re-raised on
+// the calling goroutine without losing where it came from.
+type Panic struct {
+	// Index is the input index of the item whose function panicked.
+	Index int
+	// Value is the original panic payload.
+	Value any
+	// Stack is the worker goroutine's stack at recovery time.
+	Stack []byte
+}
+
+// String formats the transported panic for the re-raise.
+func (p Panic) String() string {
+	return fmt.Sprintf("par: item %d panicked: %v\n%s", p.Index, p.Value, p.Stack)
+}
+
+// ForEach runs fn(ctx, i) for every i in [0, n) on at most workers
+// goroutines (workers <= 0 selects GOMAXPROCS). The first error wins
+// and is returned; if ctx is cancelled first, the context's error is.
+// Scheduling stops at the first failure or cancellation; items already
+// running are left to finish (their fn sees the cancelled context). A
+// panic inside fn is re-raised on the caller's goroutine as a Panic
+// value carrying the item index and the worker's stack.
+func ForEach(ctx context.Context, workers, n int, fn func(ctx context.Context, i int) error) error {
+	if n <= 0 {
+		return ctx.Err()
+	}
+	if err := ctx.Err(); err != nil {
+		return err // pre-cancelled: schedule nothing
+	}
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		return forEachSeq(ctx, n, fn)
+	}
+	wctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var (
+		mu       sync.Mutex
+		once     sync.Once
+		firstErr error
+		panics   []Panic
+	)
+	fail := func(err error) {
+		// First error wins; the errors that in-flight items return after
+		// they observe our own cancellation never displace it.
+		once.Do(func() {
+			firstErr = err
+			cancel() // stop scheduling; in-flight items observe wctx
+		})
+	}
+
+	next := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							mu.Lock()
+							defer mu.Unlock()
+							panics = append(panics, Panic{Index: i, Value: r, Stack: stack()})
+							cancel()
+						}
+					}()
+					if err := fn(wctx, i); err != nil {
+						fail(err)
+					}
+				}()
+			}
+		}()
+	}
+feed:
+	for i := 0; i < n; i++ {
+		select {
+		case next <- i:
+		case <-wctx.Done():
+			break feed
+		}
+	}
+	close(next)
+	wg.Wait()
+	if len(panics) > 0 {
+		// Re-raise the lowest-indexed panic so the failure is stable
+		// across worker counts.
+		min := panics[0]
+		for _, p := range panics[1:] {
+			if p.Index < min.Index {
+				min = p
+			}
+		}
+		panic(min)
+	}
+	if firstErr != nil {
+		return firstErr
+	}
+	return ctx.Err()
+}
+
+// forEachSeq is the workers == 1 path: a plain loop on the calling
+// goroutine — same semantics, no goroutines, and the reference order the
+// equivalence tests compare parallel runs against.
+func forEachSeq(ctx context.Context, n int, fn func(ctx context.Context, i int) error) error {
+	for i := 0; i < n; i++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if err := runItem(ctx, i, fn); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runItem calls fn for one item, normalising any panic into the same
+// Panic wrapper the parallel path raises.
+func runItem(ctx context.Context, i int, fn func(ctx context.Context, i int) error) error {
+	defer func() {
+		if r := recover(); r != nil {
+			if p, ok := r.(Panic); ok {
+				panic(p)
+			}
+			panic(Panic{Index: i, Value: r, Stack: stack()})
+		}
+	}()
+	return fn(ctx, i)
+}
+
+// Map runs fn over [0, n) like ForEach and collects the results in input
+// order: out[i] is fn's value for item i regardless of which worker
+// finished first. On error the partial results are discarded.
+func Map[T any](ctx context.Context, workers, n int, fn func(ctx context.Context, i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	err := ForEach(ctx, workers, n, func(ctx context.Context, i int) error {
+		v, err := fn(ctx, i)
+		if err != nil {
+			return err
+		}
+		out[i] = v // exclusive index: no two items share i
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func stack() []byte {
+	buf := make([]byte, 16<<10)
+	return buf[:runtime.Stack(buf, false)]
+}

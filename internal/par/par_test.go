@@ -1,0 +1,189 @@
+package par
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestWorkersResolution(t *testing.T) {
+	if Workers(3) != 3 {
+		t.Fatal("positive worker count must pass through")
+	}
+	if Workers(0) != runtime.GOMAXPROCS(0) || Workers(-1) != runtime.GOMAXPROCS(0) {
+		t.Fatal("non-positive worker count must resolve to GOMAXPROCS")
+	}
+}
+
+func TestMapOrderPreserved(t *testing.T) {
+	// Finish order is scrambled on purpose: early items sleep longest.
+	const n = 64
+	for _, workers := range []int{1, 2, 8} {
+		out, err := Map(context.Background(), workers, n, func(_ context.Context, i int) (int, error) {
+			time.Sleep(time.Duration(n-i) * 10 * time.Microsecond)
+			return i * i, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestForEachFirstErrorWins(t *testing.T) {
+	boom := errors.New("boom")
+	for _, workers := range []int{1, 4} {
+		var ran atomic.Int64
+		err := ForEach(context.Background(), workers, 100, func(ctx context.Context, i int) error {
+			ran.Add(1)
+			switch {
+			case i == 3:
+				return boom
+			case i < 3:
+				return nil
+			}
+			// Items after the failure block until cancelled, so the real
+			// error must win the race and the Canceled errors these items
+			// return must not displace it.
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-time.After(5 * time.Second):
+				return fmt.Errorf("item %d never saw cancellation", i)
+			}
+		})
+		if !errors.Is(err, boom) {
+			t.Fatalf("workers=%d: err = %v, want %v", workers, err, boom)
+		}
+		if n := ran.Load(); n == 100 {
+			t.Fatalf("workers=%d: scheduling did not stop after the error", workers)
+		}
+	}
+}
+
+func TestForEachCancellationStopsScheduling(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var started atomic.Int64
+	release := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		err := ForEach(ctx, 2, 1000, func(ctx context.Context, i int) error {
+			started.Add(1)
+			<-release
+			return nil
+		})
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("err = %v, want context.Canceled", err)
+		}
+	}()
+	// Wait for the pool to fill its two workers, cancel, then release.
+	for started.Load() < 2 {
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	close(release)
+	wg.Wait()
+	// 2 running + at most a handful handed to the channel before cancel
+	// was observed; nothing close to all 1000.
+	if n := started.Load(); n > 10 {
+		t.Fatalf("%d items started after cancellation", n)
+	}
+}
+
+func TestForEachPreCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran atomic.Int64
+	err := ForEach(ctx, 4, 50, func(context.Context, int) error {
+		ran.Add(1)
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if ran.Load() != 0 {
+		// The sequential path runs zero items; the parallel path may
+		// schedule none either because the feed checks wctx first.
+		t.Fatalf("%d items ran under a pre-cancelled context", ran.Load())
+	}
+}
+
+func TestPanicPropagated(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		func() {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatalf("workers=%d: panic was swallowed", workers)
+				}
+				p, ok := r.(Panic)
+				if !ok {
+					t.Fatalf("workers=%d: recovered %T, want par.Panic", workers, r)
+				}
+				if p.Index != 7 || p.Value != "kaboom" {
+					t.Fatalf("workers=%d: panic = %+v", workers, p)
+				}
+				if len(p.Stack) == 0 {
+					t.Fatalf("workers=%d: panic lost its stack", workers)
+				}
+			}()
+			_ = ForEach(context.Background(), workers, 20, func(_ context.Context, i int) error {
+				if i == 7 {
+					panic("kaboom")
+				}
+				return nil
+			})
+			t.Fatalf("workers=%d: ForEach returned instead of panicking", workers)
+		}()
+	}
+}
+
+func TestMapErrorDiscardsResults(t *testing.T) {
+	out, err := Map(context.Background(), 4, 10, func(_ context.Context, i int) (int, error) {
+		if i == 5 {
+			return 0, errors.New("nope")
+		}
+		return i, nil
+	})
+	if err == nil || out != nil {
+		t.Fatalf("Map = (%v, %v), want nil results with error", out, err)
+	}
+}
+
+func TestZeroItems(t *testing.T) {
+	if err := ForEach(context.Background(), 4, 0, nil); err != nil {
+		t.Fatalf("n=0: err = %v", err)
+	}
+	out, err := Map(context.Background(), 4, 0, func(context.Context, int) (int, error) { return 0, nil })
+	if err != nil || len(out) != 0 {
+		t.Fatalf("n=0 Map = (%v, %v)", out, err)
+	}
+}
+
+func TestPanicStringMentionsIndex(t *testing.T) {
+	p := Panic{Index: 3, Value: "v", Stack: []byte("stack")}
+	s := p.String()
+	if s == "" || !contains(s, "item 3") || !contains(s, "v") {
+		t.Fatalf("Panic.String() = %q", s)
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,90 @@
+package pmunet
+
+import (
+	"context"
+	"math"
+	"testing"
+)
+
+func TestReliabilityMonteCarloWorkersEquivalence(t *testing.T) {
+	g := miniGrid(12)
+	nw, err := Build(g, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel := Reliability{RPMU: 0.95, RLink: 0.99}
+	ctx := context.Background()
+	seq, err := nw.ReliabilityMonteCarlo(ctx, rel, 5000, 7, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{0, 2, 8} {
+		parl, err := nw.ReliabilityMonteCarlo(ctx, rel, 5000, 7, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Byte-identical, not approximately equal: fixed shards, fixed
+		// per-shard seeds, fixed reduction order.
+		if seq != parl {
+			t.Fatalf("workers=%d: stats %+v differ from sequential %+v", workers, parl, seq)
+		}
+	}
+}
+
+func TestReliabilityMonteCarloMatchesAnalytic(t *testing.T) {
+	l := 12
+	g := miniGrid(l)
+	nw, err := Build(g, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel := Reliability{RPMU: 0.92, RLink: 0.98}
+	st, err := nw.ReliabilityMonteCarlo(context.Background(), rel, 200000, 17, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := rel.DeviceAvailability()
+	wantMean := float64(l) * (1 - q)
+	wantAny := 1 - math.Pow(q, float64(l))
+	if math.Abs(st.MeanMissing-wantMean) > 0.02*wantMean+0.005 {
+		t.Fatalf("MeanMissing %v vs analytic %v", st.MeanMissing, wantMean)
+	}
+	if math.Abs(st.AnyMissing-wantAny) > 0.02 {
+		t.Fatalf("AnyMissing %v vs analytic %v", st.AnyMissing, wantAny)
+	}
+	if st.Trials != 200000 {
+		t.Fatalf("Trials = %d", st.Trials)
+	}
+}
+
+func TestReliabilityMonteCarloValidation(t *testing.T) {
+	nw, err := Build(miniGrid(6), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if _, err := nw.ReliabilityMonteCarlo(ctx, Reliability{RPMU: 0, RLink: 1}, 100, 1, 1); err == nil {
+		t.Fatal("invalid reliability must fail")
+	}
+	if _, err := nw.ReliabilityMonteCarlo(ctx, Reliability{RPMU: 0.9, RLink: 1}, 0, 1, 1); err == nil {
+		t.Fatal("non-positive trials must fail")
+	}
+	cctx, cancel := context.WithCancel(ctx)
+	cancel()
+	if _, err := nw.ReliabilityMonteCarlo(cctx, Reliability{RPMU: 0.9, RLink: 1}, 100, 1, 4); err == nil {
+		t.Fatal("cancelled context must fail")
+	}
+}
+
+func TestSplitSeedSpreads(t *testing.T) {
+	seen := map[int64]bool{}
+	for s := 0; s < 256; s++ {
+		seen[splitSeed(1, s)] = true
+	}
+	if len(seen) != 256 {
+		t.Fatalf("splitSeed collided: %d distinct of 256", len(seen))
+	}
+	if splitSeed(1, 0) == splitSeed(2, 0) {
+		t.Fatal("splitSeed must depend on the sweep seed")
+	}
+}

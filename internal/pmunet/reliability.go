@@ -1,9 +1,12 @@
 package pmunet
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
+
+	"pmuoutage/internal/par"
 )
 
 // Reliability describes the per-device availability of the measurement
@@ -71,6 +74,83 @@ func PatternProbability(m Mask, rel Reliability) float64 {
 		}
 	}
 	return p
+}
+
+// MCStats is the outcome of a sharded Monte Carlo estimate of the
+// Eq. (13)–(15) pattern distribution.
+type MCStats struct {
+	// Trials is the number of patterns drawn.
+	Trials int
+	// MeanMissing estimates E[#missing devices] under Eq. (15).
+	MeanMissing float64
+	// AnyMissing estimates P[at least one device missing] — the
+	// complement of the system-wide reliability r of Eq. (14).
+	AnyMissing float64
+}
+
+// mcShards fixes the shard count of the Monte Carlo estimators. The
+// trial space is split into this many independently-seeded shards
+// regardless of worker count, and shard results are reduced in shard
+// order — so the estimate is byte-identical whether the shards run on
+// one worker or sixteen.
+const mcShards = 64
+
+// splitSeed derives the RNG seed of one shard from the sweep seed with a
+// splitmix64-style finalizer, so neighbouring shards get uncorrelated
+// streams without sharing any state.
+func splitSeed(seed int64, shard int) int64 {
+	z := uint64(seed) + uint64(shard+1)*0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return int64(z ^ (z >> 31))
+}
+
+// ReliabilityMonteCarlo estimates the Eq. (13) pattern-sum statistics by
+// drawing trials patterns from the Eq. (15) device distribution. Trials
+// are split into fixed shards with per-shard RNGs derived from seed, and
+// the shards fan out over workers (0 = GOMAXPROCS); the result is
+// deterministic in (rel, trials, seed) and independent of workers.
+func (nw *Network) ReliabilityMonteCarlo(ctx context.Context, rel Reliability, trials int, seed int64, workers int) (MCStats, error) {
+	if err := rel.Validate(); err != nil {
+		return MCStats{}, err
+	}
+	if trials <= 0 {
+		return MCStats{}, fmt.Errorf("pmunet: Monte Carlo needs positive trials, got %d", trials)
+	}
+	shards := mcShards
+	if shards > trials {
+		shards = trials
+	}
+	type shardSum struct {
+		missing float64
+		any     int
+	}
+	sums, err := par.Map(ctx, workers, shards, func(_ context.Context, s int) (shardSum, error) {
+		lo := s * trials / shards
+		hi := (s + 1) * trials / shards
+		rng := rand.New(rand.NewSource(splitSeed(seed, s)))
+		var sum shardSum
+		for t := lo; t < hi; t++ {
+			m := nw.SampleMask(rel, rng)
+			c := m.MissingCount()
+			sum.missing += float64(c)
+			if c > 0 {
+				sum.any++
+			}
+		}
+		return sum, nil
+	})
+	if err != nil {
+		return MCStats{}, err
+	}
+	out := MCStats{Trials: trials}
+	for _, s := range sums { // fixed shard order: deterministic float sum
+		out.MeanMissing += s.missing
+		out.AnyMissing += float64(s.any)
+	}
+	out.MeanMissing /= float64(trials)
+	out.AnyMissing /= float64(trials)
+	return out, nil
 }
 
 // EnumeratePatterns calls fn for every one of the 2^L missing-data

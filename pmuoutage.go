@@ -25,6 +25,7 @@
 package pmuoutage
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -33,6 +34,7 @@ import (
 	"pmuoutage/internal/detect"
 	"pmuoutage/internal/grid"
 	"pmuoutage/internal/metrics"
+	"pmuoutage/internal/par"
 	"pmuoutage/internal/pmunet"
 	"pmuoutage/internal/stream"
 )
@@ -55,6 +57,11 @@ type Options struct {
 	UseDC bool
 	// Detector overrides the detector configuration (advanced use).
 	Detector detect.Config
+	// Workers bounds the worker pool used by data generation, training
+	// and DetectBatch (0 = GOMAXPROCS). Results are identical for every
+	// worker count: the pipeline derives independent seeds per scenario
+	// and assigns results by index.
+	Workers int
 }
 
 func (o Options) withDefaults() Options {
@@ -112,8 +119,16 @@ type System struct {
 }
 
 // NewSystem builds the grid, simulates training data (normal operation
-// plus every valid single-line outage), and trains the detector.
+// plus every valid single-line outage), and trains the detector. It is
+// NewSystemContext with a background context.
 func NewSystem(opts Options) (*System, error) {
+	return NewSystemContext(context.Background(), opts)
+}
+
+// NewSystemContext is NewSystem with cancellation: the simulation and
+// training pipeline checks ctx between scenarios and returns its error
+// early when cancelled. Parallelism is bounded by Options.Workers.
+func NewSystemContext(ctx context.Context, opts Options) (*System, error) {
 	opts = opts.withDefaults()
 	g, err := cases.Load(opts.Case)
 	if err != nil {
@@ -130,13 +145,15 @@ func NewSystem(opts Options) (*System, error) {
 	if err != nil {
 		return nil, err
 	}
-	data, err := dataset.Generate(g, dataset.GenConfig{
-		Steps: opts.TrainSteps, Seed: opts.Seed, UseDC: opts.UseDC,
+	data, err := dataset.GenerateContext(ctx, g, dataset.GenConfig{
+		Steps: opts.TrainSteps, Seed: opts.Seed, UseDC: opts.UseDC, Workers: opts.Workers,
 	})
 	if err != nil {
 		return nil, err
 	}
-	det, err := detect.Train(data, nw, opts.Detector)
+	dcfg := opts.Detector
+	dcfg.Workers = opts.Workers
+	det, err := detect.TrainContext(ctx, data, nw, dcfg)
 	if err != nil {
 		return nil, err
 	}
@@ -206,6 +223,22 @@ func (s *System) Detect(sample Sample) (*Report, error) {
 		rep.Lines = append(rep.Lines, Line{Index: int(e), FromBus: s.g.Buses[a].ID, ToBus: s.g.Buses[b].ID})
 	}
 	return rep, nil
+}
+
+// DetectBatch classifies many samples over the worker pool configured by
+// Options.Workers and returns one report per sample, in input order.
+// The trained detector is read-only during detection, so the batch
+// result is identical to calling Detect in a loop.
+func (s *System) DetectBatch(samples []Sample) ([]*Report, error) {
+	return s.DetectBatchContext(context.Background(), samples)
+}
+
+// DetectBatchContext is DetectBatch with cancellation: a cancelled
+// context aborts the remaining samples and returns the context error.
+func (s *System) DetectBatchContext(ctx context.Context, samples []Sample) ([]*Report, error) {
+	return par.Map(ctx, s.opts.Workers, len(samples), func(_ context.Context, i int) (*Report, error) {
+		return s.Detect(samples[i])
+	})
 }
 
 // SimulateOutage generates n fresh test samples with the given lines out
