@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet lint test race bench verify
+.PHONY: build vet lint test race bench serve-smoke verify
 
 build:
 	$(GO) build ./...
@@ -29,6 +29,12 @@ bench:
 	$(GO) test -run='^$$' -bench=Pipeline -benchtime=1x -cpu 1,4 .
 	$(GO) run ./cmd/benchpipeline -o BENCH_pipeline.json
 
+# Serving smoke: boot cmd/outaged on an ephemeral port with one fast
+# shard, round-trip a detect request over real HTTP, check it against
+# the direct library answer, and require a clean graceful shutdown.
+serve-smoke:
+	$(GO) run ./cmd/outaged -smoke
+
 # The tier-1 gate (see ROADMAP.md): build, vet, gridlint, race tests,
 # benchmark smoke.
-verify: build vet lint race bench
+verify: build vet lint race bench serve-smoke

@@ -1,0 +1,213 @@
+// Command outaged serves power-line outage detection over JSON/HTTP.
+//
+// It fronts internal/service: a sharded pool of trained detection
+// systems (one per grid case / region) with request coalescing, bounded
+// queues with load-shedding, per-request deadlines, and per-shard
+// supervisors that rebuild failed shards with exponential backoff.
+//
+// Endpoints:
+//
+//	POST /v1/detect  {"shard":"east","samples":[{"vm":[...],"va":[...]}]}
+//	POST /v1/ingest  {"shard":"east","sample":{"vm":[...],"va":[...]}}
+//	GET  /v1/shards  per-shard state (training/ready/failed), restarts
+//	GET  /v1/stats   per-shard counters: requests, batches, shed, latency
+//	GET  /healthz    200 once at least one shard serves, else 503
+//
+// Typed service errors map onto HTTP statuses (unknown shard 404, bad
+// sample 400, overloaded 429, unavailable 503, deadline 504); retryable
+// conditions carry a Retry-After header. Example:
+//
+//	outaged -addr :8080 -shards east=ieee14,west=ieee30 -dc
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"pmuoutage"
+	"pmuoutage/internal/service"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", ":8080", "listen address")
+		shards     = flag.String("shards", "main=ieee14", "comma-separated name=case shard list")
+		trainSteps = flag.Int("train-steps", 0, "training window length per scenario (0 = library default)")
+		seed       = flag.Int64("seed", 1, "base seed; shard i trains with seed+i")
+		dc         = flag.Bool("dc", false, "use the linear DC power-flow substrate (faster training)")
+		workers    = flag.Int("workers", 0, "worker pool size per shard (0 = GOMAXPROCS)")
+		maxBatch   = flag.Int("max-batch", 0, "max samples per coalesced detector batch (0 = default)")
+		queue      = flag.Int("queue", 0, "pending-sample bound per shard before load-shedding (0 = default)")
+		timeout    = flag.Duration("timeout", 30*time.Second, "per-request deadline")
+		confirm    = flag.Int("confirm", 0, "streaming confirmation streak (0 = default)")
+		smoke      = flag.Bool("smoke", false, "self-test: serve on an ephemeral port, round-trip one detect, exit")
+	)
+	flag.Parse()
+
+	if *smoke {
+		if err := runSmoke(); err != nil {
+			log.Fatalf("serve-smoke: %v", err)
+		}
+		fmt.Println("serve-smoke ok")
+		return
+	}
+
+	cfg, err := buildConfig(*shards, *trainSteps, *seed, *dc, *workers, *maxBatch, *queue, *confirm)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, *addr, cfg, *timeout, log.Default()); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// buildConfig parses the -shards flag ("east=ieee14,west=ieee30"; a bare
+// name defaults its case) into a service configuration.
+func buildConfig(shardFlag string, trainSteps int, seed int64, dc bool, workers, maxBatch, queue, confirm int) (service.Config, error) {
+	cfg := service.Config{MaxBatch: maxBatch, QueueDepth: queue, Confirm: confirm}
+	for i, spec := range strings.Split(shardFlag, ",") {
+		spec = strings.TrimSpace(spec)
+		if spec == "" {
+			continue
+		}
+		name, caseName, _ := strings.Cut(spec, "=")
+		cfg.Shards = append(cfg.Shards, service.ShardSpec{
+			Name: name,
+			Opts: pmuoutage.Options{
+				Case:       caseName,
+				TrainSteps: trainSteps,
+				Seed:       seed + int64(i),
+				UseDC:      dc,
+				Workers:    workers,
+			},
+		})
+	}
+	if len(cfg.Shards) == 0 {
+		return cfg, fmt.Errorf("%w: -shards is empty", service.ErrConfig)
+	}
+	return cfg, nil
+}
+
+// run starts the service, serves HTTP until ctx cancels, then shuts
+// both down gracefully.
+func run(ctx context.Context, addr string, cfg service.Config, timeout time.Duration, logger *log.Logger) error {
+	svc, err := service.New(ctx, cfg)
+	if err != nil {
+		return err
+	}
+	defer svc.Close()
+
+	srv := newServer(svc, timeout)
+	httpSrv := &http.Server{Addr: addr, Handler: srv.routes()}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	logger.Printf("outaged listening on %s (%d shards)", addr, len(cfg.Shards))
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	logger.Printf("shutting down")
+	sdCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(sdCtx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	return nil
+}
+
+// runSmoke is the -smoke self-test wired to `make serve-smoke`: bring a
+// one-shard service up on an ephemeral port, round-trip one detect
+// request over real HTTP, check it against the library answer, and shut
+// down cleanly.
+func runSmoke() error {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	cfg := service.Config{
+		Shards: []service.ShardSpec{{Name: "smoke", Opts: pmuoutage.Options{
+			Case: "ieee14", TrainSteps: 12, UseDC: true, Seed: 7,
+		}}},
+	}
+	svc, err := service.New(ctx, cfg)
+	if err != nil {
+		return err
+	}
+	defer svc.Close()
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Handler: newServer(svc, 30*time.Second).routes()}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+	base := "http://" + ln.Addr().String()
+
+	// Wait for the shard to train, then build a known-outage sample.
+	var sys *pmuoutage.System
+	for sys == nil {
+		if sys, err = svc.System("smoke"); err != nil {
+			if !service.Retryable(err) {
+				return err
+			}
+			if !sleepCtx(ctx, 20*time.Millisecond) {
+				return ctx.Err()
+			}
+		}
+	}
+	line := sys.ValidLines()[0]
+	samples, err := sys.SimulateOutageContext(ctx, []int{line}, 2)
+	if err != nil {
+		return err
+	}
+	want, err := sys.DetectBatchContext(ctx, samples)
+	if err != nil {
+		return err
+	}
+
+	got, err := postDetect(ctx, base, "smoke", samples)
+	if err != nil {
+		return err
+	}
+	if err := compareReports(got, want); err != nil {
+		return err
+	}
+	if !got[0].Outage {
+		return fmt.Errorf("smoke detect on line %d reported no outage", line)
+	}
+
+	sdCtx, sdCancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer sdCancel()
+	if err := httpSrv.Shutdown(sdCtx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
+		return fmt.Errorf("serve: %w", err)
+	}
+	return nil
+}
+
+// sleepCtx waits d unless ctx ends first.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return false
+	case <-t.C:
+		return true
+	}
+}

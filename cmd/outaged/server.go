@@ -1,0 +1,220 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"pmuoutage"
+	"pmuoutage/internal/service"
+)
+
+// server adapts the service layer to JSON/HTTP.
+type server struct {
+	svc     *service.Service
+	timeout time.Duration // per-request deadline applied to detect/ingest
+}
+
+func newServer(svc *service.Service, timeout time.Duration) *server {
+	return &server{svc: svc, timeout: timeout}
+}
+
+// routes builds the daemon's mux.
+func (s *server) routes() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/detect", s.handleDetect)
+	mux.HandleFunc("POST /v1/ingest", s.handleIngest)
+	mux.HandleFunc("GET /v1/shards", s.handleShards)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	return mux
+}
+
+// detectRequest is the body of POST /v1/detect.
+type detectRequest struct {
+	Shard   string             `json:"shard"`
+	Samples []pmuoutage.Sample `json:"samples"`
+}
+
+// detectResponse is its reply: one report per sample, in order.
+type detectResponse struct {
+	Shard   string              `json:"shard"`
+	Reports []*pmuoutage.Report `json:"reports"`
+}
+
+// ingestRequest is the body of POST /v1/ingest.
+type ingestRequest struct {
+	Shard  string           `json:"shard"`
+	Sample pmuoutage.Sample `json:"sample"`
+}
+
+// ingestResponse carries the confirmed event, if the sample triggered
+// one.
+type ingestResponse struct {
+	Shard string           `json:"shard"`
+	Event *pmuoutage.Event `json:"event"`
+}
+
+// errorResponse is the uniform error body; Retryable mirrors the
+// Retry-After header so non-HTTP-savvy clients can branch on the JSON.
+type errorResponse struct {
+	Error     string `json:"error"`
+	Retryable bool   `json:"retryable"`
+}
+
+func (s *server) handleDetect(w http.ResponseWriter, r *http.Request) {
+	var req detectRequest
+	if err := decodeJSON(r.Body, &req); err != nil {
+		s.writeError(w, err)
+		return
+	}
+	ctx, cancel := s.requestCtx(r)
+	defer cancel()
+	reports, err := s.svc.DetectBatch(ctx, req.Shard, req.Samples)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, detectResponse{Shard: req.Shard, Reports: reports})
+}
+
+func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	var req ingestRequest
+	if err := decodeJSON(r.Body, &req); err != nil {
+		s.writeError(w, err)
+		return
+	}
+	ctx, cancel := s.requestCtx(r)
+	defer cancel()
+	ev, err := s.svc.Ingest(ctx, req.Shard, req.Sample)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, ingestResponse{Shard: req.Shard, Event: ev})
+}
+
+func (s *server) handleShards(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.svc.Shards())
+}
+
+func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.svc.Stats())
+}
+
+func (s *server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	if s.svc.Ready() {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+		return
+	}
+	writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "no shard ready"})
+}
+
+// requestCtx applies the server's per-request deadline on top of the
+// connection context.
+func (s *server) requestCtx(r *http.Request) (context.Context, context.CancelFunc) {
+	if s.timeout <= 0 {
+		return r.Context(), func() {}
+	}
+	return context.WithTimeout(r.Context(), s.timeout)
+}
+
+// errBadRequest wraps malformed request bodies so statusOf maps them to
+// 400 without conflating them with facade sample validation.
+var errBadRequest = errors.New("bad request")
+
+func decodeJSON(body io.Reader, v any) error {
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("%w: %v", errBadRequest, err)
+	}
+	return nil
+}
+
+// statusOf maps the typed error taxonomy onto HTTP statuses.
+func statusOf(err error) int {
+	switch {
+	case errors.Is(err, service.ErrUnknownShard):
+		return http.StatusNotFound
+	case errors.Is(err, pmuoutage.ErrBadSample),
+		errors.Is(err, pmuoutage.ErrBadLine),
+		errors.Is(err, pmuoutage.ErrUnknownCase),
+		errors.Is(err, errBadRequest):
+		return http.StatusBadRequest
+	case errors.Is(err, service.ErrOverloaded):
+		return http.StatusTooManyRequests
+	case errors.Is(err, service.ErrUnavailable), errors.Is(err, service.ErrClosed):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func (s *server) writeError(w http.ResponseWriter, err error) {
+	retry := service.Retryable(err)
+	if retry {
+		w.Header().Set("Retry-After", "1")
+	}
+	writeJSON(w, statusOf(err), errorResponse{Error: err.Error(), Retryable: retry})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	// The response status is already committed; an encode error here
+	// only means the client went away.
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// postDetect round-trips one detect request as a real client (used by
+// the -smoke self-test).
+func postDetect(ctx context.Context, base, shard string, samples []pmuoutage.Sample) ([]*pmuoutage.Report, error) {
+	body, err := json.Marshal(detectRequest{Shard: shard, Samples: samples})
+	if err != nil {
+		return nil, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+"/v1/detect", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer func() { _ = resp.Body.Close() }()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 1024))
+		return nil, fmt.Errorf("detect: HTTP %d: %s", resp.StatusCode, msg)
+	}
+	var out detectResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, err
+	}
+	return out.Reports, nil
+}
+
+// compareReports asserts the served reports are identical to the
+// library's, through the same JSON encoding the wire uses.
+func compareReports(got, want []*pmuoutage.Report) error {
+	g, err := json.Marshal(got)
+	if err != nil {
+		return err
+	}
+	w, err := json.Marshal(want)
+	if err != nil {
+		return err
+	}
+	if !bytes.Equal(g, w) {
+		return fmt.Errorf("served reports differ from direct DetectBatch:\n got %s\nwant %s", g, w)
+	}
+	return nil
+}

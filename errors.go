@@ -1,0 +1,28 @@
+package pmuoutage
+
+import "errors"
+
+// Sentinel errors of the public facade. Every error the facade itself
+// mints wraps exactly one of these (enforced by gridlint's apierr
+// analyzer), so callers branch with errors.Is instead of matching
+// message strings, and the service layer (internal/service,
+// cmd/outaged) maps them onto transport status codes.
+var (
+	// ErrUnknownCase reports an Options.Case that names no built-in
+	// test system. The wrapped detail lists the available names.
+	ErrUnknownCase = errors.New("pmuoutage: unknown case")
+
+	// ErrBadSample reports a malformed Sample: Vm/Va lengths that do
+	// not match the grid, or a missing-bus index out of range. Detect,
+	// DetectBatch, and Monitor.Ingest all validate through one shared
+	// path, so the same defect produces the identical error from every
+	// entry point.
+	ErrBadSample = errors.New("pmuoutage: bad sample")
+
+	// ErrBadLine reports a line index outside [0, number of lines).
+	ErrBadLine = errors.New("pmuoutage: bad line index")
+
+	// ErrBadScores reports a Scores vector that cannot be decoded from
+	// its JSON wire form.
+	ErrBadScores = errors.New("pmuoutage: bad score vector")
+)

@@ -1,19 +1,26 @@
 // Quickstart: build a detection system on the IEEE 14-bus grid, simulate
-// a line outage, and localise it from one PMU sample.
+// a line outage, and localise it from one PMU sample — using the
+// context-first API (every operation below stops cleanly if ctx ends).
 package main
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"log"
+	"time"
 
 	"pmuoutage"
 )
 
 func main() {
-	// NewSystem builds the grid, simulates a day of training data with
-	// Ornstein-Uhlenbeck load variation and AC power flows, and trains
-	// the subspace detector. Deterministic in Seed.
-	sys, err := pmuoutage.NewSystem(pmuoutage.Options{
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+
+	// NewSystemContext builds the grid, simulates a day of training data
+	// with Ornstein-Uhlenbeck load variation and AC power flows, and
+	// trains the subspace detector. Deterministic in Seed.
+	sys, err := pmuoutage.NewSystemContext(ctx, pmuoutage.Options{
 		Case:       "ieee14",
 		TrainSteps: 40,
 		Seed:       42,
@@ -25,11 +32,11 @@ func main() {
 		"ieee14", sys.Buses(), len(sys.Lines()), len(sys.ValidLines()))
 
 	// Sanity check: a normal-operation sample raises no alarm.
-	normal, err := sys.SimulateOutage(nil, 1)
+	normal, err := sys.SimulateOutageContext(ctx, nil, 1)
 	if err != nil {
 		log.Fatal(err)
 	}
-	rep, err := sys.Detect(normal[0])
+	rep, err := sys.DetectContext(ctx, normal[0])
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -38,11 +45,11 @@ func main() {
 	// Take the first valid line out of service and detect it.
 	target := sys.ValidLines()[0]
 	line := sys.Lines()[target]
-	samples, err := sys.SimulateOutage([]int{target}, 1)
+	samples, err := sys.SimulateOutageContext(ctx, []int{target}, 1)
 	if err != nil {
 		log.Fatal(err)
 	}
-	rep, err = sys.Detect(samples[0])
+	rep, err = sys.DetectContext(ctx, samples[0])
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -52,8 +59,16 @@ func main() {
 		fmt.Printf("  identified line %d (bus %d - bus %d)\n", l.Index, l.FromBus, l.ToBus)
 	}
 
-	// Aggregate accuracy over every valid line (Eq. 12 of the paper).
-	ia, fa, err := sys.Evaluate(3)
+	// Errors are typed: branch with errors.Is instead of matching
+	// message strings.
+	_, err = sys.DetectContext(ctx, pmuoutage.Sample{Vm: []float64{1}, Va: []float64{0}})
+	fmt.Printf("malformed sample rejected: %v (errors.Is(ErrBadSample)=%v)\n",
+		err, errors.Is(err, pmuoutage.ErrBadSample))
+
+	// Aggregate accuracy over every valid line (Eq. 12 of the paper);
+	// the outage cases fan out over the worker pool, identical results
+	// for any worker count.
+	ia, fa, err := sys.EvaluateContext(ctx, 3)
 	if err != nil {
 		log.Fatal(err)
 	}

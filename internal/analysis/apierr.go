@@ -1,0 +1,93 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+)
+
+// ApiErr enforces the facade's typed-error contract in the public API
+// packages (the pmuoutage facade and the service layer): errors that
+// cross the API boundary must wrap a package-level sentinel so callers
+// can branch with errors.Is/errors.As and transports can map them to
+// status codes. It flags, inside those packages only,
+//
+//   - fmt.Errorf calls in exported functions whose constant format
+//     string has no %w verb (a bare string error no caller can match),
+//     and
+//   - errors.New calls inside any function body (a one-off dynamic
+//     error; sentinels belong in package-level var declarations).
+//
+// Non-constant format strings are skipped — absence of %w cannot be
+// proven. Unexported helpers may build bare fmt.Errorf detail freely.
+var ApiErr = &Analyzer{
+	Name: "apierr",
+	Doc:  "flag un-wrapped error construction on the exported facade/service API",
+	Run:  runApiErr,
+}
+
+// apiErrPackages are the package names whose exported surface carries
+// the typed-error contract.
+var apiErrPackages = map[string]bool{
+	"pmuoutage": true,
+	"service":   true,
+}
+
+func runApiErr(pass *Pass) error {
+	if !apiErrPackages[pass.Pkg.Name()] {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkAPIErrors(pass, fn)
+		}
+	}
+	return nil
+}
+
+// checkAPIErrors inspects one function (or method) body. Function
+// literals inherit the exportedness of their enclosing declaration: an
+// error built inside a closure of an exported function still reaches
+// that function's callers.
+func checkAPIErrors(pass *Pass, fn *ast.FuncDecl) {
+	exported := fn.Name.IsExported()
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch {
+		case isPkgFunc(pass, call, "errors", "New"):
+			pass.Report(call.Pos(), "errors.New inside function %s builds a one-off error no caller can match with errors.Is; declare a package-level sentinel and wrap it with %%w", fn.Name.Name)
+		case exported && isPkgFunc(pass, call, "fmt", "Errorf") && len(call.Args) > 0:
+			tv, ok := pass.Info.Types[call.Args[0]]
+			if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+				return true // non-constant format: absence of %w is unprovable
+			}
+			if !strings.Contains(constant.StringVal(tv.Value), "%w") {
+				pass.Report(call.Pos(), "exported function %s returns fmt.Errorf without wrapping a sentinel (no %%w); callers cannot branch with errors.Is", fn.Name.Name)
+			}
+		}
+		return true
+	})
+}
+
+// isPkgFunc reports whether call is pkg.name(...) where pkg resolves to
+// the import with the given path.
+func isPkgFunc(pass *Pass, call *ast.CallExpr, pkgPath, name string) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != name {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pn, ok := pass.Info.Uses[id].(*types.PkgName)
+	return ok && pn.Imported().Path() == pkgPath
+}

@@ -15,6 +15,7 @@ import (
 // it. The dimcheck package is named subspace inside (the analyzer keys on
 // package name); suppress reuses floatcmp to exercise ignore directives.
 var goldenDirs = map[string]string{
+	"apierr":        "apierr",
 	"ctxflow":       "ctxflow",
 	"floatcmp":      "floatcmp",
 	"errcheck":      "errcheck",

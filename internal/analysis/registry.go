@@ -5,6 +5,7 @@ import "fmt"
 // All returns every registered analyzer, in stable output order.
 func All() []*Analyzer {
 	return []*Analyzer{
+		ApiErr,
 		CtxFlow,
 		DimCheck,
 		ErrCheck,

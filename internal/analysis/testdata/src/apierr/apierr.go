@@ -1,0 +1,85 @@
+// Package pmuoutage is golden-test input for the apierr analyzer (the
+// analyzer keys on the facade's package name, so this fixture borrows
+// it).
+package pmuoutage
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrBad is a proper package-level sentinel: clean.
+var ErrBad = errors.New("pmuoutage: bad input")
+
+// Wrapped adds detail around a sentinel: clean.
+func Wrapped(n int) error {
+	return fmt.Errorf("%w: value %d out of range", ErrBad, n)
+}
+
+// Bare returns a string error from an exported function: flagged.
+func Bare(n int) error {
+	return fmt.Errorf("value %d out of range", n) // want `exported function Bare returns fmt.Errorf without wrapping a sentinel`
+}
+
+// System carries the method cases.
+type System struct{ n int }
+
+// Check is an exported method returning a bare error: flagged.
+func (s *System) Check() error {
+	if s.n < 0 {
+		return fmt.Errorf("negative size %d", s.n) // want `exported function Check returns fmt.Errorf without wrapping a sentinel`
+	}
+	return nil
+}
+
+// Validate builds its error inside a closure — still the exported
+// function's error: flagged.
+func (s *System) Validate() error {
+	check := func() error {
+		return fmt.Errorf("validation failed for %d", s.n) // want `exported function Validate returns fmt.Errorf without wrapping a sentinel`
+	}
+	return check()
+}
+
+// Inline mints a one-off dynamic error: flagged even though the format
+// question never arises.
+func Inline() error {
+	return errors.New("something went wrong") // want `errors.New inside function Inline builds a one-off error`
+}
+
+// helper is unexported, so bare detail strings are fine: clean.
+func helper(n int) error {
+	return fmt.Errorf("internal detail %d", n)
+}
+
+// helperNew is unexported but errors.New is still a sentinel smell:
+// flagged.
+func helperNew() error {
+	return errors.New("unmatchable") // want `errors.New inside function helperNew builds a one-off error`
+}
+
+// NonConstant formats cannot prove the absence of %w: clean.
+func NonConstant(format string, err error) error {
+	return fmt.Errorf(format, err)
+}
+
+// Uses keeps everything referenced.
+func Uses() error {
+	s := &System{n: -1}
+	if err := s.Check(); err != nil {
+		return err
+	}
+	if err := s.Validate(); err != nil {
+		return err
+	}
+	if err := helper(1); err != nil {
+		return err
+	}
+	if err := helperNew(); err != nil {
+		return err
+	}
+	if err := NonConstant("x %v", Inline()); err != nil {
+		return err
+	}
+	return Bare(2)
+}

@@ -34,9 +34,37 @@ type Collector struct {
 	mu      sync.Mutex
 	conns   map[net.Conn]struct{} // accepted PDC conns, so Close can unblock readers
 	pending map[int]*assembly
+	stats   CollectorStats
 	closed  bool
 	done    chan struct{}
 	wg      sync.WaitGroup
+}
+
+// CollectorStats counts the collector's emission outcomes — the
+// observability hook the serving layer's dashboards read alongside the
+// detection service's shard counters.
+type CollectorStats struct {
+	// Emitted counts samples delivered on Samples(), complete or not.
+	Emitted uint64
+	// Incomplete counts emitted samples that carried missing entries.
+	Incomplete uint64
+	// DroppedFull counts samples discarded because the consumer stalled
+	// and the output channel was full.
+	DroppedFull uint64
+	// Evicted counts assemblies force-emitted early by the maxPending
+	// memory bound (a subset of Emitted or DroppedFull).
+	Evicted uint64
+	// Pending is the number of partially assembled time steps held now.
+	Pending int
+}
+
+// Stats snapshots the collector's counters.
+func (c *Collector) Stats() CollectorStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := c.stats
+	out.Pending = len(c.pending)
+	return out
 }
 
 type assembly struct {
@@ -184,6 +212,7 @@ func (c *Collector) evictStalestLocked() {
 		}
 	}
 	if stalest >= 0 {
+		c.stats.Evicted++
 		c.emitLocked(stalest, c.pending[stalest])
 	}
 }
@@ -201,9 +230,14 @@ func (c *Collector) emitLocked(seq int, a *assembly) {
 	}
 	select {
 	case c.out <- Assembled{Seq: seq, Sample: s}:
+		c.stats.Emitted++
+		if s.Mask != nil {
+			c.stats.Incomplete++
+		}
 	default:
 		// A stalled consumer must not deadlock the network path; the
 		// sample is dropped like any other late data.
+		c.stats.DroppedFull++
 	}
 }
 

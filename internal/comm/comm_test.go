@@ -300,3 +300,41 @@ func TestEndToEndWithRealGridTopology(t *testing.T) {
 		}
 	}
 }
+
+// TestCollectorStats: emission outcomes are counted — complete and
+// incomplete emissions, and the live pending gauge.
+func TestCollectorStats(t *testing.T) {
+	nw := buildNetwork(t, 8, smallClusters(), 0)
+	nw.broadcast(t, 1)
+	collect(t, nw.col, 2*time.Second)
+	st := nw.col.Stats()
+	if st.Emitted != 1 || st.Incomplete != 0 || st.DroppedFull != 0 {
+		t.Fatalf("after complete step: %+v", st)
+	}
+
+	// A partial step (one PMU silent) sits pending until the deadline
+	// sweep emits it with gaps.
+	for bus, p := range nw.pmus {
+		if bus == 3 {
+			continue
+		}
+		if err := p.Send(2, 1, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for nw.col.Stats().Pending == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if nw.col.Stats().Pending == 0 {
+		t.Fatal("partial step never became pending")
+	}
+	a := collect(t, nw.col, 2*time.Second)
+	if a.Sample.Complete() {
+		t.Fatal("partial step emitted without missing entries")
+	}
+	st = nw.col.Stats()
+	if st.Emitted != 2 || st.Incomplete != 1 {
+		t.Fatalf("after partial step: %+v", st)
+	}
+}

@@ -75,6 +75,16 @@ func (a *Accumulator) AddScores(ia, fa float64) {
 	a.n++
 }
 
+// Merge folds another accumulator's scores into a. Partial
+// accumulators built per work item and merged in a fixed order give the
+// same result on every worker count — the reduction seam EvaluateContext
+// uses over the par pool.
+func (a *Accumulator) Merge(b Accumulator) {
+	a.sumIA += b.sumIA
+	a.sumFA += b.sumFA
+	a.n += b.n
+}
+
 // N returns the number of accumulated detections.
 func (a *Accumulator) N() int { return a.n }
 

@@ -102,3 +102,30 @@ func TestAccumulator(t *testing.T) {
 		t.Fatal("String output malformed")
 	}
 }
+
+// TestMerge: folding partial accumulators equals accumulating the same
+// scores into one — the invariant EvaluateContext's parallel reduction
+// rests on.
+func TestMerge(t *testing.T) {
+	var whole, left, right Accumulator
+	scores := [][2]float64{{1, 0}, {0.5, 0.25}, {0, 1}, {0.75, 0.5}}
+	for i, s := range scores {
+		whole.AddScores(s[0], s[1])
+		if i < 2 {
+			left.AddScores(s[0], s[1])
+		} else {
+			right.AddScores(s[0], s[1])
+		}
+	}
+	var merged Accumulator
+	merged.Merge(left)
+	merged.Merge(right)
+	if merged.N() != whole.N() || merged.IA() != whole.IA() || merged.FA() != whole.FA() {
+		t.Fatalf("merged %v != whole %v", &merged, &whole)
+	}
+	// Merging an empty accumulator is a no-op.
+	merged.Merge(Accumulator{})
+	if merged.N() != whole.N() || merged.IA() != whole.IA() {
+		t.Fatal("merging an empty accumulator changed the result")
+	}
+}

@@ -40,7 +40,8 @@ func (r Reliability) SystemReliability(l int) float64 {
 // level r for L devices it returns the per-device availability q = r^(1/L)
 // packed into a Reliability with the link folded into RPMU.
 func FromSystemReliability(r float64, l int) (Reliability, error) {
-	if r <= 0 || r > 1 || l <= 0 {
+	// The negated form rejects NaN too (NaN fails every comparison).
+	if !(r > 0 && r <= 1) || l <= 0 {
 		return Reliability{}, fmt.Errorf("pmunet: invalid system reliability %v for L=%d", r, l)
 	}
 	q := math.Pow(r, 1/float64(l))

@@ -1,0 +1,309 @@
+// Package service is the sharded multi-system detection layer: it owns
+// N independently trained pmuoutage.Systems (one per grid case /
+// region), routes batch-detect and streaming-ingest requests to the
+// right shard, coalesces small concurrent requests into one detector
+// batch per shard, and enforces per-request deadlines with bounded
+// queues and load-shedding — reject-with-retry rather than unbounded
+// buffering.
+//
+// Degradation is graceful and per shard: a shard whose detector is
+// still training, has failed training, or was killed answers with
+// ErrUnavailable (retryable) while every other shard keeps serving, and
+// a per-shard supervisor rebuilds failed shards with exponential
+// backoff. Coalescing never changes results: a batch is the
+// concatenation of its requests' samples, System.DetectBatch assigns
+// report i to sample i over the deterministic internal/par pool, and
+// each request gets back exactly its slice — byte-identical to calling
+// DetectBatch directly on the same samples.
+//
+// Errors are typed: ErrUnknownShard, ErrUnavailable, ErrOverloaded,
+// ErrClosed, and ErrConfig here plus the facade's ErrBadSample pass
+// through errors.Is, and Retryable tells transports which conditions
+// deserve a Retry-After. cmd/outaged is the JSON-over-HTTP front end.
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"pmuoutage"
+)
+
+// Typed errors of the service layer. Everything the service itself
+// mints wraps one of these; facade errors (pmuoutage.ErrBadSample, ...)
+// pass through untouched.
+var (
+	// ErrConfig reports an invalid Config passed to New.
+	ErrConfig = errors.New("service: invalid config")
+	// ErrUnknownShard reports a request routed to a shard name the
+	// service does not own.
+	ErrUnknownShard = errors.New("service: unknown shard")
+	// ErrUnavailable reports a shard that exists but cannot answer right
+	// now — still training, failed, or killed. Retryable: the supervisor
+	// is rebuilding it.
+	ErrUnavailable = errors.New("service: shard unavailable")
+	// ErrOverloaded reports load-shedding: the shard's pending-sample
+	// queue is at its bound. Retryable after backoff.
+	ErrOverloaded = errors.New("service: overloaded")
+	// ErrClosed reports a request against a closed service.
+	ErrClosed = errors.New("service: closed")
+)
+
+// Retryable reports whether err is a transient service condition the
+// caller should retry after a short backoff (the HTTP layer adds a
+// Retry-After header exactly when this is true).
+func Retryable(err error) bool {
+	return errors.Is(err, ErrUnavailable) || errors.Is(err, ErrOverloaded)
+}
+
+// ShardSpec names one shard and the system it trains — typically one
+// grid case or region per shard.
+type ShardSpec struct {
+	Name string
+	Opts pmuoutage.Options
+}
+
+// Config configures New.
+type Config struct {
+	// Shards lists the systems the service owns. Names must be unique
+	// and non-empty.
+	Shards []ShardSpec
+	// MaxBatch caps how many samples one coalesced detector call may
+	// contain (default 64).
+	MaxBatch int
+	// QueueDepth bounds the samples a shard may hold admitted-but-
+	// unanswered before it sheds load with ErrOverloaded (default 256).
+	QueueDepth int
+	// Confirm and Cooldown configure the per-shard streaming monitors
+	// (stream defaults when 0).
+	Confirm, Cooldown int
+	// RestartBackoff is the supervisor's initial delay before rebuilding
+	// a failed or killed shard; it doubles per consecutive failure up to
+	// MaxRestartBackoff. Defaults 100ms and 10s.
+	RestartBackoff    time.Duration
+	MaxRestartBackoff time.Duration
+
+	// batchHook, when set, observes every coalesced batch right before
+	// it runs (test seam for deterministic queue-pressure tests).
+	batchHook func(shard string, samples int)
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 64
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 256
+	}
+	if c.RestartBackoff <= 0 {
+		c.RestartBackoff = 100 * time.Millisecond
+	}
+	if c.MaxRestartBackoff <= 0 {
+		c.MaxRestartBackoff = 10 * time.Second
+	}
+	return c
+}
+
+// Service routes detection traffic across its shards. All methods are
+// safe for concurrent use.
+type Service struct {
+	cfg    Config
+	ctx    context.Context // service lifetime; done => closed
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+	stats  *Stats
+
+	mu     sync.Mutex
+	closed bool
+	shards map[string]*shard
+	order  []string // spec order, for stable listings
+}
+
+// New validates cfg and starts the service: every shard immediately
+// begins training in the background under its supervisor, and requests
+// to a shard that is not ready yet fail fast with ErrUnavailable. ctx
+// bounds the whole service — cancelling it is equivalent to Close.
+func New(ctx context.Context, cfg Config) (*Service, error) {
+	cfg = cfg.withDefaults()
+	if len(cfg.Shards) == 0 {
+		return nil, fmt.Errorf("%w: no shards", ErrConfig)
+	}
+	names := map[string]bool{}
+	for _, spec := range cfg.Shards {
+		if spec.Name == "" {
+			return nil, fmt.Errorf("%w: shard with empty name", ErrConfig)
+		}
+		if names[spec.Name] {
+			return nil, fmt.Errorf("%w: duplicate shard %q", ErrConfig, spec.Name)
+		}
+		names[spec.Name] = true
+	}
+	sctx, cancel := context.WithCancel(ctx)
+	s := &Service{
+		cfg:    cfg,
+		ctx:    sctx,
+		cancel: cancel,
+		stats:  newStats(),
+		shards: map[string]*shard{},
+	}
+	for _, spec := range cfg.Shards {
+		sh := newShard(s, spec)
+		s.shards[spec.Name] = sh
+		s.order = append(s.order, spec.Name)
+		s.wg.Add(1)
+		go sh.supervise(sctx)
+	}
+	return s, nil
+}
+
+// shard resolves a shard name, failing with ErrUnknownShard or
+// ErrClosed.
+func (s *Service) shard(name string) (*shard, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	sh := s.shards[name]
+	if sh == nil {
+		return nil, fmt.Errorf("%w: %q (shards: %v)", ErrUnknownShard, name, s.order)
+	}
+	return sh, nil
+}
+
+// DetectBatch routes samples to the named shard and returns one report
+// per sample in input order. Small concurrent requests coalesce into
+// one detector batch, but the response for each request is exactly what
+// the shard's System.DetectBatch returns for its samples alone. The
+// request is dropped (and answered with the context's error) if ctx
+// expires while it is queued; once the batch is running it completes.
+func (s *Service) DetectBatch(ctx context.Context, shardName string, samples []pmuoutage.Sample) ([]*pmuoutage.Report, error) {
+	sh, err := s.shard(shardName)
+	if err != nil {
+		return nil, err
+	}
+	if len(samples) == 0 {
+		return nil, nil
+	}
+	return sh.detect(ctx, samples)
+}
+
+// Ingest feeds one sample to the named shard's streaming monitor and
+// returns a non-nil Event exactly when the sample confirms a new
+// outage. Ingest is serialised per shard (the monitor is stateful); the
+// monitor's streak state resets when the shard restarts.
+func (s *Service) Ingest(ctx context.Context, shardName string, sample pmuoutage.Sample) (*pmuoutage.Event, error) {
+	sh, err := s.shard(shardName)
+	if err != nil {
+		return nil, err
+	}
+	return sh.ingest(ctx, sample)
+}
+
+// System returns the named shard's trained system for direct library
+// use — the service and library callers share one API surface. It fails
+// with ErrUnavailable while the shard is not ready.
+func (s *Service) System(name string) (*pmuoutage.System, error) {
+	sh, err := s.shard(name)
+	if err != nil {
+		return nil, err
+	}
+	if sys := sh.system(); sys != nil {
+		return sys, nil
+	}
+	return nil, sh.availErr()
+}
+
+// Kill marks a ready shard failed: its queue drains with ErrUnavailable
+// and the supervisor rebuilds it after the restart backoff. Requests to
+// every other shard are unaffected. Killing a shard that is not ready
+// is a no-op.
+func (s *Service) Kill(name string) error {
+	sh, err := s.shard(name)
+	if err != nil {
+		return err
+	}
+	sh.kill(fmt.Errorf("%w: killed by operator", ErrUnavailable))
+	return nil
+}
+
+// Ready reports whether at least one shard is serving.
+func (s *Service) Ready() bool {
+	for _, st := range s.Shards() {
+		if st.State == StateReady.String() {
+			return true
+		}
+	}
+	return false
+}
+
+// ShardStatus is one shard's public state snapshot.
+type ShardStatus struct {
+	Name       string `json:"name"`
+	Case       string `json:"case"`
+	State      string `json:"state"`
+	Err        string `json:"err,omitempty"`
+	Buses      int    `json:"buses,omitempty"`
+	Lines      int    `json:"lines,omitempty"`
+	Restarts   uint64 `json:"restarts"`
+	QueueDepth int    `json:"queue_depth"`
+}
+
+// Shards snapshots every shard's status in configuration order.
+func (s *Service) Shards() []ShardStatus {
+	shards := s.allShards()
+	out := make([]ShardStatus, len(shards))
+	for i, sh := range shards {
+		out[i] = sh.status()
+	}
+	return out
+}
+
+// allShards copies the shard list in configuration order.
+func (s *Service) allShards() []*shard {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	shards := make([]*shard, 0, len(s.order))
+	for _, name := range s.order {
+		shards = append(shards, s.shards[name])
+	}
+	return shards
+}
+
+// peek resolves a shard without the closed check (nil if unknown).
+func (s *Service) peek(name string) *shard {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.shards[name]
+}
+
+// Stats snapshots the per-shard counters (requests, batch sizes, queue
+// depth, shed count, latency).
+func (s *Service) Stats() map[string]ShardSnapshot {
+	out := s.stats.snapshot()
+	for name, snap := range out {
+		if sh := s.peek(name); sh != nil {
+			snap.QueueDepth = int(sh.depth.Load())
+			out[name] = snap
+		}
+	}
+	return out
+}
+
+// Close stops every supervisor and batcher, answers queued requests
+// with ErrClosed, and waits for all service goroutines to exit. It is
+// idempotent.
+func (s *Service) Close() {
+	s.markClosed()
+	s.cancel()
+	s.wg.Wait()
+}
+
+func (s *Service) markClosed() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.closed = true
+}

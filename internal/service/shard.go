@@ -1,0 +1,418 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pmuoutage"
+)
+
+// State is a shard's lifecycle position.
+type State int
+
+const (
+	// StateTraining: the supervisor is building the shard's system.
+	StateTraining State = iota
+	// StateReady: the shard is serving.
+	StateReady
+	// StateFailed: training failed or the shard was killed; the
+	// supervisor will rebuild it after its backoff.
+	StateFailed
+	// StateStopped: the service is closed.
+	StateStopped
+)
+
+// String renders the state for status listings and JSON.
+func (s State) String() string {
+	switch s {
+	case StateTraining:
+		return "training"
+	case StateReady:
+		return "ready"
+	case StateFailed:
+		return "failed"
+	default:
+		return "stopped"
+	}
+}
+
+// queueCap is the hard capacity of every per-shard request queue. The
+// soft, sample-counted shed bound is Config.QueueDepth; this constant
+// only backstops it so the channel's make site stays auditable.
+const queueCap = 256
+
+// request is one queued detect call.
+type request struct {
+	ctx     context.Context
+	samples []pmuoutage.Sample
+	done    chan response // buffered(1): the batcher never blocks on delivery
+}
+
+type response struct {
+	reports []*pmuoutage.Report
+	err     error
+}
+
+// shard is one trained system plus its queue, batcher, and supervisor
+// state.
+type shard struct {
+	svc  *Service
+	spec ShardSpec
+
+	reqs  chan *request
+	depth atomic.Int64 // samples admitted but not yet answered
+
+	mu    sync.Mutex
+	state State
+	err   error // last failure while StateFailed
+	sys   *pmuoutage.System
+	mon   *pmuoutage.Monitor
+	killc chan struct{} // closed by kill to stop the current serve loop
+}
+
+func newShard(svc *Service, spec ShardSpec) *shard {
+	return &shard{
+		svc:  svc,
+		spec: spec,
+		reqs: make(chan *request, queueCap),
+	}
+}
+
+// supervise is the shard's lifecycle loop: train, serve until killed,
+// back off, rebuild. Training failures retry with exponential backoff
+// (reset after every healthy start); ctx cancellation stops everything.
+func (sh *shard) supervise(ctx context.Context) {
+	defer sh.svc.wg.Done()
+	defer sh.stop()
+	backoff := sh.svc.cfg.RestartBackoff
+	for ctx.Err() == nil {
+		sh.setTraining()
+		sys, err := pmuoutage.NewSystemContext(ctx, sh.spec.Opts)
+		if err == nil {
+			var mon *pmuoutage.Monitor
+			mon, err = sys.NewMonitor(sh.svc.cfg.Confirm, sh.svc.cfg.Cooldown)
+			if err == nil {
+				killc := make(chan struct{})
+				sh.activate(sys, mon, killc)
+				backoff = sh.svc.cfg.RestartBackoff
+				sh.serve(ctx, killc)
+				if ctx.Err() != nil {
+					return
+				}
+				// Killed: fall through to the backoff-and-rebuild path.
+			}
+		}
+		if ctx.Err() != nil {
+			return
+		}
+		if err != nil {
+			sh.fail(fmt.Errorf("%w: %q training failed: %v", ErrUnavailable, sh.spec.Name, err))
+		}
+		sh.counters().Restarts.Add(1)
+		if !sleep(ctx, backoff) {
+			return
+		}
+		backoff = nextBackoff(backoff, sh.svc.cfg.MaxRestartBackoff)
+	}
+}
+
+// serve is one shard incarnation's batch loop: pop the next request,
+// coalesce whatever else is already queued up to MaxBatch samples, run
+// one detector batch, and deliver each request its slice.
+func (sh *shard) serve(ctx context.Context, killc chan struct{}) {
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-killc:
+			sh.drainQueue(sh.availErr())
+			return
+		case req := <-sh.reqs:
+			sh.runBatch(ctx, sh.coalesce(req))
+		}
+	}
+}
+
+// coalesce greedily drains already-queued requests behind first until
+// the batch reaches MaxBatch samples. It never waits: latency of the
+// first request is never spent fishing for company.
+func (sh *shard) coalesce(first *request) []*request {
+	batch := []*request{first}
+	total := len(first.samples)
+	for total < sh.svc.cfg.MaxBatch {
+		select {
+		case req := <-sh.reqs:
+			batch = append(batch, req)
+			total += len(req.samples)
+		default:
+			return batch
+		}
+	}
+	return batch
+}
+
+// runBatch executes one coalesced batch. Requests whose deadline
+// already expired are answered with their context error without
+// spending detector time. If the combined batch fails (one request's
+// malformed sample must not fail its neighbours), it falls back to one
+// detector call per request so each gets exactly its own outcome.
+func (sh *shard) runBatch(ctx context.Context, batch []*request) {
+	var live []*request
+	var samples []pmuoutage.Sample
+	for _, req := range batch {
+		if err := req.ctx.Err(); err != nil {
+			sh.respond(req, response{err: err})
+			continue
+		}
+		live = append(live, req)
+		samples = append(samples, req.samples...)
+	}
+	if len(live) == 0 {
+		return
+	}
+	sys := sh.system()
+	if sys == nil { // killed between pop and run
+		for _, req := range live {
+			sh.respond(req, response{err: sh.availErr()})
+		}
+		return
+	}
+	if hook := sh.svc.cfg.batchHook; hook != nil {
+		hook(sh.spec.Name, len(samples))
+	}
+	start := time.Now()
+	reports, err := sys.DetectBatchContext(ctx, samples)
+	sh.counters().observeBatch(len(samples), time.Since(start))
+	if err != nil {
+		for _, req := range live {
+			r, rerr := sys.DetectBatchContext(req.ctx, req.samples)
+			sh.respond(req, response{reports: r, err: rerr})
+		}
+		return
+	}
+	off := 0
+	for _, req := range live {
+		n := len(req.samples)
+		sh.respond(req, response{reports: reports[off : off+n : off+n]})
+		off += n
+	}
+}
+
+// detect admits one request: shed if over the queue bound, enqueue,
+// then wait for the batcher's response or the caller's deadline.
+func (sh *shard) detect(ctx context.Context, samples []pmuoutage.Sample) ([]*pmuoutage.Report, error) {
+	st := sh.counters()
+	st.Requests.Add(1)
+	if err := sh.availErr(); err != nil {
+		st.Unavailable.Add(1)
+		return nil, err
+	}
+	n := int64(len(samples))
+	if d := sh.depth.Add(n); d > int64(sh.svc.cfg.QueueDepth) {
+		sh.depth.Add(-n)
+		st.Shed.Add(1)
+		return nil, fmt.Errorf("%w: shard %q has %d samples pending (bound %d); retry later",
+			ErrOverloaded, sh.spec.Name, d-n, sh.svc.cfg.QueueDepth)
+	}
+	req := &request{ctx: ctx, samples: samples, done: make(chan response, 1)}
+	select {
+	case sh.reqs <- req:
+	default:
+		sh.depth.Add(-n)
+		st.Shed.Add(1)
+		return nil, fmt.Errorf("%w: shard %q request queue is full; retry later", ErrOverloaded, sh.spec.Name)
+	}
+	select {
+	case resp := <-req.done:
+		return resp.reports, resp.err
+	case <-ctx.Done():
+		// The batcher still answers the buffered channel and settles the
+		// depth accounting; only this caller stops waiting.
+		return nil, ctx.Err()
+	case <-sh.svc.ctx.Done():
+		return nil, ErrClosed
+	}
+}
+
+// ingest scores one sample on the shard's streaming monitor; the mutex
+// serialises the monitor's streak state.
+func (sh *shard) ingest(ctx context.Context, sample pmuoutage.Sample) (*pmuoutage.Event, error) {
+	sh.counters().Ingests.Add(1)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if sh.state != StateReady {
+		sh.counters().Unavailable.Add(1)
+		return nil, sh.availErrLocked()
+	}
+	return sh.mon.Ingest(sample)
+}
+
+// respond delivers one response and settles the shard's depth gauge.
+func (sh *shard) respond(req *request, resp response) {
+	req.done <- resp
+	sh.depth.Add(-int64(len(req.samples)))
+}
+
+// drainQueue answers everything currently queued with err.
+func (sh *shard) drainQueue(err error) {
+	for {
+		select {
+		case req := <-sh.reqs:
+			sh.respond(req, response{err: err})
+		default:
+			return
+		}
+	}
+}
+
+// kill fails the current incarnation: the serve loop exits, queued
+// requests are answered with a retryable error, and the supervisor
+// rebuilds the shard after its backoff. No-op unless the shard is
+// ready.
+func (sh *shard) kill(cause error) {
+	if killc := sh.takeKill(cause); killc != nil {
+		close(killc)
+	}
+}
+
+func (sh *shard) takeKill(cause error) chan struct{} {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if sh.state != StateReady {
+		return nil
+	}
+	sh.state = StateFailed
+	sh.err = cause
+	sh.sys, sh.mon = nil, nil
+	killc := sh.killc
+	sh.killc = nil
+	return killc
+}
+
+func (sh *shard) setTraining() {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sh.state = StateTraining
+	sh.err = nil
+}
+
+func (sh *shard) activate(sys *pmuoutage.System, mon *pmuoutage.Monitor, killc chan struct{}) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sh.state = StateReady
+	sh.err = nil
+	sh.sys, sh.mon, sh.killc = sys, mon, killc
+}
+
+func (sh *shard) fail(err error) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sh.state = StateFailed
+	sh.err = err
+	sh.sys, sh.mon = nil, nil
+}
+
+// stop marks the shard stopped and fails everything still queued; runs
+// once, when the supervisor exits.
+func (sh *shard) stop() {
+	sh.setStopped()
+	sh.drainQueue(ErrClosed)
+}
+
+func (sh *shard) setStopped() {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sh.state = StateStopped
+	sh.sys, sh.mon, sh.killc = nil, nil, nil
+}
+
+// system returns the serving system, or nil while not ready.
+func (sh *shard) system() *pmuoutage.System {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.sys
+}
+
+// availErr returns nil when the shard is serving, otherwise the typed
+// reason it cannot answer.
+func (sh *shard) availErr() error {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if sh.state == StateReady {
+		return nil
+	}
+	return sh.availErrLocked()
+}
+
+func (sh *shard) availErrLocked() error {
+	switch sh.state {
+	case StateReady:
+		return nil
+	case StateTraining:
+		return fmt.Errorf("%w: shard %q is training; retry later", ErrUnavailable, sh.spec.Name)
+	case StateFailed:
+		if sh.err != nil {
+			return sh.err
+		}
+		return fmt.Errorf("%w: shard %q failed; restarting", ErrUnavailable, sh.spec.Name)
+	default:
+		return ErrClosed
+	}
+}
+
+// status snapshots the shard for listings.
+func (sh *shard) status() ShardStatus {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	st := ShardStatus{
+		Name:       sh.spec.Name,
+		Case:       sh.spec.Opts.Case,
+		State:      sh.state.String(),
+		Restarts:   sh.counters().Restarts.Load(),
+		QueueDepth: int(sh.depth.Load()),
+	}
+	if st.Case == "" {
+		st.Case = "ieee14" // the facade default
+	}
+	if sh.err != nil {
+		st.Err = sh.err.Error()
+	}
+	if sh.sys != nil {
+		st.Buses = sh.sys.Buses()
+		st.Lines = len(sh.sys.Lines())
+	}
+	return st
+}
+
+// counters returns the shard's stats cell.
+func (sh *shard) counters() *ShardCounters {
+	return sh.svc.stats.shard(sh.spec.Name)
+}
+
+// sleep waits d or until ctx cancels, reporting whether the full wait
+// elapsed.
+func sleep(ctx context.Context, d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return false
+	case <-t.C:
+		return true
+	}
+}
+
+// nextBackoff doubles a delay up to the bound.
+func nextBackoff(d, bound time.Duration) time.Duration {
+	d *= 2
+	if d > bound {
+		d = bound
+	}
+	return d
+}

@@ -1,0 +1,106 @@
+package service
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Stats is the service's counters/gauges hook: one atomic cell per
+// shard, updated on the request path without locks and snapshotted for
+// the /v1/stats endpoint. Counters are observational only — they never
+// influence routing or batching, so the detector output stays
+// bit-identical to direct library calls.
+type Stats struct {
+	mu     sync.Mutex
+	shards map[string]*ShardCounters
+}
+
+func newStats() *Stats {
+	return &Stats{shards: map[string]*ShardCounters{}}
+}
+
+// shard returns (creating on first use) the named shard's counter cell.
+func (s *Stats) shard(name string) *ShardCounters {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c := s.shards[name]
+	if c == nil {
+		c = &ShardCounters{}
+		s.shards[name] = c
+	}
+	return c
+}
+
+// snapshot copies every cell into plain values.
+func (s *Stats) snapshot() map[string]ShardSnapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]ShardSnapshot, len(s.shards))
+	for name, c := range s.shards {
+		out[name] = c.snapshot()
+	}
+	return out
+}
+
+// ShardCounters are one shard's live counters. All fields are safe for
+// concurrent update.
+type ShardCounters struct {
+	Requests    atomic.Uint64 // detect requests routed to the shard
+	Ingests     atomic.Uint64 // streaming samples routed to the shard
+	Samples     atomic.Uint64 // samples actually run through the detector
+	Batches     atomic.Uint64 // coalesced detector calls
+	Shed        atomic.Uint64 // requests rejected by load-shedding
+	Unavailable atomic.Uint64 // requests refused while not ready
+	Restarts    atomic.Uint64 // supervisor rebuilds (failures and kills)
+
+	latencyNS atomic.Int64 // total detector wall time
+	maxBatch  atomic.Int64 // largest coalesced batch seen
+}
+
+// observeBatch records one detector call.
+func (c *ShardCounters) observeBatch(samples int, d time.Duration) {
+	c.Batches.Add(1)
+	c.Samples.Add(uint64(samples))
+	c.latencyNS.Add(d.Nanoseconds())
+	for {
+		cur := c.maxBatch.Load()
+		if int64(samples) <= cur || c.maxBatch.CompareAndSwap(cur, int64(samples)) {
+			return
+		}
+	}
+}
+
+// ShardSnapshot is a point-in-time copy of one shard's counters, shaped
+// for JSON.
+type ShardSnapshot struct {
+	Requests     uint64  `json:"requests"`
+	Ingests      uint64  `json:"ingests"`
+	Samples      uint64  `json:"samples"`
+	Batches      uint64  `json:"batches"`
+	Shed         uint64  `json:"shed"`
+	Unavailable  uint64  `json:"unavailable"`
+	Restarts     uint64  `json:"restarts"`
+	MaxBatch     int     `json:"max_batch"`
+	AvgBatch     float64 `json:"avg_batch"`
+	AvgLatencyMS float64 `json:"avg_latency_ms"`
+	QueueDepth   int     `json:"queue_depth"`
+}
+
+func (c *ShardCounters) snapshot() ShardSnapshot {
+	snap := ShardSnapshot{
+		Requests:    c.Requests.Load(),
+		Ingests:     c.Ingests.Load(),
+		Samples:     c.Samples.Load(),
+		Batches:     c.Batches.Load(),
+		Shed:        c.Shed.Load(),
+		Unavailable: c.Unavailable.Load(),
+		Restarts:    c.Restarts.Load(),
+		MaxBatch:    int(c.maxBatch.Load()),
+	}
+	if snap.Batches > 0 {
+		snap.AvgBatch = float64(snap.Samples) / float64(snap.Batches)
+		snap.AvgLatencyMS = float64(c.latencyNS.Load()) / float64(snap.Batches) / 1e6
+	}
+	return snap
+}

@@ -66,7 +66,6 @@ type Monitor struct {
 	streak    int
 	streakSeq int
 	cooldown  int
-	lastLines []grid.Line
 }
 
 // NewMonitor wraps a trained detector.
@@ -96,7 +95,6 @@ func (m *Monitor) Ingest(s dataset.Sample) (*Event, error) {
 		m.streakSeq = m.seq
 	}
 	m.streak++
-	m.lastLines = r.Lines
 	if m.streak >= m.cfg.Confirm && m.cooldown == 0 {
 		m.cooldown = m.cfg.Cooldown
 		m.streak = 0
@@ -121,7 +119,6 @@ func (m *Monitor) Pending() int { return m.streak }
 func (m *Monitor) Reset() {
 	m.streak = 0
 	m.cooldown = 0
-	m.lastLines = nil
 }
 
 // Run ingests every sample from in and sends confirmed events to out,

@@ -22,11 +22,35 @@
 // Newton–Raphson AC power flow, SVD subspace learning, detection-group
 // formation — lives in internal packages; this package is the stable
 // surface.
+//
+// # Conventions
+//
+// Context first: every operation that does non-trivial work has a
+// Context variant — NewSystemContext, DetectContext, DetectBatchContext,
+// SimulateOutageContext, EvaluateContext — which honours cancellation
+// and deadlines and bounds its parallelism by Options.Workers. The
+// short names are thin wrappers over context.Background, kept for
+// callers that do not need cancellation; new API is added in the
+// Context form first.
+//
+// Typed errors: every failure the facade itself produces wraps one of
+// the exported sentinels ErrUnknownCase, ErrBadSample, ErrBadLine, or
+// ErrBadScores, so callers test with errors.Is rather than matching
+// strings. Sample
+// validation runs through one shared path, so Detect, DetectBatch, and
+// Monitor.Ingest report byte-identical errors for the same defect.
+//
+// Serving: internal/service and cmd/outaged expose this same API as a
+// sharded JSON-over-HTTP detection service — one trained System per
+// shard, request coalescing, deadlines, and load-shedding on top of the
+// methods below, with the sentinels mapped to HTTP status codes.
 package pmuoutage
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
+	"math"
 	"math/rand"
 
 	"pmuoutage/internal/cases"
@@ -57,10 +81,10 @@ type Options struct {
 	UseDC bool
 	// Detector overrides the detector configuration (advanced use).
 	Detector detect.Config
-	// Workers bounds the worker pool used by data generation, training
-	// and DetectBatch (0 = GOMAXPROCS). Results are identical for every
-	// worker count: the pipeline derives independent seeds per scenario
-	// and assigns results by index.
+	// Workers bounds the worker pool used by data generation, training,
+	// DetectBatch, and Evaluate (0 = GOMAXPROCS). Results are identical
+	// for every worker count: the pipeline derives independent seeds per
+	// scenario and assigns results by index.
 	Workers int
 }
 
@@ -84,29 +108,31 @@ func Cases() []string { return cases.Names() }
 // magnitudes, angles in radians, and the indices of buses whose
 // measurements are missing.
 type Sample struct {
-	Vm, Va  []float64
-	Missing []int
+	Vm      []float64 `json:"vm"`
+	Va      []float64 `json:"va"`
+	Missing []int     `json:"missing,omitempty"`
 }
 
 // Line describes one power line by its internal index and its endpoint
 // bus numbers (1-based, as in the IEEE case data).
 type Line struct {
-	Index   int
-	FromBus int
-	ToBus   int
+	Index   int `json:"index"`
+	FromBus int `json:"from_bus"`
+	ToBus   int `json:"to_bus"`
 }
 
 // Report is the outcome of one detection.
 type Report struct {
 	// Outage reports whether the sample contains at least one line outage.
-	Outage bool
+	Outage bool `json:"outage"`
 	// Lines is the identified outage set F̂.
-	Lines []Line
+	Lines []Line `json:"lines,omitempty"`
 	// NodeScores are the scaled subspace proximities per bus (lower =
-	// closer to that bus's outage signatures).
-	NodeScores []float64
+	// closer to that bus's outage signatures). A bus with no outage
+	// signature scores +Inf, which Scores keeps representable in JSON.
+	NodeScores Scores `json:"node_scores,omitempty"`
 	// DeviationEnergy is the anomaly energy behind the outage decision.
-	DeviationEnergy float64
+	DeviationEnergy float64 `json:"deviation_energy"`
 }
 
 // System is a trained outage-detection system bound to one grid.
@@ -128,11 +154,12 @@ func NewSystem(opts Options) (*System, error) {
 // NewSystemContext is NewSystem with cancellation: the simulation and
 // training pipeline checks ctx between scenarios and returns its error
 // early when cancelled. Parallelism is bounded by Options.Workers.
+// An Options.Case naming no built-in system fails with ErrUnknownCase.
 func NewSystemContext(ctx context.Context, opts Options) (*System, error) {
 	opts = opts.withDefaults()
 	g, err := cases.Load(opts.Case)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("%w: %q (available: %v)", ErrUnknownCase, opts.Case, Cases())
 	}
 	clusters := opts.Clusters
 	if clusters <= 0 {
@@ -167,10 +194,15 @@ func (s *System) Buses() int { return s.g.N() }
 func (s *System) Lines() []Line {
 	out := make([]Line, s.g.E())
 	for e := range out {
-		a, b := s.g.Endpoints(grid.Line(e))
-		out[e] = Line{Index: e, FromBus: s.g.Buses[a].ID, ToBus: s.g.Buses[b].ID}
+		out[e] = s.lineAt(grid.Line(e))
 	}
 	return out
+}
+
+// lineAt converts an internal line handle to the public endpoint view.
+func (s *System) lineAt(e grid.Line) Line {
+	a, b := s.g.Endpoints(e)
+	return Line{Index: int(e), FromBus: s.g.Buses[a].ID, ToBus: s.g.Buses[b].ID}
 }
 
 // ValidLines returns the indices of lines whose outage is detectable
@@ -192,37 +224,120 @@ func (s *System) Clusters() [][]int {
 	return out
 }
 
-// Detect classifies one sample, which may have missing measurements.
-func (s *System) Detect(sample Sample) (*Report, error) {
-	if len(sample.Vm) != s.g.N() || len(sample.Va) != s.g.N() {
-		return nil, fmt.Errorf("pmuoutage: sample has %d/%d values, grid has %d buses",
-			len(sample.Vm), len(sample.Va), s.g.N())
+// datasetSample validates a facade Sample against the grid and converts
+// it to the internal representation. It is the one shared validation
+// path under Detect, DetectBatch, and Monitor.Ingest, so every entry
+// point reports identical ErrBadSample errors for the same defect.
+func (s *System) datasetSample(sample Sample) (dataset.Sample, error) {
+	n := s.g.N()
+	if len(sample.Vm) != n || len(sample.Va) != n {
+		return dataset.Sample{}, fmt.Errorf("%w: sample has %d/%d values, grid has %d buses",
+			ErrBadSample, len(sample.Vm), len(sample.Va), n)
 	}
 	ds := dataset.Sample{Vm: sample.Vm, Va: sample.Va}
 	if len(sample.Missing) > 0 {
-		m := pmunet.NoneMissing(s.g.N())
+		m := pmunet.NoneMissing(n)
 		for _, i := range sample.Missing {
-			if i < 0 || i >= s.g.N() {
-				return nil, fmt.Errorf("pmuoutage: missing index %d out of range %d", i, s.g.N())
+			if i < 0 || i >= n {
+				return dataset.Sample{}, fmt.Errorf("%w: missing index %d out of range %d", ErrBadSample, i, n)
 			}
 			m[i] = true
 		}
 		ds.Mask = m
 	}
+	return ds, nil
+}
+
+// Scores is a per-bus score vector. Scores can legitimately be
+// non-finite (+Inf marks a bus with no outage signatures), which plain
+// JSON numbers cannot carry, so Scores marshals non-finite entries as
+// the strings "+Inf", "-Inf", and "NaN" and reads them back losslessly.
+type Scores []float64
+
+// MarshalJSON implements json.Marshaler.
+func (s Scores) MarshalJSON() ([]byte, error) {
+	vals := make([]any, len(s))
+	for i, v := range s {
+		switch {
+		case math.IsInf(v, 1):
+			vals[i] = "+Inf"
+		case math.IsInf(v, -1):
+			vals[i] = "-Inf"
+		case math.IsNaN(v):
+			vals[i] = "NaN"
+		default:
+			vals[i] = v
+		}
+	}
+	return json.Marshal(vals)
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (s *Scores) UnmarshalJSON(b []byte) error {
+	var vals []any
+	if err := json.Unmarshal(b, &vals); err != nil {
+		return err
+	}
+	out := make(Scores, len(vals))
+	for i, v := range vals {
+		switch x := v.(type) {
+		case float64:
+			out[i] = x
+		case string:
+			switch x {
+			case "+Inf":
+				out[i] = math.Inf(1)
+			case "-Inf":
+				out[i] = math.Inf(-1)
+			case "NaN":
+				out[i] = math.NaN()
+			default:
+				return fmt.Errorf("%w: score %d: unknown value %q", ErrBadScores, i, x)
+			}
+		default:
+			return fmt.Errorf("%w: score %d: neither number nor string", ErrBadScores, i)
+		}
+	}
+	*s = out
+	return nil
+}
+
+// report converts an internal detection result to the public view.
+func (s *System) report(r *detect.Result) *Report {
+	rep := &Report{
+		Outage:          r.Outage,
+		NodeScores:      Scores(r.NodeScores),
+		DeviationEnergy: r.DeviationEnergy,
+	}
+	for _, e := range r.Lines {
+		rep.Lines = append(rep.Lines, s.lineAt(e))
+	}
+	return rep
+}
+
+// Detect classifies one sample, which may have missing measurements. It
+// is DetectContext with a background context.
+func (s *System) Detect(sample Sample) (*Report, error) {
+	return s.DetectContext(context.Background(), sample)
+}
+
+// DetectContext is Detect with cancellation. Classifying one sample is
+// short and runs to completion once started; the context is checked on
+// entry, which is what lets batch layers abort cheaply between samples.
+// Malformed samples fail with an error wrapping ErrBadSample.
+func (s *System) DetectContext(ctx context.Context, sample Sample) (*Report, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	ds, err := s.datasetSample(sample)
+	if err != nil {
+		return nil, err
+	}
 	r, err := s.det.Detect(ds)
 	if err != nil {
 		return nil, err
 	}
-	rep := &Report{
-		Outage:          r.Outage,
-		NodeScores:      r.NodeScores,
-		DeviationEnergy: r.DeviationEnergy,
-	}
-	for _, e := range r.Lines {
-		a, b := s.g.Endpoints(e)
-		rep.Lines = append(rep.Lines, Line{Index: int(e), FromBus: s.g.Buses[a].ID, ToBus: s.g.Buses[b].ID})
-	}
-	return rep, nil
+	return s.report(r), nil
 }
 
 // DetectBatch classifies many samples over the worker pool configured by
@@ -236,26 +351,34 @@ func (s *System) DetectBatch(samples []Sample) ([]*Report, error) {
 // DetectBatchContext is DetectBatch with cancellation: a cancelled
 // context aborts the remaining samples and returns the context error.
 func (s *System) DetectBatchContext(ctx context.Context, samples []Sample) ([]*Report, error) {
-	return par.Map(ctx, s.opts.Workers, len(samples), func(_ context.Context, i int) (*Report, error) {
-		return s.Detect(samples[i])
+	return par.Map(ctx, s.opts.Workers, len(samples), func(ctx context.Context, i int) (*Report, error) {
+		return s.DetectContext(ctx, samples[i])
 	})
 }
 
 // SimulateOutage generates n fresh test samples with the given lines out
 // of service, using an independent random seed stream from training.
-// Pass no lines for normal-operation samples.
+// Pass no lines for normal-operation samples. It is
+// SimulateOutageContext with a background context.
 func (s *System) SimulateOutage(lineIdx []int, n int) ([]Sample, error) {
+	return s.SimulateOutageContext(context.Background(), lineIdx, n)
+}
+
+// SimulateOutageContext is SimulateOutage with cancellation: the
+// per-step power-flow loop stops at the first context error. Line
+// indices outside the grid fail with an error wrapping ErrBadLine.
+func (s *System) SimulateOutageContext(ctx context.Context, lineIdx []int, n int) ([]Sample, error) {
 	if n <= 0 {
 		n = 1
 	}
 	var sc dataset.Scenario
 	for _, e := range lineIdx {
 		if e < 0 || e >= s.g.E() {
-			return nil, fmt.Errorf("pmuoutage: line %d out of range %d", e, s.g.E())
+			return nil, fmt.Errorf("%w: line %d out of range %d", ErrBadLine, e, s.g.E())
 		}
 		sc = append(sc, grid.Line(e))
 	}
-	set, err := dataset.GenerateScenario(s.g, sc, dataset.GenConfig{
+	set, err := dataset.GenerateScenarioContext(ctx, s.g, sc, dataset.GenConfig{
 		Steps: n, Seed: s.opts.Seed + 99991, UseDC: s.opts.UseDC,
 	})
 	if err != nil {
@@ -271,21 +394,33 @@ func (s *System) SimulateOutage(lineIdx []int, n int) ([]Sample, error) {
 // Evaluate scores the detector on fresh samples of every valid
 // single-line outage and returns the mean identification accuracy and
 // false-alarm rate (Eq. 12 of the paper). perCase controls how many
-// samples are drawn per outage case.
+// samples are drawn per outage case. It is EvaluateContext with a
+// background context.
 func (s *System) Evaluate(perCase int) (ia, fa float64, err error) {
+	return s.EvaluateContext(context.Background(), perCase)
+}
+
+// EvaluateContext is Evaluate with cancellation. The outage cases fan
+// out over the Options.Workers pool: each case simulates and scores its
+// samples independently (its seed stream derives from the scenario, not
+// from shared state) and the per-case accumulators merge in line order,
+// so the result is identical for every worker count.
+func (s *System) EvaluateContext(ctx context.Context, perCase int) (ia, fa float64, err error) {
 	if perCase <= 0 {
 		perCase = 5
 	}
-	var acc metrics.Accumulator
-	for _, e := range s.det.ValidLines() {
-		samples, err := s.SimulateOutage([]int{int(e)}, perCase)
+	lines := s.det.ValidLines()
+	accs, err := par.Map(ctx, s.opts.Workers, len(lines), func(ctx context.Context, i int) (metrics.Accumulator, error) {
+		e := lines[i]
+		var acc metrics.Accumulator
+		samples, err := s.SimulateOutageContext(ctx, []int{int(e)}, perCase)
 		if err != nil {
-			return 0, 0, err
+			return acc, err
 		}
 		for _, smp := range samples {
-			r, err := s.Detect(smp)
+			r, err := s.DetectContext(ctx, smp)
 			if err != nil {
-				return 0, 0, err
+				return acc, err
 			}
 			var got []grid.Line
 			for _, l := range r.Lines {
@@ -293,8 +428,16 @@ func (s *System) Evaluate(perCase int) (ia, fa float64, err error) {
 			}
 			acc.Add([]grid.Line{e}, got)
 		}
+		return acc, nil
+	})
+	if err != nil {
+		return 0, 0, err
 	}
-	return acc.IA(), acc.FA(), nil
+	var total metrics.Accumulator
+	for _, acc := range accs { // fixed line order: deterministic float sums
+		total.Merge(acc)
+	}
+	return total.IA(), total.FA(), nil
 }
 
 // DrawMissing samples a missing-data pattern from the PMU-network
@@ -320,15 +463,27 @@ func (s *System) DrawMissing(systemReliability float64, seed int64) ([]int, erro
 
 // WithMissing returns a copy of the sample with the given bus indices
 // marked missing — convenient for building unreliable-data scenarios.
+// Indices already marked missing are preserved, first-appearance order
+// is kept, and duplicates collapse to a single entry.
 func (smp Sample) WithMissing(buses ...int) Sample {
 	out := Sample{Vm: smp.Vm, Va: smp.Va}
-	out.Missing = append(append([]int(nil), smp.Missing...), buses...)
+	seen := make(map[int]bool, len(smp.Missing)+len(buses))
+	for _, set := range [][]int{smp.Missing, buses} {
+		for _, b := range set {
+			if !seen[b] {
+				seen[b] = true
+				out.Missing = append(out.Missing, b)
+			}
+		}
+	}
 	return out
 }
 
 // Monitor wraps the online detection layer: feed samples as they arrive
 // and receive debounced, confirmed outage events. Create one with
-// System.NewMonitor.
+// System.NewMonitor. A Monitor is not safe for concurrent use; callers
+// that share one across goroutines must serialise Ingest (the service
+// layer does this per shard).
 type Monitor struct {
 	sys *System
 	mon *stream.Monitor
@@ -337,11 +492,11 @@ type Monitor struct {
 // Event is a confirmed outage event from a Monitor.
 type Event struct {
 	// Seq is the 1-based index of the confirming sample.
-	Seq int
+	Seq int `json:"seq"`
 	// Latency is the number of samples from onset to confirmation.
-	Latency int
+	Latency int `json:"latency"`
 	// Lines is the identified outage set at confirmation time.
-	Lines []Line
+	Lines []Line `json:"lines,omitempty"`
 }
 
 // NewMonitor creates an online monitor over the trained detector.
@@ -357,18 +512,12 @@ func (s *System) NewMonitor(confirm, cooldown int) (*Monitor, error) {
 }
 
 // Ingest scores one sample; it returns a non-nil Event exactly when the
-// sample confirms a new outage.
+// sample confirms a new outage. Malformed samples fail with the same
+// ErrBadSample errors Detect reports.
 func (m *Monitor) Ingest(sample Sample) (*Event, error) {
-	ds := dataset.Sample{Vm: sample.Vm, Va: sample.Va}
-	if len(sample.Missing) > 0 {
-		mask := pmunet.NoneMissing(m.sys.g.N())
-		for _, i := range sample.Missing {
-			if i < 0 || i >= m.sys.g.N() {
-				return nil, fmt.Errorf("pmuoutage: missing index %d out of range %d", i, m.sys.g.N())
-			}
-			mask[i] = true
-		}
-		ds.Mask = mask
+	ds, err := m.sys.datasetSample(sample)
+	if err != nil {
+		return nil, err
 	}
 	ev, err := m.mon.Ingest(ds)
 	if err != nil {
@@ -379,11 +528,13 @@ func (m *Monitor) Ingest(sample Sample) (*Event, error) {
 	}
 	out := &Event{Seq: ev.Seq, Latency: ev.Latency()}
 	for _, e := range ev.Lines {
-		a, b := m.sys.g.Endpoints(e)
-		out.Lines = append(out.Lines, Line{Index: int(e), FromBus: m.sys.g.Buses[a].ID, ToBus: m.sys.g.Buses[b].ID})
+		out.Lines = append(out.Lines, m.sys.lineAt(e))
 	}
 	return out, nil
 }
+
+// Seq returns the number of samples ingested so far.
+func (m *Monitor) Seq() int { return m.mon.Seq() }
 
 // Reset clears the monitor's streak and cooldown state.
 func (m *Monitor) Reset() { m.mon.Reset() }
