@@ -30,8 +30,11 @@ bench:
 	$(GO) run ./cmd/benchpipeline -o BENCH_pipeline.json
 
 # Serving smoke: boot cmd/outaged on an ephemeral port with one fast
-# shard, round-trip a detect request over real HTTP, check it against
-# the direct library answer, and require a clean graceful shutdown.
+# shard, round-trip a detect request over real HTTP (via the client
+# package), check it against the direct library answer, hot-reload the
+# shard through POST /v1/reload (generation must bump, fingerprint must
+# match, answers must stay byte-identical), and require a clean
+# graceful shutdown.
 serve-smoke:
 	$(GO) run ./cmd/outaged -smoke
 

@@ -1,0 +1,235 @@
+// Package client is the Go client for the outaged detection daemon
+// (cmd/outaged): JSON over HTTP with bounded, deterministic retries.
+//
+// Transient conditions — transport errors, 429 (load-shedding), and
+// 503 (shard training or restarting) — are retried up to
+// Config.MaxRetries times with exponential backoff, honouring the
+// server's Retry-After header when present. Terminal HTTP statuses
+// (bad request, unknown shard, ...) fail immediately with ErrRequest.
+// Every wait is context-aware: a cancelled context stops the retry
+// loop mid-backoff.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"pmuoutage"
+)
+
+// Typed errors of the client. Everything the client itself mints wraps
+// one of these, so callers branch with errors.Is.
+var (
+	// ErrConfig reports an invalid Config passed to New.
+	ErrConfig = errors.New("client: invalid config")
+	// ErrRequest reports a terminal server response — a non-retryable
+	// HTTP status. The wrapped detail carries the status code and the
+	// server's error body.
+	ErrRequest = errors.New("client: request failed")
+	// ErrExhausted reports that every attempt hit a retryable condition
+	// (transport error, 429, 503). The wrapped detail carries the last
+	// failure.
+	ErrExhausted = errors.New("client: retries exhausted")
+)
+
+// Config configures New.
+type Config struct {
+	// BaseURL is the daemon's root, e.g. "http://localhost:8080".
+	BaseURL string
+	// HTTPClient overrides the transport (default http.DefaultClient).
+	HTTPClient *http.Client
+	// MaxRetries is how many times a retryable failure is retried after
+	// the first attempt (default 3; negative disables retries).
+	MaxRetries int
+	// BaseBackoff is the delay before the first retry; it doubles per
+	// attempt up to MaxBackoff. A Retry-After header on a 429/503
+	// response overrides the computed delay for that attempt. Defaults
+	// 100ms and 2s.
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.HTTPClient == nil {
+		c.HTTPClient = http.DefaultClient
+	}
+	if c.MaxRetries == 0 {
+		c.MaxRetries = 3
+	}
+	if c.MaxRetries < 0 {
+		c.MaxRetries = 0
+	}
+	if c.BaseBackoff <= 0 {
+		c.BaseBackoff = 100 * time.Millisecond
+	}
+	if c.MaxBackoff <= 0 {
+		c.MaxBackoff = 2 * time.Second
+	}
+	return c
+}
+
+// Client talks to one outaged daemon. It is safe for concurrent use.
+type Client struct {
+	cfg Config
+}
+
+// New validates cfg and returns a client.
+func New(cfg Config) (*Client, error) {
+	if strings.TrimSpace(cfg.BaseURL) == "" {
+		return nil, fmt.Errorf("%w: empty BaseURL", ErrConfig)
+	}
+	cfg.BaseURL = strings.TrimRight(cfg.BaseURL, "/")
+	return &Client{cfg: cfg.withDefaults()}, nil
+}
+
+// detectRequest mirrors the daemon's POST /v1/detect body.
+type detectRequest struct {
+	Shard   string             `json:"shard"`
+	Samples []pmuoutage.Sample `json:"samples"`
+}
+
+type detectResponse struct {
+	Shard   string              `json:"shard"`
+	Reports []*pmuoutage.Report `json:"reports"`
+}
+
+// reloadRequest mirrors the daemon's POST /v1/reload body.
+type reloadRequest struct {
+	Shard string `json:"shard"`
+	Path  string `json:"path,omitempty"`
+}
+
+// ReloadResult is the daemon's reply to a reload: the shard's new
+// incarnation counter and the fingerprint of the model now serving.
+type ReloadResult struct {
+	Shard      string `json:"shard"`
+	Generation uint64 `json:"generation"`
+	Model      string `json:"model"`
+}
+
+// Detect classifies samples on the named shard and returns one report
+// per sample, in order — exactly what the shard's System.DetectBatch
+// returns. Overload and not-ready conditions are retried.
+func (c *Client) Detect(ctx context.Context, shard string, samples []pmuoutage.Sample) ([]*pmuoutage.Report, error) {
+	var out detectResponse
+	if err := c.post(ctx, "/v1/detect", detectRequest{Shard: shard, Samples: samples}, &out); err != nil {
+		return nil, err
+	}
+	return out.Reports, nil
+}
+
+// Reload hot-swaps the named shard's model: onto the artifact at path
+// (a file on the daemon's filesystem) or, with an empty path, onto a
+// freshly retrained model. The shard keeps serving throughout.
+func (c *Client) Reload(ctx context.Context, shard, path string) (*ReloadResult, error) {
+	var out ReloadResult
+	if err := c.post(ctx, "/v1/reload", reloadRequest{Shard: shard, Path: path}, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// post marshals the body once and runs the retry loop: attempt,
+// classify, wait (server-directed or exponential), repeat.
+func (c *Client) post(ctx context.Context, path string, body, out any) error {
+	payload, err := json.Marshal(body)
+	if err != nil {
+		return fmt.Errorf("%w: encoding body: %v", ErrConfig, err)
+	}
+	backoff := c.cfg.BaseBackoff
+	var lastErr error
+	for attempt := 0; attempt <= c.cfg.MaxRetries; attempt++ {
+		if attempt > 0 {
+			if err := sleepCtx(ctx, backoff); err != nil {
+				return err
+			}
+			backoff *= 2
+			if backoff > c.cfg.MaxBackoff {
+				backoff = c.cfg.MaxBackoff
+			}
+		}
+		retryAfter, err := c.attempt(ctx, path, payload, out)
+		if err == nil {
+			return nil
+		}
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		if !errors.Is(err, errRetryable) {
+			return err
+		}
+		lastErr = err
+		if retryAfter > 0 {
+			backoff = retryAfter
+		}
+	}
+	return fmt.Errorf("%w after %d attempts: %v", ErrExhausted, c.cfg.MaxRetries+1, lastErr)
+}
+
+// errRetryable marks transient attempt failures internally; callers of
+// the package only ever see it wrapped inside ErrExhausted.
+var errRetryable = errors.New("retryable")
+
+// attempt performs one HTTP round trip. It returns the server-directed
+// retry delay (0 if none) alongside the classification: nil on success,
+// an error wrapping errRetryable on transient conditions, a terminal
+// error otherwise.
+func (c *Client) attempt(ctx context.Context, path string, payload []byte, out any) (time.Duration, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.cfg.BaseURL+path, bytes.NewReader(payload))
+	if err != nil {
+		return 0, fmt.Errorf("%w: %v", ErrConfig, err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.cfg.HTTPClient.Do(req)
+	if err != nil {
+		return 0, fmt.Errorf("%w: %v", errRetryable, err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	switch {
+	case resp.StatusCode == http.StatusOK:
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			return 0, fmt.Errorf("%w: decoding %s response: %v", ErrRequest, path, err)
+		}
+		return 0, nil
+	case resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode == http.StatusServiceUnavailable:
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 1024))
+		return parseRetryAfter(resp.Header.Get("Retry-After")),
+			fmt.Errorf("%w: HTTP %d: %s", errRetryable, resp.StatusCode, strings.TrimSpace(string(msg)))
+	default:
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 1024))
+		return 0, fmt.Errorf("%w: HTTP %d: %s", ErrRequest, resp.StatusCode, strings.TrimSpace(string(msg)))
+	}
+}
+
+// parseRetryAfter reads the delay-seconds form of Retry-After (the only
+// form the daemon emits); anything else yields 0 (use own backoff).
+func parseRetryAfter(v string) time.Duration {
+	if v == "" {
+		return 0
+	}
+	secs, err := strconv.Atoi(strings.TrimSpace(v))
+	if err != nil || secs < 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
+}
+
+// sleepCtx waits d unless ctx ends first.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}

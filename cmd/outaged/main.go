@@ -35,6 +35,7 @@ import (
 	"time"
 
 	"pmuoutage"
+	"pmuoutage/client"
 	"pmuoutage/internal/service"
 )
 
@@ -42,6 +43,8 @@ func main() {
 	var (
 		addr       = flag.String("addr", ":8080", "listen address")
 		shards     = flag.String("shards", "main=ieee14", "comma-separated name=case shard list")
+		models     = flag.String("models", "", "comma-separated name=path list of model artifacts to boot shards from (skips training)")
+		replicas   = flag.Int("replicas", 0, "serve loops per shard sharing one model (0 = 1)")
 		trainSteps = flag.Int("train-steps", 0, "training window length per scenario (0 = library default)")
 		seed       = flag.Int64("seed", 1, "base seed; shard i trains with seed+i")
 		dc         = flag.Bool("dc", false, "use the linear DC power-flow substrate (faster training)")
@@ -65,6 +68,12 @@ func main() {
 	cfg, err := buildConfig(*shards, *trainSteps, *seed, *dc, *workers, *maxBatch, *queue, *confirm)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if err := applyModels(&cfg, *models); err != nil {
+		log.Fatal(err)
+	}
+	for i := range cfg.Shards {
+		cfg.Shards[i].Replicas = *replicas
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -98,6 +107,47 @@ func buildConfig(shardFlag string, trainSteps int, seed int64, dc bool, workers,
 		return cfg, fmt.Errorf("%w: -shards is empty", service.ErrConfig)
 	}
 	return cfg, nil
+}
+
+// applyModels parses the -models flag ("east=/path/a.json,...") and
+// pins each named shard to the decoded artifact, so the daemon boots
+// serving without retraining.
+func applyModels(cfg *service.Config, modelFlag string) error {
+	for _, spec := range strings.Split(modelFlag, ",") {
+		spec = strings.TrimSpace(spec)
+		if spec == "" {
+			continue
+		}
+		name, path, ok := strings.Cut(spec, "=")
+		if !ok || path == "" {
+			return fmt.Errorf("%w: -models entry %q is not name=path", service.ErrConfig, spec)
+		}
+		m, err := loadModel(path)
+		if err != nil {
+			return fmt.Errorf("loading model for shard %q: %w", name, err)
+		}
+		found := false
+		for i := range cfg.Shards {
+			if cfg.Shards[i].Name == name {
+				cfg.Shards[i].Model = m
+				found = true
+			}
+		}
+		if !found {
+			return fmt.Errorf("%w: -models names unknown shard %q", service.ErrConfig, name)
+		}
+	}
+	return nil
+}
+
+// shardGeneration reads one shard's incarnation counter (0 if absent).
+func shardGeneration(svc *service.Service, name string) uint64 {
+	for _, st := range svc.Shards() {
+		if st.Name == name {
+			return st.Generation
+		}
+	}
+	return 0
 }
 
 // run starts the service, serves HTTP until ctx cancels, then shuts
@@ -178,7 +228,11 @@ func runSmoke() error {
 		return err
 	}
 
-	got, err := postDetect(ctx, base, "smoke", samples)
+	cl, err := client.New(client.Config{BaseURL: base})
+	if err != nil {
+		return err
+	}
+	got, err := cl.Detect(ctx, "smoke", samples)
 	if err != nil {
 		return err
 	}
@@ -187,6 +241,29 @@ func runSmoke() error {
 	}
 	if !got[0].Outage {
 		return fmt.Errorf("smoke detect on line %d reported no outage", line)
+	}
+
+	// Hot reload: retrain with the same options (yielding an identical
+	// model), swap it in, and verify the daemon answers byte-identically
+	// with a bumped generation — the train-once/serve-many path end to
+	// end over real HTTP.
+	genBefore := shardGeneration(svc, "smoke")
+	res, err := cl.Reload(ctx, "smoke", "")
+	if err != nil {
+		return err
+	}
+	if res.Generation != genBefore+1 {
+		return fmt.Errorf("reload generation = %d, want %d", res.Generation, genBefore+1)
+	}
+	if res.Model != sys.Model().Fingerprint() {
+		return fmt.Errorf("reloaded model fingerprint %s differs from the original %s", res.Model, sys.Model().Fingerprint())
+	}
+	got2, err := cl.Detect(ctx, "smoke", samples)
+	if err != nil {
+		return err
+	}
+	if err := compareReports(got2, want); err != nil {
+		return fmt.Errorf("after reload: %w", err)
 	}
 
 	sdCtx, sdCancel := context.WithTimeout(context.Background(), 10*time.Second)

@@ -6,11 +6,14 @@ import (
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
 
 	"pmuoutage"
+	"pmuoutage/client"
 	"pmuoutage/internal/service"
 )
 
@@ -74,7 +77,11 @@ func TestDetectEndpointMatchesDirect(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	got, err := postDetect(context.Background(), ts.URL, "east", samples)
+	cl, err := client.New(client.Config{BaseURL: ts.URL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := cl.Detect(context.Background(), "east", samples)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -222,6 +229,93 @@ func TestIngestShardsStatsHealth(t *testing.T) {
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("healthz = %d", resp.StatusCode)
 	}
+}
+
+// TestReloadEndpoint exercises POST /v1/reload over real HTTP: load an
+// artifact written by the facade codec from disk, swap a serving shard
+// onto it, and verify the daemon then answers with exactly that model's
+// reports. Error paths (missing file, unknown shard) map to 400/404.
+func TestReloadEndpoint(t *testing.T) {
+	svc, ts := newTestServer(t)
+	waitReady(t, svc, "east")
+	cl, err := client.New(client.Config{BaseURL: ts.URL})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Train a different-seed model and save it the way outagetrain does.
+	m, err := pmuoutage.TrainModel(pmuoutage.Options{Case: "ieee14", TrainSteps: 12, Seed: 42, UseDC: true, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "east.model.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Encode(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := cl.Reload(context.Background(), "east", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Model != m.Fingerprint() {
+		t.Fatalf("reload serves %s, want %s", res.Model, m.Fingerprint())
+	}
+	if res.Generation < 2 {
+		t.Fatalf("generation = %d after reload", res.Generation)
+	}
+
+	ref, err := pmuoutage.NewSystemFromModel(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples, err := ref.SimulateOutage([]int{ref.ValidLines()[0]}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ref.DetectBatch(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := cl.Detect(context.Background(), "east", samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := compareReports(got, want); err != nil {
+		t.Fatal(err)
+	}
+
+	t.Run("missing artifact 400", func(t *testing.T) {
+		resp := postJSON(t, ts.URL+"/v1/reload", reloadRequest{Shard: "east", Path: filepath.Join(t.TempDir(), "nope.json")})
+		defer func() { _ = resp.Body.Close() }()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("status = %d", resp.StatusCode)
+		}
+	})
+	t.Run("corrupt artifact 400", func(t *testing.T) {
+		bad := filepath.Join(t.TempDir(), "bad.json")
+		if err := os.WriteFile(bad, []byte("not a model"), 0o600); err != nil {
+			t.Fatal(err)
+		}
+		resp := postJSON(t, ts.URL+"/v1/reload", reloadRequest{Shard: "east", Path: bad})
+		defer func() { _ = resp.Body.Close() }()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("status = %d", resp.StatusCode)
+		}
+	})
+	t.Run("unknown shard 404", func(t *testing.T) {
+		resp := postJSON(t, ts.URL+"/v1/reload", reloadRequest{Shard: "nope"})
+		defer func() { _ = resp.Body.Close() }()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Fatalf("status = %d", resp.StatusCode)
+		}
+	})
 }
 
 func TestBuildConfig(t *testing.T) {

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"os"
 	"time"
 
 	"pmuoutage"
@@ -29,6 +30,7 @@ func (s *server) routes() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/detect", s.handleDetect)
 	mux.HandleFunc("POST /v1/ingest", s.handleIngest)
+	mux.HandleFunc("POST /v1/reload", s.handleReload)
 	mux.HandleFunc("GET /v1/shards", s.handleShards)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
@@ -58,6 +60,21 @@ type ingestRequest struct {
 type ingestResponse struct {
 	Shard string           `json:"shard"`
 	Event *pmuoutage.Event `json:"event"`
+}
+
+// reloadRequest is the body of POST /v1/reload: swap the named shard
+// onto the model artifact at Path (on the daemon's filesystem), or
+// retrain from the shard's options when Path is empty.
+type reloadRequest struct {
+	Shard string `json:"shard"`
+	Path  string `json:"path,omitempty"`
+}
+
+// reloadResponse reports the shard's new incarnation after the swap.
+type reloadResponse struct {
+	Shard      string `json:"shard"`
+	Generation uint64 `json:"generation"`
+	Model      string `json:"model"`
 }
 
 // errorResponse is the uniform error body; Retryable mirrors the
@@ -97,6 +114,45 @@ func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, ingestResponse{Shard: req.Shard, Event: ev})
+}
+
+func (s *server) handleReload(w http.ResponseWriter, r *http.Request) {
+	var req reloadRequest
+	if err := decodeJSON(r.Body, &req); err != nil {
+		s.writeError(w, err)
+		return
+	}
+	var m *pmuoutage.Model
+	if req.Path != "" {
+		var err error
+		if m, err = loadModel(req.Path); err != nil {
+			s.writeError(w, err)
+			return
+		}
+	}
+	ctx, cancel := s.requestCtx(r)
+	defer cancel()
+	if err := s.svc.Reload(ctx, req.Shard, m); err != nil {
+		s.writeError(w, err)
+		return
+	}
+	for _, st := range s.svc.Shards() {
+		if st.Name == req.Shard {
+			writeJSON(w, http.StatusOK, reloadResponse{Shard: st.Name, Generation: st.Generation, Model: st.Model})
+			return
+		}
+	}
+	s.writeError(w, fmt.Errorf("%w: %q vanished after reload", service.ErrUnknownShard, req.Shard))
+}
+
+// loadModel reads one model artifact from disk.
+func loadModel(path string) (*pmuoutage.Model, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", errBadRequest, err)
+	}
+	defer func() { _ = f.Close() }()
+	return pmuoutage.DecodeModel(f)
 }
 
 func (s *server) handleShards(w http.ResponseWriter, r *http.Request) {
@@ -145,6 +201,9 @@ func statusOf(err error) int {
 	case errors.Is(err, pmuoutage.ErrBadSample),
 		errors.Is(err, pmuoutage.ErrBadLine),
 		errors.Is(err, pmuoutage.ErrUnknownCase),
+		errors.Is(err, pmuoutage.ErrBadModel),
+		errors.Is(err, pmuoutage.ErrModelVersion),
+		errors.Is(err, service.ErrConfig),
 		errors.Is(err, errBadRequest):
 		return http.StatusBadRequest
 	case errors.Is(err, service.ErrOverloaded):
@@ -172,34 +231,6 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	// The response status is already committed; an encode error here
 	// only means the client went away.
 	_ = json.NewEncoder(w).Encode(v)
-}
-
-// postDetect round-trips one detect request as a real client (used by
-// the -smoke self-test).
-func postDetect(ctx context.Context, base, shard string, samples []pmuoutage.Sample) ([]*pmuoutage.Report, error) {
-	body, err := json.Marshal(detectRequest{Shard: shard, Samples: samples})
-	if err != nil {
-		return nil, err
-	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+"/v1/detect", bytes.NewReader(body))
-	if err != nil {
-		return nil, err
-	}
-	req.Header.Set("Content-Type", "application/json")
-	resp, err := http.DefaultClient.Do(req)
-	if err != nil {
-		return nil, err
-	}
-	defer func() { _ = resp.Body.Close() }()
-	if resp.StatusCode != http.StatusOK {
-		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 1024))
-		return nil, fmt.Errorf("detect: HTTP %d: %s", resp.StatusCode, msg)
-	}
-	var out detectResponse
-	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
-		return nil, err
-	}
-	return out.Reports, nil
 }
 
 // compareReports asserts the served reports are identical to the

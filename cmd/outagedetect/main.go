@@ -31,6 +31,8 @@ func main() {
 	clusters := flag.Int("clusters", 0, "PDC clusters (default max(3, N/10))")
 	trainFrac := flag.Float64("train", 0.7, "training fraction of each sample window")
 	seed := flag.Int64("seed", 1, "seed for splits and random masks")
+	saveModel := flag.String("save-model", "", "write the trained detector as a versioned model artifact")
+	loadModel := flag.String("load-model", "", "evaluate a saved model artifact instead of training")
 	verbose := flag.Bool("v", false, "print per-line results")
 	flag.Parse()
 
@@ -38,13 +40,13 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*dataPath, *pattern, *k, *clusters, *trainFrac, *seed, *verbose); err != nil {
+	if err := run(*dataPath, *pattern, *k, *clusters, *trainFrac, *seed, *saveModel, *loadModel, *verbose); err != nil {
 		fmt.Fprintln(os.Stderr, "outagedetect:", err)
 		os.Exit(1)
 	}
 }
 
-func run(dataPath, pattern string, k, clusters int, trainFrac float64, seed int64, verbose bool) error {
+func run(dataPath, pattern string, k, clusters int, trainFrac float64, seed int64, saveModel, loadModel string, verbose bool) error {
 	f, err := os.Open(dataPath)
 	if err != nil {
 		return err
@@ -92,14 +94,30 @@ func run(dataPath, pattern string, k, clusters int, trainFrac float64, seed int6
 			clusters = 3
 		}
 	}
-	nw, err := pmunet.Build(g, clusters)
-	if err != nil {
-		return err
+	var det *detect.Detector
+	if loadModel != "" {
+		if det, err = readDetector(loadModel); err != nil {
+			return err
+		}
+		if det.Grid().N() != g.N() {
+			return fmt.Errorf("model %s has %d buses, dataset %s has %d", loadModel, det.Grid().N(), g.Name, g.N())
+		}
+	} else {
+		nw, err := pmunet.Build(g, clusters)
+		if err != nil {
+			return err
+		}
+		if det, err = detect.Train(train, nw, detect.Config{}); err != nil {
+			return err
+		}
+		if saveModel != "" {
+			if err := writeDetector(det, saveModel); err != nil {
+				return err
+			}
+			fmt.Printf("model    saved to %s\n", saveModel)
+		}
 	}
-	det, err := detect.Train(train, nw, detect.Config{})
-	if err != nil {
-		return err
-	}
+	nw := det.Network()
 
 	rng := rand.New(rand.NewSource(seed + 13))
 	maskFor := func(e grid.Line) pmunet.Mask {
@@ -156,4 +174,37 @@ func run(dataPath, pattern string, k, clusters int, trainFrac float64, seed int6
 	fmt.Printf("outages  %s\n", total.String())
 	fmt.Printf("normal   %s\n", normal.String())
 	return nil
+}
+
+// writeDetector snapshots the trained detector into the versioned,
+// fingerprinted artifact format.
+func writeDetector(det *detect.Detector, path string) error {
+	m, err := det.Snapshot()
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := m.Encode(f); err != nil {
+		_ = f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// readDetector rebuilds a detector from a saved artifact, verifying
+// version, fingerprint, and structure.
+func readDetector(path string) (*detect.Detector, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	m, err := detect.DecodeModel(f)
+	if err != nil {
+		return nil, err
+	}
+	return detect.FromModel(m)
 }

@@ -31,7 +31,7 @@ func writeDataset(t *testing.T) string {
 func TestRunPatterns(t *testing.T) {
 	path := writeDataset(t)
 	for _, pattern := range []string{"none", "outage", "random", "cluster"} {
-		if err := run(path, pattern, 2, 3, 0.7, 1, false); err != nil {
+		if err := run(path, pattern, 2, 3, 0.7, 1, "", "", false); err != nil {
 			t.Fatalf("pattern %s: %v", pattern, err)
 		}
 	}
@@ -39,10 +39,29 @@ func TestRunPatterns(t *testing.T) {
 
 func TestRunBadInputs(t *testing.T) {
 	path := writeDataset(t)
-	if err := run(path, "bogus", 2, 3, 0.7, 1, false); err == nil {
+	if err := run(path, "bogus", 2, 3, 0.7, 1, "", "", false); err == nil {
 		t.Fatal("expected unknown-pattern error")
 	}
-	if err := run("/does/not/exist.json", "none", 2, 3, 0.7, 1, false); err == nil {
+	if err := run("/does/not/exist.json", "none", 2, 3, 0.7, 1, "", "", false); err == nil {
 		t.Fatal("expected open error")
+	}
+}
+
+// TestSaveLoadModel: -save-model writes an artifact the -load-model
+// path can evaluate without retraining.
+func TestSaveLoadModel(t *testing.T) {
+	path := writeDataset(t)
+	model := filepath.Join(t.TempDir(), "m.json")
+	if err := run(path, "none", 2, 3, 0.7, 1, model, "", false); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(model); err != nil {
+		t.Fatalf("artifact not written: %v", err)
+	}
+	if err := run(path, "outage", 2, 3, 0.7, 1, "", model, false); err != nil {
+		t.Fatalf("evaluating saved model: %v", err)
+	}
+	if err := run(path, "none", 2, 3, 0.7, 1, "", "/does/not/exist.model", false); err == nil {
+		t.Fatal("expected error for missing model artifact")
 	}
 }

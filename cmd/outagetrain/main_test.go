@@ -1,0 +1,69 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"pmuoutage"
+)
+
+// TestTrainSaveDescribeServe is the CLI round trip: train and save an
+// artifact, describe it back (which fully decodes and verifies it), and
+// serve it — byte-identical to a system trained directly.
+func TestTrainSaveDescribeServe(t *testing.T) {
+	opts := pmuoutage.Options{Case: "ieee14", TrainSteps: 12, Seed: 3, UseDC: true, Workers: 2}
+	path := filepath.Join(t.TempDir(), "m.json")
+
+	var out bytes.Buffer
+	if err := runTrain(context.Background(), &out, opts, path); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "saved    "+path) || !strings.Contains(out.String(), "case     ieee14") {
+		t.Fatalf("train output:\n%s", out.String())
+	}
+
+	var desc bytes.Buffer
+	if err := runDescribe(&desc, path); err != nil {
+		t.Fatal(err)
+	}
+	ref, err := pmuoutage.TrainModel(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(desc.String(), ref.Fingerprint()) {
+		t.Fatalf("describe output lacks the expected fingerprint %s:\n%s", ref.Fingerprint(), desc.String())
+	}
+
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	m, err := pmuoutage.DecodeModel(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Fingerprint() != ref.Fingerprint() {
+		t.Fatalf("saved model fingerprint %s, direct training %s", m.Fingerprint(), ref.Fingerprint())
+	}
+	if _, err := pmuoutage.NewSystemFromModel(m); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDescribeRejectsCorruptArtifact: describe decodes strictly, so a
+// tampered file fails rather than printing bogus metadata.
+func TestDescribeRejectsCorruptArtifact(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(path, []byte(`{"format_version":1}`), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := runDescribe(&out, path); err == nil {
+		t.Fatal("describe accepted a corrupt artifact")
+	}
+}

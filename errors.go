@@ -25,4 +25,13 @@ var (
 	// ErrBadScores reports a Scores vector that cannot be decoded from
 	// its JSON wire form.
 	ErrBadScores = errors.New("pmuoutage: bad score vector")
+
+	// ErrBadModel reports a model artifact that cannot be decoded or
+	// served: unparsable content, a failed fingerprint check, missing
+	// facade metadata, or structural inconsistency in the learned state.
+	ErrBadModel = errors.New("pmuoutage: bad model artifact")
+
+	// ErrModelVersion reports a model artifact written under a different
+	// (newer or older) format version than this build understands.
+	ErrModelVersion = errors.New("pmuoutage: model format version mismatch")
 )

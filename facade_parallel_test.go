@@ -2,9 +2,32 @@ package pmuoutage
 
 import (
 	"context"
+	"encoding/json"
 	"reflect"
 	"testing"
 )
+
+// fingerprintIgnoringWorkers seals a copy of the system's model with
+// the Workers knob (runtime configuration, not learned state) zeroed in
+// both the detector config and the embedded facade options, and returns
+// the resulting content fingerprint. Equal fingerprints mean the
+// learned state is byte-identical.
+func fingerprintIgnoringWorkers(t *testing.T, s *System) string {
+	t.Helper()
+	dm := *s.model.dm
+	dm.Config.Workers = 0
+	opts := s.model.opts
+	opts.Workers = 0
+	extra, err := json.Marshal(modelMeta{Options: opts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dm.Extra = extra
+	if err := dm.Seal(); err != nil {
+		t.Fatal(err)
+	}
+	return dm.Fingerprint
+}
 
 // TestNewSystemWorkersEquivalence pins the facade determinism contract:
 // a system trained with Workers=8 is indistinguishable from Workers=1.
@@ -22,11 +45,11 @@ func TestNewSystemWorkersEquivalence(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// The trained state splits into the generated data (comparable
-	// directly) and the detector (which embeds its config, including the
-	// differing Workers knob — compare it by behavior instead).
-	if !reflect.DeepEqual(s1.data, s8.data) {
-		t.Fatal("training data generated with Workers=8 differ from Workers=1")
+	// The learned state is compared at the artifact level: with the
+	// Workers knob (the only intentional difference) masked out, the two
+	// models must fingerprint identically.
+	if f1, f8 := fingerprintIgnoringWorkers(t, s1), fingerprintIgnoringWorkers(t, s8); f1 != f8 {
+		t.Fatalf("model trained with Workers=8 fingerprints %s, Workers=1 %s", f8, f1)
 	}
 	for _, e := range s1.ValidLines() {
 		samples, err := s1.SimulateOutage([]int{e}, 1)

@@ -8,7 +8,8 @@ import (
 )
 
 // ApiErr enforces the facade's typed-error contract in the public API
-// packages (the pmuoutage facade and the service layer): errors that
+// packages (the pmuoutage facade, the service layer, and the HTTP
+// client): errors that
 // cross the API boundary must wrap a package-level sentinel so callers
 // can branch with errors.Is/errors.As and transports can map them to
 // status codes. It flags, inside those packages only,
@@ -32,6 +33,7 @@ var ApiErr = &Analyzer{
 var apiErrPackages = map[string]bool{
 	"pmuoutage": true,
 	"service":   true,
+	"client":    true,
 }
 
 func runApiErr(pass *Pass) error {

@@ -23,6 +23,7 @@ var goldenDirs = map[string]string{
 	"goroutineleak": "goroutineleak",
 	"locksmell":     "locksmell",
 	"dimcheck":      "dimcheck",
+	"modelio":       "modelio",
 	"suppress":      "floatcmp",
 }
 

@@ -21,51 +21,51 @@ type Config struct {
 	// Channel selects the phasor series for subspace learning. Angle is
 	// the default: topology changes redistribute flows and therefore
 	// angles, in both AC and DC data.
-	Channel dataset.Channel
+	Channel dataset.Channel `json:"channel"`
 	// LineRank is the dimension kept per line-outage subspace (Eq. 2).
-	LineRank int
+	LineRank int `json:"line_rank"`
 	// S0Rank caps the dimension of the normal-operation subspace S⁰ —
 	// the dominant correlated load-variation directions learned from
 	// normal deviations. Directions below S0EnergyFrac of the top
 	// singular value are dropped.
-	S0Rank int
+	S0Rank int `json:"s0_rank"`
 	// S0EnergyFrac is the relative singular-value cutoff for S⁰.
-	S0EnergyFrac float64
+	S0EnergyFrac float64 `json:"s0_energy_frac"`
 	// InterShare is the shared-direction threshold for S_i^∩.
-	InterShare float64
+	InterShare float64 `json:"inter_share"`
 	// EllipseMargin scales the normal-operation ellipses (Eq. 4).
-	EllipseMargin float64
+	EllipseMargin float64 `json:"ellipse_margin"`
 	// UseMVEE fits minimum-volume enclosing ellipses (Khachiyan) instead
 	// of the covariance-scaled approximation — tighter around skewed
 	// training clouds, a little slower to fit (ablation option).
-	UseMVEE bool
+	UseMVEE bool `json:"use_mvee"`
 	// Groups configures detection-group formation.
-	Groups GroupConfig
+	Groups GroupConfig `json:"groups"`
 	// NoOutageSlack multiplies the calibrated normal-deviation energy
 	// threshold; samples below it are declared outage-free.
-	NoOutageSlack float64
+	NoOutageSlack float64 `json:"no_outage_slack"`
 	// GapFactor bounds the scaled-proximity spread of candidate nodes:
 	// the sorted prefix ends at the first jump beyond this factor.
-	GapFactor float64
+	GapFactor float64 `json:"gap_factor"`
 	// LineKeepFactor keeps candidate lines whose per-line subspace
 	// proximity is within this factor of the best line.
-	LineKeepFactor float64
+	LineKeepFactor float64 `json:"line_keep_factor"`
 	// MaxCandidates caps the candidate node set of the proximity rule.
-	MaxCandidates int
+	MaxCandidates int `json:"max_candidates"`
 	// MaxLines caps |F̂|: only the best-scoring lines survive. Real
 	// events rarely outage more than a handful of lines at once, and an
 	// ambiguous flat proximity spectrum must not flood the operator.
-	MaxLines int
+	MaxLines int `json:"max_lines"`
 	// UseRegressorProximity switches Eq. (9) to the literal regressor
 	// formulation (ablation; see DESIGN.md).
-	UseRegressorProximity bool
+	UseRegressorProximity bool `json:"use_regressor_proximity"`
 	// DisableScaling turns off the Eq. (11) ratio scaling (ablation).
-	DisableScaling bool
+	DisableScaling bool `json:"disable_scaling"`
 	// Workers bounds the parallelism of training's per-line and per-node
 	// stages (0 = GOMAXPROCS). The trained detector is byte-identical
 	// for every worker count: each line/node computes from its own data
 	// and lands at its own index.
-	Workers int
+	Workers int `json:"workers"`
 }
 
 func (c Config) withDefaults() Config {
@@ -159,23 +159,38 @@ func TrainContext(ctx context.Context, d *dataset.Data, nw *pmunet.Network, cfg 
 		validLines: append([]grid.Line(nil), d.ValidLines...),
 	}
 
-	// Normal-operation mean in channel space.
-	det.mean = make([]float64, dim)
-	for _, s := range d.Normal.Samples {
-		v := s.Vector(ch)
-		for i := range det.mean {
-			det.mean[i] += v[i]
-		}
+	// Normal-operation mean in channel space. The channel vectors
+	// materialise one per worker slot, then each feature accumulates
+	// over them in time order — the identical per-feature operation
+	// sequence as a sequential pass, so the mean is byte-for-byte the
+	// same for every worker count.
+	vecs, err := par.Map(ctx, cfg.Workers, d.Normal.T(), func(_ context.Context, t int) ([]float64, error) {
+		return d.Normal.Samples[t].Vector(ch), nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	for i := range det.mean {
-		det.mean[i] /= float64(d.Normal.T())
+	det.mean = make([]float64, dim)
+	err = par.ForEach(ctx, cfg.Workers, dim, func(_ context.Context, i int) error {
+		var sum float64
+		for _, v := range vecs {
+			sum += v[i]
+		}
+		det.mean[i] = sum / float64(d.Normal.T())
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 
 	// Normal-operation subspace S⁰ (Eq. 2 on X⁰): the directions along
 	// which correlated load variation moves the deviation vector. Without
 	// it, ordinary load swings are indistinguishable from weak outages.
 	{
-		x0 := det.deviationMatrix(d.Normal)
+		x0, err := det.deviationMatrixContext(ctx, cfg.Workers, d.Normal)
+		if err != nil {
+			return nil, err
+		}
 		svd := mat.FactorSVD(x0)
 		k := 0
 		for _, v := range svd.S {
@@ -259,19 +274,25 @@ func TrainContext(ctx context.Context, d *dataset.Data, nw *pmunet.Network, cfg 
 	gcfg.Channel = ch
 	if gcfg.Mix < 1 {
 		// Pool all outage deviations and take the dominant left singular
-		// vectors as PCA loadings for the naive orthogonal choice.
+		// vectors as PCA loadings for the naive orthogonal choice. Column
+		// offsets are fixed per line up front, so each line's deviation
+		// block lands at its own columns regardless of worker count.
+		offsets := make([]int, len(d.ValidLines))
 		total := 0
-		for _, e := range d.ValidLines {
+		for k, e := range d.ValidLines {
+			offsets[k] = total
 			total += d.Outages[e].T()
 		}
 		pool := mat.NewDense(dim, total)
-		c := 0
-		for _, e := range d.ValidLines {
-			x := det.deviationMatrix(d.Outages[e])
+		err = par.ForEach(ctx, cfg.Workers, len(d.ValidLines), func(_ context.Context, k int) error {
+			x := det.deviationMatrix(d.Outages[d.ValidLines[k]])
 			for t := 0; t < x.Cols(); t++ {
-				pool.SetCol(c, x.Col(t))
-				c++
+				pool.SetCol(offsets[k]+t, x.Col(t))
 			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
 		}
 		svd := mat.FactorSVD(pool)
 		k := 5
@@ -311,16 +332,43 @@ func TrainContext(ctx context.Context, d *dataset.Data, nw *pmunet.Network, cfg 
 	det.groups = groups
 
 	// Calibrate the no-outage threshold: the largest per-feature
-	// deviation energy seen across normal training samples.
+	// deviation energy seen across normal training samples. Each
+	// sample's energy is independent and the maximum is order-free, so
+	// the fan-out cannot change the calibrated value.
+	energies, err := par.Map(ctx, cfg.Workers, d.Normal.T(), func(_ context.Context, t int) (float64, error) {
+		return det.deviationEnergy(d.Normal.Samples[t]), nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	var maxE float64
-	for _, s := range d.Normal.Samples {
-		e := det.deviationEnergy(s)
+	for _, e := range energies {
 		if e > maxE {
 			maxE = e
 		}
 	}
 	det.noOutageThresh = maxE * cfg.NoOutageSlack
 	return det, nil
+}
+
+// deviationMatrixContext is deviationMatrix with the per-sample column
+// construction fanned out over workers: each column is owned by exactly
+// one item, so the matrix is identical for every worker count.
+func (det *Detector) deviationMatrixContext(ctx context.Context, workers int, set *dataset.Set) (*mat.Dense, error) {
+	dim := len(det.mean)
+	x := mat.NewDense(dim, set.T())
+	err := par.ForEach(ctx, workers, set.T(), func(_ context.Context, t int) error {
+		v := set.Samples[t].Vector(det.cfg.Channel)
+		for i := range v {
+			v[i] -= det.mean[i]
+		}
+		x.SetCol(t, v)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return x, nil
 }
 
 // deviationMatrix converts a sample set into centered channel vectors.

@@ -16,8 +16,8 @@ import (
 // alternative D_C(C̄) used when any cluster measurement is missing
 // (Eqs. 8 and 10). Members are bus indices.
 type Group struct {
-	InCluster  []int
-	OutCluster []int
+	InCluster  []int `json:"in_cluster"`
+	OutCluster []int `json:"out_cluster"`
 }
 
 // Select implements Eq. (10): pick the out-of-cluster members when any
@@ -33,15 +33,15 @@ func (g *Group) Select(clusterMissing bool) []int {
 type GroupConfig struct {
 	// Size is the target member count per group side; 0 derives it from
 	// the grid size (at least 4, roughly N/6).
-	Size int
+	Size int `json:"size"`
 	// Mix is the fraction of members chosen by learned capability
 	// (Eq. 8); the rest come from the naive PCA-orthogonality choice.
 	// Mix = 1 is the paper's proposed group (Fig. 4's x-axis). Through
 	// detect.Config the zero value selects the default of 1; pass a
 	// negative Mix to request the pure naive (orthogonal-only) group.
-	Mix float64
+	Mix float64 `json:"mix"`
 	// Channel maps buses to feature rows for the PCA loadings.
-	Channel dataset.Channel
+	Channel dataset.Channel `json:"channel"`
 }
 
 func (c GroupConfig) withDefaults(n int) GroupConfig {

@@ -1,0 +1,202 @@
+package detect
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+
+	"pmuoutage/internal/dataset"
+)
+
+// snapshotFixture trains the golden fixture and snapshots it.
+func snapshotFixture(t *testing.T) (*Detector, *Model, *dataset.Data) {
+	t.Helper()
+	det, d := trainFixture(t, 0)
+	m, err := det.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return det, m, d
+}
+
+// detectAll runs the detector over the first sample of every valid line
+// plus one normal sample and returns the results.
+func detectAll(t *testing.T, det *Detector, d *dataset.Data) []*Result {
+	t.Helper()
+	var out []*Result
+	samples := []dataset.Sample{d.Normal.Samples[0]}
+	for _, e := range d.ValidLines {
+		samples = append(samples, d.Outages[e].Samples[0])
+	}
+	for _, s := range samples {
+		r, err := det.Detect(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+// TestModelRoundTripDetectsIdentically is the golden guarantee of the
+// artifact layer: Decode(Encode(Snapshot(det))) must detect
+// byte-identically to the trained detector, and a second encode of the
+// decoded model must reproduce the artifact bytes exactly.
+func TestModelRoundTripDetectsIdentically(t *testing.T) {
+	det, m, d := snapshotFixture(t)
+
+	var buf bytes.Buffer
+	if err := m.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	artifact := append([]byte(nil), buf.Bytes()...)
+
+	m2, err := DecodeModel(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.Fingerprint != m.Fingerprint {
+		t.Fatalf("fingerprint changed over the wire: %s vs %s", m2.Fingerprint, m.Fingerprint)
+	}
+	det2, err := FromModel(m2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := detectAll(t, det, d)
+	got := detectAll(t, det2, d)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("decoded model detects differently from the trained detector")
+	}
+
+	var buf2 bytes.Buffer
+	if err := m2.Encode(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf2.Bytes(), artifact) {
+		t.Fatal("re-encoding a decoded model does not reproduce the artifact bytes")
+	}
+}
+
+// TestModelFromModelSharesBehavior checks the in-memory path (no codec):
+// FromModel(Snapshot(det)) equals det in behavior and in learned state.
+func TestModelFromModelSharesBehavior(t *testing.T) {
+	det, m, d := snapshotFixture(t)
+	det2, err := FromModel(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if det2.NoOutageThreshold() != det.NoOutageThreshold() { //gridlint:ignore floatcmp byte-identity is the contract under test
+		t.Fatal("threshold changed through Snapshot/FromModel")
+	}
+	if !reflect.DeepEqual(detectAll(t, det2, d), detectAll(t, det, d)) {
+		t.Fatal("FromModel detector behaves differently")
+	}
+}
+
+// TestModelWorkersEquivalence pins training determinism at the artifact
+// level: any worker count must produce the same fingerprint once the
+// config's Workers knob (runtime, not learned state) is aligned.
+func TestModelWorkersEquivalence(t *testing.T) {
+	base, _ := trainFixture(t, 1)
+	bm, err := base.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{0, 8} {
+		det, _ := trainFixture(t, workers)
+		m, err := det.Snapshot()
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.Config.Workers = bm.Config.Workers
+		if err := m.Seal(); err != nil {
+			t.Fatal(err)
+		}
+		if m.Fingerprint != bm.Fingerprint {
+			t.Fatalf("workers=%d: model fingerprint %s differs from sequential %s",
+				workers, m.Fingerprint, bm.Fingerprint)
+		}
+	}
+}
+
+// TestDecodeModelVersionMismatch: artifacts from another format version
+// are rejected with ErrModelVersion, not half-read.
+func TestDecodeModelVersionMismatch(t *testing.T) {
+	_, m, _ := snapshotFixture(t)
+	var buf bytes.Buffer
+	if err := m.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Rewrite the version field through generic JSON so the fingerprint
+	// is not what trips the check.
+	var raw map[string]json.RawMessage
+	if err := json.Unmarshal(buf.Bytes(), &raw); err != nil {
+		t.Fatal(err)
+	}
+	raw["format_version"] = json.RawMessage("99")
+	tampered, err := json.Marshal(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeModel(bytes.NewReader(tampered)); !errors.Is(err, ErrModelVersion) {
+		t.Fatalf("decoding version 99 artifact: got %v, want ErrModelVersion", err)
+	}
+	if err := (&Model{FormatVersion: 99}).Encode(&bytes.Buffer{}); !errors.Is(err, ErrModelVersion) {
+		t.Fatalf("encoding foreign version: got %v, want ErrModelVersion", err)
+	}
+}
+
+// TestDecodeModelCorruption: truncation, bit flips, and fingerprint
+// tampering all surface as ErrModelCorrupt.
+func TestDecodeModelCorruption(t *testing.T) {
+	_, m, _ := snapshotFixture(t)
+	var buf bytes.Buffer
+	if err := m.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	artifact := buf.String()
+
+	t.Run("truncated", func(t *testing.T) {
+		if _, err := DecodeModel(strings.NewReader(artifact[:len(artifact)/2])); !errors.Is(err, ErrModelCorrupt) {
+			t.Fatalf("got %v, want ErrModelCorrupt", err)
+		}
+	})
+	t.Run("not json", func(t *testing.T) {
+		if _, err := DecodeModel(strings.NewReader("not a model")); !errors.Is(err, ErrModelCorrupt) {
+			t.Fatalf("got %v, want ErrModelCorrupt", err)
+		}
+	})
+	t.Run("flipped payload", func(t *testing.T) {
+		// Corrupt the threshold value: the artifact stays valid JSON but
+		// the content no longer hashes to the recorded fingerprint.
+		tampered := strings.Replace(artifact, `"no_outage_threshold":`, `"no_outage_threshold":1e9,"x":`, 1)
+		if tampered == artifact {
+			t.Fatal("tamper target not found")
+		}
+		if _, err := DecodeModel(strings.NewReader(tampered)); !errors.Is(err, ErrModelCorrupt) {
+			t.Fatalf("got %v, want ErrModelCorrupt", err)
+		}
+	})
+	t.Run("forged fingerprint", func(t *testing.T) {
+		tampered := strings.Replace(artifact, m.Fingerprint, strings.Repeat("0", len(m.Fingerprint)), 1)
+		if tampered == artifact {
+			t.Fatal("tamper target not found")
+		}
+		if _, err := DecodeModel(strings.NewReader(tampered)); !errors.Is(err, ErrModelCorrupt) {
+			t.Fatalf("got %v, want ErrModelCorrupt", err)
+		}
+	})
+}
+
+// TestModelValidateRejectsInconsistency: a structurally broken model
+// (consistent fingerprint, wrong shapes) is rejected by FromModel.
+func TestModelValidateRejectsInconsistency(t *testing.T) {
+	_, m, _ := snapshotFixture(t)
+	m.Mean = m.Mean[:len(m.Mean)-1]
+	if _, err := FromModel(m); !errors.Is(err, ErrModelCorrupt) {
+		t.Fatalf("got %v, want ErrModelCorrupt", err)
+	}
+}

@@ -40,24 +40,29 @@ func (t BusType) String() string {
 // Bus is one power node. Power values are in per-unit on the system MVA
 // base; voltages are per-unit magnitudes and radian angles.
 type Bus struct {
-	ID     int     // external bus number (1-based in IEEE cases)
-	Type   BusType // PQ, PV or slack
-	Pd, Qd float64 // active/reactive demand (load)
-	Pg, Qg float64 // active/reactive generation
-	Gs, Bs float64 // shunt conductance/susceptance
-	Vm     float64 // voltage magnitude set point / initial guess
-	Va     float64 // voltage angle (radians) initial guess
+	ID   int     `json:"id"`   // external bus number (1-based in IEEE cases)
+	Type BusType `json:"type"` // PQ, PV or slack
+	Pd   float64 `json:"pd"`   // active demand (load)
+	Qd   float64 `json:"qd"`   // reactive demand
+	Pg   float64 `json:"pg"`   // active generation
+	Qg   float64 `json:"qg"`   // reactive generation
+	Gs   float64 `json:"gs"`   // shunt conductance
+	Bs   float64 `json:"bs"`   // shunt susceptance
+	Vm   float64 `json:"vm"`   // voltage magnitude set point / initial guess
+	Va   float64 `json:"va"`   // voltage angle (radians) initial guess
 }
 
 // Branch is one power line (or transformer) between two buses, indexed by
 // internal (0-based) bus positions.
 type Branch struct {
-	From, To int     // internal bus indices
-	R, X     float64 // series resistance and reactance (p.u.)
-	B        float64 // total line charging susceptance (p.u.)
-	Tap      float64 // off-nominal turns ratio; 0 or 1 means none
-	Shift    float64 // phase shift angle (radians)
-	Status   bool    // in service?
+	From   int     `json:"from"`   // internal bus index
+	To     int     `json:"to"`     // internal bus index
+	R      float64 `json:"r"`      // series resistance (p.u.)
+	X      float64 `json:"x"`      // series reactance (p.u.)
+	B      float64 `json:"b"`      // total line charging susceptance (p.u.)
+	Tap    float64 `json:"tap"`    // off-nominal turns ratio; 0 or 1 means none
+	Shift  float64 `json:"shift"`  // phase shift angle (radians)
+	Status bool    `json:"status"` // in service?
 }
 
 // Admittance returns the series admittance of the branch.
@@ -71,10 +76,10 @@ func (br *Branch) Admittance() complex128 {
 
 // Grid is a complete power network description.
 type Grid struct {
-	Name     string
-	BaseMVA  float64
-	Buses    []Bus
-	Branches []Branch
+	Name     string   `json:"name"`
+	BaseMVA  float64  `json:"base_mva"`
+	Buses    []Bus    `json:"buses"`
+	Branches []Branch `json:"branches"`
 }
 
 // Line identifies a power line e_{i,j} by its internal branch index.

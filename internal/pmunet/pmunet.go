@@ -107,6 +107,44 @@ func Build(g *grid.Grid, nClusters int) (*Network, error) {
 	return &Network{G: g, Clusters: clusters, cluster: assign}, nil
 }
 
+// FromClusters reconstructs a Network from an explicit PDC partition —
+// the decode path of a serialized detection model, where the clusters
+// learned at training time must be restored exactly rather than
+// re-derived from the grid. The partition must cover every bus exactly
+// once; member lists are kept in the given order (Build emits them
+// sorted, and codecs preserve that).
+func FromClusters(g *grid.Grid, clusters [][]int) (*Network, error) {
+	n := g.N()
+	if len(clusters) == 0 {
+		return nil, fmt.Errorf("pmunet: empty cluster partition")
+	}
+	assign := make([]int, n)
+	for i := range assign {
+		assign[i] = -1
+	}
+	for c, members := range clusters {
+		for _, b := range members {
+			if b < 0 || b >= n {
+				return nil, fmt.Errorf("pmunet: cluster %d member %d out of range %d", c, b, n)
+			}
+			if assign[b] >= 0 {
+				return nil, fmt.Errorf("pmunet: bus %d assigned to clusters %d and %d", b, assign[b], c)
+			}
+			assign[b] = c
+		}
+	}
+	for b, c := range assign {
+		if c < 0 {
+			return nil, fmt.Errorf("pmunet: bus %d missing from the cluster partition", b)
+		}
+	}
+	copied := make([][]int, len(clusters))
+	for c, members := range clusters {
+		copied[c] = append([]int(nil), members...)
+	}
+	return &Network{G: g, Clusters: copied, cluster: assign}, nil
+}
+
 // ClusterOf returns the PDC cluster index of a bus.
 func (nw *Network) ClusterOf(bus int) int { return nw.cluster[bus] }
 

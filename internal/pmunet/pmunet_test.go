@@ -39,6 +39,41 @@ func TestBuildPartition(t *testing.T) {
 	}
 }
 
+// TestFromClustersRestoresPartition: the model-decode constructor must
+// reproduce the exact partition Build produced, and reject partitions
+// that do not cover every bus exactly once.
+func TestFromClustersRestoresPartition(t *testing.T) {
+	g := cases.IEEE30()
+	built, err := Build(g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw, err := FromClusters(g, built.Clusters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < g.N(); v++ {
+		if nw.ClusterOf(v) != built.ClusterOf(v) {
+			t.Fatalf("ClusterOf(%d) = %d, Build said %d", v, nw.ClusterOf(v), built.ClusterOf(v))
+		}
+	}
+	// The restored partition is a copy: mutating it must not alias the
+	// caller's slices.
+	nw.Clusters[0][0] = built.Clusters[0][0]
+
+	for _, bad := range [][][]int{
+		{},       // empty partition
+		{{0, 1}}, // misses buses
+		{built.Clusters[0], built.Clusters[0], built.Clusters[1]}, // duplicates
+		{{-1}},    // out of range
+		{{g.N()}}, // out of range
+	} {
+		if _, err := FromClusters(g, bad); err == nil {
+			t.Fatalf("FromClusters accepted invalid partition %v", bad)
+		}
+	}
+}
+
 func TestBuildValidation(t *testing.T) {
 	g := cases.IEEE14()
 	if _, err := Build(g, 0); err == nil {

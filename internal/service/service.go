@@ -59,11 +59,22 @@ func Retryable(err error) bool {
 	return errors.Is(err, ErrUnavailable) || errors.Is(err, ErrOverloaded)
 }
 
-// ShardSpec names one shard and the system it trains — typically one
+// ShardSpec names one shard and the system it serves — typically one
 // grid case or region per shard.
 type ShardSpec struct {
 	Name string
+	// Opts configures training when no Model is pinned (and remains the
+	// retrain recipe for Reload with a nil model).
 	Opts pmuoutage.Options
+	// Model, when non-nil, is a pre-trained artifact the shard boots
+	// from instead of training — the serve-from-artifact path. Rebuilds
+	// after Kill reuse it.
+	Model *pmuoutage.Model
+	// Replicas is the number of concurrent serve loops (queues +
+	// batchers) sharing the shard's model; 0 means 1. Replicas change
+	// throughput, never results: each request is routed whole to the
+	// least-loaded replica and scored by the same immutable model.
+	Replicas int
 }
 
 // Config configures New.
@@ -138,6 +149,9 @@ func New(ctx context.Context, cfg Config) (*Service, error) {
 		}
 		if names[spec.Name] {
 			return nil, fmt.Errorf("%w: duplicate shard %q", ErrConfig, spec.Name)
+		}
+		if spec.Replicas < 0 {
+			return nil, fmt.Errorf("%w: shard %q has negative replica count %d", ErrConfig, spec.Name, spec.Replicas)
 		}
 		names[spec.Name] = true
 	}
@@ -217,6 +231,29 @@ func (s *Service) System(name string) (*pmuoutage.System, error) {
 	return nil, sh.availErr()
 }
 
+// Reload hot-swaps the named shard onto a new model. With a non-nil
+// model it must match the serving grid (bus count); with nil the shard
+// retrains from its spec's Options in the calling goroutine — in both
+// cases the shard keeps serving the old model until the instant of the
+// swap, queued requests are never dropped, and every batch is scored by
+// exactly one model (old or new, never mixed). The swapped-in model is
+// pinned for future supervisor rebuilds. Reloading a shard that is not
+// ready fails with its availability error; the caller retries once the
+// supervisor has it serving again.
+func (s *Service) Reload(ctx context.Context, shardName string, m *pmuoutage.Model) error {
+	sh, err := s.shard(shardName)
+	if err != nil {
+		return err
+	}
+	if m == nil {
+		m, err = pmuoutage.TrainModelContext(ctx, sh.spec.Opts)
+		if err != nil {
+			return err
+		}
+	}
+	return sh.reload(m)
+}
+
 // Kill marks a ready shard failed: its queue drains with ErrUnavailable
 // and the supervisor rebuilds it after the restart backoff. Requests to
 // every other shard are unaffected. Killing a shard that is not ready
@@ -250,6 +287,13 @@ type ShardStatus struct {
 	Lines      int    `json:"lines,omitempty"`
 	Restarts   uint64 `json:"restarts"`
 	QueueDepth int    `json:"queue_depth"`
+	// Replicas is the number of serve loops sharing the shard's model.
+	Replicas int `json:"replicas"`
+	// Generation counts model activations (initial training, rebuilds,
+	// hot reloads); it bumps exactly when Model may have changed.
+	Generation uint64 `json:"generation"`
+	// Model is the serving model's content fingerprint.
+	Model string `json:"model,omitempty"`
 }
 
 // Shards snapshots every shard's status in configuration order.

@@ -39,7 +39,7 @@ func (s State) String() string {
 	}
 }
 
-// queueCap is the hard capacity of every per-shard request queue. The
+// queueCap is the hard capacity of every per-replica request queue. The
 // soft, sample-counted shed bound is Config.QueueDepth; this constant
 // only backstops it so the channel's make site stays auditable.
 const queueCap = 256
@@ -48,6 +48,7 @@ const queueCap = 256
 type request struct {
 	ctx     context.Context
 	samples []pmuoutage.Sample
+	rep     *replica      // the replica the request was routed to
 	done    chan response // buffered(1): the batcher never blocks on delivery
 }
 
@@ -56,29 +57,58 @@ type response struct {
 	err     error
 }
 
-// shard is one trained system plus its queue, batcher, and supervisor
-// state.
+// replica is one serve loop of a shard. Replicas share the shard's
+// current system (an immutable model behind an atomic pointer) but own
+// independent queues and batch loops, so K replicas coalesce and score
+// up to K batches of one shard's traffic concurrently. The inflight
+// gauge drives least-loaded routing.
+type replica struct {
+	id       int
+	reqs     chan *request
+	inflight atomic.Int64 // samples routed here and not yet answered
+}
+
+// shard is one trained system plus its replicas, supervisor state, and
+// hot-reload machinery.
 type shard struct {
 	svc  *Service
 	spec ShardSpec
 
-	reqs  chan *request
-	depth atomic.Int64 // samples admitted but not yet answered
+	replicas []*replica
+	depth    atomic.Int64 // samples admitted but not yet answered (all replicas)
+
+	// cur is the serving system, swapped atomically by activate, reload,
+	// and kill. Batch loops load it exactly once per batch: every sample
+	// of a batch is scored by one coherent model even while a reload
+	// swaps the pointer mid-flight, and queued requests survive swaps —
+	// they simply run on whichever model is current when their batch
+	// executes.
+	cur atomic.Pointer[pmuoutage.System]
+	gen atomic.Uint64 // incarnation counter: bumped per activate and reload
 
 	mu    sync.Mutex
 	state State
 	err   error // last failure while StateFailed
 	sys   *pmuoutage.System
 	mon   *pmuoutage.Monitor
-	killc chan struct{} // closed by kill to stop the current serve loop
+	boot  *pmuoutage.Model // artifact to serve on (re)build; nil = retrain
+	killc chan struct{}    // closed by kill to stop the current serve loops
 }
 
 func newShard(svc *Service, spec ShardSpec) *shard {
-	return &shard{
+	sh := &shard{
 		svc:  svc,
 		spec: spec,
-		reqs: make(chan *request, queueCap),
+		boot: spec.Model,
 	}
+	n := spec.Replicas
+	if n <= 0 {
+		n = 1
+	}
+	for i := 0; i < n; i++ {
+		sh.replicas = append(sh.replicas, &replica{id: i, reqs: make(chan *request, queueCap)})
+	}
+	return sh
 }
 
 // supervise is the shard's lifecycle loop: train, serve until killed,
@@ -90,7 +120,7 @@ func (sh *shard) supervise(ctx context.Context) {
 	backoff := sh.svc.cfg.RestartBackoff
 	for ctx.Err() == nil {
 		sh.setTraining()
-		sys, err := pmuoutage.NewSystemContext(ctx, sh.spec.Opts)
+		sys, err := sh.buildSystem(ctx)
 		if err == nil {
 			var mon *pmuoutage.Monitor
 			mon, err = sys.NewMonitor(sh.svc.cfg.Confirm, sh.svc.cfg.Cooldown)
@@ -119,19 +149,54 @@ func (sh *shard) supervise(ctx context.Context) {
 	}
 }
 
-// serve is one shard incarnation's batch loop: pop the next request,
-// coalesce whatever else is already queued up to MaxBatch samples, run
-// one detector batch, and deliver each request its slice.
+// buildSystem produces the shard's serving system: rewrap the boot
+// artifact when one is pinned (ShardSpec.Model or a past reload),
+// otherwise run the full training pipeline.
+func (sh *shard) buildSystem(ctx context.Context) (*pmuoutage.System, error) {
+	if m := sh.bootModel(); m != nil {
+		return pmuoutage.NewSystemFromModel(m)
+	}
+	return pmuoutage.NewSystemContext(ctx, sh.spec.Opts)
+}
+
+// bootModel returns the artifact the next (re)build should serve.
+func (sh *shard) bootModel() *pmuoutage.Model {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.boot
+}
+
+// serve runs one shard incarnation: one batch loop per replica, all
+// sharing the current system, until the incarnation is killed or the
+// service closes. Queued requests left behind by the exit are drained
+// with a retryable error.
 func (sh *shard) serve(ctx context.Context, killc chan struct{}) {
+	var wg sync.WaitGroup
+	for _, rep := range sh.replicas {
+		wg.Add(1)
+		go func(rep *replica) {
+			defer wg.Done()
+			sh.serveReplica(ctx, killc, rep)
+		}(rep)
+	}
+	wg.Wait()
+	if ctx.Err() == nil {
+		sh.drainQueue(sh.availErr())
+	}
+}
+
+// serveReplica is one replica's batch loop: pop the next request,
+// coalesce whatever else is already queued behind it up to MaxBatch
+// samples, run one detector batch, and deliver each request its slice.
+func (sh *shard) serveReplica(ctx context.Context, killc chan struct{}, rep *replica) {
 	for {
 		select {
 		case <-ctx.Done():
 			return
 		case <-killc:
-			sh.drainQueue(sh.availErr())
 			return
-		case req := <-sh.reqs:
-			sh.runBatch(ctx, sh.coalesce(req))
+		case req := <-rep.reqs:
+			sh.runBatch(ctx, sh.coalesce(rep, req))
 		}
 	}
 }
@@ -139,12 +204,12 @@ func (sh *shard) serve(ctx context.Context, killc chan struct{}) {
 // coalesce greedily drains already-queued requests behind first until
 // the batch reaches MaxBatch samples. It never waits: latency of the
 // first request is never spent fishing for company.
-func (sh *shard) coalesce(first *request) []*request {
+func (sh *shard) coalesce(rep *replica, first *request) []*request {
 	batch := []*request{first}
 	total := len(first.samples)
 	for total < sh.svc.cfg.MaxBatch {
 		select {
-		case req := <-sh.reqs:
+		case req := <-rep.reqs:
 			batch = append(batch, req)
 			total += len(req.samples)
 		default:
@@ -156,9 +221,11 @@ func (sh *shard) coalesce(first *request) []*request {
 
 // runBatch executes one coalesced batch. Requests whose deadline
 // already expired are answered with their context error without
-// spending detector time. If the combined batch fails (one request's
-// malformed sample must not fail its neighbours), it falls back to one
-// detector call per request so each gets exactly its own outcome.
+// spending detector time. The serving system is loaded exactly once —
+// a concurrent reload cannot tear a batch across two models. If the
+// combined batch fails (one request's malformed sample must not fail
+// its neighbours), it falls back to one detector call per request so
+// each gets exactly its own outcome.
 func (sh *shard) runBatch(ctx context.Context, batch []*request) {
 	var live []*request
 	var samples []pmuoutage.Sample
@@ -173,7 +240,7 @@ func (sh *shard) runBatch(ctx context.Context, batch []*request) {
 	if len(live) == 0 {
 		return
 	}
-	sys := sh.system()
+	sys := sh.cur.Load()
 	if sys == nil { // killed between pop and run
 		for _, req := range live {
 			sh.respond(req, response{err: sh.availErr()})
@@ -201,8 +268,9 @@ func (sh *shard) runBatch(ctx context.Context, batch []*request) {
 	}
 }
 
-// detect admits one request: shed if over the queue bound, enqueue,
-// then wait for the batcher's response or the caller's deadline.
+// detect admits one request: shed if over the queue bound, route to the
+// least-loaded replica, then wait for the batcher's response or the
+// caller's deadline.
 func (sh *shard) detect(ctx context.Context, samples []pmuoutage.Sample) ([]*pmuoutage.Report, error) {
 	st := sh.counters()
 	st.Requests.Add(1)
@@ -217,10 +285,13 @@ func (sh *shard) detect(ctx context.Context, samples []pmuoutage.Sample) ([]*pmu
 		return nil, fmt.Errorf("%w: shard %q has %d samples pending (bound %d); retry later",
 			ErrOverloaded, sh.spec.Name, d-n, sh.svc.cfg.QueueDepth)
 	}
-	req := &request{ctx: ctx, samples: samples, done: make(chan response, 1)}
+	rep := sh.pickReplica()
+	rep.inflight.Add(n)
+	req := &request{ctx: ctx, samples: samples, rep: rep, done: make(chan response, 1)}
 	select {
-	case sh.reqs <- req:
+	case rep.reqs <- req:
 	default:
+		rep.inflight.Add(-n)
 		sh.depth.Add(-n)
 		st.Shed.Add(1)
 		return nil, fmt.Errorf("%w: shard %q request queue is full; retry later", ErrOverloaded, sh.spec.Name)
@@ -253,20 +324,43 @@ func (sh *shard) ingest(ctx context.Context, sample pmuoutage.Sample) (*pmuoutag
 	return sh.mon.Ingest(sample)
 }
 
-// respond delivers one response and settles the shard's depth gauge.
-func (sh *shard) respond(req *request, resp response) {
-	req.done <- resp
-	sh.depth.Add(-int64(len(req.samples)))
+// pickReplica returns the replica with the fewest inflight samples
+// (ties break to the lowest id, so a single-replica shard routes
+// exactly as before replicas existed).
+func (sh *shard) pickReplica() *replica {
+	best := sh.replicas[0]
+	bestLoad := best.inflight.Load()
+	for _, rep := range sh.replicas[1:] {
+		if l := rep.inflight.Load(); l < bestLoad {
+			best, bestLoad = rep, l
+		}
+	}
+	return best
 }
 
-// drainQueue answers everything currently queued with err.
+// respond delivers one response and settles the depth and inflight
+// gauges.
+func (sh *shard) respond(req *request, resp response) {
+	req.done <- resp
+	n := int64(len(req.samples))
+	if req.rep != nil {
+		req.rep.inflight.Add(-n)
+	}
+	sh.depth.Add(-n)
+}
+
+// drainQueue answers everything currently queued on any replica with
+// err.
 func (sh *shard) drainQueue(err error) {
-	for {
-		select {
-		case req := <-sh.reqs:
-			sh.respond(req, response{err: err})
-		default:
-			return
+	for _, rep := range sh.replicas {
+	drain:
+		for {
+			select {
+			case req := <-rep.reqs:
+				sh.respond(req, response{err: err})
+			default:
+				break drain
+			}
 		}
 	}
 }
@@ -290,9 +384,44 @@ func (sh *shard) takeKill(cause error) chan struct{} {
 	sh.state = StateFailed
 	sh.err = cause
 	sh.sys, sh.mon = nil, nil
+	sh.cur.Store(nil)
 	killc := sh.killc
 	sh.killc = nil
 	return killc
+}
+
+// reload swaps the shard onto a new model without dropping queued
+// requests: the serve loops keep running, and the atomic store below is
+// the entire cutover — batches popped before it score on the old model,
+// batches popped after it on the new one, never a mixture. The
+// streaming monitor is rebuilt on the new system (its streak state does
+// not transfer across models). The new model is pinned as the boot
+// artifact so a later supervisor rebuild serves it rather than
+// retraining. Reloading a shard that is not currently serving fails
+// with its availability error.
+func (sh *shard) reload(m *pmuoutage.Model) error {
+	sys, err := pmuoutage.NewSystemFromModel(m)
+	if err != nil {
+		return err
+	}
+	mon, err := sys.NewMonitor(sh.svc.cfg.Confirm, sh.svc.cfg.Cooldown)
+	if err != nil {
+		return err
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if sh.state != StateReady {
+		return sh.availErrLocked()
+	}
+	if cur := sh.sys; cur != nil && cur.Buses() != sys.Buses() {
+		return fmt.Errorf("%w: shard %q serves %d buses, model %q has %d",
+			ErrConfig, sh.spec.Name, cur.Buses(), m.Case(), sys.Buses())
+	}
+	sh.sys, sh.mon, sh.boot = sys, mon, m
+	sh.cur.Store(sys)
+	sh.gen.Add(1)
+	sh.counters().Reloads.Add(1)
+	return nil
 }
 
 func (sh *shard) setTraining() {
@@ -308,6 +437,8 @@ func (sh *shard) activate(sys *pmuoutage.System, mon *pmuoutage.Monitor, killc c
 	sh.state = StateReady
 	sh.err = nil
 	sh.sys, sh.mon, sh.killc = sys, mon, killc
+	sh.cur.Store(sys)
+	sh.gen.Add(1)
 }
 
 func (sh *shard) fail(err error) {
@@ -316,6 +447,7 @@ func (sh *shard) fail(err error) {
 	sh.state = StateFailed
 	sh.err = err
 	sh.sys, sh.mon = nil, nil
+	sh.cur.Store(nil)
 }
 
 // stop marks the shard stopped and fails everything still queued; runs
@@ -330,6 +462,7 @@ func (sh *shard) setStopped() {
 	defer sh.mu.Unlock()
 	sh.state = StateStopped
 	sh.sys, sh.mon, sh.killc = nil, nil, nil
+	sh.cur.Store(nil)
 }
 
 // system returns the serving system, or nil while not ready.
@@ -376,6 +509,8 @@ func (sh *shard) status() ShardStatus {
 		State:      sh.state.String(),
 		Restarts:   sh.counters().Restarts.Load(),
 		QueueDepth: int(sh.depth.Load()),
+		Replicas:   len(sh.replicas),
+		Generation: sh.gen.Load(),
 	}
 	if st.Case == "" {
 		st.Case = "ieee14" // the facade default
@@ -386,6 +521,10 @@ func (sh *shard) status() ShardStatus {
 	if sh.sys != nil {
 		st.Buses = sh.sys.Buses()
 		st.Lines = len(sh.sys.Lines())
+		if m := sh.sys.Model(); m != nil {
+			st.Case = m.Case()
+			st.Model = m.Fingerprint()
+		}
 	}
 	return st
 }

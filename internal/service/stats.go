@@ -53,6 +53,7 @@ type ShardCounters struct {
 	Shed        atomic.Uint64 // requests rejected by load-shedding
 	Unavailable atomic.Uint64 // requests refused while not ready
 	Restarts    atomic.Uint64 // supervisor rebuilds (failures and kills)
+	Reloads     atomic.Uint64 // successful hot model swaps
 
 	latencyNS atomic.Int64 // total detector wall time
 	maxBatch  atomic.Int64 // largest coalesced batch seen
@@ -81,6 +82,7 @@ type ShardSnapshot struct {
 	Shed         uint64  `json:"shed"`
 	Unavailable  uint64  `json:"unavailable"`
 	Restarts     uint64  `json:"restarts"`
+	Reloads      uint64  `json:"reloads"`
 	MaxBatch     int     `json:"max_batch"`
 	AvgBatch     float64 `json:"avg_batch"`
 	AvgLatencyMS float64 `json:"avg_latency_ms"`
@@ -96,6 +98,7 @@ func (c *ShardCounters) snapshot() ShardSnapshot {
 		Shed:        c.Shed.Load(),
 		Unavailable: c.Unavailable.Load(),
 		Restarts:    c.Restarts.Load(),
+		Reloads:     c.Reloads.Load(),
 		MaxBatch:    int(c.maxBatch.Load()),
 	}
 	if snap.Batches > 0 {

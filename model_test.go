@@ -1,0 +1,169 @@
+package pmuoutage
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// trainTestModel trains a small deterministic model for artifact tests.
+func trainTestModel(t *testing.T) *Model {
+	t.Helper()
+	m, err := TrainModel(Options{Case: "ieee14", TrainSteps: 12, Seed: 3, UseDC: true, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestFacadeModelRoundTrip is the facade-level golden guarantee: a
+// system served from Decode(Encode(model)) behaves byte-identically to
+// one served from the in-memory model — Detect reports, Evaluate
+// metrics, and a re-encode of the decoded artifact all match exactly.
+func TestFacadeModelRoundTrip(t *testing.T) {
+	m := trainTestModel(t)
+
+	var buf bytes.Buffer
+	if err := m.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	artifact := append([]byte(nil), buf.Bytes()...)
+
+	m2, err := DecodeModel(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.Fingerprint() != m.Fingerprint() {
+		t.Fatalf("fingerprint changed over the wire: %s vs %s", m2.Fingerprint(), m.Fingerprint())
+	}
+	if !reflect.DeepEqual(m2.Options(), m.Options()) {
+		t.Fatalf("options changed over the wire: %+v vs %+v", m2.Options(), m.Options())
+	}
+
+	sys, err := NewSystemFromModel(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys2, err := NewSystemFromModel(m2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range sys.ValidLines()[:4] {
+		samples, err := sys.SimulateOutage([]int{e}, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := sys.Detect(samples[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := sys2.Detect(samples[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("line %d: decoded model detects differently", e)
+		}
+	}
+	ia, fa, err := sys.Evaluate(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ia2, fa2, err := sys2.Evaluate(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ia != ia2 || fa != fa2 { //gridlint:ignore floatcmp byte-identity is the contract under test
+		t.Fatalf("decoded model evaluates differently: IA %v vs %v, FA %v vs %v", ia2, ia, fa2, fa)
+	}
+
+	var buf2 bytes.Buffer
+	if err := m2.Encode(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf2.Bytes(), artifact) {
+		t.Fatal("re-encoding a decoded model does not reproduce the artifact bytes")
+	}
+}
+
+// TestNewSystemMatchesModelPath: the legacy constructor is a thin
+// wrapper over TrainModel + NewSystemFromModel and must produce the
+// same trained state.
+func TestNewSystemMatchesModelPath(t *testing.T) {
+	opts := Options{Case: "ieee14", TrainSteps: 12, Seed: 3, UseDC: true}
+	sys, err := NewSystem(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.Model() == nil {
+		t.Fatal("NewSystem must expose its model")
+	}
+	m, err := TrainModel(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.Model().Fingerprint() != m.Fingerprint() {
+		t.Fatalf("NewSystem model fingerprint %s differs from TrainModel %s",
+			sys.Model().Fingerprint(), m.Fingerprint())
+	}
+	if m.Case() != "ieee14" || m.FormatVersion() != 1 {
+		t.Fatalf("model metadata wrong: case %q version %d", m.Case(), m.FormatVersion())
+	}
+}
+
+// TestDecodeModelErrors covers the facade error surface of the codec:
+// corruption maps to ErrBadModel, foreign versions to ErrModelVersion,
+// and an artifact without facade metadata is rejected.
+func TestDecodeModelErrors(t *testing.T) {
+	m := trainTestModel(t)
+	var buf bytes.Buffer
+	if err := m.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	artifact := buf.String()
+
+	t.Run("garbage", func(t *testing.T) {
+		if _, err := DecodeModel(strings.NewReader("not a model")); !errors.Is(err, ErrBadModel) {
+			t.Fatalf("got %v, want ErrBadModel", err)
+		}
+	})
+	t.Run("truncated", func(t *testing.T) {
+		if _, err := DecodeModel(strings.NewReader(artifact[:len(artifact)/2])); !errors.Is(err, ErrBadModel) {
+			t.Fatalf("got %v, want ErrBadModel", err)
+		}
+	})
+	t.Run("version mismatch", func(t *testing.T) {
+		tampered := strings.Replace(artifact, `"format_version":1`, `"format_version":99`, 1)
+		if tampered == artifact {
+			t.Fatal("tamper target not found")
+		}
+		if _, err := DecodeModel(strings.NewReader(tampered)); !errors.Is(err, ErrModelVersion) {
+			t.Fatalf("got %v, want ErrModelVersion", err)
+		}
+	})
+	t.Run("missing options", func(t *testing.T) {
+		bare := *m.dm
+		bare.Extra = nil
+		if err := bare.Seal(); err != nil {
+			t.Fatal(err)
+		}
+		var b bytes.Buffer
+		if err := bare.Encode(&b); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := DecodeModel(&b); !errors.Is(err, ErrBadModel) {
+			t.Fatalf("got %v, want ErrBadModel", err)
+		}
+	})
+	t.Run("nil model", func(t *testing.T) {
+		if _, err := NewSystemFromModel(nil); !errors.Is(err, ErrBadModel) {
+			t.Fatalf("got %v, want ErrBadModel", err)
+		}
+		var nilModel *Model
+		if err := nilModel.Encode(&bytes.Buffer{}); !errors.Is(err, ErrBadModel) {
+			t.Fatalf("got %v, want ErrBadModel", err)
+		}
+	})
+}

@@ -63,29 +63,31 @@ import (
 	"pmuoutage/internal/stream"
 )
 
-// Options configures NewSystem.
+// Options configures NewSystem and TrainModel. Options are embedded in
+// serialized Model artifacts (so a decoded model simulates and
+// evaluates exactly as the original), hence the codec tags.
 type Options struct {
 	// Case names a built-in test system: "ieee14", "ieee30", "ieee57"
 	// or "ieee118" (default "ieee14"). See Cases.
-	Case string
+	Case string `json:"case"`
 	// Clusters is the number of PDC clusters the PMU network is grouped
 	// into; 0 derives max(3, buses/10).
-	Clusters int
+	Clusters int `json:"clusters"`
 	// TrainSteps is the length of the simulated training window per
 	// scenario (default 40).
-	TrainSteps int
+	TrainSteps int `json:"train_steps"`
 	// Seed makes data generation and training deterministic (default 1).
-	Seed int64
+	Seed int64 `json:"seed"`
 	// UseDC switches the power-flow substrate to the fast linear DC
 	// approximation. The default is the full Newton–Raphson AC solver.
-	UseDC bool
+	UseDC bool `json:"use_dc"`
 	// Detector overrides the detector configuration (advanced use).
-	Detector detect.Config
+	Detector detect.Config `json:"detector"`
 	// Workers bounds the worker pool used by data generation, training,
 	// DetectBatch, and Evaluate (0 = GOMAXPROCS). Results are identical
 	// for every worker count: the pipeline derives independent seeds per
 	// scenario and assigns results by index.
-	Workers int
+	Workers int `json:"workers"`
 }
 
 func (o Options) withDefaults() Options {
@@ -135,13 +137,16 @@ type Report struct {
 	DeviationEnergy float64 `json:"deviation_energy"`
 }
 
-// System is a trained outage-detection system bound to one grid.
+// System is a trained outage-detection system bound to one grid. It is
+// a serving view over an immutable Model: training happens once (in
+// NewSystem or TrainModel) and any number of Systems can serve the
+// resulting artifact via NewSystemFromModel.
 type System struct {
-	opts Options
-	g    *grid.Grid
-	nw   *pmunet.Network
-	data *dataset.Data
-	det  *detect.Detector
+	opts  Options
+	g     *grid.Grid
+	nw    *pmunet.Network
+	det   *detect.Detector
+	model *Model
 }
 
 // NewSystem builds the grid, simulates training data (normal operation
@@ -155,37 +160,18 @@ func NewSystem(opts Options) (*System, error) {
 // training pipeline checks ctx between scenarios and returns its error
 // early when cancelled. Parallelism is bounded by Options.Workers.
 // An Options.Case naming no built-in system fails with ErrUnknownCase.
+// It is TrainModelContext followed by NewSystemFromModel; callers that
+// want to persist or share the trained state call those directly.
 func NewSystemContext(ctx context.Context, opts Options) (*System, error) {
-	opts = opts.withDefaults()
-	g, err := cases.Load(opts.Case)
-	if err != nil {
-		return nil, fmt.Errorf("%w: %q (available: %v)", ErrUnknownCase, opts.Case, Cases())
-	}
-	clusters := opts.Clusters
-	if clusters <= 0 {
-		clusters = g.N() / 10
-		if clusters < 3 {
-			clusters = 3
-		}
-	}
-	nw, err := pmunet.Build(g, clusters)
+	m, err := TrainModelContext(ctx, opts)
 	if err != nil {
 		return nil, err
 	}
-	data, err := dataset.GenerateContext(ctx, g, dataset.GenConfig{
-		Steps: opts.TrainSteps, Seed: opts.Seed, UseDC: opts.UseDC, Workers: opts.Workers,
-	})
-	if err != nil {
-		return nil, err
-	}
-	dcfg := opts.Detector
-	dcfg.Workers = opts.Workers
-	det, err := detect.TrainContext(ctx, data, nw, dcfg)
-	if err != nil {
-		return nil, err
-	}
-	return &System{opts: opts, g: g, nw: nw, data: data, det: det}, nil
+	return NewSystemFromModel(m)
 }
+
+// Model returns the immutable trained artifact this system serves.
+func (s *System) Model() *Model { return s.model }
 
 // Buses returns the number of buses in the system.
 func (s *System) Buses() int { return s.g.N() }
