@@ -24,9 +24,13 @@ race:
 # longer compile without paying for stable timings. The pipeline benches
 # additionally run at -cpu 1,4 (sequential vs parallel, identical
 # output), and benchpipeline writes the timings to BENCH_pipeline.json.
+# The telemetry hot path (histogram observe, counter inc, trace-ID mint)
+# gets enough iterations for a readable ns/op, since its whole contract
+# is "cheap enough to leave on".
 bench:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
 	$(GO) test -run='^$$' -bench=Pipeline -benchtime=1x -cpu 1,4 .
+	$(GO) test -run='^$$' -bench='Histogram|CounterInc|NewTraceID' -benchtime=10000x ./internal/obs
 	$(GO) run ./cmd/benchpipeline -o BENCH_pipeline.json
 
 # Serving smoke: boot cmd/outaged on an ephemeral port with one fast

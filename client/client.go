@@ -17,12 +17,14 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"strconv"
 	"strings"
 	"time"
 
 	"pmuoutage"
+	"pmuoutage/internal/obs"
 )
 
 // Typed errors of the client. Everything the client itself mints wraps
@@ -55,6 +57,10 @@ type Config struct {
 	// 100ms and 2s.
 	BaseBackoff time.Duration
 	MaxBackoff  time.Duration
+	// Logger, when non-nil, receives a structured line per retry (warn)
+	// carrying the request's trace ID, attempt number, and backoff. Nil
+	// disables logging; requests behave identically either way.
+	Logger *slog.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -138,11 +144,19 @@ func (c *Client) Reload(ctx context.Context, shard, path string) (*ReloadResult,
 }
 
 // post marshals the body once and runs the retry loop: attempt,
-// classify, wait (server-directed or exponential), repeat.
+// classify, wait (server-directed or exponential), repeat. One trace ID
+// spans every attempt of a request: the caller's, when the context
+// carries one, otherwise minted here — so the daemon's logs show all
+// retries of one call under one ID.
 func (c *Client) post(ctx context.Context, path string, body, out any) error {
 	payload, err := json.Marshal(body)
 	if err != nil {
 		return fmt.Errorf("%w: encoding body: %v", ErrConfig, err)
+	}
+	traceID := obs.TraceID(ctx)
+	if traceID == "" {
+		traceID = obs.NewTraceID()
+		ctx = obs.WithTraceID(ctx, traceID)
 	}
 	backoff := c.cfg.BaseBackoff
 	var lastErr error
@@ -170,24 +184,70 @@ func (c *Client) post(ctx context.Context, path string, body, out any) error {
 		if retryAfter > 0 {
 			backoff = retryAfter
 		}
+		if lg := c.cfg.Logger; lg != nil && attempt < c.cfg.MaxRetries {
+			lg.LogAttrs(ctx, slog.LevelWarn, "retrying request",
+				slog.String(obs.AttrComponent, "client"),
+				slog.String(obs.AttrTraceID, traceID),
+				slog.String("path", path),
+				slog.Int("attempt", attempt+1),
+				slog.Duration("backoff", backoff),
+				slog.String("cause", err.Error()))
+		}
 	}
-	return fmt.Errorf("%w after %d attempts: %v", ErrExhausted, c.cfg.MaxRetries+1, lastErr)
+	return fmt.Errorf("%w after %d attempts: %w", ErrExhausted, c.cfg.MaxRetries+1, lastErr)
 }
 
 // errRetryable marks transient attempt failures internally; callers of
 // the package only ever see it wrapped inside ErrExhausted.
 var errRetryable = errors.New("retryable")
 
+// ServerError is the typed detail behind every non-OK daemon response:
+// the HTTP status, the server's error body, and the trace ID the daemon
+// echoed — the handle that finds this exact failed request in the
+// server's structured logs. It unwraps to ErrRequest (terminal) or to
+// the internal retryable marker, so errors.Is keeps working; reach it
+// with errors.As.
+type ServerError struct {
+	// Status is the HTTP status code the daemon answered with.
+	Status int
+	// Body is the server's error text (truncated to 1 KiB).
+	Body string
+	// TraceID is the X-Trace-Id the server echoed ("" if none).
+	TraceID string
+
+	retryable bool
+}
+
+// Error renders the status, body, and trace ID.
+func (e *ServerError) Error() string {
+	if e.TraceID == "" {
+		return fmt.Sprintf("HTTP %d: %s", e.Status, e.Body)
+	}
+	return fmt.Sprintf("HTTP %d (trace %s): %s", e.Status, e.TraceID, e.Body)
+}
+
+// Unwrap ties the error into the package's sentinel taxonomy.
+func (e *ServerError) Unwrap() error {
+	if e.retryable {
+		return errRetryable
+	}
+	return ErrRequest
+}
+
 // attempt performs one HTTP round trip. It returns the server-directed
 // retry delay (0 if none) alongside the classification: nil on success,
 // an error wrapping errRetryable on transient conditions, a terminal
-// error otherwise.
+// error otherwise. The context's trace ID rides the X-Trace-Id request
+// header, and the server's echo lands in the ServerError.
 func (c *Client) attempt(ctx context.Context, path string, payload []byte, out any) (time.Duration, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.cfg.BaseURL+path, bytes.NewReader(payload))
 	if err != nil {
 		return 0, fmt.Errorf("%w: %v", ErrConfig, err)
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if id := obs.TraceID(ctx); id != "" {
+		req.Header.Set(obs.TraceHeader, id)
+	}
 	resp, err := c.cfg.HTTPClient.Do(req)
 	if err != nil {
 		return 0, fmt.Errorf("%w: %v", errRetryable, err)
@@ -200,12 +260,20 @@ func (c *Client) attempt(ctx context.Context, path string, payload []byte, out a
 		}
 		return 0, nil
 	case resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode == http.StatusServiceUnavailable:
-		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 1024))
-		return parseRetryAfter(resp.Header.Get("Retry-After")),
-			fmt.Errorf("%w: HTTP %d: %s", errRetryable, resp.StatusCode, strings.TrimSpace(string(msg)))
+		return parseRetryAfter(resp.Header.Get("Retry-After")), serverError(resp, true)
 	default:
-		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 1024))
-		return 0, fmt.Errorf("%w: HTTP %d: %s", ErrRequest, resp.StatusCode, strings.TrimSpace(string(msg)))
+		return 0, serverError(resp, false)
+	}
+}
+
+// serverError builds the typed failure for one non-OK response.
+func serverError(resp *http.Response, retryable bool) *ServerError {
+	msg, _ := io.ReadAll(io.LimitReader(resp.Body, 1024))
+	return &ServerError{
+		Status:    resp.StatusCode,
+		Body:      strings.TrimSpace(string(msg)),
+		TraceID:   resp.Header.Get(obs.TraceHeader),
+		retryable: retryable,
 	}
 }
 

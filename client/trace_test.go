@@ -1,0 +1,119 @@
+package client
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"pmuoutage"
+	"pmuoutage/internal/obs"
+)
+
+// TestTraceHeaderRoundTrip: a 429-then-200 sequence sends the same
+// caller-supplied X-Trace-Id on every attempt, and the retry is logged
+// with that ID.
+func TestTraceHeaderRoundTrip(t *testing.T) {
+	var calls atomic.Int64
+	var seen [2]string
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		n := calls.Add(1)
+		seen[n-1] = r.Header.Get(obs.TraceHeader)
+		w.Header().Set(obs.TraceHeader, r.Header.Get(obs.TraceHeader))
+		if n == 1 {
+			w.Header().Set("Retry-After", "0")
+			http.Error(w, "overloaded", http.StatusTooManyRequests)
+			return
+		}
+		writeJSON(w, http.StatusOK, detectResponse{Shard: "east"})
+	}))
+	defer ts.Close()
+
+	var logBuf bytes.Buffer
+	c, err := New(Config{
+		BaseURL:     ts.URL,
+		MaxRetries:  3,
+		BaseBackoff: time.Millisecond,
+		MaxBackoff:  4 * time.Millisecond,
+		Logger:      obs.NewTextLogger(&logBuf, slog.LevelDebug),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := obs.WithTraceID(context.Background(), "cafef00d00000001")
+	if _, err := c.Detect(ctx, "east", []pmuoutage.Sample{{}}); err != nil {
+		t.Fatal(err)
+	}
+	if calls.Load() != 2 {
+		t.Fatalf("server saw %d calls, want 2", calls.Load())
+	}
+	if seen[0] != "cafef00d00000001" || seen[1] != "cafef00d00000001" {
+		t.Fatalf("trace header not constant across retries: %q then %q", seen[0], seen[1])
+	}
+	logs := logBuf.String()
+	if !strings.Contains(logs, "retrying request") ||
+		!strings.Contains(logs, "trace_id=cafef00d00000001") ||
+		!strings.Contains(logs, "component=client") {
+		t.Fatalf("retry log missing fields:\n%s", logs)
+	}
+}
+
+// TestTraceMintedWhenAbsent: with no caller trace ID the client mints
+// one and still sends it on every attempt.
+func TestTraceMintedWhenAbsent(t *testing.T) {
+	var got atomic.Value
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		got.Store(r.Header.Get(obs.TraceHeader))
+		writeJSON(w, http.StatusOK, detectResponse{Shard: "east"})
+	}))
+	defer ts.Close()
+	if _, err := testClient(t, ts).Detect(context.Background(), "east", []pmuoutage.Sample{{}}); err != nil {
+		t.Fatal(err)
+	}
+	id, _ := got.Load().(string)
+	if len(id) != 16 {
+		t.Fatalf("minted trace id %q is not 16 hex chars", id)
+	}
+}
+
+// TestServerErrorCarriesTrace: terminal and exhausted failures both
+// surface the server-echoed trace ID through errors.As.
+func TestServerErrorCarriesTrace(t *testing.T) {
+	status := http.StatusBadRequest
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set(obs.TraceHeader, r.Header.Get(obs.TraceHeader))
+		http.Error(w, "nope", status)
+	}))
+	defer ts.Close()
+	c := testClient(t, ts)
+	ctx := obs.WithTraceID(context.Background(), "aaaabbbbccccdddd")
+
+	_, err := c.Detect(ctx, "east", nil)
+	var se *ServerError
+	if !errors.Is(err, ErrRequest) || !errors.As(err, &se) {
+		t.Fatalf("terminal failure not a ServerError: %v", err)
+	}
+	if se.Status != http.StatusBadRequest || se.TraceID != "aaaabbbbccccdddd" {
+		t.Fatalf("ServerError = %+v", se)
+	}
+	if !strings.Contains(err.Error(), "trace aaaabbbbccccdddd") {
+		t.Fatalf("error text lacks trace ID: %v", err)
+	}
+
+	// Exhausted retries keep the last attempt's ServerError reachable.
+	status = http.StatusServiceUnavailable
+	_, err = c.Detect(ctx, "east", nil)
+	se = nil
+	if !errors.Is(err, ErrExhausted) || !errors.As(err, &se) {
+		t.Fatalf("exhausted failure not a wrapped ServerError: %v", err)
+	}
+	if se.Status != http.StatusServiceUnavailable || se.TraceID != "aaaabbbbccccdddd" {
+		t.Fatalf("ServerError after exhaustion = %+v", se)
+	}
+}

@@ -25,23 +25,29 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
 
 	"pmuoutage"
 	"pmuoutage/client"
+	"pmuoutage/internal/obs"
 	"pmuoutage/internal/service"
 )
 
 func main() {
 	var (
 		addr       = flag.String("addr", ":8080", "listen address")
+		debugAddr  = flag.String("debug-addr", "", "optional listen address for pprof and expvar (e.g. localhost:6060); empty disables")
+		logLevel   = flag.String("log-level", "info", "log verbosity: debug (per-request spans), info, warn, error")
 		shards     = flag.String("shards", "main=ieee14", "comma-separated name=case shard list")
 		models     = flag.String("models", "", "comma-separated name=path list of model artifacts to boot shards from (skips training)")
 		replicas   = flag.Int("replicas", 0, "serve loops per shard sharing one model (0 = 1)")
@@ -56,6 +62,12 @@ func main() {
 		smoke      = flag.Bool("smoke", false, "self-test: serve on an ephemeral port, round-trip one detect, exit")
 	)
 	flag.Parse()
+
+	level, err := obs.ParseLevel(*logLevel)
+	if err != nil {
+		log.Fatal(err)
+	}
+	logger := obs.NewTextLogger(os.Stderr, level)
 
 	if *smoke {
 		if err := runSmoke(); err != nil {
@@ -75,9 +87,10 @@ func main() {
 	for i := range cfg.Shards {
 		cfg.Shards[i].Replicas = *replicas
 	}
+	cfg.Logger = logger
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	if err := run(ctx, *addr, cfg, *timeout, log.Default()); err != nil {
+	if err := run(ctx, *addr, *debugAddr, cfg, *timeout, logger); err != nil {
 		log.Fatal(err)
 	}
 }
@@ -150,31 +163,41 @@ func shardGeneration(svc *service.Service, name string) uint64 {
 	return 0
 }
 
-// run starts the service, serves HTTP until ctx cancels, then shuts
-// both down gracefully.
-func run(ctx context.Context, addr string, cfg service.Config, timeout time.Duration, logger *log.Logger) error {
+// run starts the service, serves HTTP (plus the optional pprof/expvar
+// debug listener) until ctx cancels, then shuts everything down
+// gracefully.
+func run(ctx context.Context, addr, debugAddr string, cfg service.Config, timeout time.Duration, logger *slog.Logger) error {
 	svc, err := service.New(ctx, cfg)
 	if err != nil {
 		return err
 	}
 	defer svc.Close()
 
-	srv := newServer(svc, timeout)
+	srv := newServer(svc, timeout, logger)
 	httpSrv := &http.Server{Addr: addr, Handler: srv.routes()}
-	errc := make(chan error, 1)
+	servers := []*http.Server{httpSrv}
+	errc := make(chan error, 2)
 	go func() { errc <- httpSrv.ListenAndServe() }()
-	logger.Printf("outaged listening on %s (%d shards)", addr, len(cfg.Shards))
+	logger.Info("outaged listening", "addr", addr, "shards", len(cfg.Shards))
+	if debugAddr != "" {
+		dbgSrv := &http.Server{Addr: debugAddr, Handler: debugMux()}
+		servers = append(servers, dbgSrv)
+		go func() { errc <- dbgSrv.ListenAndServe() }()
+		logger.Info("debug endpoints listening", "addr", debugAddr)
+	}
 
 	select {
 	case err := <-errc:
 		return err
 	case <-ctx.Done():
 	}
-	logger.Printf("shutting down")
+	logger.Info("shutting down")
 	sdCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
-	if err := httpSrv.Shutdown(sdCtx); err != nil {
-		return fmt.Errorf("shutdown: %w", err)
+	for _, s := range servers {
+		if err := s.Shutdown(sdCtx); err != nil {
+			return fmt.Errorf("shutdown: %w", err)
+		}
 	}
 	return nil
 }
@@ -186,10 +209,14 @@ func run(ctx context.Context, addr string, cfg service.Config, timeout time.Dura
 func runSmoke() error {
 	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
 	defer cancel()
+	// Debug-level logging to a discard sink: the smoke run exercises the
+	// full span/access-log path without polluting its own output.
+	smokeLog := obs.NewTextLogger(io.Discard, slog.LevelDebug)
 	cfg := service.Config{
 		Shards: []service.ShardSpec{{Name: "smoke", Opts: pmuoutage.Options{
 			Case: "ieee14", TrainSteps: 12, UseDC: true, Seed: 7,
 		}}},
+		Logger: smokeLog,
 	}
 	svc, err := service.New(ctx, cfg)
 	if err != nil {
@@ -201,7 +228,7 @@ func runSmoke() error {
 	if err != nil {
 		return err
 	}
-	httpSrv := &http.Server{Handler: newServer(svc, 30*time.Second).routes()}
+	httpSrv := &http.Server{Handler: newServer(svc, 30*time.Second, smokeLog).routes()}
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.Serve(ln) }()
 	base := "http://" + ln.Addr().String()
@@ -266,6 +293,16 @@ func runSmoke() error {
 		return fmt.Errorf("after reload: %w", err)
 	}
 
+	// Telemetry end-to-end: a caller-supplied trace ID must be echoed on
+	// the response, and /metrics must show the traffic just served with
+	// internally consistent histograms.
+	if err := checkTraceEcho(ctx, base); err != nil {
+		return err
+	}
+	if err := checkMetrics(ctx, base); err != nil {
+		return err
+	}
+
 	sdCtx, sdCancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer sdCancel()
 	if err := httpSrv.Shutdown(sdCtx); err != nil {
@@ -273,6 +310,110 @@ func runSmoke() error {
 	}
 	if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
 		return fmt.Errorf("serve: %w", err)
+	}
+	return nil
+}
+
+// checkTraceEcho round-trips a raw request with a caller-supplied
+// X-Trace-Id and asserts the daemon echoes it back verbatim.
+func checkTraceEcho(ctx context.Context, base string) error {
+	const want = "feedfacecafe0001"
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/healthz", nil)
+	if err != nil {
+		return err
+	}
+	req.Header.Set(obs.TraceHeader, want)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer func() { _ = resp.Body.Close() }()
+	_, _ = io.Copy(io.Discard, resp.Body)
+	if got := resp.Header.Get(obs.TraceHeader); got != want {
+		return fmt.Errorf("trace echo: sent %q, got %q back", want, got)
+	}
+	return nil
+}
+
+// checkMetrics scrapes /metrics and asserts the smoke traffic is
+// visible there: non-zero detect counters for the smoke shard and
+// cumulative stage-histogram buckets that never decrease with le.
+func checkMetrics(ctx context.Context, base string) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/metrics", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer func() { _ = resp.Body.Close() }()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET /metrics: HTTP %d", resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	return verifyMetricsBody(string(body))
+}
+
+// verifyMetricsBody is the pure assertion half of checkMetrics.
+func verifyMetricsBody(body string) error {
+	counterAtLeast := func(series string, min float64) error {
+		for _, line := range strings.Split(body, "\n") {
+			if !strings.HasPrefix(line, series+" ") {
+				continue
+			}
+			v, err := strconv.ParseFloat(strings.TrimSpace(line[len(series)+1:]), 64)
+			if err != nil {
+				return fmt.Errorf("parsing %q: %v", line, err)
+			}
+			if v < min {
+				return fmt.Errorf("%s = %v, want at least %v", series, v, min)
+			}
+			return nil
+		}
+		return fmt.Errorf("/metrics lacks series %s", series)
+	}
+	for _, series := range []string{
+		`pmu_requests_total{shard="smoke"}`,
+		`pmu_batches_total{shard="smoke"}`,
+		`pmu_samples_total{shard="smoke"}`,
+		`pmu_reloads_total{shard="smoke"}`,
+		`pmu_http_requests_total{path="/v1/detect"}`,
+	} {
+		if err := counterAtLeast(series, 1); err != nil {
+			return err
+		}
+	}
+	// Rendered bucket counts are cumulative, so within one series (the
+	// labels before the le pair) they must never decrease.
+	last := map[string]float64{}
+	found := false
+	for _, line := range strings.Split(body, "\n") {
+		if !strings.HasPrefix(line, "pmu_stage_seconds_bucket{") &&
+			!strings.HasPrefix(line, "pmu_http_seconds_bucket{") {
+			continue
+		}
+		cut := strings.Index(line, `le="`)
+		sp := strings.LastIndexByte(line, ' ')
+		if cut < 0 || sp < cut {
+			return fmt.Errorf("malformed bucket line %q", line)
+		}
+		key := line[:cut]
+		v, err := strconv.ParseFloat(line[sp+1:], 64)
+		if err != nil {
+			return fmt.Errorf("parsing %q: %v", line, err)
+		}
+		if prev, ok := last[key]; ok && v < prev {
+			return fmt.Errorf("bucket counts decreased within %s: %v after %v", key, v, prev)
+		}
+		last[key] = v
+		found = true
+	}
+	if !found {
+		return errors.New("/metrics has no stage histogram buckets")
 	}
 	return nil
 }

@@ -30,7 +30,7 @@ func newTestServer(t *testing.T) (*service.Service, *httptest.Server) {
 		t.Fatal(err)
 	}
 	t.Cleanup(svc.Close)
-	ts := httptest.NewServer(newServer(svc, 30*time.Second).routes())
+	ts := httptest.NewServer(newServer(svc, 30*time.Second, nil).routes())
 	t.Cleanup(ts.Close)
 	return svc, ts
 }

@@ -5,27 +5,71 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"expvar"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"time"
 
 	"pmuoutage"
+	"pmuoutage/internal/obs"
 	"pmuoutage/internal/service"
 )
+
+// HTTP-layer metric names, registered on the service's registry so one
+// /metrics page carries both views. Package-level snake_case consts
+// with one registration site each (gridlint metricname).
+const (
+	metricHTTPRequests = "pmu_http_requests_total"
+	metricHTTPErrors   = "pmu_http_errors_total"
+	metricHTTPSeconds  = "pmu_http_seconds"
+
+	labelPath = "path"
+)
+
+// routePaths are the daemon's endpoints; per-route HTTP series are
+// pre-registered for exactly these, and requests to anything else
+// record nothing (nil cells are no-ops).
+var routePaths = []string{
+	"/v1/detect", "/v1/ingest", "/v1/reload",
+	"/v1/shards", "/v1/stats", "/healthz", "/metrics",
+}
 
 // server adapts the service layer to JSON/HTTP.
 type server struct {
 	svc     *service.Service
 	timeout time.Duration // per-request deadline applied to detect/ingest
+	logger  *slog.Logger  // nil disables access logs
+
+	httpReqs map[string]*obs.Counter
+	httpErrs map[string]*obs.Counter
+	httpLat  map[string]*obs.Histogram
 }
 
-func newServer(svc *service.Service, timeout time.Duration) *server {
-	return &server{svc: svc, timeout: timeout}
+func newServer(svc *service.Service, timeout time.Duration, logger *slog.Logger) *server {
+	s := &server{
+		svc:      svc,
+		timeout:  timeout,
+		httpReqs: map[string]*obs.Counter{},
+		httpErrs: map[string]*obs.Counter{},
+		httpLat:  map[string]*obs.Histogram{},
+	}
+	if logger != nil {
+		s.logger = logger.With(slog.String(obs.AttrComponent, "http"))
+	}
+	reg := svc.Metrics()
+	for _, p := range routePaths {
+		s.httpReqs[p] = reg.Counter(metricHTTPRequests, "HTTP requests served", labelPath, p)
+		s.httpErrs[p] = reg.Counter(metricHTTPErrors, "HTTP requests answered with status >= 400", labelPath, p)
+		s.httpLat[p] = reg.Histogram(metricHTTPSeconds, "request latency, ingress to last byte", labelPath, p)
+	}
+	return s
 }
 
-// routes builds the daemon's mux.
+// routes builds the daemon's mux, wrapped in the telemetry middleware.
 func (s *server) routes() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/detect", s.handleDetect)
@@ -34,6 +78,67 @@ func (s *server) routes() http.Handler {
 	mux.HandleFunc("GET /v1/shards", s.handleShards)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.Handle("GET /metrics", s.svc.Metrics())
+	return s.instrument(mux)
+}
+
+// instrument is the telemetry middleware: it resolves the request's
+// trace ID (a caller's X-Trace-Id is kept so traces span services, one
+// is minted otherwise), carries it on the context through every layer,
+// echoes it on the response — success or error — and records the
+// per-route counter, error counter, latency histogram, and one
+// structured access line.
+func (s *server) instrument(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		id := r.Header.Get(obs.TraceHeader)
+		if id == "" {
+			id = obs.NewTraceID()
+		}
+		w.Header().Set(obs.TraceHeader, id)
+		r = r.WithContext(obs.WithTraceID(r.Context(), id))
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		next.ServeHTTP(sw, r)
+		elapsed := time.Since(start)
+		path := r.URL.Path
+		s.httpReqs[path].Inc()
+		s.httpLat[path].Observe(elapsed)
+		if sw.status >= 400 {
+			s.httpErrs[path].Inc()
+		}
+		if lg := s.logger; lg != nil && lg.Enabled(r.Context(), slog.LevelInfo) {
+			lg.LogAttrs(r.Context(), slog.LevelInfo, "request",
+				slog.String(obs.AttrTraceID, id),
+				slog.String("method", r.Method),
+				slog.String("path", path),
+				slog.Int("status", sw.status),
+				slog.Duration("elapsed", elapsed))
+		}
+	})
+}
+
+// statusWriter captures the response status for metrics and logs.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// debugMux serves the opt-in -debug-addr endpoints: pprof profiles and
+// expvar counters on an explicit mux (never the default one, so the
+// serving port exposes nothing extra).
+func debugMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
 	return mux
 }
 
@@ -78,39 +183,43 @@ type reloadResponse struct {
 }
 
 // errorResponse is the uniform error body; Retryable mirrors the
-// Retry-After header so non-HTTP-savvy clients can branch on the JSON.
+// Retry-After header so non-HTTP-savvy clients can branch on the JSON,
+// and TraceID names the failing request in the daemon's logs.
 type errorResponse struct {
 	Error     string `json:"error"`
 	Retryable bool   `json:"retryable"`
+	TraceID   string `json:"trace_id,omitempty"`
 }
 
 func (s *server) handleDetect(w http.ResponseWriter, r *http.Request) {
 	var req detectRequest
 	if err := decodeJSON(r.Body, &req); err != nil {
-		s.writeError(w, err)
+		s.writeError(w, r, err)
 		return
 	}
 	ctx, cancel := s.requestCtx(r)
 	defer cancel()
 	reports, err := s.svc.DetectBatch(ctx, req.Shard, req.Samples)
 	if err != nil {
-		s.writeError(w, err)
+		s.writeError(w, r, err)
 		return
 	}
+	encStart := time.Now()
 	writeJSON(w, http.StatusOK, detectResponse{Shard: req.Shard, Reports: reports})
+	s.svc.Counters(req.Shard).StageSeconds(service.StageEncode).Observe(time.Since(encStart))
 }
 
 func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	var req ingestRequest
 	if err := decodeJSON(r.Body, &req); err != nil {
-		s.writeError(w, err)
+		s.writeError(w, r, err)
 		return
 	}
 	ctx, cancel := s.requestCtx(r)
 	defer cancel()
 	ev, err := s.svc.Ingest(ctx, req.Shard, req.Sample)
 	if err != nil {
-		s.writeError(w, err)
+		s.writeError(w, r, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, ingestResponse{Shard: req.Shard, Event: ev})
@@ -119,21 +228,21 @@ func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
 func (s *server) handleReload(w http.ResponseWriter, r *http.Request) {
 	var req reloadRequest
 	if err := decodeJSON(r.Body, &req); err != nil {
-		s.writeError(w, err)
+		s.writeError(w, r, err)
 		return
 	}
 	var m *pmuoutage.Model
 	if req.Path != "" {
 		var err error
 		if m, err = loadModel(req.Path); err != nil {
-			s.writeError(w, err)
+			s.writeError(w, r, err)
 			return
 		}
 	}
 	ctx, cancel := s.requestCtx(r)
 	defer cancel()
 	if err := s.svc.Reload(ctx, req.Shard, m); err != nil {
-		s.writeError(w, err)
+		s.writeError(w, r, err)
 		return
 	}
 	for _, st := range s.svc.Shards() {
@@ -142,7 +251,7 @@ func (s *server) handleReload(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	s.writeError(w, fmt.Errorf("%w: %q vanished after reload", service.ErrUnknownShard, req.Shard))
+	s.writeError(w, r, fmt.Errorf("%w: %q vanished after reload", service.ErrUnknownShard, req.Shard))
 }
 
 // loadModel reads one model artifact from disk.
@@ -217,12 +326,19 @@ func statusOf(err error) int {
 	}
 }
 
-func (s *server) writeError(w http.ResponseWriter, err error) {
+func (s *server) writeError(w http.ResponseWriter, r *http.Request, err error) {
 	retry := service.Retryable(err)
 	if retry {
 		w.Header().Set("Retry-After", "1")
 	}
-	writeJSON(w, statusOf(err), errorResponse{Error: err.Error(), Retryable: retry})
+	if lg := s.logger; lg != nil {
+		lg.LogAttrs(r.Context(), slog.LevelWarn, "request failed",
+			slog.String(obs.AttrTraceID, obs.TraceID(r.Context())),
+			slog.String("path", r.URL.Path),
+			slog.Bool("retryable", retry),
+			slog.String("cause", err.Error()))
+	}
+	writeJSON(w, statusOf(err), errorResponse{Error: err.Error(), Retryable: retry, TraceID: obs.TraceID(r.Context())})
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

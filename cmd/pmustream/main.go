@@ -14,6 +14,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"time"
 
@@ -22,6 +23,7 @@ import (
 	"pmuoutage/internal/dataset"
 	"pmuoutage/internal/detect"
 	"pmuoutage/internal/grid"
+	"pmuoutage/internal/obs"
 	"pmuoutage/internal/pmunet"
 	"pmuoutage/internal/stream"
 )
@@ -34,15 +36,21 @@ func main() {
 	killPMUs := flag.Bool("kill-pmus", true, "outage also takes down the endpoint PMUs")
 	loss := flag.Float64("loss", 0.02, "per-frame PMU link loss probability")
 	seed := flag.Int64("seed", 1, "random seed")
+	logLevel := flag.String("log-level", "warn", "network-event log verbosity (debug logs every incomplete assembly)")
 	flag.Parse()
 
-	if err := run(*caseName, *lineIdx, *steps, *outageAt, *killPMUs, *loss, *seed); err != nil {
+	level, err := obs.ParseLevel(*logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pmustream:", err)
+		os.Exit(1)
+	}
+	if err := run(*caseName, *lineIdx, *steps, *outageAt, *killPMUs, *loss, *seed, level); err != nil {
 		fmt.Fprintln(os.Stderr, "pmustream:", err)
 		os.Exit(1)
 	}
 }
 
-func run(caseName string, lineIdx, steps, outageAt int, killPMUs bool, loss float64, seed int64) error {
+func run(caseName string, lineIdx, steps, outageAt int, killPMUs bool, loss float64, seed int64, level slog.Level) error {
 	g, err := cases.Load(caseName)
 	if err != nil {
 		return err
@@ -87,6 +95,7 @@ func run(caseName string, lineIdx, steps, outageAt int, killPMUs bool, loss floa
 		return err
 	}
 	defer col.Close()
+	col.SetLogger(obs.NewTextLogger(os.Stderr, level))
 	pmus := make([]*comm.PMU, g.N())
 	var pdcs []*comm.PDC
 	for ci, members := range nw.Clusters {
@@ -167,7 +176,10 @@ func run(caseName string, lineIdx, steps, outageAt int, killPMUs bool, loss floa
 			fmt.Printf("sample %3d [%s]: ok\n", asm.Seq, status)
 		}
 	}
+	st := col.Stats()
 	fmt.Printf("\nstream finished: %d samples assembled and scored\n", got)
+	fmt.Printf("collector: emitted=%d incomplete=%d dropped=%d evicted=%d\n",
+		st.Emitted, st.Incomplete, st.DroppedFull, st.Evicted)
 	return nil
 }
 

@@ -22,6 +22,7 @@ var goldenDirs = map[string]string{
 	"globalrand":    "globalrand",
 	"goroutineleak": "goroutineleak",
 	"locksmell":     "locksmell",
+	"metricname":    "metricname",
 	"dimcheck":      "dimcheck",
 	"modelio":       "modelio",
 	"suppress":      "floatcmp",

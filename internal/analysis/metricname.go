@@ -1,0 +1,156 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"regexp"
+)
+
+// MetricName polices the telemetry registration surface (internal/obs):
+// every metric name and label key handed to a Registry registration
+// method must be a package-level constant whose value is snake_case,
+// and each metric name must be registered from exactly one call site
+// per package. Constants make the metric catalog greppable; the
+// single-call-site rule keeps /metrics series from being defined in
+// two places with drifting help strings (the registry panics on exact
+// duplicates only at runtime — this catches the mistake at lint time).
+// A loop over shards or routes is one call site, so per-label fan-out
+// stays idiomatic.
+var MetricName = &Analyzer{
+	Name: "metricname",
+	Doc:  "require const snake_case metric/label names, each registered at one call site",
+	Run:  runMetricName,
+}
+
+// metricRegMethods maps each Registry registration method to the
+// argument index where the variadic label key/value pairs begin.
+// GaugeFunc and AttachCounter carry an extra payload argument (the
+// callback / the counter) between help and the labels.
+var metricRegMethods = map[string]int{
+	"Counter":       2,
+	"Gauge":         2,
+	"Histogram":     2,
+	"GaugeFunc":     3,
+	"AttachCounter": 3,
+}
+
+// snakeCaseRE is the shape every metric name and label key must have:
+// lowercase words joined by single underscores, starting with a letter.
+var snakeCaseRE = regexp.MustCompile(`^[a-z][a-z0-9]*(_[a-z0-9]+)*$`)
+
+func runMetricName(pass *Pass) error {
+	firstSite := map[string]ast.Node{} // metric name value -> first registration
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			labelStart, ok := registryMethod(pass, call)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			if name, ok := checkMetricIdent(pass, call.Args[0], "metric name"); ok {
+				if prev, dup := firstSite[name]; dup {
+					pass.Report(call.Pos(), "metric %q is registered at more than one call site (first at %s); register each name exactly once",
+						name, pass.Fset.Position(prev.Pos()))
+				} else {
+					firstSite[name] = call
+				}
+			}
+			// Label keys sit at even offsets of the variadic tail. A
+			// spread (labels...) hides the pairs; leave it to runtime.
+			if call.Ellipsis.IsValid() {
+				return true
+			}
+			for i := labelStart; i < len(call.Args); i += 2 {
+				checkMetricIdent(pass, call.Args[i], "label key")
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// registryMethod reports whether call is a registration method on a
+// type named Registry, returning the index of its first label argument.
+func registryMethod(pass *Pass, call *ast.CallExpr) (int, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return 0, false
+	}
+	labelStart, ok := metricRegMethods[sel.Sel.Name]
+	if !ok {
+		return 0, false
+	}
+	fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return 0, false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return 0, false
+	}
+	recv := sig.Recv().Type()
+	if p, ok := recv.(*types.Pointer); ok {
+		recv = p.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	if !ok || named.Obj().Name() != "Registry" {
+		return 0, false
+	}
+	return labelStart, true
+}
+
+// checkMetricIdent validates one name-position argument (metric name or
+// label key): it must reference a package-level string constant whose
+// value is snake_case. It returns the constant's value when the
+// argument resolves to a constant at all, so duplicate detection works
+// even for names that fail the style checks.
+func checkMetricIdent(pass *Pass, arg ast.Expr, role string) (string, bool) {
+	obj := constObject(pass, arg)
+	if obj == nil {
+		pass.Report(arg.Pos(), "%s must be a package-level named constant, not %s", role, describeExpr(arg))
+		return "", false
+	}
+	if obj.Pkg() == nil || obj.Parent() != obj.Pkg().Scope() {
+		pass.Report(arg.Pos(), "%s constant %s must be declared at package level", role, obj.Name())
+		return "", false
+	}
+	if obj.Val().Kind() != constant.String {
+		return "", false
+	}
+	val := constant.StringVal(obj.Val())
+	if !snakeCaseRE.MatchString(val) {
+		pass.Report(arg.Pos(), "%s %q (const %s) is not snake_case", role, val, obj.Name())
+		return val, true // still a usable name for duplicate tracking
+	}
+	return val, true
+}
+
+// constObject resolves arg to the *types.Const it references, or nil
+// for literals, variables, and anything computed.
+func constObject(pass *Pass, arg ast.Expr) *types.Const {
+	switch e := ast.Unparen(arg).(type) {
+	case *ast.Ident:
+		c, _ := pass.Info.Uses[e].(*types.Const)
+		return c
+	case *ast.SelectorExpr:
+		c, _ := pass.Info.Uses[e.Sel].(*types.Const)
+		return c
+	}
+	return nil
+}
+
+// describeExpr names the offending argument kind for the diagnostic.
+func describeExpr(arg ast.Expr) string {
+	switch ast.Unparen(arg).(type) {
+	case *ast.BasicLit:
+		return "a string literal"
+	case *ast.Ident, *ast.SelectorExpr:
+		return "a variable"
+	default:
+		return "a computed expression"
+	}
+}

@@ -13,6 +13,7 @@ func All() []*Analyzer {
 		GlobalRand,
 		GoroutineLeak,
 		LockSmell,
+		MetricName,
 		ModelIO,
 	}
 }

@@ -1,0 +1,61 @@
+// Package metricname is golden-test input for the metricname analyzer.
+// Registry here mimics the internal/obs surface: the analyzer keys on
+// the receiver type name and method set, not the package path.
+package metricname
+
+type Counter struct{}
+
+type Registry struct{}
+
+func (r *Registry) Counter(name, help string, labels ...string) *Counter   { return nil }
+func (r *Registry) Gauge(name, help string, labels ...string) *Counter     { return nil }
+func (r *Registry) Histogram(name, help string, labels ...string) *Counter { return nil }
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...string) {}
+func (r *Registry) AttachCounter(name, help string, c *Counter, labels ...string)    {}
+
+const (
+	goodCounter = "pmu_good_total"
+	goodGauge   = "pmu_queue_depth"
+	goodHist    = "pmu_stage_seconds"
+	goodFunc    = "pmu_largest_batch"
+	badCase     = "PMU_Shouty_Total"
+	dupName     = "pmu_dup_total"
+	spreadName  = "pmu_spread_total"
+	labelShard  = "shard"
+	labelCamel  = "shardName"
+)
+
+func register(r *Registry, c *Counter, labels []string) {
+	r.Counter(goodCounter, "fine: const snake_case name, const label key", labelShard, "east")
+	r.Histogram(goodHist, "fine: labels fanned out per shard", labelShard, "west")
+	r.GaugeFunc(goodFunc, "fine: callback is not mistaken for a label", func() float64 { return 0 }, labelShard, "east")
+	r.AttachCounter(spreadName, "fine: spread labels are left to runtime", c, labels...)
+
+	r.Counter("pmu_literal_total", "names must be consts") // want `metric name must be a package-level named constant, not a string literal`
+
+	name := "pmu_var_total"
+	r.Counter(name, "variables hide the catalog") // want `metric name must be a package-level named constant, not a variable`
+
+	const local = "pmu_local_total"
+	r.Counter(local, "local consts are invisible to grep at the top of the file") // want `metric name constant local must be declared at package level`
+
+	r.Gauge(badCase, "names must be snake_case") // want `metric name "PMU_Shouty_Total" \(const badCase\) is not snake_case`
+
+	r.Counter(dupName, "first registration is fine", labelShard, "east")
+	r.Counter(dupName, "second call site is the smell") // want `metric "pmu_dup_total" is registered at more than one call site`
+
+	r.Gauge(goodGauge, "label keys must be consts too", "shard", "east") // want `label key must be a package-level named constant, not a string literal`
+	r.Histogram(goodHist2, "label keys must be snake_case", labelCamel, "east") // want `label key "shardName" \(const labelCamel\) is not snake_case`
+}
+
+const goodHist2 = "pmu_other_seconds"
+
+// notARegistry proves the analyzer keys on the receiver type: same
+// method names elsewhere are ignored.
+type notARegistry struct{}
+
+func (notARegistry) Counter(name, help string, labels ...string) {}
+
+func unrelated(n notARegistry) {
+	n.Counter("Whatever Goes", "not a Registry, not our business")
+}

@@ -2,14 +2,28 @@ package comm
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"fmt"
+	"log/slog"
 	"net"
 	"sync"
 	"time"
 
 	"pmuoutage/internal/dataset"
+	"pmuoutage/internal/obs"
 	"pmuoutage/internal/pmunet"
+)
+
+// Metric names the collector exports when registered on an
+// obs.Registry — package-level snake_case consts, one registration
+// site each (enforced by the gridlint metricname analyzer).
+const (
+	metricEmitted    = "pmu_collector_emitted_total"
+	metricIncomplete = "pmu_collector_incomplete_total"
+	metricDropped    = "pmu_collector_dropped_total"
+	metricEvicted    = "pmu_collector_evicted_total"
+	metricPending    = "pmu_collector_pending"
 )
 
 // Assembled is one control-center sample: the merged measurements of a
@@ -31,10 +45,16 @@ type Collector struct {
 
 	ln net.Listener
 
+	// Emission counters: always-on lock-free cells, shared verbatim with
+	// any registry the collector is Registered on, so CollectorStats and
+	// /metrics can never disagree.
+	emitted, incomplete, droppedFull, evicted obs.Counter
+
+	logger *slog.Logger // nil disables network-event logs
+
 	mu      sync.Mutex
 	conns   map[net.Conn]struct{} // accepted PDC conns, so Close can unblock readers
 	pending map[int]*assembly
-	stats   CollectorStats
 	closed  bool
 	done    chan struct{}
 	wg      sync.WaitGroup
@@ -60,16 +80,51 @@ type CollectorStats struct {
 
 // Stats snapshots the collector's counters.
 func (c *Collector) Stats() CollectorStats {
+	pending := c.pendingNow()
+	return CollectorStats{
+		Emitted:     c.emitted.Load(),
+		Incomplete:  c.incomplete.Load(),
+		DroppedFull: c.droppedFull.Load(),
+		Evicted:     c.evicted.Load(),
+		Pending:     pending,
+	}
+}
+
+// Register exports the collector's counters on r, next to whatever else
+// the process serves at /metrics. The registry attaches to the
+// collector's own cells — Stats and the exposition read the same
+// atomics. Call at most once per registry.
+func (c *Collector) Register(r *obs.Registry) {
+	r.AttachCounter(metricEmitted, "assembled samples delivered, complete or not", &c.emitted)
+	r.AttachCounter(metricIncomplete, "emitted samples that carried missing entries", &c.incomplete)
+	r.AttachCounter(metricDropped, "samples discarded because the consumer stalled", &c.droppedFull)
+	r.AttachCounter(metricEvicted, "assemblies force-emitted by the memory bound", &c.evicted)
+	r.GaugeFunc(metricPending, "partially assembled time steps held now", func() float64 {
+		return float64(c.pendingNow())
+	})
+}
+
+// pendingNow reads the size of the in-flight assembly table.
+func (c *Collector) pendingNow() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	out := c.stats
-	out.Pending = len(c.pending)
-	return out
+	return len(c.pending)
+}
+
+// SetLogger attaches a structured logger for network events (evictions,
+// drops, incomplete emissions). Call before traffic flows; nil (the
+// default) disables logging.
+func (c *Collector) SetLogger(lg *slog.Logger) {
+	if lg != nil {
+		lg = lg.With(slog.String(obs.AttrComponent, "comm"))
+	}
+	c.logger = lg
 }
 
 type assembly struct {
 	vm, va  []float64
 	have    pmunet.Mask // true = received
+	got     int         // buses received so far; == n means complete
 	started time.Time
 }
 
@@ -192,11 +247,16 @@ func (c *Collector) ingest(cf ClusterFrame) {
 		}
 		a.vm[bus] = cf.Vm[i]
 		a.va[bus] = cf.Va[i]
-		a.have[bus] = true
+		if !a.have[bus] {
+			a.have[bus] = true
+			a.got++
+		}
 	}
 	// Complete time steps are emitted immediately — no waiting when all
-	// data arrived.
-	if a.have.MissingCount() == 0 {
+	// data arrived. (have is inverse-sense relative to Mask — true means
+	// received — so count arrivals instead of calling MissingCount, whose
+	// reading of this mask would be backwards.)
+	if a.got == c.n {
 		c.emitLocked(cf.Seq, a)
 	}
 }
@@ -212,7 +272,11 @@ func (c *Collector) evictStalestLocked() {
 		}
 	}
 	if stalest >= 0 {
-		c.stats.Evicted++
+		c.evicted.Inc()
+		if lg := c.logger; lg != nil {
+			lg.LogAttrs(context.Background(), slog.LevelWarn, "assembly evicted under memory pressure",
+				slog.Int("seq", stalest), slog.Int("pending", len(c.pending)))
+		}
 		c.emitLocked(stalest, c.pending[stalest])
 	}
 }
@@ -230,14 +294,22 @@ func (c *Collector) emitLocked(seq int, a *assembly) {
 	}
 	select {
 	case c.out <- Assembled{Seq: seq, Sample: s}:
-		c.stats.Emitted++
+		c.emitted.Inc()
 		if s.Mask != nil {
-			c.stats.Incomplete++
+			c.incomplete.Inc()
+			if lg := c.logger; lg != nil && lg.Enabled(context.Background(), slog.LevelDebug) {
+				lg.LogAttrs(context.Background(), slog.LevelDebug, "incomplete sample emitted",
+					slog.Int("seq", seq), slog.Int("missing", missing.MissingCount()))
+			}
 		}
 	default:
 		// A stalled consumer must not deadlock the network path; the
 		// sample is dropped like any other late data.
-		c.stats.DroppedFull++
+		c.droppedFull.Inc()
+		if lg := c.logger; lg != nil {
+			lg.LogAttrs(context.Background(), slog.LevelWarn, "sample dropped: consumer stalled",
+				slog.Int("seq", seq))
+		}
 	}
 }
 

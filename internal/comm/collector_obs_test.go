@@ -1,0 +1,60 @@
+package comm
+
+import (
+	"bytes"
+	"log/slog"
+	"strings"
+	"testing"
+	"time"
+
+	"pmuoutage/internal/obs"
+)
+
+// TestCollectorStatsRegistryParity: Stats() and a registry the collector
+// is Registered on read the same cells, so the JSON snapshot and the
+// Prometheus exposition agree after any traffic pattern.
+func TestCollectorStatsRegistryParity(t *testing.T) {
+	c, err := NewCollector(2, "127.0.0.1:0", time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	var logBuf bytes.Buffer
+	c.SetLogger(obs.NewTextLogger(&logBuf, slog.LevelDebug))
+	r := obs.NewRegistry()
+	c.Register(r)
+
+	// Two complete emissions, then one incomplete via Flush.
+	for seq := 0; seq < 2; seq++ {
+		c.ingest(ClusterFrame{PDC: 0, Seq: seq, Buses: []int{0, 1}, Vm: []float64{1, 1}, Va: []float64{0, 0}})
+	}
+	c.ingest(ClusterFrame{PDC: 0, Seq: 9, Buses: []int{0}, Vm: []float64{1}, Va: []float64{0}})
+	if got := r.GaugeValue(metricPending); got != 1 {
+		t.Fatalf("pending gauge = %v, want 1", got)
+	}
+	c.Flush()
+
+	st := c.Stats()
+	if st.Emitted != 3 || st.Incomplete != 1 || st.Pending != 0 {
+		t.Fatalf("unexpected stats: %+v", st)
+	}
+	for metric, want := range map[string]uint64{
+		metricEmitted:    st.Emitted,
+		metricIncomplete: st.Incomplete,
+		metricDropped:    st.DroppedFull,
+		metricEvicted:    st.Evicted,
+	} {
+		if got := r.CounterValue(metric); got != want {
+			t.Errorf("%s = %d, Stats says %d", metric, got, want)
+		}
+	}
+	if got := r.GaugeValue(metricPending); got != float64(st.Pending) {
+		t.Fatalf("pending gauge = %v, Stats says %d", got, st.Pending)
+	}
+
+	// The incomplete emission logged a structured event.
+	logs := logBuf.String()
+	if !strings.Contains(logs, "incomplete sample emitted") || !strings.Contains(logs, "component=comm") {
+		t.Fatalf("missing incomplete-emission log:\n%s", logs)
+	}
+}

@@ -1,0 +1,83 @@
+package obs
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// TestHotPathAllocations pins the allocation budget of every obs
+// primitive that sits on the serving hot path: recording into enabled
+// cells and recording into disabled (nil) cells are both allocation-
+// free, and trace-ID context reads allocate nothing. Only minting a new
+// trace ID — once per request, at ingress — pays its single string
+// allocation.
+func TestHotPathAllocations(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("alloc_total", "x")
+	g := r.Gauge("alloc_depth", "x")
+	h := r.Histogram("alloc_seconds", "x")
+	var nilC *Counter
+	var nilG *Gauge
+	var nilH *Histogram
+	ctx := WithTraceID(context.Background(), "deadbeef00000000")
+
+	cases := []struct {
+		name string
+		max  float64
+		fn   func()
+	}{
+		{"counter inc enabled", 0, func() { c.Inc() }},
+		{"counter inc disabled", 0, func() { nilC.Inc() }},
+		{"gauge set enabled", 0, func() { g.Set(3) }},
+		{"gauge set disabled", 0, func() { nilG.Set(3) }},
+		{"histogram observe enabled", 0, func() { h.Observe(123 * time.Microsecond) }},
+		{"histogram observe disabled", 0, func() { nilH.Observe(123 * time.Microsecond) }},
+		{"trace id read", 0, func() { _ = TraceID(ctx) }},
+		{"trace id mint", 1, func() { _ = NewTraceID() }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := testing.AllocsPerRun(200, tc.fn); got > tc.max {
+				t.Fatalf("%s allocates %v per op, budget %v", tc.name, got, tc.max)
+			}
+		})
+	}
+}
+
+// BenchmarkHistogramObserve is the histogram micro-benchmark `make
+// bench` surfaces: one Observe is a bucket scan plus three atomic adds.
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := NewRegistry().Histogram("bench_seconds", "x")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(250 * time.Microsecond)
+	}
+}
+
+// BenchmarkHistogramObserveDisabled measures the disabled-telemetry
+// path: a nil histogram is one branch.
+func BenchmarkHistogramObserveDisabled(b *testing.B) {
+	var h *Histogram
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(250 * time.Microsecond)
+	}
+}
+
+// BenchmarkCounterInc measures the counter hot path.
+func BenchmarkCounterInc(b *testing.B) {
+	c := NewRegistry().Counter("bench_total", "x")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+// BenchmarkNewTraceID measures trace-ID minting (ingress only).
+func BenchmarkNewTraceID(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = NewTraceID()
+	}
+}

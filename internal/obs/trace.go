@@ -1,0 +1,72 @@
+package obs
+
+import (
+	"context"
+	crand "crypto/rand"
+	"encoding/binary"
+	"sync/atomic"
+	"time"
+)
+
+// TraceHeader is the HTTP header that carries a request's trace ID in
+// both directions: accepted at ingress (a caller-supplied ID is kept so
+// traces span services) and echoed on every response, success or error.
+const TraceHeader = "X-Trace-Id"
+
+// traceCtxKey keys the trace ID in a context.
+type traceCtxKey struct{}
+
+// WithTraceID returns ctx carrying id; an empty id returns ctx
+// unchanged.
+func WithTraceID(ctx context.Context, id string) context.Context {
+	if id == "" {
+		return ctx
+	}
+	return context.WithValue(ctx, traceCtxKey{}, id)
+}
+
+// TraceID returns the trace ID carried by ctx ("" if none). Reading is
+// allocation-free — the lookup stops at the stored string.
+func TraceID(ctx context.Context) string {
+	id, _ := ctx.Value(traceCtxKey{}).(string)
+	return id
+}
+
+// traceSeq is the trace-ID state: seeded once from crypto/rand, then
+// advanced by a large odd constant per ID (a Weyl sequence), so every
+// process mints a distinct, never-repeating stream without syscalls or
+// locks on the request path.
+var traceSeq atomic.Uint64
+
+func init() {
+	var b [8]byte
+	if _, err := crand.Read(b[:]); err == nil {
+		traceSeq.Store(binary.LittleEndian.Uint64(b[:]))
+	} else {
+		// No entropy source: fall back to the clock. IDs stay unique
+		// within the process, which is all tracing needs.
+		traceSeq.Store(uint64(time.Now().UnixNano()))
+	}
+}
+
+// NewTraceID mints a 16-hex-character trace ID: unique within the
+// process, collision-resistant across processes via the random seed.
+// One string allocation, minted only at request ingress — never on the
+// per-sample hot path.
+func NewTraceID() string {
+	z := traceSeq.Add(0x9e3779b97f4a7c15) // golden-ratio Weyl increment
+	// splitmix64 finalizer: consecutive sequence values become
+	// well-distributed IDs.
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	const hexdigits = "0123456789abcdef"
+	var buf [16]byte
+	for i := 15; i >= 0; i-- {
+		buf[i] = hexdigits[z&0xf]
+		z >>= 4
+	}
+	return string(buf[:])
+}

@@ -1,0 +1,200 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"log/slog"
+	"strings"
+	"testing"
+	"time"
+
+	"pmuoutage"
+	"pmuoutage/internal/obs"
+)
+
+// TestStatsMetricsParity pins the one-source-of-truth satellite: after a
+// traffic burst, every field of the JSON /v1/stats snapshot equals the
+// corresponding series on the Prometheus registry — they are two views
+// of the same atomic cells, so they can never drift.
+func TestStatsMetricsParity(t *testing.T) {
+	svc, err := New(context.Background(), Config{
+		Shards:            []ShardSpec{{Name: "east", Opts: quickOpts(3)}},
+		RestartBackoff:    time.Millisecond,
+		MaxRestartBackoff: 10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	waitState(t, svc, "east", "ready")
+
+	sys := mustSystem(t, svc, "east")
+	samples := testSamples(t, sys, 3)
+	for i := 0; i < 7; i++ {
+		if _, err := svc.DetectBatch(context.Background(), "east", samples); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 4; i++ {
+		if _, err := svc.Ingest(context.Background(), "east", samples[0]); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	snap := svc.Stats()["east"]
+	reg := svc.Metrics()
+	for _, tc := range []struct {
+		metric string
+		want   uint64
+	}{
+		{"pmu_requests_total", snap.Requests},
+		{"pmu_ingests_total", snap.Ingests},
+		{"pmu_samples_total", snap.Samples},
+		{"pmu_batches_total", snap.Batches},
+		{"pmu_shed_total", snap.Shed},
+		{"pmu_unavailable_total", snap.Unavailable},
+		{"pmu_restarts_total", snap.Restarts},
+		{"pmu_reloads_total", snap.Reloads},
+	} {
+		if got := reg.CounterValue(tc.metric, "shard", "east"); got != tc.want {
+			t.Errorf("%s = %d, registry says %d", tc.metric, tc.want, got)
+		}
+	}
+	if snap.Requests != 7 || snap.Ingests != 4 || snap.Samples != 21 {
+		t.Fatalf("unexpected traffic totals: %+v", snap)
+	}
+	det, ok := reg.HistogramSnapshot("pmu_stage_seconds", "shard", "east", "stage", "detect")
+	if !ok {
+		t.Fatal("detect-stage histogram not registered")
+	}
+	if det.Count != snap.Batches {
+		t.Fatalf("detect histogram count %d != batches %d", det.Count, snap.Batches)
+	}
+	if snap.AvgLatencyMS <= 0 || snap.P50LatencyMS <= 0 || snap.P99LatencyMS < snap.P50LatencyMS {
+		t.Fatalf("latency fields not derived from the histogram: %+v", snap)
+	}
+	queue, ok := reg.HistogramSnapshot("pmu_stage_seconds", "shard", "east", "stage", "queue")
+	if !ok || queue.Count != snap.Requests {
+		t.Fatalf("queue-stage histogram count = %d (found=%v), want %d", queue.Count, ok, snap.Requests)
+	}
+	if got := reg.GaugeValue("pmu_queue_depth", "shard", "east"); got != float64(snap.QueueDepth) {
+		t.Fatalf("queue depth gauge = %v, stats say %d", got, snap.QueueDepth)
+	}
+
+	// The same cells render on the exposition text.
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`pmu_requests_total{shard="east"} 7`,
+		`pmu_ingests_total{shard="east"} 4`,
+		`pmu_samples_total{shard="east"} 21`,
+	} {
+		if !strings.Contains(buf.String(), want) {
+			t.Fatalf("exposition missing %q:\n%s", want, buf.String())
+		}
+	}
+}
+
+// TestTelemetryEquivalence pins the instrumentation-is-observational
+// guarantee: two services booted from the same model artifact — one
+// silent, one with debug logging and traced contexts — produce byte-
+// identical detection responses.
+func TestTelemetryEquivalence(t *testing.T) {
+	m, err := pmuoutage.TrainModel(quickOpts(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var logBuf bytes.Buffer
+	newSvc := func(lg *slog.Logger) *Service {
+		svc, err := New(context.Background(), Config{
+			Shards:            []ShardSpec{{Name: "east", Opts: quickOpts(11), Model: m}},
+			RestartBackoff:    time.Millisecond,
+			MaxRestartBackoff: 10 * time.Millisecond,
+			Logger:            lg,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		waitState(t, svc, "east", "ready")
+		return svc
+	}
+	plain := newSvc(nil)
+	defer plain.Close()
+	traced := newSvc(obs.NewTextLogger(&logBuf, slog.LevelDebug))
+	defer traced.Close()
+
+	ref, err := pmuoutage.NewSystemFromModel(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples := testSamples(t, ref, 4)
+	ctx := obs.WithTraceID(context.Background(), "feedface12345678")
+
+	a, err := plain.DetectBatch(context.Background(), "east", samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := traced.DetectBatch(ctx, "east", samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aj, err := json.Marshal(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bj, err := json.Marshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(aj, bj) {
+		t.Fatalf("telemetry changed detector output:\nsilent: %s\ntraced: %s", aj, bj)
+	}
+
+	// The traced request's span line carries its trace ID, shard, and
+	// stage durations.
+	logs := logBuf.String()
+	if !strings.Contains(logs, "detect span") ||
+		!strings.Contains(logs, "trace_id=feedface12345678") ||
+		!strings.Contains(logs, "shard=east") ||
+		!strings.Contains(logs, "component=service") {
+		t.Fatalf("span log missing fields:\n%s", logs)
+	}
+}
+
+// TestInstrumentationAllocs pins the hot-path overhead of the service's
+// telemetry: recording a batch's counters and spans allocates nothing
+// with logging disabled, and only a bounded constant with debug logging
+// enabled.
+func TestInstrumentationAllocs(t *testing.T) {
+	newTestShard := func(lg *slog.Logger) *shard {
+		svc := &Service{cfg: Config{Logger: lg}.withDefaults(), stats: newStats(obs.NewRegistry())}
+		return newShard(svc, ShardSpec{Name: "alloc"})
+	}
+	ctx := obs.WithTraceID(context.Background(), "deadbeef00000000")
+	live := []*request{
+		{ctx: ctx, samples: make([]pmuoutage.Sample, 2), enqueued: time.Now()},
+		{ctx: ctx, samples: make([]pmuoutage.Sample, 1), enqueued: time.Now()},
+	}
+	popped := time.Now()
+
+	silent := newTestShard(nil)
+	counters := silent.counters()
+	if got := testing.AllocsPerRun(200, func() {
+		counters.observeBatch(3, time.Millisecond)
+		silent.observeSpans(live, popped, time.Millisecond, 3)
+	}); got > 0 {
+		t.Fatalf("disabled-telemetry batch instrumentation allocates %v per op, want 0", got)
+	}
+
+	noisy := newTestShard(obs.NewTextLogger(io.Discard, slog.LevelDebug))
+	if got := testing.AllocsPerRun(200, func() {
+		noisy.counters().observeBatch(3, time.Millisecond)
+		noisy.observeSpans(live, popped, time.Millisecond, 3)
+	}); got > 64 {
+		t.Fatalf("enabled-telemetry batch instrumentation allocates %v per op, want a bounded constant", got)
+	}
+}

@@ -26,10 +26,12 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"sync"
 	"time"
 
 	"pmuoutage"
+	"pmuoutage/internal/obs"
 )
 
 // Typed errors of the service layer. Everything the service itself
@@ -97,6 +99,14 @@ type Config struct {
 	RestartBackoff    time.Duration
 	MaxRestartBackoff time.Duration
 
+	// Logger, when non-nil, receives structured span and lifecycle logs
+	// (per-request detect spans at debug, shard state changes at info).
+	// Logging is observational only: a nil Logger disables it entirely —
+	// zero allocations on the hot path — and detector outputs are byte-
+	// identical either way. Metrics are always recorded; they are lock-
+	// free atomics with no logger dependency.
+	Logger *slog.Logger
+
 	// batchHook, when set, observes every coalesced batch right before
 	// it runs (test seam for deterministic queue-pressure tests).
 	batchHook func(shard string, samples int)
@@ -160,7 +170,7 @@ func New(ctx context.Context, cfg Config) (*Service, error) {
 		cfg:    cfg,
 		ctx:    sctx,
 		cancel: cancel,
-		stats:  newStats(),
+		stats:  newStats(obs.NewRegistry()),
 		shards: map[string]*shard{},
 	}
 	for _, spec := range cfg.Shards {
@@ -251,7 +261,16 @@ func (s *Service) Reload(ctx context.Context, shardName string, m *pmuoutage.Mod
 			return err
 		}
 	}
-	return sh.reload(m)
+	if err := sh.reload(m); err != nil {
+		return err
+	}
+	if lg := sh.logger; lg != nil {
+		lg.LogAttrs(ctx, slog.LevelInfo, "model reloaded",
+			slog.String(obs.AttrTraceID, obs.TraceID(ctx)),
+			slog.Uint64(obs.AttrGeneration, sh.gen.Load()),
+			slog.String("model", m.Fingerprint()))
+	}
+	return nil
 }
 
 // Kill marks a ready shard failed: its queue drains with ErrUnavailable
@@ -322,6 +341,20 @@ func (s *Service) peek(name string) *shard {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.shards[name]
+}
+
+// Metrics returns the service's metrics registry — the same cells
+// Stats snapshots, exposable as Prometheus text via the registry's
+// ServeHTTP (cmd/outaged mounts it at /metrics).
+func (s *Service) Metrics() *obs.Registry {
+	return s.stats.reg
+}
+
+// Counters returns the named shard's live counter cells (created on
+// first use), letting transports record into shard-scoped metrics —
+// the HTTP layer uses this for the encode-stage histogram.
+func (s *Service) Counters(name string) *ShardCounters {
+	return s.stats.shard(name)
 }
 
 // Stats snapshots the per-shard counters (requests, batch sizes, queue

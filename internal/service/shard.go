@@ -3,11 +3,13 @@ package service
 import (
 	"context"
 	"fmt"
+	"log/slog"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"pmuoutage"
+	"pmuoutage/internal/obs"
 )
 
 // State is a shard's lifecycle position.
@@ -46,10 +48,11 @@ const queueCap = 256
 
 // request is one queued detect call.
 type request struct {
-	ctx     context.Context
-	samples []pmuoutage.Sample
-	rep     *replica      // the replica the request was routed to
-	done    chan response // buffered(1): the batcher never blocks on delivery
+	ctx      context.Context
+	samples  []pmuoutage.Sample
+	rep      *replica      // the replica the request was routed to
+	done     chan response // buffered(1): the batcher never blocks on delivery
+	enqueued time.Time     // admission instant; queue-wait = batch pop - enqueued
 }
 
 type response struct {
@@ -71,8 +74,9 @@ type replica struct {
 // shard is one trained system plus its replicas, supervisor state, and
 // hot-reload machinery.
 type shard struct {
-	svc  *Service
-	spec ShardSpec
+	svc    *Service
+	spec   ShardSpec
+	logger *slog.Logger // nil when Config.Logger is unset; spans/lifecycle off
 
 	replicas []*replica
 	depth    atomic.Int64 // samples admitted but not yet answered (all replicas)
@@ -101,6 +105,10 @@ func newShard(svc *Service, spec ShardSpec) *shard {
 		spec: spec,
 		boot: spec.Model,
 	}
+	if lg := svc.cfg.Logger; lg != nil {
+		sh.logger = lg.With(slog.String(obs.AttrComponent, "service"), slog.String(obs.AttrShard, spec.Name))
+	}
+	svc.stats.reg.GaugeFunc(metricQueueDepth, "samples admitted and not yet answered", func() float64 { return float64(sh.depth.Load()) }, labelShard, spec.Name)
 	n := spec.Replicas
 	if n <= 0 {
 		n = 1
@@ -120,6 +128,7 @@ func (sh *shard) supervise(ctx context.Context) {
 	backoff := sh.svc.cfg.RestartBackoff
 	for ctx.Err() == nil {
 		sh.setTraining()
+		sh.logState(ctx, slog.LevelInfo, "training", nil)
 		sys, err := sh.buildSystem(ctx)
 		if err == nil {
 			var mon *pmuoutage.Monitor
@@ -127,6 +136,7 @@ func (sh *shard) supervise(ctx context.Context) {
 			if err == nil {
 				killc := make(chan struct{})
 				sh.activate(sys, mon, killc)
+				sh.logState(ctx, slog.LevelInfo, "ready", nil)
 				backoff = sh.svc.cfg.RestartBackoff
 				sh.serve(ctx, killc)
 				if ctx.Err() != nil {
@@ -142,11 +152,28 @@ func (sh *shard) supervise(ctx context.Context) {
 			sh.fail(fmt.Errorf("%w: %q training failed: %v", ErrUnavailable, sh.spec.Name, err))
 		}
 		sh.counters().Restarts.Add(1)
+		sh.logState(ctx, slog.LevelWarn, "restarting", sh.availErr())
 		if !sleep(ctx, backoff) {
 			return
 		}
 		backoff = nextBackoff(backoff, sh.svc.cfg.MaxRestartBackoff)
 	}
+}
+
+// logState emits one shard lifecycle line; a nil logger disables it.
+// Called outside sh.mu — never log under the shard lock.
+func (sh *shard) logState(ctx context.Context, level slog.Level, state string, cause error) {
+	lg := sh.logger
+	if lg == nil || !lg.Enabled(ctx, level) {
+		return
+	}
+	msg := "shard " + state
+	gen := slog.Uint64(obs.AttrGeneration, sh.gen.Load())
+	if cause != nil {
+		lg.LogAttrs(ctx, level, msg, gen, slog.String("cause", cause.Error()))
+		return
+	}
+	lg.LogAttrs(ctx, level, msg, gen)
 }
 
 // buildSystem produces the shard's serving system: rewrap the boot
@@ -196,7 +223,11 @@ func (sh *shard) serveReplica(ctx context.Context, killc chan struct{}, rep *rep
 		case <-killc:
 			return
 		case req := <-rep.reqs:
-			sh.runBatch(ctx, sh.coalesce(rep, req))
+			t0 := time.Now()
+			batch := sh.coalesce(rep, req)
+			popped := time.Now()
+			sh.counters().StageSeconds(StageCoalesce).Observe(popped.Sub(t0))
+			sh.runBatch(ctx, batch, popped)
 		}
 	}
 }
@@ -225,8 +256,9 @@ func (sh *shard) coalesce(rep *replica, first *request) []*request {
 // a concurrent reload cannot tear a batch across two models. If the
 // combined batch fails (one request's malformed sample must not fail
 // its neighbours), it falls back to one detector call per request so
-// each gets exactly its own outcome.
-func (sh *shard) runBatch(ctx context.Context, batch []*request) {
+// each gets exactly its own outcome. popped is the instant the batch
+// left the queue — the end of every member's queue-wait span.
+func (sh *shard) runBatch(ctx context.Context, batch []*request, popped time.Time) {
 	var live []*request
 	var samples []pmuoutage.Sample
 	for _, req := range batch {
@@ -252,7 +284,9 @@ func (sh *shard) runBatch(ctx context.Context, batch []*request) {
 	}
 	start := time.Now()
 	reports, err := sys.DetectBatchContext(ctx, samples)
-	sh.counters().observeBatch(len(samples), time.Since(start))
+	detectDur := time.Since(start)
+	sh.counters().observeBatch(len(samples), detectDur)
+	sh.observeSpans(live, popped, detectDur, len(samples))
 	if err != nil {
 		for _, req := range live {
 			r, rerr := sys.DetectBatchContext(req.ctx, req.samples)
@@ -265,6 +299,36 @@ func (sh *shard) runBatch(ctx context.Context, batch []*request) {
 		n := len(req.samples)
 		sh.respond(req, response{reports: reports[off : off+n : off+n]})
 		off += n
+	}
+}
+
+// observeSpans records each batched request's queue-wait into the
+// queue-stage histogram and, when a logger is attached with debug
+// enabled, emits one span line per request carrying its trace ID.
+// Purely observational: with logging off it is two atomic adds per
+// request and allocates nothing (pinned by TestInstrumentationAllocs).
+func (sh *shard) observeSpans(live []*request, popped time.Time, detectDur time.Duration, batchSamples int) {
+	st := sh.counters()
+	queue := st.StageSeconds(StageQueue)
+	for _, req := range live {
+		queue.Observe(popped.Sub(req.enqueued))
+	}
+	lg := sh.logger
+	if lg == nil {
+		return
+	}
+	for _, req := range live {
+		if !lg.Enabled(req.ctx, slog.LevelDebug) {
+			return
+		}
+		lg.LogAttrs(req.ctx, slog.LevelDebug, "detect span",
+			slog.String(obs.AttrTraceID, obs.TraceID(req.ctx)),
+			slog.Uint64(obs.AttrGeneration, sh.gen.Load()),
+			slog.Int("request_samples", len(req.samples)),
+			slog.Int("batch_samples", batchSamples),
+			slog.Duration("queue_wait", popped.Sub(req.enqueued)),
+			slog.Duration("detect", detectDur),
+		)
 	}
 }
 
@@ -287,7 +351,7 @@ func (sh *shard) detect(ctx context.Context, samples []pmuoutage.Sample) ([]*pmu
 	}
 	rep := sh.pickReplica()
 	rep.inflight.Add(n)
-	req := &request{ctx: ctx, samples: samples, rep: rep, done: make(chan response, 1)}
+	req := &request{ctx: ctx, samples: samples, rep: rep, done: make(chan response, 1), enqueued: time.Now()}
 	select {
 	case rep.reqs <- req:
 	default:

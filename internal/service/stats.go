@@ -4,29 +4,102 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"pmuoutage/internal/obs"
 )
 
-// Stats is the service's counters/gauges hook: one atomic cell per
-// shard, updated on the request path without locks and snapshotted for
-// the /v1/stats endpoint. Counters are observational only — they never
-// influence routing or batching, so the detector output stays
+// Metric and label names the service registers on its obs.Registry.
+// Package-level snake_case consts with exactly one registration call
+// site each — the gridlint `metricname` analyzer enforces this shape.
+const (
+	metricRequests     = "pmu_requests_total"
+	metricIngests      = "pmu_ingests_total"
+	metricSamples      = "pmu_samples_total"
+	metricBatches      = "pmu_batches_total"
+	metricShed         = "pmu_shed_total"
+	metricUnavailable  = "pmu_unavailable_total"
+	metricRestarts     = "pmu_restarts_total"
+	metricReloads      = "pmu_reloads_total"
+	metricQueueDepth   = "pmu_queue_depth"
+	metricMaxBatch     = "pmu_max_batch"
+	metricStageSeconds = "pmu_stage_seconds"
+
+	labelShard = "shard"
+	labelStage = "stage"
+)
+
+// Stage identifies one instrumented span of a request's path through a
+// shard; each stage gets its own latency histogram per shard
+// (pmu_stage_seconds{shard,stage}).
+type Stage int
+
+const (
+	// StageQueue is the per-request wait between admission and the
+	// batcher popping it.
+	StageQueue Stage = iota
+	// StageCoalesce is the per-batch time spent draining companion
+	// requests behind the first one.
+	StageCoalesce
+	// StageDetect is the per-batch detector call.
+	StageDetect
+	// StageEncode is the per-response JSON encoding, recorded by the
+	// HTTP layer (cmd/outaged).
+	StageEncode
+	numStages
+)
+
+// String renders the stage label value.
+func (st Stage) String() string {
+	switch st {
+	case StageQueue:
+		return "queue"
+	case StageCoalesce:
+		return "coalesce"
+	case StageDetect:
+		return "detect"
+	default:
+		return "encode"
+	}
+}
+
+// Stats owns the service's metrics: one cell set per shard, every cell
+// registered on a single obs.Registry, so the JSON /v1/stats snapshot
+// and the Prometheus /metrics exposition are two views of the same
+// atomics and can never drift. Counters are observational only — they
+// never influence routing or batching, so the detector output stays
 // bit-identical to direct library calls.
 type Stats struct {
+	reg *obs.Registry
+
 	mu     sync.Mutex
 	shards map[string]*ShardCounters
 }
 
-func newStats() *Stats {
-	return &Stats{shards: map[string]*ShardCounters{}}
+func newStats(reg *obs.Registry) *Stats {
+	return &Stats{reg: reg, shards: map[string]*ShardCounters{}}
 }
 
-// shard returns (creating on first use) the named shard's counter cell.
+// shard returns (creating and registering on first use) the named
+// shard's counter cells.
 func (s *Stats) shard(name string) *ShardCounters {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	c := s.shards[name]
 	if c == nil {
-		c = &ShardCounters{}
+		c = &ShardCounters{
+			Requests:    s.reg.Counter(metricRequests, "detect requests routed to the shard", labelShard, name),
+			Ingests:     s.reg.Counter(metricIngests, "streaming samples routed to the shard", labelShard, name),
+			Samples:     s.reg.Counter(metricSamples, "samples run through the detector", labelShard, name),
+			Batches:     s.reg.Counter(metricBatches, "coalesced detector calls", labelShard, name),
+			Shed:        s.reg.Counter(metricShed, "requests rejected by load-shedding", labelShard, name),
+			Unavailable: s.reg.Counter(metricUnavailable, "requests refused while the shard was not ready", labelShard, name),
+			Restarts:    s.reg.Counter(metricRestarts, "supervisor rebuilds (failures and kills)", labelShard, name),
+			Reloads:     s.reg.Counter(metricReloads, "successful hot model swaps", labelShard, name),
+		}
+		for st := Stage(0); st < numStages; st++ {
+			c.stage[st] = s.reg.Histogram(metricStageSeconds, "per-stage request latency", labelShard, name, labelStage, st.String())
+		}
+		s.reg.GaugeFunc(metricMaxBatch, "largest coalesced batch seen", func() float64 { return float64(c.maxBatch.Load()) }, labelShard, name)
 		s.shards[name] = c
 	}
 	return c
@@ -43,27 +116,36 @@ func (s *Stats) snapshot() map[string]ShardSnapshot {
 	return out
 }
 
-// ShardCounters are one shard's live counters. All fields are safe for
-// concurrent update.
+// ShardCounters are one shard's live cells, registered on the service
+// registry. All fields are safe for concurrent update.
 type ShardCounters struct {
-	Requests    atomic.Uint64 // detect requests routed to the shard
-	Ingests     atomic.Uint64 // streaming samples routed to the shard
-	Samples     atomic.Uint64 // samples actually run through the detector
-	Batches     atomic.Uint64 // coalesced detector calls
-	Shed        atomic.Uint64 // requests rejected by load-shedding
-	Unavailable atomic.Uint64 // requests refused while not ready
-	Restarts    atomic.Uint64 // supervisor rebuilds (failures and kills)
-	Reloads     atomic.Uint64 // successful hot model swaps
+	Requests    *obs.Counter // detect requests routed to the shard
+	Ingests     *obs.Counter // streaming samples routed to the shard
+	Samples     *obs.Counter // samples actually run through the detector
+	Batches     *obs.Counter // coalesced detector calls
+	Shed        *obs.Counter // requests rejected by load-shedding
+	Unavailable *obs.Counter // requests refused while not ready
+	Restarts    *obs.Counter // supervisor rebuilds (failures and kills)
+	Reloads     *obs.Counter // successful hot model swaps
 
-	latencyNS atomic.Int64 // total detector wall time
-	maxBatch  atomic.Int64 // largest coalesced batch seen
+	stage    [numStages]*obs.Histogram
+	maxBatch atomic.Int64 // largest coalesced batch seen
+}
+
+// StageSeconds returns the latency histogram of one stage — the HTTP
+// layer records the encode stage through this.
+func (c *ShardCounters) StageSeconds(st Stage) *obs.Histogram {
+	if c == nil || st < 0 || st >= numStages {
+		return nil
+	}
+	return c.stage[st]
 }
 
 // observeBatch records one detector call.
 func (c *ShardCounters) observeBatch(samples int, d time.Duration) {
-	c.Batches.Add(1)
+	c.Batches.Inc()
 	c.Samples.Add(uint64(samples))
-	c.latencyNS.Add(d.Nanoseconds())
+	c.stage[StageDetect].Observe(d)
 	for {
 		cur := c.maxBatch.Load()
 		if int64(samples) <= cur || c.maxBatch.CompareAndSwap(cur, int64(samples)) {
@@ -73,7 +155,8 @@ func (c *ShardCounters) observeBatch(samples int, d time.Duration) {
 }
 
 // ShardSnapshot is a point-in-time copy of one shard's counters, shaped
-// for JSON.
+// for JSON. Latency fields derive from the detect-stage histogram —
+// the same cells /metrics renders.
 type ShardSnapshot struct {
 	Requests     uint64  `json:"requests"`
 	Ingests      uint64  `json:"ingests"`
@@ -86,6 +169,9 @@ type ShardSnapshot struct {
 	MaxBatch     int     `json:"max_batch"`
 	AvgBatch     float64 `json:"avg_batch"`
 	AvgLatencyMS float64 `json:"avg_latency_ms"`
+	P50LatencyMS float64 `json:"p50_latency_ms"`
+	P95LatencyMS float64 `json:"p95_latency_ms"`
+	P99LatencyMS float64 `json:"p99_latency_ms"`
 	QueueDepth   int     `json:"queue_depth"`
 }
 
@@ -101,9 +187,13 @@ func (c *ShardCounters) snapshot() ShardSnapshot {
 		Reloads:     c.Reloads.Load(),
 		MaxBatch:    int(c.maxBatch.Load()),
 	}
-	if snap.Batches > 0 {
-		snap.AvgBatch = float64(snap.Samples) / float64(snap.Batches)
-		snap.AvgLatencyMS = float64(c.latencyNS.Load()) / float64(snap.Batches) / 1e6
+	det := c.stage[StageDetect]
+	if n := det.Count(); n > 0 {
+		snap.AvgBatch = float64(snap.Samples) / float64(n)
+		snap.AvgLatencyMS = det.SumSeconds() / float64(n) * 1e3
+		snap.P50LatencyMS = det.Quantile(0.50) * 1e3
+		snap.P95LatencyMS = det.Quantile(0.95) * 1e3
+		snap.P99LatencyMS = det.Quantile(0.99) * 1e3
 	}
 	return snap
 }
