@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet lint test race bench serve-smoke verify
+.PHONY: build vet lint lint-report test race bench serve-smoke verify
 
 build:
 	$(GO) build ./...
@@ -13,6 +13,12 @@ vet:
 #   //gridlint:ignore <analyzer> <reason>
 lint:
 	$(GO) run ./cmd/gridlint ./...
+
+# Machine-readable lint report (suppressed findings included, with the
+# reasons that silence them). CI uploads this as an artifact. The target
+# always writes gridlint.json but still fails on error-tier findings.
+lint-report:
+	$(GO) run ./cmd/gridlint -json ./... > gridlint.json
 
 test:
 	$(GO) test ./...

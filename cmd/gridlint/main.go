@@ -6,22 +6,43 @@
 //
 // Usage:
 //
-//	gridlint [-only a,b] [-list] [packages...]
+//	gridlint [-only a,b] [-list] [-json] [-nocache] [-cache file] [packages...]
 //
 // Packages default to ./... . A pattern is either a directory or a
 // directory followed by /... for a recursive walk (testdata, hidden,
 // and _-prefixed directories are skipped). Exit status is 1 when any
-// diagnostic is reported, 2 on operational errors.
+// unsuppressed error-severity finding is reported, 2 on operational
+// errors.
+//
+// -list prints the analyzer catalog (name, severity, one-line doc).
+// -json writes the full machine-readable report to stdout instead of
+// text: module, analyzer catalog, and every finding — suppressed ones
+// included, with the suppressing directive's reason — with
+// module-root-relative forward-slash paths, in stable order; CI
+// archives it as an artifact (make lint-report). The exit status is
+// the same in both modes.
+//
+// Results are cached per package in .gridlint-cache.json at the module
+// root, keyed by a hash of the package's source files, its
+// module-internal import closure, the analyzer sources, and the
+// toolchain version — a package whose inputs are unchanged reports its
+// previous findings without being re-analyzed. -nocache disables the
+// cache; -cache moves the file.
 //
 // Suppress a finding with an end-of-line or preceding-line comment:
 //
 //	//gridlint:ignore <analyzer> <reason>
+//
+// The units and allocfree analyzers are driven by two further
+// directives, //gridlint:unit and //gridlint:zeroalloc — see the
+// internal/analysis package doc and DESIGN.md for the grammar.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"pmuoutage/internal/analysis"
@@ -30,11 +51,14 @@ import (
 func main() {
 	only := flag.String("only", "", "comma-separated analyzer subset to run (default: all)")
 	list := flag.Bool("list", false, "list analyzers and exit")
+	jsonOut := flag.Bool("json", false, "write the machine-readable report to stdout")
+	nocache := flag.Bool("nocache", false, "disable the per-package result cache")
+	cachePath := flag.String("cache", "", "result cache file (default <module>/.gridlint-cache.json)")
 	flag.Parse()
 
 	if *list {
-		for _, a := range analysis.All() {
-			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		for _, a := range analysis.Describe(analysis.All()) {
+			fmt.Printf("%-14s %-5s %s\n", a.Name, a.Severity, a.Doc)
 		}
 		return
 	}
@@ -66,15 +90,40 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	diags, err := analysis.RunDirs(loader, analyzers, dirs)
+	cache := ""
+	if !*nocache {
+		cache = *cachePath
+		if cache == "" {
+			cache = filepath.Join(loader.ModuleRoot(), ".gridlint-cache.json")
+		}
+	}
+	rep, err := analysis.RunDirsReport(loader, analyzers, dirs, cache)
 	if err != nil {
 		fatal(err)
 	}
-	for _, d := range diags {
-		fmt.Println(d)
+	if *jsonOut {
+		data, err := rep.MarshalIndent()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(string(data))
+	} else {
+		for _, f := range rep.Findings {
+			if f.Suppressed {
+				continue
+			}
+			tag := f.Analyzer
+			if f.Severity == analysis.SeverityWarn {
+				tag += " warn"
+			}
+			fmt.Printf("%s:%d:%d: [%s] %s\n", f.File, f.Line, f.Col, tag, f.Message)
+		}
+		if rep.Errors+rep.Warnings > 0 {
+			fmt.Fprintf(os.Stderr, "gridlint: %d error(s), %d warning(s) in %d package(s)\n",
+				rep.Errors, rep.Warnings, rep.Packages)
+		}
 	}
-	if len(diags) > 0 {
-		fmt.Fprintf(os.Stderr, "gridlint: %d finding(s) in %d package(s)\n", len(diags), len(dirs))
+	if rep.Errors > 0 {
 		os.Exit(1)
 	}
 }

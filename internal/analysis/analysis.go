@@ -8,14 +8,19 @@
 // through a Pass and reports Diagnostics; the Runner loads packages,
 // applies //gridlint:ignore suppressions, and aggregates results.
 //
-// Suppression: a diagnostic is silenced by a comment of the form
+// Three comment directives make up the whole annotation language:
 //
-//	//gridlint:ignore <analyzer> <reason...>
+//	//gridlint:ignore <analyzer> <reason...>   suppress one finding
+//	//gridlint:unit <rad|deg|pu|si|hz>         declare a physical frame (units analyzer)
+//	//gridlint:zeroalloc                       pin a function allocation-free (allocfree analyzer)
 //
-// placed either on the same line as the offending code or on the line
-// directly above it. The analyzer name "all" silences every analyzer.
-// A reason is mandatory — ignore directives without one are themselves
-// reported as diagnostics, so suppressions stay auditable.
+// Suppression: a diagnostic is silenced by an ignore directive placed
+// either on the same line as the offending code or on the line directly
+// above it. The analyzer name "all" silences every analyzer. A reason
+// is mandatory — ignore directives without one are themselves reported
+// as diagnostics, so suppressions stay auditable; the ignoreaudit
+// analyzer additionally flags directives that name an unknown analyzer
+// or no longer suppress anything on the current tree.
 package analysis
 
 import (
@@ -27,12 +32,28 @@ import (
 	"strings"
 )
 
+// Severity tiers a diagnostic. Error findings fail the gate (exit 1);
+// warn findings are printed and reported in -json output but do not
+// fail the build on their own.
+const (
+	SeverityError = "error"
+	SeverityWarn  = "warn"
+)
+
 // Diagnostic is one finding: a position, the analyzer that produced it,
-// and a human-readable message.
+// a severity tier, and a human-readable message. Suppressed findings
+// are kept (flagged, with the suppressing reason) so machine-readable
+// reports can audit the suppression ledger; the text gate only prints
+// and counts unsuppressed ones.
 type Diagnostic struct {
 	Pos      token.Position
 	Analyzer string
+	Severity string
 	Message  string
+	// Suppressed marks a finding silenced by an ignore directive;
+	// SuppressedBy carries that directive's reason.
+	Suppressed   bool
+	SuppressedBy string
 }
 
 // String formats the diagnostic in the conventional file:line:col form.
@@ -46,10 +67,21 @@ type Analyzer struct {
 	Name string
 	// Doc is a one-line description shown by gridlint -list.
 	Doc string
+	// Severity is the tier of this analyzer's findings (SeverityError
+	// when empty).
+	Severity string
 	// Run inspects the package behind pass and reports findings through
 	// pass.Report. Returning an error aborts the whole run (reserved for
 	// internal failures, not findings).
 	Run func(pass *Pass) error
+}
+
+// severity returns the analyzer's tier, defaulting to error.
+func (a *Analyzer) severity() string {
+	if a.Severity == "" {
+		return SeverityError
+	}
+	return a.Severity
 }
 
 // Pass carries one type-checked package to an analyzer.
@@ -57,12 +89,21 @@ type Pass struct {
 	Analyzer *Analyzer
 	Fset     *token.FileSet
 	Files    []*ast.File
-	Pkg      *types.Package
-	Info     *types.Info
+	// TestFiles are the package's _test.go files (in-package and
+	// external), parsed but not type-checked. Analyzers that cross-check
+	// runtime pins (allocfree) read them; most analyzers ignore them.
+	TestFiles []*ast.File
+	Pkg       *types.Package
+	Info      *types.Info
 	// Module is the module path of the repo under analysis; analyzers
 	// use it to classify callees as repo-internal. Empty disables the
 	// classification (golden tests).
 	Module string
+	// PkgAST returns the parsed (comment-bearing, non-type-checked)
+	// files of a module-internal package by import path, or nil when
+	// unavailable. The units analyzer uses it to read annotations
+	// declared in dependency packages.
+	PkgAST func(importPath string) []*ast.File
 
 	diags *[]Diagnostic
 }
@@ -72,6 +113,7 @@ func (p *Pass) Report(pos token.Pos, format string, args ...any) {
 	*p.diags = append(*p.diags, Diagnostic{
 		Pos:      p.Fset.Position(pos),
 		Analyzer: p.Analyzer.Name,
+		Severity: p.Analyzer.severity(),
 		Message:  fmt.Sprintf(format, args...),
 	})
 }
@@ -81,15 +123,18 @@ const IgnorePrefix = "//gridlint:ignore"
 
 // ignoreDirective is one parsed //gridlint:ignore comment.
 type ignoreDirective struct {
-	line     int
+	pos      token.Position
 	analyzer string
 	reason   string
+	// matched records whether the directive suppressed at least one
+	// diagnostic in this run — the staleness signal ignoreaudit reads.
+	matched bool
 }
 
 // parseIgnores extracts the ignore directives of a file and reports
 // malformed ones (missing analyzer or reason) as diagnostics.
-func parseIgnores(fset *token.FileSet, f *ast.File, diags *[]Diagnostic) []ignoreDirective {
-	var out []ignoreDirective
+func parseIgnores(fset *token.FileSet, f *ast.File, diags *[]Diagnostic) []*ignoreDirective {
+	var out []*ignoreDirective
 	for _, cg := range f.Comments {
 		for _, c := range cg.List {
 			if !strings.HasPrefix(c.Text, IgnorePrefix) {
@@ -103,38 +148,50 @@ func parseIgnores(fset *token.FileSet, f *ast.File, diags *[]Diagnostic) []ignor
 				*diags = append(*diags, Diagnostic{
 					Pos:      pos,
 					Analyzer: "gridlint",
+					Severity: SeverityError,
 					Message:  "malformed ignore directive: want //gridlint:ignore <analyzer> <reason>",
 				})
 				continue
 			}
-			out = append(out, ignoreDirective{line: pos.Line, analyzer: name, reason: reason})
+			out = append(out, &ignoreDirective{pos: pos, analyzer: name, reason: reason})
 		}
 	}
 	return out
 }
 
-// suppress drops diagnostics covered by an ignore directive on the same
-// line or the line directly above. Directives are matched per file.
-func suppress(diags []Diagnostic, ignores map[string][]ignoreDirective) []Diagnostic {
-	out := diags[:0]
+// markSuppressed flags diagnostics covered by an ignore directive on the
+// same line or the line directly above, and records on each directive
+// whether it matched anything. Directives are matched per file. The
+// framework's own "gridlint" diagnostics can never be suppressed.
+func markSuppressed(diags []Diagnostic, ignores map[string][]*ignoreDirective) {
+	for i := range diags {
+		d := &diags[i]
+		if d.Analyzer == "gridlint" || d.Suppressed {
+			continue
+		}
+		for _, dir := range ignores[d.Pos.Filename] {
+			if dir.analyzer != d.Analyzer && dir.analyzer != "all" {
+				continue
+			}
+			if dir.pos.Line == d.Pos.Line || dir.pos.Line == d.Pos.Line-1 {
+				d.Suppressed = true
+				d.SuppressedBy = dir.reason
+				dir.matched = true
+				break
+			}
+		}
+	}
+}
+
+// unsuppressed filters to the findings that survive the ignore ledger.
+func unsuppressed(diags []Diagnostic) []Diagnostic {
+	out := make([]Diagnostic, 0, len(diags))
 	for _, d := range diags {
-		if d.Analyzer == "gridlint" || !suppressed(d, ignores[d.Pos.Filename]) {
+		if !d.Suppressed {
 			out = append(out, d)
 		}
 	}
 	return out
-}
-
-func suppressed(d Diagnostic, dirs []ignoreDirective) bool {
-	for _, dir := range dirs {
-		if dir.analyzer != d.Analyzer && dir.analyzer != "all" {
-			continue
-		}
-		if dir.line == d.Pos.Line || dir.line == d.Pos.Line-1 {
-			return true
-		}
-	}
-	return false
 }
 
 // sortDiagnostics orders findings by file, line, column, analyzer for

@@ -1,0 +1,253 @@
+package analysis
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+)
+
+// cacheSchema versions the cache file layout; bump on incompatible
+// changes so stale files are discarded, never misread.
+const cacheSchema = "gridlint-cache-1"
+
+// cacheFile is the on-disk result cache: one entry per analyzed package
+// directory, keyed by a hash of everything that can change its findings.
+type cacheFile struct {
+	Schema string `json:"schema"`
+	// Base fingerprints run-wide inputs: the Go toolchain, the analyzer
+	// set, and the analyzer implementation sources themselves — editing
+	// an analyzer invalidates every entry.
+	Base    string                `json:"base"`
+	Entries map[string]cacheEntry `json:"entries"`
+}
+
+type cacheEntry struct {
+	Key      string    `json:"key"`
+	Findings []Finding `json:"findings"`
+}
+
+// hasher memoizes file-content hashes for one run.
+type hasher struct{ files map[string]string }
+
+func (h *hasher) file(path string) (string, error) {
+	if v, ok := h.files[path]; ok {
+		return v, nil
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(data)
+	v := hex.EncodeToString(sum[:])
+	h.files[path] = v
+	return v, nil
+}
+
+// goFilesIn lists the .go files of dir (sorted); test files included
+// only when withTests is set.
+func goFilesIn(dir string, withTests bool) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") {
+			continue
+		}
+		if !withTests && strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// dirFor maps a module-internal import path to its directory.
+func (l *Loader) dirFor(path string) (string, bool) {
+	if path == l.modPath {
+		return l.modRoot, true
+	}
+	if rest, ok := strings.CutPrefix(path, l.modPath+"/"); ok {
+		return filepath.Join(l.modRoot, filepath.FromSlash(rest)), true
+	}
+	return "", false
+}
+
+// pkgKey hashes everything package-local that can change dir's
+// findings: the contents of its .go files (tests included — allocfree
+// reads them) plus, transitively, the non-test sources of every
+// module-internal package it imports (unit annotations and type changes
+// in dependencies flow into this package's results). Stdlib drift is
+// covered by the toolchain version in the base key.
+func (l *Loader) pkgKey(dir string, h *hasher) (string, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	visited := map[string]bool{}
+	queue := []string{abs}
+	roots := map[string]bool{abs: true}
+	var lines []string
+	fset := token.NewFileSet()
+	for len(queue) > 0 {
+		d := queue[0]
+		queue = queue[1:]
+		if visited[d] {
+			continue
+		}
+		visited[d] = true
+		names, err := goFilesIn(d, roots[d])
+		if err != nil {
+			return "", err
+		}
+		for _, name := range names {
+			full := filepath.Join(d, name)
+			sum, err := h.file(full)
+			if err != nil {
+				return "", err
+			}
+			rel, err := filepath.Rel(l.modRoot, full)
+			if err != nil {
+				rel = full
+			}
+			lines = append(lines, filepath.ToSlash(rel)+"\x00"+sum)
+			if strings.HasSuffix(name, "_test.go") {
+				continue // test-only imports don't affect findings
+			}
+			f, err := parser.ParseFile(fset, full, nil, parser.ImportsOnly)
+			if err != nil {
+				return "", err
+			}
+			for _, imp := range f.Imports {
+				path := strings.Trim(imp.Path.Value, `"`)
+				if depDir, ok := l.dirFor(path); ok && !visited[depDir] {
+					queue = append(queue, depDir)
+				}
+			}
+		}
+	}
+	sort.Strings(lines)
+	sum := sha256.Sum256([]byte(strings.Join(lines, "\n")))
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// baseKey hashes run-wide inputs: toolchain version, the selected
+// analyzer set, and the sources of the analysis framework itself (when
+// the analyzed module contains them — analyzer edits must invalidate
+// results).
+func (l *Loader) baseKey(analyzers []*Analyzer, h *hasher) string {
+	var b strings.Builder
+	b.WriteString(cacheSchema + "\n" + runtime.Version() + "\n")
+	for _, a := range analyzers {
+		fmt.Fprintf(&b, "%s|%s\n", a.Name, a.severity())
+	}
+	for _, sub := range []string{"internal/analysis", "cmd/gridlint"} {
+		dir := filepath.Join(l.modRoot, filepath.FromSlash(sub))
+		names, err := goFilesIn(dir, false)
+		if err != nil {
+			continue // module without gridlint sources: toolchain+set suffice
+		}
+		for _, name := range names {
+			if sum, err := h.file(filepath.Join(dir, name)); err == nil {
+				b.WriteString(name + "\x00" + sum + "\n")
+			}
+		}
+	}
+	sum := sha256.Sum256([]byte(b.String()))
+	return hex.EncodeToString(sum[:])
+}
+
+// loadCache reads the cache file; any problem (missing, corrupt, wrong
+// schema or base) yields a fresh cache — caching must never change
+// results, only skip work.
+func loadCache(path, base string) *cacheFile {
+	fresh := &cacheFile{Schema: cacheSchema, Base: base, Entries: map[string]cacheEntry{}}
+	if path == "" {
+		return fresh
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fresh
+	}
+	var c cacheFile
+	if json.Unmarshal(data, &c) != nil || c.Schema != cacheSchema || c.Base != base || c.Entries == nil {
+		return fresh
+	}
+	return &c
+}
+
+// save writes the cache file; failures are non-fatal (the next run just
+// re-analyzes).
+func (c *cacheFile) save(path string) {
+	if path == "" {
+		return
+	}
+	data, err := json.MarshalIndent(c, "", "  ")
+	if err != nil {
+		return
+	}
+	_ = os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// RunDirsReport loads and analyzes every directory and assembles the
+// machine-readable Report, suppressed findings included. When cachePath
+// is non-empty, per-package results are served from and stored into the
+// file-hash cache there: a package whose source closure is unchanged is
+// not re-loaded or re-analyzed, and reports its previous findings
+// verbatim.
+func RunDirsReport(l *Loader, analyzers []*Analyzer, dirs []string, cachePath string) (*Report, error) {
+	rep := &Report{Module: l.modPath, Analyzers: Describe(analyzers), Packages: len(dirs)}
+	h := &hasher{files: map[string]string{}}
+	base := l.baseKey(analyzers, h)
+	cache := loadCache(cachePath, base)
+	for _, dir := range dirs {
+		abs, err := filepath.Abs(dir)
+		if err != nil {
+			return nil, err
+		}
+		rel, err := filepath.Rel(l.modRoot, abs)
+		if err != nil {
+			rel = abs
+		}
+		rel = filepath.ToSlash(rel)
+		key, err := l.pkgKey(dir, h)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: hashing %s: %w", dir, err)
+		}
+		if ent, ok := cache.Entries[rel]; ok && ent.Key == key {
+			rep.Findings = append(rep.Findings, ent.Findings...)
+			rep.CacheHits++
+			continue
+		}
+		pkg, err := l.LoadDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		diags, err := RunPackageAll(analyzers, pkg, l.modPath)
+		if err != nil {
+			return nil, err
+		}
+		fs := make([]Finding, 0, len(diags))
+		for _, d := range diags {
+			fs = append(fs, findingOf(d, l.modRoot))
+		}
+		sortFindings(fs)
+		cache.Entries[rel] = cacheEntry{Key: key, Findings: fs}
+		rep.Findings = append(rep.Findings, fs...)
+	}
+	sortFindings(rep.Findings)
+	rep.tally()
+	cache.save(cachePath)
+	return rep, nil
+}

@@ -1,0 +1,105 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// TestCacheSecondRunIdentical pins the cache's one invariant: caching
+// must never change results, only skip work. A second run over an
+// unchanged tree serves every package from the cache and reports the
+// exact same findings and tallies.
+func TestCacheSecondRunIdentical(t *testing.T) {
+	cache := filepath.Join(t.TempDir(), "gridlint-cache.json")
+
+	cold := reportFixture(t, cache)
+	if cold.CacheHits != 0 {
+		t.Fatalf("cold run reports %d cache hits, want 0", cold.CacheHits)
+	}
+	if _, err := os.Stat(cache); err != nil {
+		t.Fatalf("cold run did not write the cache file: %v", err)
+	}
+
+	warm := reportFixture(t, cache)
+	if warm.CacheHits != warm.Packages {
+		t.Fatalf("warm run reports %d cache hits, want %d (every package)", warm.CacheHits, warm.Packages)
+	}
+	if !reflect.DeepEqual(cold.Findings, warm.Findings) {
+		t.Fatal("cached findings differ from freshly computed findings")
+	}
+	if cold.Errors != warm.Errors || cold.Warnings != warm.Warnings {
+		t.Fatalf("tallies changed across cache: %d/%d vs %d/%d",
+			cold.Errors, cold.Warnings, warm.Errors, warm.Warnings)
+	}
+}
+
+// TestCacheCorruptionIsHarmless pins the failure mode: a corrupt cache
+// file degrades to a full re-analysis with identical results.
+func TestCacheCorruptionIsHarmless(t *testing.T) {
+	cache := filepath.Join(t.TempDir(), "gridlint-cache.json")
+	cold := reportFixture(t, cache)
+	if err := os.WriteFile(cache, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	redo := reportFixture(t, cache)
+	if redo.CacheHits != 0 {
+		t.Fatalf("corrupt cache yielded %d hits, want 0", redo.CacheHits)
+	}
+	if !reflect.DeepEqual(cold.Findings, redo.Findings) {
+		t.Fatal("findings differ after cache corruption")
+	}
+}
+
+// TestCacheInvalidatesOnSourceChange pins the package key: editing a
+// source file in the analyzed package re-analyzes it (and only it).
+func TestCacheInvalidatesOnSourceChange(t *testing.T) {
+	mod := t.TempDir()
+	write := func(rel, content string) {
+		t.Helper()
+		path := filepath.Join(mod, rel)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("go.mod", "module tmpcache\n\ngo 1.21\n")
+	write("a/a.go", "package a\n\nfunc Eq(x, y float64) bool { return x == y }\n")
+	write("b/b.go", "package b\n\nfunc Twice(x int) int { return 2 * x }\n")
+	cache := filepath.Join(mod, ".gridlint-cache.json")
+
+	run := func() *Report {
+		t.Helper()
+		loader, err := NewLoader(mod)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := RunDirsReport(loader, []*Analyzer{FloatCmp},
+			[]string{filepath.Join(mod, "a"), filepath.Join(mod, "b")}, cache)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+
+	cold := run()
+	if cold.Errors != 1 {
+		t.Fatalf("cold run found %d errors, want 1 (the float compare)", cold.Errors)
+	}
+	if warm := run(); warm.CacheHits != 2 {
+		t.Fatalf("warm run: %d hits, want 2", warm.CacheHits)
+	}
+
+	// Fix the float compare; package a must be re-analyzed, b stays cached.
+	write("a/a.go", "package a\n\nfunc Eq(x, y float64) bool { return x < y }\n")
+	edited := run()
+	if edited.CacheHits != 1 {
+		t.Fatalf("after edit: %d hits, want 1 (only the untouched package)", edited.CacheHits)
+	}
+	if edited.Errors != 0 {
+		t.Fatalf("after fix: %d errors, want 0", edited.Errors)
+	}
+}

@@ -11,9 +11,11 @@ import (
 	"testing"
 )
 
-// goldenDirs maps each testdata/src package to the analyzer exercised on
-// it. The dimcheck package is named subspace inside (the analyzer keys on
-// package name); suppress reuses floatcmp to exercise ignore directives.
+// goldenDirs maps each testdata/src package to the (comma-separated)
+// analyzers exercised on it. The dimcheck package is named subspace
+// inside (the analyzer keys on package name); suppress reuses floatcmp
+// to exercise ignore directives; ignoreaudit runs alongside floatcmp so
+// its directives have real findings to match or miss.
 var goldenDirs = map[string]string{
 	"apierr":        "apierr",
 	"ctxflow":       "ctxflow",
@@ -26,6 +28,9 @@ var goldenDirs = map[string]string{
 	"dimcheck":      "dimcheck",
 	"modelio":       "modelio",
 	"suppress":      "floatcmp",
+	"units":         "units",
+	"allocfree":     "allocfree",
+	"ignoreaudit":   "ignoreaudit,floatcmp",
 }
 
 // wantRE pulls the backquoted regexps out of a `// want` comment.
@@ -36,17 +41,21 @@ func TestGolden(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for dir, name := range goldenDirs {
+	for dir, names := range goldenDirs {
 		t.Run(dir, func(t *testing.T) {
-			a, err := ByName(name)
-			if err != nil {
-				t.Fatal(err)
+			var analyzers []*Analyzer
+			for _, name := range strings.Split(names, ",") {
+				a, err := ByName(name)
+				if err != nil {
+					t.Fatal(err)
+				}
+				analyzers = append(analyzers, a)
 			}
 			pkg, err := loader.LoadDir(filepath.Join("testdata", "src", dir))
 			if err != nil {
 				t.Fatal(err)
 			}
-			diags, err := RunPackage([]*Analyzer{a}, pkg, "")
+			diags, err := RunPackage(analyzers, pkg, "")
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -170,11 +179,19 @@ func TestIgnoreCannotSilenceMalformedReports(t *testing.T) {
 		Analyzer: "gridlint",
 		Message:  "malformed ignore directive",
 	}
-	ignores := map[string][]ignoreDirective{
-		"x.go": {{line: 3, analyzer: "all", reason: "trying to hide the audit trail"}},
+	ignores := map[string][]*ignoreDirective{
+		"x.go": {{
+			pos:      token.Position{Filename: "x.go", Line: 3},
+			analyzer: "all",
+			reason:   "trying to hide the audit trail",
+		}},
 	}
-	out := suppress([]Diagnostic{d}, ignores)
-	if len(out) != 1 {
+	diags := []Diagnostic{d}
+	markSuppressed(diags, ignores)
+	if diags[0].Suppressed {
 		t.Fatal("a gridlint framework diagnostic was suppressed by an ignore directive")
+	}
+	if ignores["x.go"][0].matched {
+		t.Fatal("the directive was credited with a match it did not make")
 	}
 }

@@ -19,8 +19,14 @@ type Package struct {
 	Path  string
 	Fset  *token.FileSet
 	Files []*ast.File
-	Pkg   *types.Package
-	Info  *types.Info
+	// TestFiles are the package's _test.go files (in-package and
+	// external), parsed with comments but not type-checked — enough for
+	// analyzers that cross-check test-side pins (allocfree).
+	TestFiles []*ast.File
+	Pkg       *types.Package
+	Info      *types.Info
+
+	loader *Loader // for cross-package AST lookups (Pass.PkgAST)
 }
 
 // Loader parses and type-checks packages from source with no external
@@ -35,6 +41,7 @@ type Loader struct {
 	modRoot string
 	pkgs    map[string]*types.Package // canonical import path -> checked package
 	loading map[string]bool           // import cycle guard
+	asts    map[string][]*ast.File    // module-internal path -> comment-bearing ASTs
 }
 
 // NewLoader creates a loader rooted at the module directory containing
@@ -57,6 +64,7 @@ func NewLoader(modRoot string) (*Loader, error) {
 		modRoot: abs,
 		pkgs:    map[string]*types.Package{},
 		loading: map[string]bool{},
+		asts:    map[string][]*ast.File{},
 	}, nil
 }
 
@@ -100,13 +108,39 @@ func (l *Loader) LoadDir(dir string) (*Package, error) {
 	if err != nil {
 		return nil, err
 	}
+	testNames := append(append([]string{}, bp.TestGoFiles...), bp.XTestGoFiles...)
+	testFiles, err := l.parseFiles(abs, testNames, parser.ParseComments)
+	if err != nil {
+		return nil, err
+	}
 	path := l.importPathFor(abs, bp)
 	info := newInfo()
 	pkg, err := l.check(path, abs, files, info)
 	if err != nil {
 		return nil, err
 	}
-	return &Package{Dir: abs, Path: path, Fset: l.Fset, Files: files, Pkg: pkg, Info: info}, nil
+	return &Package{Dir: abs, Path: path, Fset: l.Fset, Files: files, TestFiles: testFiles, Pkg: pkg, Info: info, loader: l}, nil
+}
+
+// PkgAST returns the parsed, comment-bearing (non-test) files of a
+// module-internal package by import path. Results are cached; any
+// failure (not module-internal, unparseable) returns nil — annotation
+// lookups degrade to "no annotations" rather than aborting analysis.
+func (l *Loader) PkgAST(path string) []*ast.File {
+	if files, ok := l.asts[path]; ok {
+		return files
+	}
+	var files []*ast.File
+	if path == l.modPath || strings.HasPrefix(path, l.modPath+"/") {
+		dir := filepath.Join(l.modRoot, filepath.FromSlash(strings.TrimPrefix(strings.TrimPrefix(path, l.modPath), "/")))
+		if bp, err := l.ctx.ImportDir(dir, 0); err == nil {
+			if parsed, err := l.parseFiles(dir, bp.GoFiles, parser.ParseComments); err == nil {
+				files = parsed
+			}
+		}
+	}
+	l.asts[path] = files
+	return files
 }
 
 // importPathFor derives the canonical import path of a directory: its

@@ -5,6 +5,7 @@ import "fmt"
 // All returns every registered analyzer, in stable output order.
 func All() []*Analyzer {
 	return []*Analyzer{
+		AllocFree,
 		ApiErr,
 		CtxFlow,
 		DimCheck,
@@ -12,9 +13,11 @@ func All() []*Analyzer {
 		FloatCmp,
 		GlobalRand,
 		GoroutineLeak,
+		IgnoreAudit,
 		LockSmell,
 		MetricName,
 		ModelIO,
+		Units,
 	}
 }
 
@@ -26,4 +29,15 @@ func ByName(name string) (*Analyzer, error) {
 		}
 	}
 	return nil, fmt.Errorf("analysis: unknown analyzer %q", name)
+}
+
+// KnownAnalyzer reports whether name is a registered analyzer or the
+// "all" wildcard — the validity check ignoreaudit applies to ignore
+// directives.
+func KnownAnalyzer(name string) bool {
+	if name == "all" {
+		return true
+	}
+	_, err := ByName(name)
+	return err == nil
 }

@@ -1,0 +1,131 @@
+package analysis
+
+import (
+	"encoding/json"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// reportFixture runs a fixed analyzer set over two testdata packages —
+// one with matching ignore directives (suppress), one with plain
+// findings (units) — and returns the report.
+func reportFixture(t *testing.T, cachePath string) *Report {
+	t.Helper()
+	loader, err := NewLoader("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirs := []string{
+		filepath.Join("testdata", "src", "suppress"),
+		filepath.Join("testdata", "src", "units"),
+	}
+	rep, err := RunDirsReport(loader, []*Analyzer{FloatCmp, Units, IgnoreAudit}, dirs, cachePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+// TestReportRoundTrip pins the machine-readable contract: the report
+// survives encoding/json round-trips unchanged, repeated runs are
+// byte-identical (stable ordering), paths are module-root-relative
+// with forward slashes, and suppressed findings are present with the
+// suppressing reason.
+func TestReportRoundTrip(t *testing.T) {
+	rep := reportFixture(t, "")
+	if len(rep.Findings) == 0 {
+		t.Fatal("fixture produced no findings")
+	}
+	if got := len(rep.Analyzers); got != 3 {
+		t.Fatalf("report lists %d analyzers, want 3", got)
+	}
+
+	data, err := rep.MarshalIndent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(*rep, back) {
+		t.Fatal("report does not survive a JSON round-trip")
+	}
+
+	again := reportFixture(t, "")
+	data2, err := again.MarshalIndent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != string(data2) {
+		t.Fatal("two identical runs produced different JSON reports")
+	}
+
+	suppressed := 0
+	for _, f := range rep.Findings {
+		if strings.Contains(f.File, `\`) || filepath.IsAbs(f.File) {
+			t.Fatalf("finding path %q is not module-root-relative with forward slashes", f.File)
+		}
+		if f.Suppressed {
+			suppressed++
+			if f.SuppressedBy == "" {
+				t.Fatalf("suppressed finding %+v carries no suppressing reason", f)
+			}
+		}
+	}
+	if suppressed == 0 {
+		t.Fatal("suppress fixture produced no suppressed findings in the report")
+	}
+	if rep.Errors == 0 {
+		t.Fatal("units fixture should contribute unsuppressed error findings")
+	}
+
+	// The tallies must agree with the findings they summarize.
+	errs, warns := 0, 0
+	for _, f := range rep.Findings {
+		if f.Suppressed {
+			continue
+		}
+		if f.Severity == SeverityWarn {
+			warns++
+		} else {
+			errs++
+		}
+	}
+	if errs != rep.Errors || warns != rep.Warnings {
+		t.Fatalf("tally mismatch: report says %d/%d, findings say %d/%d",
+			rep.Errors, rep.Warnings, errs, warns)
+	}
+}
+
+// TestSeverityTiers pins the severity plumbing: analyzers default to
+// the error tier, an explicit warn-tier analyzer reports warn findings,
+// and warn findings count as warnings, not errors.
+func TestSeverityTiers(t *testing.T) {
+	for _, a := range All() {
+		if a.severity() != SeverityError {
+			t.Fatalf("analyzer %s has severity %s; every registered analyzer is error-tier", a.Name, a.severity())
+		}
+	}
+	w := &Analyzer{Name: "stylehint", Severity: SeverityWarn, Run: func(pass *Pass) error {
+		pass.Report(pass.Files[0].Pos(), "advisory only")
+		return nil
+	}}
+	loader, err := NewLoader("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := RunDirsReport(loader, []*Analyzer{w},
+		[]string{filepath.Join("testdata", "src", "units")}, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Errors != 0 || rep.Warnings != 1 {
+		t.Fatalf("warn-tier analyzer tallied as %d error(s), %d warning(s); want 0, 1", rep.Errors, rep.Warnings)
+	}
+	if rep.Findings[0].Severity != SeverityWarn {
+		t.Fatalf("finding severity = %q, want warn", rep.Findings[0].Severity)
+	}
+}

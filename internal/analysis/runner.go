@@ -86,7 +86,7 @@ func errorsAs[T error](err error, target *T) bool {
 }
 
 // RunDirs loads every directory and runs the analyzers over each
-// package, returning suppressed, sorted diagnostics. Loading or
+// package, returning unsuppressed, sorted diagnostics. Loading or
 // type-checking failures abort the run: gridlint gates a repo that is
 // expected to compile.
 func RunDirs(l *Loader, analyzers []*Analyzer, dirs []string) ([]Diagnostic, error) {
@@ -107,30 +107,73 @@ func RunDirs(l *Loader, analyzers []*Analyzer, dirs []string) ([]Diagnostic, err
 }
 
 // RunPackage runs the analyzers over one loaded package and applies
-// //gridlint:ignore suppression. module is the module path used to
-// classify imports as repo-internal (empty disables that check).
+// //gridlint:ignore suppression, returning only the unsuppressed
+// findings. module is the module path used to classify imports as
+// repo-internal (empty disables that check).
 func RunPackage(analyzers []*Analyzer, pkg *Package, module string) ([]Diagnostic, error) {
+	diags, err := RunPackageAll(analyzers, pkg, module)
+	if err != nil {
+		return nil, err
+	}
+	return unsuppressed(diags), nil
+}
+
+// RunPackageAll is RunPackage keeping suppressed findings in the result
+// (marked, with the suppressing directive's reason) — the source of the
+// machine-readable report. When the ignoreaudit analyzer is among the
+// selected analyzers it additionally audits the suppression ledger for
+// staleness: a directive that suppressed nothing, naming an analyzer
+// that actually ran (or "all"), is itself a finding. Directives naming
+// ignoreaudit are exempt — they exist to suppress audit findings, which
+// are produced after the match bookkeeping.
+func RunPackageAll(analyzers []*Analyzer, pkg *Package, module string) ([]Diagnostic, error) {
 	var diags []Diagnostic
-	ignores := map[string][]ignoreDirective{}
+	ignores := map[string][]*ignoreDirective{}
 	for _, f := range pkg.Files {
 		name := pkg.Fset.Position(f.Pos()).Filename
 		ignores[name] = parseIgnores(pkg.Fset, f, &diags)
 	}
+	ran := map[string]bool{}
 	for _, a := range analyzers {
+		ran[a.Name] = true
 		pass := &Pass{
-			Analyzer: a,
-			Fset:     pkg.Fset,
-			Files:    pkg.Files,
-			Pkg:      pkg.Pkg,
-			Info:     pkg.Info,
-			Module:   module,
-			diags:    &diags,
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			TestFiles: pkg.TestFiles,
+			Pkg:       pkg.Pkg,
+			Info:      pkg.Info,
+			Module:    module,
+			diags:     &diags,
+		}
+		if pkg.loader != nil {
+			pass.PkgAST = pkg.loader.PkgAST
 		}
 		if err := a.Run(pass); err != nil {
 			return nil, fmt.Errorf("analysis: %s on %s: %w", a.Name, pkg.Path, err)
 		}
 	}
-	diags = suppress(diags, ignores)
+	markSuppressed(diags, ignores)
+	if ran[IgnoreAudit.Name] {
+		stale := len(diags)
+		for _, dirs := range ignores {
+			for _, dir := range dirs {
+				if dir.matched || dir.analyzer == IgnoreAudit.Name {
+					continue
+				}
+				if dir.analyzer != "all" && !ran[dir.analyzer] {
+					continue // audited by ignoreaudit.Run if unknown; not stale if simply deselected
+				}
+				diags = append(diags, Diagnostic{
+					Pos:      dir.pos,
+					Analyzer: IgnoreAudit.Name,
+					Severity: IgnoreAudit.severity(),
+					Message:  fmt.Sprintf("stale ignore directive: no %s finding here to suppress on the current tree", dir.analyzer),
+				})
+			}
+		}
+		markSuppressed(diags[stale:], ignores)
+	}
 	sortDiagnostics(diags)
 	return diags, nil
 }

@@ -1,0 +1,91 @@
+// Package allocfree is the golden fixture for the allocfree analyzer.
+// Inc and ZeroKey are pinned by an AllocsPerRun test (see
+// allocfree_test.go) and use only allocation-free constructs, so they
+// produce nothing; every other annotated function demonstrates one
+// allocating construct plus the missing-pin finding.
+package allocfree
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Counter mirrors the obs hot-path shape.
+type Counter struct{ v atomic.Uint64 }
+
+// Inc is pinned and clean: a nil check and one atomic add.
+//
+//gridlint:zeroalloc
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// key mirrors obs.traceCtxKey: boxing a zero-size value is free.
+type key struct{}
+
+//gridlint:zeroalloc
+func ZeroKey() {
+	sink(key{})
+}
+
+func sink(v any) { _ = v }
+
+//gridlint:zeroalloc
+func Format(x int) string { // want `function Format is marked zeroalloc but no AllocsPerRun test pins it`
+	return fmt.Sprintf("%d", x) // want `zeroalloc function Format calls fmt.Sprintf, which allocates`
+}
+
+//gridlint:zeroalloc
+func Concat(a, b string) string { // want `function Concat is marked zeroalloc but no AllocsPerRun test pins it`
+	return a + b // want `zeroalloc function Concat concatenates strings, which allocates`
+}
+
+//gridlint:zeroalloc
+func Grow(xs []int, x int) []int { // want `function Grow is marked zeroalloc but no AllocsPerRun test pins it`
+	return append(xs, x) // want `zeroalloc function Grow calls append, which may grow its backing array`
+}
+
+//gridlint:zeroalloc
+func Build() ([]int, map[string]int) { // want `function Build is marked zeroalloc but no AllocsPerRun test pins it`
+	s := make([]int, 4)        // want `zeroalloc function Build calls make, which allocates`
+	return s, map[string]int{} // want `zeroalloc function Build builds a map literal, which allocates`
+}
+
+//gridlint:zeroalloc
+func Lit() []int { // want `function Lit is marked zeroalloc but no AllocsPerRun test pins it`
+	return []int{1, 2} // want `zeroalloc function Lit builds a slice literal, which allocates`
+}
+
+//gridlint:zeroalloc
+func Addr() *Counter { // want `function Addr is marked zeroalloc but no AllocsPerRun test pins it`
+	return &Counter{} // want `zeroalloc function Addr takes the address of a composite literal, which escapes to the heap`
+}
+
+//gridlint:zeroalloc
+func New() *Counter { // want `function New is marked zeroalloc but no AllocsPerRun test pins it`
+	return new(Counter) // want `zeroalloc function New calls new, which allocates`
+}
+
+//gridlint:zeroalloc
+func Bytes(s string) []byte { // want `function Bytes is marked zeroalloc but no AllocsPerRun test pins it`
+	return []byte(s) // want `zeroalloc function Bytes converts between string and byte/rune slice, which copies and allocates`
+}
+
+//gridlint:zeroalloc
+func Box(x int) { // want `function Box is marked zeroalloc but no AllocsPerRun test pins it`
+	sink(x) // want `zeroalloc function Box boxes a value of type int into an interface argument, which allocates`
+}
+
+//gridlint:zeroalloc
+func Closure(n int) func() int { // want `function Closure is marked zeroalloc but no AllocsPerRun test pins it`
+	return func() int { return n } // want `zeroalloc function Closure creates a function literal, which may allocate a closure`
+}
+
+//gridlint:zeroalloc
+func Spawn() { // want `function Spawn is marked zeroalloc but no AllocsPerRun test pins it`
+	go run() // want `zeroalloc function Spawn starts a goroutine, which allocates`
+}
+
+func run() {}

@@ -1,0 +1,21 @@
+package allocfree
+
+import "testing"
+
+// TestHotPathAllocs pins the clean zeroalloc functions the way
+// internal/obs does: table-driven closures measured by AllocsPerRun.
+func TestHotPathAllocs(t *testing.T) {
+	var c Counter
+	cases := []struct {
+		name string
+		fn   func()
+	}{
+		{"Counter.Inc", func() { c.Inc() }},
+		{"ZeroKey", func() { ZeroKey() }},
+	}
+	for _, tc := range cases {
+		if n := testing.AllocsPerRun(100, tc.fn); n != 0 {
+			t.Errorf("%s allocates %v per run", tc.name, n)
+		}
+	}
+}

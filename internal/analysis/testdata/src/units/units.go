@@ -1,0 +1,115 @@
+// Package units is the golden fixture for the units analyzer: every
+// line with a `// want` comment must produce exactly the matching
+// diagnostics, and no other line may produce any.
+package units
+
+import "math"
+
+// Bus mirrors the annotation style used in internal/grid.
+type Bus struct {
+	Va float64 //gridlint:unit rad
+	Vd float64 //gridlint:unit deg
+	Vm float64 //gridlint:unit pu
+	KV float64 //gridlint:unit si
+	F  float64 //gridlint:unit hz
+
+	Raw float64 // magnitude in p.u., undeclared // want `field Bus.Raw is documented in physical units .* but has no .* directive`
+
+	X float64 //gridlint:unit parsec // want `unknown unit "parsec" in unit directive`
+	Y float64 //gridlint:unit va rad // want `unit directive on a struct field takes exactly one argument`
+}
+
+// AngleDiff subtracts two angles in the same frame — no mixing.
+//
+//gridlint:unit a rad
+//gridlint:unit b rad
+//gridlint:unit return rad
+func AngleDiff(a, b float64) float64 {
+	return a - b
+}
+
+// BadTrig feeds degrees into the radian-only stdlib trigonometry.
+//
+//gridlint:unit d deg
+func BadTrig(d float64) float64 {
+	return math.Sin(d) // want `passing deg value as parameter x, declared rad`
+}
+
+// Mix exercises the frame-group rules.
+//
+//gridlint:unit a rad
+//gridlint:unit d deg
+//gridlint:unit vm pu
+//gridlint:unit kv si
+func Mix(a, d, vm, kv float64) {
+	_ = a + d   // want `unit mismatch: rad \+ deg mixes two encodings of the same quantity`
+	_ = a * d   // want `unit mismatch: rad \* deg mixes two encodings of the same quantity`
+	_ = vm * kv // want `unit mismatch: pu \* si mixes two encodings of the same quantity`
+	_ = a + vm  // want `unit mismatch: rad \+ pu combines different physical frames`
+	_ = a < vm  // want `unit mismatch: rad < pu combines different physical frames`
+	_ = a * vm  // cross-group product builds a new quantity: allowed
+	_ = a - a   // same frame: fine
+}
+
+// Convert rebinds a local after an explicit frame conversion.
+//
+//gridlint:unit va rad
+//gridlint:unit return deg
+func Convert(va float64) float64 {
+	deg := va * 180 / math.Pi //gridlint:unit deg
+	return deg
+}
+
+// Store exercises annotated-field sinks.
+//
+//gridlint:unit d deg
+func Store(b *Bus, d float64) {
+	b.Va = d // want `assigning deg value to a field declared rad`
+	b.Vd = d
+}
+
+// Elems exercises slice-element frame tracking.
+//
+//gridlint:unit d deg
+func Elems(d float64, buf []float64, b *Bus) {
+	buf[0] = b.Va
+	buf[1] = d // want `storing deg value into buf, whose elements carry rad`
+}
+
+// Lit exercises composite-literal field checks.
+//
+//gridlint:unit d deg
+func Lit(d float64) Bus {
+	return Bus{Va: d} // want `field Bus.Va is declared rad but receives a deg value`
+}
+
+// BadReturn violates its own declared result frame.
+//
+//gridlint:unit d deg
+//gridlint:unit return rad
+func BadReturn(d float64) float64 {
+	return d // want `returning deg value where the result is declared rad`
+}
+
+// UseDiff exercises annotated-call results and argument checks.
+func UseDiff(b *Bus) {
+	r := AngleDiff(b.Va, b.Va)
+	_ = r + b.Vd              // want `unit mismatch: rad \+ deg mixes two encodings of the same quantity`
+	_ = AngleDiff(b.Vd, b.Va) // want `passing deg value as parameter a, declared rad`
+}
+
+// FromAtan exercises stdlib result frames.
+func FromAtan(b *Bus) {
+	r := math.Atan2(1, 2)
+	b.Vd = r // want `assigning rad value to a field declared deg`
+}
+
+// Loops exercises range binding.
+func Loops(b *Bus, angles []float64) {
+	for i := range angles {
+		angles[i] = b.Va
+	}
+	for _, a := range angles {
+		_ = a + b.Vd // want `unit mismatch: rad \+ deg mixes two encodings of the same quantity`
+	}
+}

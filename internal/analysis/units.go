@@ -1,0 +1,798 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// Units is the declaration-driven dimensional-flow analyzer. The
+// detector's contract rests on physical quantities staying in the right
+// frame — phase angles in radians, impedances and susceptances in
+// per-unit on the system MVA base (PAPER.md Eq. 1–3) — and a single
+// degree-valued angle or SI-valued reactance reaching powerflow/detect
+// silently corrupts the eigen-subspaces exactly like the bad PMU data
+// the paper defends against. Declarations opt in with
+//
+//	//gridlint:unit <rad|deg|pu|si|hz>          on a struct field, named
+//	                                            type, or package var
+//	//gridlint:unit <param|result|return> <unit> in a function's doc
+//	x := convert(y) //gridlint:unit <unit>      rebind a local after an
+//	                                            explicit frame change
+//
+// and the analyzer tracks the declared frames intra-procedurally
+// through assignments, arithmetic, and call boundaries: rad+deg,
+// pu*si, deg into a rad parameter, and deg stored into a rad field or
+// slice are errors; rad−rad is fine; anything involving an undeclared
+// quantity passes (the analysis is conservative — it only speaks when
+// both sides are declared). Fields whose comments document a physical
+// unit without a directive are flagged so the annotation set can't rot
+// behind prose. Annotations declared in dependency packages are read
+// through Pass.PkgAST, so frames flow across package boundaries.
+var Units = &Analyzer{
+	Name: "units",
+	Doc:  "dimensional-flow check of //gridlint:unit frames (rad/deg/pu/si/hz) through assignments, arithmetic, and calls",
+	Run:  runUnits,
+}
+
+// UnitPrefix is the declaration directive of the units analyzer.
+const UnitPrefix = "//gridlint:unit"
+
+// unitGroup maps each valid unit to its frame group. Units sharing a
+// group are alternative encodings of one quantity (radians vs degrees,
+// per-unit vs SI) and may never meet in any operation; units from
+// different groups may multiply or divide (that builds a new quantity)
+// but never add, subtract, or compare.
+var unitGroup = map[string]string{
+	"rad": "angle", "deg": "angle",
+	"pu": "scale", "si": "scale",
+	"hz": "freq",
+}
+
+// unitWordRE spots field comments that document a physical frame in
+// prose; such fields must carry a machine-readable directive too.
+var unitWordRE = regexp.MustCompile(`(?i)\bradians?\b|\bdegrees?\b|p\.u\.|\bper[ -]unit\b|\bhertz\b|\bhz\b`)
+
+// cutUnitDirective extracts the argument tokens of a unit directive.
+// The marker must open the comment (prose mentioning the directive —
+// doc comments, this very file — must not parse as one); a later "//"
+// starts an unrelated trailing comment and ends the directive.
+func cutUnitDirective(text string) ([]string, bool) {
+	if !strings.HasPrefix(text, UnitPrefix) {
+		return nil, false
+	}
+	rest := text[len(UnitPrefix):]
+	if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+		return nil, false // a longer word, e.g. //gridlint:unitless
+	}
+	if j := strings.Index(rest, "//"); j >= 0 {
+		rest = rest[:j]
+	}
+	return strings.Fields(rest), true
+}
+
+// fnUnits holds one function's declared parameter and result frames.
+type fnUnits struct {
+	params   map[string]string // parameter name -> unit
+	order    []string          // parameter names in positional order
+	variadic bool
+	results  map[int]string // result index -> unit
+}
+
+// pkgUnits is one package's declared frames, keyed syntactically so the
+// table can be built from parsed (non-type-checked) dependency ASTs.
+type pkgUnits struct {
+	fields map[string]string // "Type.Field" -> unit
+	named  map[string]string // "Type" -> unit
+	vars   map[string]string // package-level var name -> unit
+	funcs  map[string]*fnUnits
+}
+
+// mathUnits seeds the stdlib trigonometry boundary: the math package
+// takes and returns radians, never degrees.
+var mathUnits = map[string]*fnUnits{
+	"Sin":    {params: map[string]string{"x": "rad"}, order: []string{"x"}},
+	"Cos":    {params: map[string]string{"x": "rad"}, order: []string{"x"}},
+	"Tan":    {params: map[string]string{"x": "rad"}, order: []string{"x"}},
+	"Sincos": {params: map[string]string{"x": "rad"}, order: []string{"x"}, results: map[int]string{0: "", 1: ""}},
+	"Asin":   {results: map[int]string{0: "rad"}},
+	"Acos":   {results: map[int]string{0: "rad"}},
+	"Atan":   {results: map[int]string{0: "rad"}},
+	"Atan2":  {results: map[int]string{0: "rad"}},
+}
+
+// recvTypeName returns the base type name of a method receiver.
+func recvTypeName(recv *ast.FieldList) string {
+	if recv == nil || len(recv.List) == 0 {
+		return ""
+	}
+	t := recv.List[0].Type
+	for {
+		switch tt := t.(type) {
+		case *ast.StarExpr:
+			t = tt.X
+		case *ast.IndexExpr:
+			t = tt.X
+		case *ast.IndexListExpr:
+			t = tt.X
+		case *ast.Ident:
+			return tt.Name
+		default:
+			return ""
+		}
+	}
+}
+
+// fnKey is the table key of a function declaration.
+func fnKey(fd *ast.FuncDecl) string {
+	if r := recvTypeName(fd.Recv); r != "" {
+		return r + "." + fd.Name.Name
+	}
+	return fd.Name.Name
+}
+
+// directivesIn yields the unit-directive argument lists of a comment
+// group.
+func directivesIn(cg *ast.CommentGroup) [][]string {
+	if cg == nil {
+		return nil
+	}
+	var out [][]string
+	for _, c := range cg.List {
+		if args, ok := cutUnitDirective(c.Text); ok {
+			out = append(out, args)
+		}
+	}
+	return out
+}
+
+// isFloatField reports (syntactically) whether a field's base type is a
+// floating or complex scalar, possibly behind slices — the shapes a
+// unit annotation makes sense on.
+func isFloatField(t ast.Expr) bool {
+	for {
+		switch tt := t.(type) {
+		case *ast.ArrayType:
+			t = tt.Elt
+		case *ast.StarExpr:
+			t = tt.X
+		case *ast.Ident:
+			switch tt.Name {
+			case "float64", "float32", "complex128", "complex64":
+				return true
+			}
+			return false
+		default:
+			return false
+		}
+	}
+}
+
+// collectUnits builds a package's declared-frame table from its files.
+// When pass is non-nil (the package under analysis), contextual misuse
+// — a directive with the wrong arity for its position, a parameter name
+// that resolves to nothing, a prose-documented field with no directive
+// — is reported; dependency tables are collected silently.
+func collectUnits(files []*ast.File, fset *token.FileSet, pass *Pass) *pkgUnits {
+	t := &pkgUnits{
+		fields: map[string]string{},
+		named:  map[string]string{},
+		vars:   map[string]string{},
+		funcs:  map[string]*fnUnits{},
+	}
+	for _, f := range files {
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.GenDecl:
+				switch d.Tok {
+				case token.TYPE:
+					for _, spec := range d.Specs {
+						ts, ok := spec.(*ast.TypeSpec)
+						if !ok {
+							continue
+						}
+						collectTypeUnits(t, ts, d, pass)
+					}
+				case token.VAR, token.CONST:
+					for _, spec := range d.Specs {
+						vs, ok := spec.(*ast.ValueSpec)
+						if !ok {
+							continue
+						}
+						for _, args := range append(directivesIn(vs.Doc), directivesIn(vs.Comment)...) {
+							if len(args) != 1 {
+								reportUnit(pass, vs.Pos(), "unit directive on a var/const takes exactly one argument: //gridlint:unit <unit>")
+								continue
+							}
+							if unitGroup[args[0]] == "" {
+								continue // bad unit name reported by the comment sweep
+							}
+							for _, name := range vs.Names {
+								t.vars[name.Name] = args[0]
+							}
+						}
+					}
+				}
+			case *ast.FuncDecl:
+				collectFuncUnits(t, d, pass)
+			}
+		}
+	}
+	return t
+}
+
+// collectTypeUnits records a named type's own annotation and its struct
+// fields' annotations.
+func collectTypeUnits(t *pkgUnits, ts *ast.TypeSpec, decl *ast.GenDecl, pass *Pass) {
+	own := append(directivesIn(ts.Doc), directivesIn(ts.Comment)...)
+	if len(decl.Specs) == 1 {
+		own = append(own, directivesIn(decl.Doc)...)
+	}
+	for _, args := range own {
+		if len(args) != 1 {
+			reportUnit(pass, ts.Pos(), "unit directive on a type takes exactly one argument: //gridlint:unit <unit>")
+			continue
+		}
+		if unitGroup[args[0]] != "" {
+			t.named[ts.Name.Name] = args[0]
+		}
+	}
+	st, ok := ts.Type.(*ast.StructType)
+	if !ok {
+		return
+	}
+	for _, field := range st.Fields.List {
+		dirs := append(directivesIn(field.Doc), directivesIn(field.Comment)...)
+		if len(dirs) == 0 {
+			if pass != nil && isFloatField(field.Type) && len(field.Names) > 0 {
+				text := field.Doc.Text() + " " + field.Comment.Text()
+				if unitWordRE.MatchString(text) {
+					pass.Report(field.Pos(), "field %s.%s is documented in physical units (%q) but has no //gridlint:unit directive",
+						ts.Name.Name, field.Names[0].Name, strings.TrimSpace(unitWordRE.FindString(text)))
+				}
+			}
+			continue
+		}
+		for _, args := range dirs {
+			if len(args) != 1 {
+				reportUnit(pass, field.Pos(), "unit directive on a struct field takes exactly one argument: //gridlint:unit <unit>")
+				continue
+			}
+			if unitGroup[args[0]] == "" {
+				continue
+			}
+			for _, name := range field.Names {
+				t.fields[ts.Name.Name+"."+name.Name] = args[0]
+			}
+		}
+	}
+}
+
+// collectFuncUnits records a function's parameter/result annotations
+// from its doc comment: //gridlint:unit <param|result-name|return> <unit>.
+func collectFuncUnits(t *pkgUnits, fd *ast.FuncDecl, pass *Pass) {
+	fn := &fnUnits{params: map[string]string{}, results: map[int]string{}}
+	if fd.Type.Params != nil {
+		for _, field := range fd.Type.Params.List {
+			if _, ok := field.Type.(*ast.Ellipsis); ok {
+				fn.variadic = true
+			}
+			for _, name := range field.Names {
+				fn.order = append(fn.order, name.Name)
+			}
+		}
+	}
+	resultIndex := map[string]int{"return": 0}
+	idx := 0
+	if fd.Type.Results != nil {
+		for _, field := range fd.Type.Results.List {
+			for _, name := range field.Names {
+				resultIndex[name.Name] = idx
+				idx++
+			}
+			if len(field.Names) == 0 {
+				idx++
+			}
+		}
+	}
+	any := false
+	for _, args := range directivesIn(fd.Doc) {
+		if len(args) != 2 {
+			reportUnit(pass, fd.Pos(), "unit directive in a function doc takes two arguments: //gridlint:unit <param|result|return> <unit>")
+			continue
+		}
+		name, unit := args[0], args[1]
+		if unitGroup[unit] == "" {
+			continue
+		}
+		if containsName(fn.order, name) {
+			fn.params[name] = unit
+			any = true
+			continue
+		}
+		if i, ok := resultIndex[name]; ok {
+			fn.results[i] = unit
+			any = true
+			continue
+		}
+		reportUnit(pass, fd.Pos(), "unit directive names %q, which is neither a parameter, a named result, nor \"return\" of %s", name, fd.Name.Name)
+	}
+	if any {
+		t.funcs[fnKey(fd)] = fn
+	}
+}
+
+func containsName(names []string, name string) bool {
+	for _, n := range names {
+		if n == name {
+			return true
+		}
+	}
+	return false
+}
+
+// reportUnit reports through pass when collecting the package under
+// analysis; dependency tables collect silently.
+func reportUnit(pass *Pass, pos token.Pos, format string, args ...any) {
+	if pass != nil {
+		pass.Report(pos, format, args...)
+	}
+}
+
+// unitsChecker is the per-package analysis state.
+type unitsChecker struct {
+	pass   *Pass
+	tables map[string]*pkgUnits
+	// lineUnits maps file:line to a one-argument directive — the local
+	// rebinding form used after explicit frame conversions.
+	lineUnits map[string]map[int]string
+}
+
+func runUnits(pass *Pass) error {
+	u := &unitsChecker{pass: pass, tables: map[string]*pkgUnits{}, lineUnits: map[string]map[int]string{}}
+	u.tables[pass.Pkg.Path()] = collectUnits(pass.Files, pass.Fset, pass)
+	// One sweep over every unit directive: validate grammar and unit
+	// names once, and index the single-argument (rebinding) form by
+	// line for statement-level lookups.
+	for _, f := range pass.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				args, ok := cutUnitDirective(c.Text)
+				if !ok {
+					continue
+				}
+				pos := pass.Fset.Position(c.Pos())
+				switch len(args) {
+				case 1:
+					if unitGroup[args[0]] == "" {
+						pass.Report(c.Pos(), "unknown unit %q in unit directive (want rad, deg, pu, si, or hz)", args[0])
+						continue
+					}
+					m := u.lineUnits[pos.Filename]
+					if m == nil {
+						m = map[int]string{}
+						u.lineUnits[pos.Filename] = m
+					}
+					m[pos.Line] = args[0]
+				case 2:
+					if unitGroup[args[1]] == "" {
+						pass.Report(c.Pos(), "unknown unit %q in unit directive (want rad, deg, pu, si, or hz)", args[1])
+					}
+				default:
+					pass.Report(c.Pos(), "malformed unit directive: want //gridlint:unit [name] <unit>")
+				}
+			}
+		}
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				u.checkFunc(fd)
+			}
+		}
+	}
+	return nil
+}
+
+// table returns (building lazily) the declared-frame table of a package
+// by import path.
+func (u *unitsChecker) table(path string) *pkgUnits {
+	if t, ok := u.tables[path]; ok {
+		return t
+	}
+	var files []*ast.File
+	if u.pass.PkgAST != nil {
+		files = u.pass.PkgAST(path)
+	}
+	t := collectUnits(files, u.pass.Fset, nil)
+	u.tables[path] = t
+	return t
+}
+
+// checkFunc analyzes one function body: binds annotated parameters,
+// then flows frames through statements in source order.
+func (u *unitsChecker) checkFunc(fd *ast.FuncDecl) {
+	state := map[types.Object]string{}
+	fn := u.table(u.pass.Pkg.Path()).funcs[fnKey(fd)]
+	if fn != nil && fd.Type.Params != nil {
+		for _, field := range fd.Type.Params.List {
+			for _, name := range field.Names {
+				if unit := fn.params[name.Name]; unit != "" {
+					if obj := u.pass.Info.Defs[name]; obj != nil {
+						state[obj] = unit
+					}
+				}
+			}
+		}
+	}
+	var results map[int]string
+	if fn != nil {
+		results = fn.results
+	}
+	u.walkBody(fd.Body, state, results)
+}
+
+// walkBody flows frames through one body. Function literals share the
+// enclosing state (closures see the same frames) but have their own —
+// unannotated — results.
+func (u *unitsChecker) walkBody(body ast.Node, state map[types.Object]string, results map[int]string) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			u.walkBody(n.Body, state, nil)
+			return false
+		case *ast.AssignStmt:
+			u.assign(n, state)
+		case *ast.RangeStmt:
+			if unit := u.unitOf(n.X, state); unit != "" {
+				if id, ok := n.Value.(*ast.Ident); ok && id.Name != "_" {
+					if obj := u.pass.Info.ObjectOf(id); obj != nil {
+						state[obj] = unit
+					}
+				}
+			}
+		case *ast.BinaryExpr:
+			u.checkBinary(n, state)
+		case *ast.CallExpr:
+			u.checkCall(n, state)
+		case *ast.CompositeLit:
+			u.checkComposite(n, state)
+		case *ast.ReturnStmt:
+			for i, res := range n.Results {
+				want := results[i]
+				if want == "" {
+					continue
+				}
+				if got := u.unitOf(res, state); got != "" && got != want {
+					u.pass.Report(res.Pos(), "returning %s value where the result is declared %s", got, want)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// assign binds and checks one assignment statement.
+func (u *unitsChecker) assign(st *ast.AssignStmt, state map[types.Object]string) {
+	// Compound ops: x op= y behaves like the binary op for mixing rules.
+	if op, ok := compoundOp(st.Tok); ok && len(st.Lhs) == 1 && len(st.Rhs) == 1 {
+		lu := u.unitOf(st.Lhs[0], state)
+		ru := u.unitOf(st.Rhs[0], state)
+		u.checkMix(op, lu, ru, st.Pos())
+		if lu == "" && ru != "" && (op == token.ADD || op == token.SUB) {
+			u.bindLHS(st.Lhs[0], ru, state, st.Pos())
+		}
+		return
+	}
+	rhs := make([]string, len(st.Lhs))
+	if len(st.Rhs) == len(st.Lhs) {
+		for i, e := range st.Rhs {
+			rhs[i] = u.unitOf(e, state)
+		}
+	} else if len(st.Rhs) == 1 {
+		// Multi-value call/assert: per-result units when annotated.
+		if call, ok := st.Rhs[0].(*ast.CallExpr); ok {
+			if fn := u.calleeUnits(call); fn != nil {
+				for i := range rhs {
+					rhs[i] = fn.results[i]
+				}
+			}
+		}
+	}
+	// A trailing //gridlint:unit <unit> on the statement line rebinds
+	// the (single) destination — the escape hatch after an explicit
+	// frame conversion like rad→deg.
+	if len(st.Lhs) == 1 {
+		pos := u.pass.Fset.Position(st.End())
+		if unit := u.lineUnits[pos.Filename][pos.Line]; unit != "" {
+			rhs[0] = unit
+			u.bindLHS(st.Lhs[0], unit, state, st.Pos())
+			return
+		}
+	}
+	for i, lhs := range st.Lhs {
+		u.bindLHS(lhs, rhs[i], state, st.Pos())
+	}
+}
+
+func compoundOp(tok token.Token) (token.Token, bool) {
+	switch tok {
+	case token.ADD_ASSIGN:
+		return token.ADD, true
+	case token.SUB_ASSIGN:
+		return token.SUB, true
+	case token.MUL_ASSIGN:
+		return token.MUL, true
+	case token.QUO_ASSIGN:
+		return token.QUO, true
+	}
+	return token.ILLEGAL, false
+}
+
+// bindLHS records (or checks) the frame flowing into one assignment
+// destination.
+func (u *unitsChecker) bindLHS(lhs ast.Expr, unit string, state map[types.Object]string, pos token.Pos) {
+	switch l := ast.Unparen(lhs).(type) {
+	case *ast.Ident:
+		if l.Name == "_" {
+			return
+		}
+		obj := u.pass.Info.ObjectOf(l)
+		if v, ok := obj.(*types.Var); ok {
+			if unit != "" {
+				state[v] = unit
+			} else {
+				delete(state, v) // reassigned with an undeclared value
+			}
+		}
+	case *ast.IndexExpr:
+		if unit == "" {
+			return
+		}
+		switch x := ast.Unparen(l.X).(type) {
+		case *ast.Ident:
+			obj := u.pass.Info.ObjectOf(x)
+			if v, ok := obj.(*types.Var); ok {
+				if cur := state[v]; cur == "" {
+					state[v] = unit
+				} else if cur != unit {
+					u.pass.Report(pos, "storing %s value into %s, whose elements carry %s", unit, x.Name, cur)
+				}
+			}
+		case *ast.SelectorExpr:
+			if want := u.fieldUnit(x); want != "" && want != unit {
+				u.pass.Report(pos, "storing %s value into a field declared %s", unit, want)
+			}
+		}
+	case *ast.SelectorExpr:
+		if unit == "" {
+			return
+		}
+		if want := u.fieldUnit(l); want != "" && want != unit {
+			u.pass.Report(pos, "assigning %s value to a field declared %s", unit, want)
+		}
+	}
+}
+
+// checkBinary enforces the mixing rules on one operator.
+func (u *unitsChecker) checkBinary(e *ast.BinaryExpr, state map[types.Object]string) {
+	switch e.Op {
+	case token.ADD, token.SUB, token.MUL, token.QUO,
+		token.EQL, token.NEQ, token.LSS, token.LEQ, token.GTR, token.GEQ:
+		u.checkMix(e.Op, u.unitOf(e.X, state), u.unitOf(e.Y, state), e.OpPos)
+	}
+}
+
+// checkMix reports when two declared frames meet illegally under op:
+// same-group units (rad vs deg, pu vs si) never mix; cross-group units
+// may multiply/divide but not add, subtract, or compare.
+func (u *unitsChecker) checkMix(op token.Token, a, b string, pos token.Pos) {
+	if a == "" || b == "" || a == b {
+		return
+	}
+	if unitGroup[a] == unitGroup[b] {
+		u.pass.Report(pos, "unit mismatch: %s %s %s mixes two encodings of the same quantity", a, op, b)
+		return
+	}
+	if op != token.MUL && op != token.QUO {
+		u.pass.Report(pos, "unit mismatch: %s %s %s combines different physical frames", a, op, b)
+	}
+}
+
+// calleeUnits resolves a call's annotated signature, or nil.
+func (u *unitsChecker) calleeUnits(call *ast.CallExpr) *fnUnits {
+	var obj types.Object
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj = u.pass.Info.ObjectOf(fun)
+	case *ast.SelectorExpr:
+		obj = u.pass.Info.ObjectOf(fun.Sel)
+	}
+	f, ok := obj.(*types.Func)
+	if !ok || f.Pkg() == nil {
+		return nil
+	}
+	if f.Pkg().Path() == "math" {
+		return mathUnits[f.Name()]
+	}
+	key := f.Name()
+	if sig, ok := f.Type().(*types.Signature); ok && sig.Recv() != nil {
+		if named := namedOf(sig.Recv().Type()); named != nil {
+			key = named.Obj().Name() + "." + f.Name()
+		}
+	}
+	return u.table(f.Pkg().Path()).funcs[key]
+}
+
+// checkCall verifies argument frames against an annotated callee.
+func (u *unitsChecker) checkCall(call *ast.CallExpr, state map[types.Object]string) {
+	if tv, ok := u.pass.Info.Types[call.Fun]; ok && tv.IsType() {
+		return // conversion: unit passes through, checked at use sites
+	}
+	fn := u.calleeUnits(call)
+	if fn == nil || len(fn.order) == 0 {
+		return
+	}
+	for i, arg := range call.Args {
+		var name string
+		switch {
+		case i < len(fn.order):
+			name = fn.order[i]
+		case fn.variadic:
+			name = fn.order[len(fn.order)-1]
+		default:
+			continue
+		}
+		want := fn.params[name]
+		if want == "" {
+			continue
+		}
+		if got := u.unitOf(arg, state); got != "" && got != want {
+			u.pass.Report(arg.Pos(), "passing %s value as parameter %s, declared %s", got, name, want)
+		}
+	}
+}
+
+// checkComposite verifies struct-literal elements against annotated
+// fields.
+func (u *unitsChecker) checkComposite(lit *ast.CompositeLit, state map[types.Object]string) {
+	named := namedOf(u.pass.Info.TypeOf(lit))
+	if named == nil || named.Obj().Pkg() == nil {
+		return
+	}
+	st, ok := named.Underlying().(*types.Struct)
+	if !ok {
+		return
+	}
+	fields := u.table(named.Obj().Pkg().Path()).fields
+	typeName := named.Obj().Name()
+	for i, el := range lit.Elts {
+		var fieldName string
+		value := el
+		if kv, ok := el.(*ast.KeyValueExpr); ok {
+			if id, ok := kv.Key.(*ast.Ident); ok {
+				fieldName = id.Name
+			}
+			value = kv.Value
+		} else if i < st.NumFields() {
+			fieldName = st.Field(i).Name()
+		}
+		want := fields[typeName+"."+fieldName]
+		if want == "" {
+			continue
+		}
+		if got := u.unitOf(value, state); got != "" && got != want {
+			u.pass.Report(value.Pos(), "field %s.%s is declared %s but receives a %s value", typeName, fieldName, want, got)
+		}
+	}
+}
+
+// namedOf peels pointers down to a named type, or nil.
+func namedOf(t types.Type) *types.Named {
+	for t != nil {
+		switch tt := t.(type) {
+		case *types.Pointer:
+			t = tt.Elem()
+		case *types.Named:
+			return tt
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+// fieldUnit resolves the declared frame of a field selection, or "".
+func (u *unitsChecker) fieldUnit(sel *ast.SelectorExpr) string {
+	if s, ok := u.pass.Info.Selections[sel]; ok && s.Kind() == types.FieldVal {
+		named := namedOf(s.Recv())
+		if named == nil || named.Obj().Pkg() == nil {
+			return ""
+		}
+		return u.table(named.Obj().Pkg().Path()).fields[named.Obj().Name()+"."+s.Obj().Name()]
+	}
+	// Qualified identifier: pkg.Var.
+	if v, ok := u.pass.Info.ObjectOf(sel.Sel).(*types.Var); ok && v.Pkg() != nil && !v.IsField() {
+		return u.table(v.Pkg().Path()).vars[v.Name()]
+	}
+	return ""
+}
+
+// unitOf derives the frame of an expression from the declared tables
+// and the local flow state; "" means undeclared (never an error by
+// itself).
+func (u *unitsChecker) unitOf(expr ast.Expr, state map[types.Object]string) string {
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.Ident:
+		obj := u.pass.Info.ObjectOf(e)
+		if obj == nil {
+			return ""
+		}
+		if unit, ok := state[obj]; ok {
+			return unit
+		}
+		if v, ok := obj.(*types.Var); ok && v.Pkg() != nil && !v.IsField() && v.Parent() == v.Pkg().Scope() {
+			return u.table(v.Pkg().Path()).vars[v.Name()]
+		}
+		if c, ok := obj.(*types.Const); ok && c.Pkg() != nil && c.Parent() == c.Pkg().Scope() {
+			return u.table(c.Pkg().Path()).vars[c.Name()]
+		}
+		return u.namedUnit(u.pass.Info.TypeOf(e))
+	case *ast.SelectorExpr:
+		if unit := u.fieldUnit(e); unit != "" {
+			return unit
+		}
+		return u.namedUnit(u.pass.Info.TypeOf(e))
+	case *ast.IndexExpr:
+		return u.unitOf(e.X, state)
+	case *ast.UnaryExpr:
+		if e.Op == token.ADD || e.Op == token.SUB {
+			return u.unitOf(e.X, state)
+		}
+		return ""
+	case *ast.CallExpr:
+		if tv, ok := u.pass.Info.Types[e.Fun]; ok && tv.IsType() && len(e.Args) == 1 {
+			return u.unitOf(e.Args[0], state)
+		}
+		if fn := u.calleeUnits(e); fn != nil {
+			return fn.results[0]
+		}
+		return ""
+	case *ast.BinaryExpr:
+		a, b := u.unitOf(e.X, state), u.unitOf(e.Y, state)
+		switch e.Op {
+		case token.ADD, token.SUB:
+			// Sum/difference stays in the known frame; conflicting
+			// frames are reported at the operator and yield no frame.
+			if a == b {
+				return a
+			}
+			if a == "" {
+				return b
+			}
+			if b == "" {
+				return a
+			}
+			return ""
+		case token.MUL:
+			if a == b {
+				return a // pu*pu stays in the per-unit frame
+			}
+			return ""
+		}
+		return ""
+	}
+	return u.namedUnit(u.pass.Info.TypeOf(expr))
+}
+
+// namedUnit returns the annotation of an expression's named type
+// (`type Angle float64 //gridlint:unit rad`), if any.
+func (u *unitsChecker) namedUnit(t types.Type) string {
+	named := namedOf(t)
+	if named == nil || named.Obj().Pkg() == nil {
+		return ""
+	}
+	return u.table(named.Obj().Pkg().Path()).named[named.Obj().Name()]
+}

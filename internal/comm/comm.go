@@ -25,8 +25,8 @@ import (
 type Frame struct {
 	Bus int     `json:"bus"` // bus index
 	Seq int     `json:"seq"` // time-step sequence number
-	Vm  float64 `json:"vm"`
-	Va  float64 `json:"va"`
+	Vm  float64 `json:"vm"`  //gridlint:unit pu
+	Va  float64 `json:"va"`  //gridlint:unit rad
 }
 
 // ClusterFrame is a PDC's aggregate for one time step: the frames it
@@ -35,8 +35,8 @@ type ClusterFrame struct {
 	PDC   int       `json:"pdc"`
 	Seq   int       `json:"seq"`
 	Buses []int     `json:"buses"`
-	Vm    []float64 `json:"vm"` // parallel to Buses
-	Va    []float64 `json:"va"`
+	Vm    []float64 `json:"vm"` //gridlint:unit pu // parallel to Buses
+	Va    []float64 `json:"va"` //gridlint:unit rad // parallel to Buses
 }
 
 // writeJSONLine marshals v and writes it as one line.
@@ -82,6 +82,9 @@ func (p *PMU) SetDown(down bool) {
 }
 
 // Send transmits one measurement; dead devices and lossy links drop it.
+//
+//gridlint:unit vm pu
+//gridlint:unit va rad
 func (p *PMU) Send(seq int, vm, va float64) error {
 	p.mu.Lock()
 	defer p.mu.Unlock()

@@ -57,7 +57,8 @@ func (c Channel) Dim(n int) int {
 // Sample is one time instant of PMU data: the column X_{:,t} of the
 // paper's data matrix, with an optional missing-data mask.
 type Sample struct {
-	Vm, Va []float64
+	Vm []float64 //gridlint:unit pu
+	Va []float64 //gridlint:unit rad
 	// Mask marks buses whose measurements are missing; nil = complete.
 	Mask pmunet.Mask
 }

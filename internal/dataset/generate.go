@@ -20,7 +20,8 @@ type GenConfig struct {
 	Seed int64
 	// SigmaVm/SigmaVa are the PMU noise levels (p.u. / radians);
 	// non-positive values select the loadgen defaults.
-	SigmaVm, SigmaVa float64
+	SigmaVm float64 //gridlint:unit pu
+	SigmaVa float64 //gridlint:unit rad
 	// OU overrides the load process; zero value selects DefaultOU(Steps).
 	OU loadgen.OUParams
 	// UseDC switches to the linear DC power flow — an order of magnitude

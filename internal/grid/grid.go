@@ -42,14 +42,14 @@ func (t BusType) String() string {
 type Bus struct {
 	ID   int     `json:"id"`   // external bus number (1-based in IEEE cases)
 	Type BusType `json:"type"` // PQ, PV or slack
-	Pd   float64 `json:"pd"`   // active demand (load)
-	Qd   float64 `json:"qd"`   // reactive demand
-	Pg   float64 `json:"pg"`   // active generation
-	Qg   float64 `json:"qg"`   // reactive generation
-	Gs   float64 `json:"gs"`   // shunt conductance
-	Bs   float64 `json:"bs"`   // shunt susceptance
-	Vm   float64 `json:"vm"`   // voltage magnitude set point / initial guess
-	Va   float64 `json:"va"`   // voltage angle (radians) initial guess
+	Pd   float64 `json:"pd"`   //gridlint:unit pu // active demand (load)
+	Qd   float64 `json:"qd"`   //gridlint:unit pu // reactive demand
+	Pg   float64 `json:"pg"`   //gridlint:unit pu // active generation
+	Qg   float64 `json:"qg"`   //gridlint:unit pu // reactive generation
+	Gs   float64 `json:"gs"`   //gridlint:unit pu // shunt conductance
+	Bs   float64 `json:"bs"`   //gridlint:unit pu // shunt susceptance
+	Vm   float64 `json:"vm"`   //gridlint:unit pu // voltage magnitude set point / initial guess
+	Va   float64 `json:"va"`   //gridlint:unit rad // voltage angle (radians) initial guess
 }
 
 // Branch is one power line (or transformer) between two buses, indexed by
@@ -57,11 +57,11 @@ type Bus struct {
 type Branch struct {
 	From   int     `json:"from"`   // internal bus index
 	To     int     `json:"to"`     // internal bus index
-	R      float64 `json:"r"`      // series resistance (p.u.)
-	X      float64 `json:"x"`      // series reactance (p.u.)
-	B      float64 `json:"b"`      // total line charging susceptance (p.u.)
+	R      float64 `json:"r"`      //gridlint:unit pu // series resistance (p.u.)
+	X      float64 `json:"x"`      //gridlint:unit pu // series reactance (p.u.)
+	B      float64 `json:"b"`      //gridlint:unit pu // total line charging susceptance (p.u.)
 	Tap    float64 `json:"tap"`    // off-nominal turns ratio; 0 or 1 means none
-	Shift  float64 `json:"shift"`  // phase shift angle (radians)
+	Shift  float64 `json:"shift"`  //gridlint:unit rad // phase shift angle (radians)
 	Status bool    `json:"status"` // in service?
 }
 

@@ -109,8 +109,8 @@ func (pr *Process) Multipliers(t int) [][]float64 {
 // C37.118 total-vector-error budgets put realistic PMU noise well under
 // 1% — the defaults sit comfortably inside that.
 type NoiseModel struct {
-	SigmaVm float64
-	SigmaVa float64
+	SigmaVm float64 //gridlint:unit pu
+	SigmaVa float64 //gridlint:unit rad
 	rng     *rand.Rand
 }
 
@@ -127,6 +127,9 @@ func NewNoiseModel(sigmaVm, sigmaVa float64, seed int64) *NoiseModel {
 }
 
 // Perturb returns noisy copies of the magnitude and angle vectors.
+//
+//gridlint:unit vm pu
+//gridlint:unit va rad
 func (nm *NoiseModel) Perturb(vm, va []float64) ([]float64, []float64) {
 	ovm := make([]float64, len(vm))
 	ova := make([]float64, len(va))

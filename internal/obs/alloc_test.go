@@ -29,8 +29,12 @@ func TestHotPathAllocations(t *testing.T) {
 	}{
 		{"counter inc enabled", 0, func() { c.Inc() }},
 		{"counter inc disabled", 0, func() { nilC.Inc() }},
+		{"counter add enabled", 0, func() { c.Add(2) }},
+		{"counter add disabled", 0, func() { nilC.Add(2) }},
 		{"gauge set enabled", 0, func() { g.Set(3) }},
 		{"gauge set disabled", 0, func() { nilG.Set(3) }},
+		{"gauge add enabled", 0, func() { g.Add(-1) }},
+		{"gauge add disabled", 0, func() { nilG.Add(-1) }},
 		{"histogram observe enabled", 0, func() { h.Observe(123 * time.Microsecond) }},
 		{"histogram observe disabled", 0, func() { nilH.Observe(123 * time.Microsecond) }},
 		{"trace id read", 0, func() { _ = TraceID(ctx) }},

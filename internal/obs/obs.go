@@ -42,9 +42,13 @@ import (
 type Counter struct{ v atomic.Uint64 }
 
 // Inc adds one.
+//
+//gridlint:zeroalloc
 func (c *Counter) Inc() { c.Add(1) }
 
 // Add adds n.
+//
+//gridlint:zeroalloc
 func (c *Counter) Add(n uint64) {
 	if c != nil {
 		c.v.Add(n)
@@ -64,6 +68,8 @@ func (c *Counter) Load() uint64 {
 type Gauge struct{ v atomic.Int64 }
 
 // Set stores v.
+//
+//gridlint:zeroalloc
 func (g *Gauge) Set(v int64) {
 	if g != nil {
 		g.v.Store(v)
@@ -71,6 +77,8 @@ func (g *Gauge) Set(v int64) {
 }
 
 // Add adds delta (negative to decrease).
+//
+//gridlint:zeroalloc
 func (g *Gauge) Add(delta int64) {
 	if g != nil {
 		g.v.Add(delta)
@@ -112,6 +120,8 @@ func newHistogram(bounds []float64) *Histogram {
 // Observe records one duration. Negative durations count in the first
 // bucket (clock adjustments must not corrupt the running sum by more
 // than they already did the measurement).
+//
+//gridlint:zeroalloc
 func (h *Histogram) Observe(d time.Duration) {
 	if h == nil {
 		return

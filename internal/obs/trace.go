@@ -27,6 +27,8 @@ func WithTraceID(ctx context.Context, id string) context.Context {
 
 // TraceID returns the trace ID carried by ctx ("" if none). Reading is
 // allocation-free — the lookup stops at the stored string.
+//
+//gridlint:zeroalloc
 func TraceID(ctx context.Context) string {
 	id, _ := ctx.Value(traceCtxKey{}).(string)
 	return id

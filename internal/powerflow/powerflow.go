@@ -21,7 +21,7 @@ var ErrNoConvergence = errors.New("powerflow: Newton-Raphson did not converge")
 
 // Options configures the AC solver.
 type Options struct {
-	Tol     float64 // max power mismatch in p.u.; default 1e-8
+	Tol     float64 //gridlint:unit pu // max power mismatch in p.u.; default 1e-8
 	MaxIter int     // iteration cap; default 30
 	// FlatStart forces the initial guess to Vm=1, Va=0 instead of the
 	// voltages stored in the grid (which allow warm starts).
@@ -40,10 +40,10 @@ func (o Options) withDefaults() Options {
 
 // Solution holds a converged power-flow state.
 type Solution struct {
-	Vm         []float64 // voltage magnitude per bus (p.u.)
-	Va         []float64 // voltage angle per bus (radians)
+	Vm         []float64 //gridlint:unit pu // voltage magnitude per bus (p.u.)
+	Va         []float64 //gridlint:unit rad // voltage angle per bus (radians)
 	Iterations int
-	Mismatch   float64 // final max power mismatch
+	Mismatch   float64 //gridlint:unit pu // final max power mismatch
 }
 
 // Phasor returns the complex voltage at bus i.
@@ -199,6 +199,9 @@ const PQint = grid.PQ
 //	[ dQ/dVa  dQ/dVm ]
 //
 // restricted to the free variables (angles of pvpq, magnitudes of pq).
+//
+//gridlint:unit vm pu
+//gridlint:unit va rad
 func jacobian(n int, gm, bm *mat.Dense, vm, va, pcalc, qcalc []float64, pvpq, pq []int) *mat.Dense {
 	nb, nq := len(pvpq), len(pq)
 	j := mat.NewDense(nb+nq, nb+nq)

@@ -142,6 +142,8 @@ func (c *ShardCounters) StageSeconds(st Stage) *obs.Histogram {
 }
 
 // observeBatch records one detector call.
+//
+//gridlint:zeroalloc
 func (c *ShardCounters) observeBatch(samples int, d time.Duration) {
 	c.Batches.Inc()
 	c.Samples.Add(uint64(samples))

@@ -110,8 +110,8 @@ func Cases() []string { return cases.Names() }
 // magnitudes, angles in radians, and the indices of buses whose
 // measurements are missing.
 type Sample struct {
-	Vm      []float64 `json:"vm"`
-	Va      []float64 `json:"va"`
+	Vm      []float64 `json:"vm"` //gridlint:unit pu
+	Va      []float64 `json:"va"` //gridlint:unit rad
 	Missing []int     `json:"missing,omitempty"`
 }
 
