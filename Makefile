@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet lint lint-report test race bench serve-smoke verify
+.PHONY: build vet lint lint-report test race bench bench-serve bench-serve-smoke serve-smoke verify
 
 build:
 	$(GO) build ./...
@@ -39,6 +39,17 @@ bench:
 	$(GO) test -run='^$$' -bench='Histogram|CounterInc|NewTraceID' -benchtime=10000x ./internal/obs
 	$(GO) run ./cmd/benchpipeline -o BENCH_pipeline.json
 
+# Serving benchmark: open-loop QPS tiers against the real HTTP handler
+# in both ingest modes (JSON and binary wire frames), plus the ingress
+# decode comparison. Writes BENCH_serve.json; the smoke variant runs one
+# abbreviated tier and skips the file, but still asserts the binary
+# decode is allocation-free and at least 2x faster than JSON.
+bench-serve:
+	$(GO) run ./cmd/benchserve -o BENCH_serve.json
+
+bench-serve-smoke:
+	$(GO) run ./cmd/benchserve -smoke
+
 # Serving smoke: boot cmd/outaged on an ephemeral port with one fast
 # shard, round-trip a detect request over real HTTP (via the client
 # package), check it against the direct library answer, hot-reload the
@@ -50,4 +61,4 @@ serve-smoke:
 
 # The tier-1 gate (see ROADMAP.md): build, vet, gridlint, race tests,
 # benchmark smoke.
-verify: build vet lint race bench serve-smoke
+verify: build vet lint race bench bench-serve-smoke serve-smoke

@@ -21,7 +21,9 @@
 package main
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -39,8 +41,10 @@ import (
 
 	"pmuoutage"
 	"pmuoutage/client"
+	"pmuoutage/internal/httpserve"
 	"pmuoutage/internal/obs"
 	"pmuoutage/internal/service"
+	"pmuoutage/internal/wire"
 )
 
 func main() {
@@ -135,7 +139,7 @@ func applyModels(cfg *service.Config, modelFlag string) error {
 		if !ok || path == "" {
 			return fmt.Errorf("%w: -models entry %q is not name=path", service.ErrConfig, spec)
 		}
-		m, err := loadModel(path)
+		m, err := httpserve.LoadModel(path)
 		if err != nil {
 			return fmt.Errorf("loading model for shard %q: %w", name, err)
 		}
@@ -173,14 +177,14 @@ func run(ctx context.Context, addr, debugAddr string, cfg service.Config, timeou
 	}
 	defer svc.Close()
 
-	srv := newServer(svc, timeout, logger)
-	httpSrv := &http.Server{Addr: addr, Handler: srv.routes()}
+	srv := httpserve.New(svc, timeout, logger)
+	httpSrv := &http.Server{Addr: addr, Handler: srv.Routes()}
 	servers := []*http.Server{httpSrv}
 	errc := make(chan error, 2)
 	go func() { errc <- httpSrv.ListenAndServe() }()
 	logger.Info("outaged listening", "addr", addr, "shards", len(cfg.Shards))
 	if debugAddr != "" {
-		dbgSrv := &http.Server{Addr: debugAddr, Handler: debugMux()}
+		dbgSrv := &http.Server{Addr: debugAddr, Handler: httpserve.DebugMux()}
 		servers = append(servers, dbgSrv)
 		go func() { errc <- dbgSrv.ListenAndServe() }()
 		logger.Info("debug endpoints listening", "addr", debugAddr)
@@ -228,7 +232,7 @@ func runSmoke() error {
 	if err != nil {
 		return err
 	}
-	httpSrv := &http.Server{Handler: newServer(svc, 30*time.Second, smokeLog).routes()}
+	httpSrv := &http.Server{Handler: httpserve.New(svc, 30*time.Second, smokeLog).Routes()}
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.Serve(ln) }()
 	base := "http://" + ln.Addr().String()
@@ -263,7 +267,7 @@ func runSmoke() error {
 	if err != nil {
 		return err
 	}
-	if err := compareReports(got, want); err != nil {
+	if err := httpserve.CompareReports(got, want); err != nil {
 		return err
 	}
 	if !got[0].Outage {
@@ -289,8 +293,14 @@ func runSmoke() error {
 	if err != nil {
 		return err
 	}
-	if err := compareReports(got2, want); err != nil {
+	if err := httpserve.CompareReports(got2, want); err != nil {
 		return fmt.Errorf("after reload: %w", err)
+	}
+
+	// Binary ingest: one wire-frame round-trip over real HTTP must land
+	// on the same monitor path and answer with the JSON response shape.
+	if err := checkBinaryIngest(ctx, base, samples[0]); err != nil {
+		return err
 	}
 
 	// Telemetry end-to-end: a caller-supplied trace ID must be echoed on
@@ -310,6 +320,43 @@ func runSmoke() error {
 	}
 	if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
 		return fmt.Errorf("serve: %w", err)
+	}
+	return nil
+}
+
+// checkBinaryIngest encodes one sample with the wire codec, posts it as
+// application/x-pmu-frame, and asserts the daemon accepts and scores
+// it.
+func checkBinaryIngest(ctx context.Context, base string, sample pmuoutage.Sample) error {
+	f := wire.GetFrame()
+	defer wire.PutFrame(f)
+	if err := f.Pack(1, sample.Vm, sample.Va, nil); err != nil {
+		return err
+	}
+	enc, err := wire.AppendFrame(nil, f)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+"/v1/ingest?shard=smoke", bytes.NewReader(enc))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", httpserve.FrameContentType)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer func() { _ = resp.Body.Close() }()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		return fmt.Errorf("binary ingest: HTTP %d: %s", resp.StatusCode, body)
+	}
+	var out httpserve.IngestResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return fmt.Errorf("binary ingest response: %w", err)
+	}
+	if out.Shard != "smoke" {
+		return fmt.Errorf("binary ingest answered for shard %q", out.Shard)
 	}
 	return nil
 }
@@ -381,7 +428,9 @@ func verifyMetricsBody(body string) error {
 		`pmu_batches_total{shard="smoke"}`,
 		`pmu_samples_total{shard="smoke"}`,
 		`pmu_reloads_total{shard="smoke"}`,
+		`pmu_ingest_frames_total{shard="smoke",mode="binary"}`,
 		`pmu_http_requests_total{path="/v1/detect"}`,
+		`pmu_http_requests_total{path="/v1/ingest"}`,
 	} {
 		if err := counterAtLeast(series, 1); err != nil {
 			return err

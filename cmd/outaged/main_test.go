@@ -14,6 +14,7 @@ import (
 
 	"pmuoutage"
 	"pmuoutage/client"
+	"pmuoutage/internal/httpserve"
 	"pmuoutage/internal/service"
 )
 
@@ -30,7 +31,7 @@ func newTestServer(t *testing.T) (*service.Service, *httptest.Server) {
 		t.Fatal(err)
 	}
 	t.Cleanup(svc.Close)
-	ts := httptest.NewServer(newServer(svc, 30*time.Second, nil).routes())
+	ts := httptest.NewServer(httpserve.New(svc, 30*time.Second, nil).Routes())
 	t.Cleanup(ts.Close)
 	return svc, ts
 }
@@ -85,7 +86,7 @@ func TestDetectEndpointMatchesDirect(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := compareReports(got, want); err != nil {
+	if err := httpserve.CompareReports(got, want); err != nil {
 		t.Fatal(err)
 	}
 	if !got[0].Outage {
@@ -104,12 +105,12 @@ func TestErrorMapping(t *testing.T) {
 	}
 
 	t.Run("unknown shard 404", func(t *testing.T) {
-		resp := postJSON(t, ts.URL+"/v1/detect", detectRequest{Shard: "nope", Samples: good})
+		resp := postJSON(t, ts.URL+"/v1/detect", httpserve.DetectRequest{Shard: "nope", Samples: good})
 		defer func() { _ = resp.Body.Close() }()
 		if resp.StatusCode != http.StatusNotFound {
 			t.Fatalf("status = %d", resp.StatusCode)
 		}
-		var e errorResponse
+		var e httpserve.ErrorResponse
 		if err := json.NewDecoder(resp.Body).Decode(&e); err != nil {
 			t.Fatal(err)
 		}
@@ -119,7 +120,7 @@ func TestErrorMapping(t *testing.T) {
 	})
 	t.Run("bad sample 400", func(t *testing.T) {
 		bad := []pmuoutage.Sample{{Vm: []float64{1}, Va: []float64{0}}}
-		resp := postJSON(t, ts.URL+"/v1/detect", detectRequest{Shard: "east", Samples: bad})
+		resp := postJSON(t, ts.URL+"/v1/detect", httpserve.DetectRequest{Shard: "east", Samples: bad})
 		defer func() { _ = resp.Body.Close() }()
 		if resp.StatusCode != http.StatusBadRequest {
 			t.Fatalf("status = %d", resp.StatusCode)
@@ -139,7 +140,7 @@ func TestErrorMapping(t *testing.T) {
 		if err := svc.Kill("west"); err != nil {
 			t.Fatal(err)
 		}
-		resp := postJSON(t, ts.URL+"/v1/detect", detectRequest{Shard: "west", Samples: good})
+		resp := postJSON(t, ts.URL+"/v1/detect", httpserve.DetectRequest{Shard: "west", Samples: good})
 		defer func() { _ = resp.Body.Close() }()
 		if resp.StatusCode != http.StatusServiceUnavailable {
 			t.Fatalf("killed shard status = %d", resp.StatusCode)
@@ -147,14 +148,14 @@ func TestErrorMapping(t *testing.T) {
 		if resp.Header.Get("Retry-After") == "" {
 			t.Fatal("retryable 503 without Retry-After header")
 		}
-		var e errorResponse
+		var e httpserve.ErrorResponse
 		if err := json.NewDecoder(resp.Body).Decode(&e); err != nil {
 			t.Fatal(err)
 		}
 		if !e.Retryable {
 			t.Fatalf("error body = %+v", e)
 		}
-		resp2 := postJSON(t, ts.URL+"/v1/detect", detectRequest{Shard: "east", Samples: good})
+		resp2 := postJSON(t, ts.URL+"/v1/detect", httpserve.DetectRequest{Shard: "east", Samples: good})
 		defer func() { _ = resp2.Body.Close() }()
 		if resp2.StatusCode != http.StatusOK {
 			t.Fatalf("surviving shard status = %d", resp2.StatusCode)
@@ -174,11 +175,11 @@ func TestIngestShardsStatsHealth(t *testing.T) {
 
 	var confirmed *pmuoutage.Event
 	for _, smp := range samples {
-		resp := postJSON(t, ts.URL+"/v1/ingest", ingestRequest{Shard: "east", Sample: smp})
+		resp := postJSON(t, ts.URL+"/v1/ingest", httpserve.IngestRequest{Shard: "east", Sample: smp})
 		if resp.StatusCode != http.StatusOK {
 			t.Fatalf("ingest status = %d", resp.StatusCode)
 		}
-		var out ingestResponse
+		var out httpserve.IngestResponse
 		err := json.NewDecoder(resp.Body).Decode(&out)
 		_ = resp.Body.Close()
 		if err != nil {
@@ -287,12 +288,12 @@ func TestReloadEndpoint(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := compareReports(got, want); err != nil {
+	if err := httpserve.CompareReports(got, want); err != nil {
 		t.Fatal(err)
 	}
 
 	t.Run("missing artifact 400", func(t *testing.T) {
-		resp := postJSON(t, ts.URL+"/v1/reload", reloadRequest{Shard: "east", Path: filepath.Join(t.TempDir(), "nope.json")})
+		resp := postJSON(t, ts.URL+"/v1/reload", httpserve.ReloadRequest{Shard: "east", Path: filepath.Join(t.TempDir(), "nope.json")})
 		defer func() { _ = resp.Body.Close() }()
 		if resp.StatusCode != http.StatusBadRequest {
 			t.Fatalf("status = %d", resp.StatusCode)
@@ -303,14 +304,14 @@ func TestReloadEndpoint(t *testing.T) {
 		if err := os.WriteFile(bad, []byte("not a model"), 0o600); err != nil {
 			t.Fatal(err)
 		}
-		resp := postJSON(t, ts.URL+"/v1/reload", reloadRequest{Shard: "east", Path: bad})
+		resp := postJSON(t, ts.URL+"/v1/reload", httpserve.ReloadRequest{Shard: "east", Path: bad})
 		defer func() { _ = resp.Body.Close() }()
 		if resp.StatusCode != http.StatusBadRequest {
 			t.Fatalf("status = %d", resp.StatusCode)
 		}
 	})
 	t.Run("unknown shard 404", func(t *testing.T) {
-		resp := postJSON(t, ts.URL+"/v1/reload", reloadRequest{Shard: "nope"})
+		resp := postJSON(t, ts.URL+"/v1/reload", httpserve.ReloadRequest{Shard: "nope"})
 		defer func() { _ = resp.Body.Close() }()
 		if resp.StatusCode != http.StatusNotFound {
 			t.Fatalf("status = %d", resp.StatusCode)

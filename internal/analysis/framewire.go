@@ -1,0 +1,154 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"reflect"
+	"strconv"
+	"strings"
+)
+
+// FrameWire guards the binary wire codec's frame structs (DESIGN.md
+// "Streaming ingest"): a struct annotated //gridlint:wireframe is
+// encoded field-by-field in declaration order, so its layout IS the
+// wire format. The analyzer checks the whole annotated closure:
+//
+//	//gridlint:wireframe
+//	type Frame struct {
+//		Seq uint32 `wire:"0"`
+//		...
+//	}
+//
+// Every field must be a fixed-width scalar (sized integer or float),
+// a flat slice/array of one, or another wireframe-annotated struct in
+// the same package; platform-width ints, strings, bools, maps, nested
+// slices, pointers, and interfaces have no defined wire encoding and
+// are flagged. Each field must carry a wire:"N" tag equal to its
+// declaration index — the tag makes reorderings show up as a diff on
+// the line being moved, so a refactor cannot silently renumber the
+// format that deployed devices speak.
+var FrameWire = &Analyzer{
+	Name: "framewire",
+	Doc:  "wireframe-annotated structs must keep fixed-width fields and declaration-order wire tags",
+	Run:  runFrameWire,
+}
+
+// WireframePrefix marks a struct as a binary wire frame.
+const WireframePrefix = "//gridlint:wireframe"
+
+func hasWireframe(doc *ast.CommentGroup) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if strings.HasPrefix(c.Text, WireframePrefix) {
+			return true
+		}
+	}
+	return false
+}
+
+func runFrameWire(pass *Pass) error {
+	specs := wireframeSpecs(pass)
+	annotated := map[string]bool{}
+	for _, ts := range specs {
+		annotated[ts.Name.Name] = true
+	}
+	for _, ts := range specs {
+		obj, ok := pass.Info.Defs[ts.Name].(*types.TypeName)
+		if !ok {
+			continue
+		}
+		st, ok := obj.Type().Underlying().(*types.Struct)
+		if !ok {
+			pass.Report(ts.Pos(), "type %s is marked wireframe but is not a struct", ts.Name.Name)
+			continue
+		}
+		checkWireStruct(pass, ts.Name.Name, st, annotated)
+	}
+	return nil
+}
+
+// wireframeSpecs collects the annotated type specs in declaration
+// order. The directive may sit on the type group or the spec itself.
+func wireframeSpecs(pass *Pass) []*ast.TypeSpec {
+	var out []*ast.TypeSpec
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			groupMarked := hasWireframe(gd.Doc)
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				if groupMarked || hasWireframe(ts.Doc) {
+					out = append(out, ts)
+				}
+			}
+		}
+	}
+	return out
+}
+
+func checkWireStruct(pass *Pass, name string, st *types.Struct, annotated map[string]bool) {
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if f.Embedded() {
+			pass.Report(f.Pos(), "wireframe struct %s embeds %s; embedded fields hide the wire layout — declare explicit fields", name, f.Name())
+			continue
+		}
+		want := strconv.Itoa(i)
+		tag, ok := reflect.StructTag(st.Tag(i)).Lookup("wire")
+		if !ok {
+			pass.Report(f.Pos(), "wireframe field %s.%s has no wire order tag; declared order is wire order — tag it wire:%q", name, f.Name(), want)
+		} else if tag != want {
+			pass.Report(f.Pos(), "wireframe field %s.%s has wire tag %q but is declared at position %s; declared order is wire order", name, f.Name(), tag, want)
+		}
+		checkWireType(pass, name, f, f.Type(), annotated, false)
+	}
+}
+
+// checkWireType verifies one field type encodes to a fixed, portable
+// layout. nested marks types already inside a slice or array, where a
+// further slice would make the element size variable.
+func checkWireType(pass *Pass, structName string, f *types.Var, t types.Type, annotated map[string]bool, nested bool) {
+	switch t := t.(type) {
+	case *types.Basic:
+		switch t.Kind() {
+		case types.Int8, types.Int16, types.Int32, types.Int64,
+			types.Uint8, types.Uint16, types.Uint32, types.Uint64,
+			types.Float32, types.Float64:
+		default:
+			pass.Report(f.Pos(), "wireframe field %s.%s has type %s with no fixed wire width; use a sized integer or float", structName, f.Name(), t.String())
+		}
+	case *types.Slice:
+		if nested {
+			pass.Report(f.Pos(), "wireframe field %s.%s nests a slice inside %s; wire payloads are flat vectors of fixed-width scalars", structName, f.Name(), f.Type().String())
+			return
+		}
+		checkWireType(pass, structName, f, t.Elem(), annotated, true)
+	case *types.Array:
+		checkWireType(pass, structName, f, t.Elem(), annotated, true)
+	case *types.Named:
+		if _, isStruct := t.Underlying().(*types.Struct); isStruct {
+			if t.Obj().Pkg() != pass.Pkg || !annotated[t.Obj().Name()] {
+				pass.Report(f.Pos(), "wireframe field %s.%s has struct type %s that is not wireframe-annotated in this package; the closure must be checkable end to end", structName, f.Name(), t.Obj().Name())
+			}
+			return
+		}
+		checkWireType(pass, structName, f, t.Underlying(), annotated, nested)
+	case *types.Map:
+		pass.Report(f.Pos(), "wireframe field %s.%s has map type %s, which has no defined wire encoding", structName, f.Name(), t.String())
+	case *types.Interface:
+		pass.Report(f.Pos(), "wireframe field %s.%s has interface type; wire frames carry concrete fixed-width data only", structName, f.Name())
+	case *types.Pointer:
+		pass.Report(f.Pos(), "wireframe field %s.%s has pointer type %s; wire frames are value layouts", structName, f.Name(), t.String())
+	default:
+		pass.Report(f.Pos(), "wireframe field %s.%s has type %s, which cannot be encoded on the wire", structName, f.Name(), t.String())
+	}
+}

@@ -20,6 +20,7 @@ var goldenDirs = map[string]string{
 	"apierr":        "apierr",
 	"ctxflow":       "ctxflow",
 	"floatcmp":      "floatcmp",
+	"framewire":     "framewire",
 	"errcheck":      "errcheck",
 	"globalrand":    "globalrand",
 	"goroutineleak": "goroutineleak",

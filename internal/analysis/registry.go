@@ -11,6 +11,7 @@ func All() []*Analyzer {
 		DimCheck,
 		ErrCheck,
 		FloatCmp,
+		FrameWire,
 		GlobalRand,
 		GoroutineLeak,
 		IgnoreAudit,

@@ -1,0 +1,54 @@
+// Package framewire exercises the framewire analyzer.
+package framewire
+
+// Frame is the well-formed case: fixed-width fields, wire tags in
+// declaration order, flat slice/array payloads.
+//
+//gridlint:wireframe
+type Frame struct {
+	Seq   uint32    `wire:"0"`
+	Buses uint16    `wire:"1"`
+	Flags uint8     `wire:"2"`
+	Vm    []float64 `wire:"3"`
+	Crc   [2]uint8  `wire:"4"`
+}
+
+// Hertz is a named fixed-width scalar; allowed as a field type.
+type Hertz float64
+
+// Nested shows the closure rule's good side: a wireframe struct may
+// contain another wireframe struct from the same package.
+//
+//gridlint:wireframe
+type Nested struct {
+	Rate Hertz `wire:"0"`
+	Sub  Frame `wire:"1"`
+}
+
+// Plain is not annotated, so it may not appear inside a wireframe
+// struct.
+type Plain struct {
+	X uint8
+}
+
+//gridlint:wireframe
+type Bad struct {
+	Count   int           `wire:"0"` // want `no fixed wire width`
+	Name    string        `wire:"1"` // want `no fixed wire width`
+	Up      bool          `wire:"2"` // want `no fixed wire width`
+	ByBus   map[int]uint8 `wire:"3"` // want `map type`
+	Deep    [][]float64   `wire:"4"` // want `nests a slice`
+	Ptr     *Frame        `wire:"5"` // want `pointer type`
+	Any     interface{}   `wire:"6"` // want `interface type`
+	Sub     Plain         `wire:"7"` // want `not wireframe-annotated`
+	NoTag   uint8         // want `no wire order tag`
+	Shuffle uint8         `wire:"0"` // want `declared at position`
+}
+
+//gridlint:wireframe
+type Embedded struct {
+	Frame `wire:"0"` // want `embeds`
+}
+
+//gridlint:wireframe
+type NotAStruct int8 // want `not a struct`

@@ -33,9 +33,11 @@ func TestCollectorStatsRegistryParity(t *testing.T) {
 		t.Fatalf("pending gauge = %v, want 1", got)
 	}
 	c.Flush()
+	// A straggler for an already-emitted sequence is dropped as late.
+	c.ingest(ClusterFrame{PDC: 1, Seq: 0, Buses: []int{1}, Vm: []float64{1}, Va: []float64{0}})
 
 	st := c.Stats()
-	if st.Emitted != 3 || st.Incomplete != 1 || st.Pending != 0 {
+	if st.Emitted != 3 || st.Incomplete != 1 || st.Pending != 0 || st.Late != 1 {
 		t.Fatalf("unexpected stats: %+v", st)
 	}
 	for metric, want := range map[string]uint64{
@@ -43,6 +45,7 @@ func TestCollectorStatsRegistryParity(t *testing.T) {
 		metricIncomplete: st.Incomplete,
 		metricDropped:    st.DroppedFull,
 		metricEvicted:    st.Evicted,
+		metricLate:       st.Late,
 	} {
 		if got := r.CounterValue(metric); got != want {
 			t.Errorf("%s = %d, Stats says %d", metric, got, want)
@@ -50,6 +53,11 @@ func TestCollectorStatsRegistryParity(t *testing.T) {
 	}
 	if got := r.GaugeValue(metricPending); got != float64(st.Pending) {
 		t.Fatalf("pending gauge = %v, Stats says %d", got, st.Pending)
+	}
+	// PDC 0 was heard from, so its deadline gauge is exported; with no
+	// latency history it sits at the configured maximum.
+	if got := r.GaugeValue(metricPDCDeadline, labelPDC, "0"); got != time.Hour.Seconds() {
+		t.Fatalf("pdc deadline gauge = %v, want %v", got, time.Hour.Seconds())
 	}
 
 	// The incomplete emission logged a structured event.

@@ -1,4 +1,15 @@
-package main
+// Package httpserve adapts the service layer to HTTP. Control-plane
+// calls (detect, reload, shards, stats, health) speak JSON; streaming
+// ingest speaks either JSON or the compact binary frame codec from
+// internal/wire — POST /v1/ingest with Content-Type
+// application/x-pmu-frame and ?shard= carries one encoded frame and
+// skips the JSON hop entirely. Both transports land on the same
+// service.Ingest path, so detection events are byte-identical across
+// them (pinned by TestBinaryIngestMatchesJSON).
+//
+// The package exists so cmd/outaged, cmd/benchserve, and tests share
+// one handler implementation instead of re-wiring routes per binary.
+package httpserve
 
 import (
 	"bytes"
@@ -12,12 +23,19 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"os"
+	"strings"
 	"time"
 
 	"pmuoutage"
 	"pmuoutage/internal/obs"
 	"pmuoutage/internal/service"
+	"pmuoutage/internal/wire"
 )
+
+// FrameContentType marks a POST /v1/ingest body as one binary wire
+// frame (internal/wire layout); the shard is named by the ?shard=
+// query parameter.
+const FrameContentType = "application/x-pmu-frame"
 
 // HTTP-layer metric names, registered on the service's registry so one
 // /metrics page carries both views. Package-level snake_case consts
@@ -26,6 +44,7 @@ const (
 	metricHTTPRequests = "pmu_http_requests_total"
 	metricHTTPErrors   = "pmu_http_errors_total"
 	metricHTTPSeconds  = "pmu_http_seconds"
+	metricFrameDecode  = "pmu_frame_decode_seconds"
 
 	labelPath = "path"
 )
@@ -38,19 +57,22 @@ var routePaths = []string{
 	"/v1/shards", "/v1/stats", "/healthz", "/metrics",
 }
 
-// server adapts the service layer to JSON/HTTP.
-type server struct {
+// Server adapts the service layer to HTTP.
+type Server struct {
 	svc     *service.Service
 	timeout time.Duration // per-request deadline applied to detect/ingest
 	logger  *slog.Logger  // nil disables access logs
 
-	httpReqs map[string]*obs.Counter
-	httpErrs map[string]*obs.Counter
-	httpLat  map[string]*obs.Histogram
+	httpReqs    map[string]*obs.Counter
+	httpErrs    map[string]*obs.Counter
+	httpLat     map[string]*obs.Histogram
+	frameDecode *obs.Histogram
 }
 
-func newServer(svc *service.Service, timeout time.Duration, logger *slog.Logger) *server {
-	s := &server{
+// New builds a server over svc. timeout bounds each detect/ingest call;
+// a nil logger disables access logs.
+func New(svc *service.Service, timeout time.Duration, logger *slog.Logger) *Server {
+	s := &Server{
 		svc:      svc,
 		timeout:  timeout,
 		httpReqs: map[string]*obs.Counter{},
@@ -66,11 +88,12 @@ func newServer(svc *service.Service, timeout time.Duration, logger *slog.Logger)
 		s.httpErrs[p] = reg.Counter(metricHTTPErrors, "HTTP requests answered with status >= 400", labelPath, p)
 		s.httpLat[p] = reg.Histogram(metricHTTPSeconds, "request latency, ingress to last byte", labelPath, p)
 	}
+	s.frameDecode = reg.Histogram(metricFrameDecode, "binary ingest frame decode latency")
 	return s
 }
 
-// routes builds the daemon's mux, wrapped in the telemetry middleware.
-func (s *server) routes() http.Handler {
+// Routes builds the daemon's mux, wrapped in the telemetry middleware.
+func (s *Server) Routes() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/detect", s.handleDetect)
 	mux.HandleFunc("POST /v1/ingest", s.handleIngest)
@@ -88,7 +111,7 @@ func (s *server) routes() http.Handler {
 // echoes it on the response — success or error — and records the
 // per-route counter, error counter, latency histogram, and one
 // structured access line.
-func (s *server) instrument(next http.Handler) http.Handler {
+func (s *Server) instrument(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		id := r.Header.Get(obs.TraceHeader)
@@ -128,10 +151,10 @@ func (w *statusWriter) WriteHeader(code int) {
 	w.ResponseWriter.WriteHeader(code)
 }
 
-// debugMux serves the opt-in -debug-addr endpoints: pprof profiles and
+// DebugMux serves the opt-in -debug-addr endpoints: pprof profiles and
 // expvar counters on an explicit mux (never the default one, so the
 // serving port exposes nothing extra).
-func debugMux() *http.ServeMux {
+func DebugMux() *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -142,57 +165,57 @@ func debugMux() *http.ServeMux {
 	return mux
 }
 
-// detectRequest is the body of POST /v1/detect.
-type detectRequest struct {
+// DetectRequest is the body of POST /v1/detect.
+type DetectRequest struct {
 	Shard   string             `json:"shard"`
 	Samples []pmuoutage.Sample `json:"samples"`
 }
 
-// detectResponse is its reply: one report per sample, in order.
-type detectResponse struct {
+// DetectResponse is its reply: one report per sample, in order.
+type DetectResponse struct {
 	Shard   string              `json:"shard"`
 	Reports []*pmuoutage.Report `json:"reports"`
 }
 
-// ingestRequest is the body of POST /v1/ingest.
-type ingestRequest struct {
+// IngestRequest is the JSON body of POST /v1/ingest.
+type IngestRequest struct {
 	Shard  string           `json:"shard"`
 	Sample pmuoutage.Sample `json:"sample"`
 }
 
-// ingestResponse carries the confirmed event, if the sample triggered
-// one.
-type ingestResponse struct {
+// IngestResponse carries the confirmed event, if the sample triggered
+// one. Binary-mode ingest answers with the same shape.
+type IngestResponse struct {
 	Shard string           `json:"shard"`
 	Event *pmuoutage.Event `json:"event"`
 }
 
-// reloadRequest is the body of POST /v1/reload: swap the named shard
+// ReloadRequest is the body of POST /v1/reload: swap the named shard
 // onto the model artifact at Path (on the daemon's filesystem), or
 // retrain from the shard's options when Path is empty.
-type reloadRequest struct {
+type ReloadRequest struct {
 	Shard string `json:"shard"`
 	Path  string `json:"path,omitempty"`
 }
 
-// reloadResponse reports the shard's new incarnation after the swap.
-type reloadResponse struct {
+// ReloadResponse reports the shard's new incarnation after the swap.
+type ReloadResponse struct {
 	Shard      string `json:"shard"`
 	Generation uint64 `json:"generation"`
 	Model      string `json:"model"`
 }
 
-// errorResponse is the uniform error body; Retryable mirrors the
+// ErrorResponse is the uniform error body; Retryable mirrors the
 // Retry-After header so non-HTTP-savvy clients can branch on the JSON,
 // and TraceID names the failing request in the daemon's logs.
-type errorResponse struct {
+type ErrorResponse struct {
 	Error     string `json:"error"`
 	Retryable bool   `json:"retryable"`
 	TraceID   string `json:"trace_id,omitempty"`
 }
 
-func (s *server) handleDetect(w http.ResponseWriter, r *http.Request) {
-	var req detectRequest
+func (s *Server) handleDetect(w http.ResponseWriter, r *http.Request) {
+	var req DetectRequest
 	if err := decodeJSON(r.Body, &req); err != nil {
 		s.writeError(w, r, err)
 		return
@@ -205,12 +228,16 @@ func (s *server) handleDetect(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	encStart := time.Now()
-	writeJSON(w, http.StatusOK, detectResponse{Shard: req.Shard, Reports: reports})
+	writeJSON(w, http.StatusOK, DetectResponse{Shard: req.Shard, Reports: reports})
 	s.svc.Counters(req.Shard).StageSeconds(service.StageEncode).Observe(time.Since(encStart))
 }
 
-func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
-	var req ingestRequest
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	if strings.HasPrefix(r.Header.Get("Content-Type"), FrameContentType) {
+		s.handleIngestFrame(w, r)
+		return
+	}
+	var req IngestRequest
 	if err := decodeJSON(r.Body, &req); err != nil {
 		s.writeError(w, r, err)
 		return
@@ -222,11 +249,59 @@ func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, r, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, ingestResponse{Shard: req.Shard, Event: ev})
+	s.svc.Counters(req.Shard).Frames(service.IngestJSON).Inc()
+	writeJSON(w, http.StatusOK, IngestResponse{Shard: req.Shard, Event: ev})
 }
 
-func (s *server) handleReload(w http.ResponseWriter, r *http.Request) {
-	var req reloadRequest
+// handleIngestFrame is the binary ingest mode: the body is one encoded
+// wire frame, the shard comes from ?shard=. Decode reuses pooled
+// buffers and frames; the sample is scored synchronously on the same
+// monitor path as JSON ingest.
+func (s *Server) handleIngestFrame(w http.ResponseWriter, r *http.Request) {
+	shard := r.URL.Query().Get("shard")
+	buf := wire.GetBuffer()
+	defer wire.PutBuffer(buf)
+	if _, err := buf.ReadFrom(io.LimitReader(r.Body, int64(wire.MaxFrameBytes)+1)); err != nil {
+		s.writeError(w, r, fmt.Errorf("%w: reading frame: %v", ErrBadRequest, err))
+		return
+	}
+	f := wire.GetFrame()
+	defer wire.PutFrame(f)
+	decStart := time.Now()
+	_, err := wire.DecodeFrame(buf.B, f)
+	s.frameDecode.Observe(time.Since(decStart))
+	if err != nil {
+		s.writeError(w, r, fmt.Errorf("%w: %v", ErrBadRequest, err))
+		return
+	}
+	ctx, cancel := s.requestCtx(r)
+	defer cancel()
+	ev, err := s.svc.Ingest(ctx, shard, frameSample(f))
+	if err != nil {
+		s.writeError(w, r, err)
+		return
+	}
+	s.svc.Counters(shard).Frames(service.IngestBinary).Inc()
+	writeJSON(w, http.StatusOK, IngestResponse{Shard: shard, Event: ev})
+}
+
+// frameSample converts a decoded frame into a facade sample. The slices
+// are shared with the frame — safe because Ingest is synchronous and
+// the detector copies the channels it keeps.
+func frameSample(f *wire.Frame) pmuoutage.Sample {
+	s := pmuoutage.Sample{Vm: f.Vm, Va: f.Va}
+	if f.Flags&wire.FlagMissing != 0 {
+		for i := 0; i < f.N(); i++ {
+			if f.IsMissing(i) {
+				s.Missing = append(s.Missing, i)
+			}
+		}
+	}
+	return s
+}
+
+func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
+	var req ReloadRequest
 	if err := decodeJSON(r.Body, &req); err != nil {
 		s.writeError(w, r, err)
 		return
@@ -234,7 +309,7 @@ func (s *server) handleReload(w http.ResponseWriter, r *http.Request) {
 	var m *pmuoutage.Model
 	if req.Path != "" {
 		var err error
-		if m, err = loadModel(req.Path); err != nil {
+		if m, err = LoadModel(req.Path); err != nil {
 			s.writeError(w, r, err)
 			return
 		}
@@ -247,32 +322,32 @@ func (s *server) handleReload(w http.ResponseWriter, r *http.Request) {
 	}
 	for _, st := range s.svc.Shards() {
 		if st.Name == req.Shard {
-			writeJSON(w, http.StatusOK, reloadResponse{Shard: st.Name, Generation: st.Generation, Model: st.Model})
+			writeJSON(w, http.StatusOK, ReloadResponse{Shard: st.Name, Generation: st.Generation, Model: st.Model})
 			return
 		}
 	}
 	s.writeError(w, r, fmt.Errorf("%w: %q vanished after reload", service.ErrUnknownShard, req.Shard))
 }
 
-// loadModel reads one model artifact from disk.
-func loadModel(path string) (*pmuoutage.Model, error) {
+// LoadModel reads one model artifact from disk.
+func LoadModel(path string) (*pmuoutage.Model, error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return nil, fmt.Errorf("%w: %v", errBadRequest, err)
+		return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
 	}
 	defer func() { _ = f.Close() }()
 	return pmuoutage.DecodeModel(f)
 }
 
-func (s *server) handleShards(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleShards(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.svc.Shards())
 }
 
-func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.svc.Stats())
 }
 
-func (s *server) handleHealth(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	if s.svc.Ready() {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 		return
@@ -282,22 +357,23 @@ func (s *server) handleHealth(w http.ResponseWriter, r *http.Request) {
 
 // requestCtx applies the server's per-request deadline on top of the
 // connection context.
-func (s *server) requestCtx(r *http.Request) (context.Context, context.CancelFunc) {
+func (s *Server) requestCtx(r *http.Request) (context.Context, context.CancelFunc) {
 	if s.timeout <= 0 {
 		return r.Context(), func() {}
 	}
 	return context.WithTimeout(r.Context(), s.timeout)
 }
 
-// errBadRequest wraps malformed request bodies so statusOf maps them to
-// 400 without conflating them with facade sample validation.
-var errBadRequest = errors.New("bad request")
+// ErrBadRequest wraps malformed request bodies (unparseable JSON,
+// corrupt frames) so statusOf maps them to 400 without conflating them
+// with facade sample validation.
+var ErrBadRequest = errors.New("bad request")
 
 func decodeJSON(body io.Reader, v any) error {
 	dec := json.NewDecoder(body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
-		return fmt.Errorf("%w: %v", errBadRequest, err)
+		return fmt.Errorf("%w: %v", ErrBadRequest, err)
 	}
 	return nil
 }
@@ -313,7 +389,7 @@ func statusOf(err error) int {
 		errors.Is(err, pmuoutage.ErrBadModel),
 		errors.Is(err, pmuoutage.ErrModelVersion),
 		errors.Is(err, service.ErrConfig),
-		errors.Is(err, errBadRequest):
+		errors.Is(err, ErrBadRequest):
 		return http.StatusBadRequest
 	case errors.Is(err, service.ErrOverloaded):
 		return http.StatusTooManyRequests
@@ -326,7 +402,7 @@ func statusOf(err error) int {
 	}
 }
 
-func (s *server) writeError(w http.ResponseWriter, r *http.Request, err error) {
+func (s *Server) writeError(w http.ResponseWriter, r *http.Request, err error) {
 	retry := service.Retryable(err)
 	if retry {
 		w.Header().Set("Retry-After", "1")
@@ -338,7 +414,7 @@ func (s *server) writeError(w http.ResponseWriter, r *http.Request, err error) {
 			slog.Bool("retryable", retry),
 			slog.String("cause", err.Error()))
 	}
-	writeJSON(w, statusOf(err), errorResponse{Error: err.Error(), Retryable: retry, TraceID: obs.TraceID(r.Context())})
+	writeJSON(w, statusOf(err), ErrorResponse{Error: err.Error(), Retryable: retry, TraceID: obs.TraceID(r.Context())})
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -349,9 +425,9 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
-// compareReports asserts the served reports are identical to the
+// CompareReports asserts the served reports are identical to the
 // library's, through the same JSON encoding the wire uses.
-func compareReports(got, want []*pmuoutage.Report) error {
+func CompareReports(got, want []*pmuoutage.Report) error {
 	g, err := json.Marshal(got)
 	if err != nil {
 		return err

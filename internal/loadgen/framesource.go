@@ -1,0 +1,99 @@
+package loadgen
+
+import (
+	"fmt"
+
+	"pmuoutage/internal/wire"
+)
+
+// FrameSource emits a deterministic stream of encoded PMU wire frames:
+// an OU load process modulates a nominal flat-voltage profile, the
+// noise model perturbs it like a real PMU, and each step is packed with
+// the internal/wire codec into a reused buffer. Load generators
+// (cmd/benchserve) drive HTTP ingest from this without touching JSON.
+// A FrameSource is not safe for concurrent use.
+type FrameSource struct {
+	proc  *Process
+	noise *NoiseModel
+	frame *wire.Frame
+	buf   []byte
+	vm    []float64 //gridlint:unit pu
+	va    []float64 //gridlint:unit rad
+	miss  []bool
+	seq   uint32
+	// missEvery marks bus 0 missing on every missEvery-th frame
+	// (0 disables), exercising the bitmap path under load.
+	missEvery int
+}
+
+// NewFrameSource builds a source for n buses. steps sizes the OU
+// discretisation (one synthetic day); missEvery > 0 injects a missing
+// measurement on every missEvery-th frame.
+func NewFrameSource(n, steps int, seed int64, missEvery int) (*FrameSource, error) {
+	if missEvery < 0 {
+		return nil, fmt.Errorf("loadgen: negative missEvery %d", missEvery)
+	}
+	proc, err := NewProcess(n, DefaultOU(steps), seed)
+	if err != nil {
+		return nil, err
+	}
+	return &FrameSource{
+		proc:      proc,
+		noise:     NewNoiseModel(0, 0, seed+1),
+		frame:     wire.GetFrame(),
+		vm:        make([]float64, n),
+		va:        make([]float64, n),
+		miss:      make([]bool, n),
+		missEvery: missEvery,
+	}, nil
+}
+
+// Next advances one step and returns the encoded frame. The returned
+// bytes are valid until the next call — copy them to retain.
+func (fs *FrameSource) Next() ([]byte, error) {
+	mult := fs.proc.Step()
+	for i, m := range mult {
+		fs.vm[i] = m
+		fs.va[i] = -0.02 * float64(i) * m
+	}
+	vm, va := fs.noise.Perturb(fs.vm, fs.va)
+	copy(fs.vm, vm)
+	copy(fs.va, va)
+	fs.seq++
+	var miss []bool
+	if fs.missEvery > 0 && fs.seq%uint32(fs.missEvery) == 0 {
+		fs.miss[0] = true
+		miss = fs.miss
+	}
+	if err := fs.frame.Pack(fs.seq, fs.vm, fs.va, miss); err != nil {
+		return nil, err
+	}
+	fs.miss[0] = false
+	out, err := wire.AppendFrame(fs.buf[:0], fs.frame)
+	if err != nil {
+		return nil, err
+	}
+	fs.buf = out
+	return out, nil
+}
+
+// Sample returns the measurement vectors behind the last Next frame —
+// the JSON-mode body for the same step. The slices are reused across
+// calls.
+func (fs *FrameSource) Sample() (vm, va []float64, missing []int) {
+	if fs.missEvery > 0 && fs.seq%uint32(fs.missEvery) == 0 {
+		missing = []int{0}
+	}
+	return fs.vm, fs.va, missing
+}
+
+// Seq returns the sequence number of the last emitted frame.
+func (fs *FrameSource) Seq() uint32 { return fs.seq }
+
+// Close recycles the source's pooled frame.
+func (fs *FrameSource) Close() {
+	if fs.frame != nil {
+		wire.PutFrame(fs.frame)
+		fs.frame = nil
+	}
+}

@@ -1,0 +1,96 @@
+package loadgen
+
+import (
+	"testing"
+
+	"pmuoutage/internal/wire"
+)
+
+// TestFrameSourceRoundTrip: every emitted frame decodes back to the
+// vectors Sample reports, with the missing-bus bitmap landing exactly on
+// the missEvery cadence.
+func TestFrameSourceRoundTrip(t *testing.T) {
+	const n, missEvery = 14, 3
+	fs, err := NewFrameSource(n, 96, 42, missEvery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs.Close()
+	f := wire.GetFrame()
+	defer wire.PutFrame(f)
+	for step := 1; step <= 20; step++ {
+		enc, err := fs.Next()
+		if err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+		used, err := wire.DecodeFrame(enc, f)
+		if err != nil {
+			t.Fatalf("step %d: emitted frame does not decode: %v", step, err)
+		}
+		if used != len(enc) {
+			t.Fatalf("step %d: decode consumed %d of %d bytes", step, used, len(enc))
+		}
+		if f.Seq != uint32(step) || f.Seq != fs.Seq() {
+			t.Fatalf("step %d: frame seq %d (source reports %d)", step, f.Seq, fs.Seq())
+		}
+		vm, va, missing := fs.Sample()
+		if f.N() != n || len(vm) != n || len(va) != n {
+			t.Fatalf("step %d: bus counts diverge: frame %d, vm %d, va %d", step, f.N(), len(vm), len(va))
+		}
+		for i := 0; i < n; i++ {
+			if f.Vm[i] != vm[i] || f.Va[i] != va[i] {
+				t.Fatalf("step %d bus %d: decoded (%v,%v) != sample (%v,%v)",
+					step, i, f.Vm[i], f.Va[i], vm[i], va[i])
+			}
+		}
+		wantMiss := step%missEvery == 0
+		if gotMiss := f.IsMissing(0); gotMiss != wantMiss {
+			t.Fatalf("step %d: bus 0 missing = %v, want %v", step, gotMiss, wantMiss)
+		}
+		if wantMiss != (len(missing) == 1 && missing[0] == 0) {
+			t.Fatalf("step %d: Sample missing set %v disagrees with cadence", step, missing)
+		}
+		for i := 1; i < n; i++ {
+			if f.IsMissing(i) {
+				t.Fatalf("step %d: unexpected missing bus %d", step, i)
+			}
+		}
+	}
+}
+
+// TestFrameSourceDeterminism: two sources with one seed emit identical
+// byte streams — benchmark runs are reproducible.
+func TestFrameSourceDeterminism(t *testing.T) {
+	a, err := NewFrameSource(5, 24, 7, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := NewFrameSource(5, 24, 7, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	for step := 0; step < 10; step++ {
+		ea, err := a.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		eb, err := b.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(ea) != string(eb) {
+			t.Fatalf("step %d: same seed, different frames", step)
+		}
+	}
+}
+
+func TestFrameSourceRejectsBadConfig(t *testing.T) {
+	if _, err := NewFrameSource(0, 96, 1, 0); err == nil {
+		t.Fatal("zero buses accepted")
+	}
+	if _, err := NewFrameSource(3, 96, 1, -1); err == nil {
+		t.Fatal("negative missEvery accepted")
+	}
+}

@@ -42,6 +42,15 @@ func TestStatsMetricsParity(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
+	// One sample per ingest transport: a real frame through StreamIngest,
+	// and the admission counters the HTTP layer would bump for its json
+	// and binary bodies.
+	if err := svc.StreamIngest("east", sampleFrame(t, 1, samples[0])); err != nil {
+		t.Fatal(err)
+	}
+	svc.Counters("east").Frames(IngestJSON).Add(2)
+	svc.Counters("east").Frames(IngestBinary).Inc()
+	waitIngests(t, svc, "east", 5) // the streamed frame scores asynchronously
 
 	snap := svc.Stats()["east"]
 	reg := svc.Metrics()
@@ -62,8 +71,23 @@ func TestStatsMetricsParity(t *testing.T) {
 			t.Errorf("%s = %d, registry says %d", tc.metric, tc.want, got)
 		}
 	}
-	if snap.Requests != 7 || snap.Ingests != 4 || snap.Samples != 21 {
+	for _, tc := range []struct {
+		mode string
+		want uint64
+	}{
+		{"json", snap.FramesJSON},
+		{"binary", snap.FramesBinary},
+		{"stream", snap.FramesStream},
+	} {
+		if got := reg.CounterValue("pmu_ingest_frames_total", "shard", "east", "mode", tc.mode); got != tc.want {
+			t.Errorf("pmu_ingest_frames_total{mode=%q} = %d, registry says %d", tc.mode, tc.want, got)
+		}
+	}
+	if snap.Requests != 7 || snap.Ingests != 5 || snap.Samples != 21 {
 		t.Fatalf("unexpected traffic totals: %+v", snap)
+	}
+	if snap.FramesJSON != 2 || snap.FramesBinary != 1 || snap.FramesStream != 1 {
+		t.Fatalf("unexpected per-mode admissions: %+v", snap)
 	}
 	det, ok := reg.HistogramSnapshot("pmu_stage_seconds", "shard", "east", "stage", "detect")
 	if !ok {
@@ -90,8 +114,11 @@ func TestStatsMetricsParity(t *testing.T) {
 	}
 	for _, want := range []string{
 		`pmu_requests_total{shard="east"} 7`,
-		`pmu_ingests_total{shard="east"} 4`,
+		`pmu_ingests_total{shard="east"} 5`,
 		`pmu_samples_total{shard="east"} 21`,
+		`pmu_ingest_frames_total{shard="east",mode="json"} 2`,
+		`pmu_ingest_frames_total{shard="east",mode="binary"} 1`,
+		`pmu_ingest_frames_total{shard="east",mode="stream"} 1`,
 	} {
 		if !strings.Contains(buf.String(), want) {
 			t.Fatalf("exposition missing %q:\n%s", want, buf.String())

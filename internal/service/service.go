@@ -32,6 +32,7 @@ import (
 
 	"pmuoutage"
 	"pmuoutage/internal/obs"
+	"pmuoutage/internal/wire"
 )
 
 // Typed errors of the service layer. Everything the service itself
@@ -107,9 +108,22 @@ type Config struct {
 	// free atomics with no logger dependency.
 	Logger *slog.Logger
 
+	// OnEvent, when non-nil, receives every confirmed outage event the
+	// stream-ingest path emits, tagged with the shard and the wire
+	// sequence number of the confirming frame. It is called from the
+	// shard's stream consumer goroutine: keep it fast and do not call
+	// back into the service from it. Events from Ingest (the synchronous
+	// API) are returned to the caller instead and never pass through
+	// here.
+	OnEvent func(shard string, seq uint32, ev *pmuoutage.Event)
+
 	// batchHook, when set, observes every coalesced batch right before
 	// it runs (test seam for deterministic queue-pressure tests).
 	batchHook func(shard string, samples int)
+	// streamHook, when set, intercepts frames popped by the stream
+	// consumer instead of scoring them (test seam for alloc-pin tests;
+	// the hook owns each frame it receives).
+	streamHook func(shard string, f *wire.Frame)
 }
 
 func (c Config) withDefaults() Config {

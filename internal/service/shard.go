@@ -10,6 +10,7 @@ import (
 
 	"pmuoutage"
 	"pmuoutage/internal/obs"
+	"pmuoutage/internal/wire"
 )
 
 // State is a shard's lifecycle position.
@@ -81,6 +82,15 @@ type shard struct {
 	replicas []*replica
 	depth    atomic.Int64 // samples admitted but not yet answered (all replicas)
 
+	// streamq carries decoded wire frames from StreamIngest to the
+	// shard's stream consumer. Enqueue transfers frame ownership; the
+	// consumer recycles each frame after scoring it. Frames queued
+	// across a reload or restart are scored by whichever monitor is
+	// current when they are popped — same contract as detect requests.
+	streamq chan *wire.Frame
+	buses   atomic.Int32 // serving grid size; 0 until first activation
+	missBuf []int        // stream-consumer-only scratch for missing indices
+
 	// cur is the serving system, swapped atomically by activate, reload,
 	// and kill. Batch loops load it exactly once per batch: every sample
 	// of a batch is scored by one coherent model even while a reload
@@ -101,9 +111,10 @@ type shard struct {
 
 func newShard(svc *Service, spec ShardSpec) *shard {
 	sh := &shard{
-		svc:  svc,
-		spec: spec,
-		boot: spec.Model,
+		svc:     svc,
+		spec:    spec,
+		boot:    spec.Model,
+		streamq: make(chan *wire.Frame, queueCap),
 	}
 	if lg := svc.cfg.Logger; lg != nil {
 		sh.logger = lg.With(slog.String(obs.AttrComponent, "service"), slog.String(obs.AttrShard, spec.Name))
@@ -206,6 +217,11 @@ func (sh *shard) serve(ctx context.Context, killc chan struct{}) {
 			sh.serveReplica(ctx, killc, rep)
 		}(rep)
 	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		sh.serveStream(ctx, killc)
+	}()
 	wg.Wait()
 	if ctx.Err() == nil {
 		sh.drainQueue(sh.availErr())
@@ -388,6 +404,81 @@ func (sh *shard) ingest(ctx context.Context, sample pmuoutage.Sample) (*pmuoutag
 	return sh.mon.Ingest(sample)
 }
 
+// serveStream is the shard's single stream consumer: it pops decoded
+// wire frames off streamq and scores them on the shared monitor path.
+// One consumer per incarnation keeps the emitted event order identical
+// to the frame arrival order — the equivalence tests depend on that.
+func (sh *shard) serveStream(ctx context.Context, killc chan struct{}) {
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-killc:
+			return
+		case f := <-sh.streamq:
+			if hook := sh.svc.cfg.streamHook; hook != nil {
+				// Test seam: the hook owns the frame (it is not recycled
+				// here), so alloc-pin tests can reuse pre-built frames.
+				hook(sh.spec.Name, f)
+				continue
+			}
+			sh.streamFrame(ctx, f)
+		}
+	}
+}
+
+// streamFrame scores one decoded frame through the same ingest path the
+// JSON transport uses — detection events are byte-identical across
+// transports. The frame is recycled once ingest returns: the detector
+// copies the channel vectors it needs, never retaining the pooled
+// slices.
+func (sh *shard) streamFrame(ctx context.Context, f *wire.Frame) {
+	seq := f.Seq
+	sample := pmuoutage.Sample{Vm: f.Vm, Va: f.Va, Missing: sh.frameMissing(f)}
+	ev, err := sh.ingest(ctx, sample)
+	wire.PutFrame(f)
+	if err != nil {
+		if lg := sh.logger; lg != nil {
+			lg.LogAttrs(ctx, slog.LevelWarn, "stream sample rejected",
+				slog.Uint64("seq", uint64(seq)), slog.String("cause", err.Error()))
+		}
+		return
+	}
+	if ev != nil {
+		if cb := sh.svc.cfg.OnEvent; cb != nil {
+			cb(sh.spec.Name, seq, ev)
+		}
+	}
+}
+
+// frameMissing converts a frame's missing bitmap into the facade's
+// index form, reusing the consumer's scratch slice.
+func (sh *shard) frameMissing(f *wire.Frame) []int {
+	miss := sh.missBuf[:0]
+	if f.Flags&wire.FlagMissing != 0 {
+		for i := 0; i < f.N(); i++ {
+			if f.IsMissing(i) {
+				miss = append(miss, i)
+			}
+		}
+	}
+	sh.missBuf = miss
+	return miss
+}
+
+// drainStream recycles every frame still queued on streamq; runs when
+// the shard stops for good.
+func (sh *shard) drainStream() {
+	for {
+		select {
+		case f := <-sh.streamq:
+			wire.PutFrame(f)
+		default:
+			return
+		}
+	}
+}
+
 // pickReplica returns the replica with the fewest inflight samples
 // (ties break to the lowest id, so a single-replica shard routes
 // exactly as before replicas existed).
@@ -483,6 +574,7 @@ func (sh *shard) reload(m *pmuoutage.Model) error {
 	}
 	sh.sys, sh.mon, sh.boot = sys, mon, m
 	sh.cur.Store(sys)
+	sh.buses.Store(int32(sys.Buses()))
 	sh.gen.Add(1)
 	sh.counters().Reloads.Add(1)
 	return nil
@@ -502,6 +594,7 @@ func (sh *shard) activate(sys *pmuoutage.System, mon *pmuoutage.Monitor, killc c
 	sh.err = nil
 	sh.sys, sh.mon, sh.killc = sys, mon, killc
 	sh.cur.Store(sys)
+	sh.buses.Store(int32(sys.Buses()))
 	sh.gen.Add(1)
 }
 
@@ -519,6 +612,7 @@ func (sh *shard) fail(err error) {
 func (sh *shard) stop() {
 	sh.setStopped()
 	sh.drainQueue(ErrClosed)
+	sh.drainStream()
 }
 
 func (sh *shard) setStopped() {

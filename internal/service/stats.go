@@ -23,9 +23,11 @@ const (
 	metricQueueDepth   = "pmu_queue_depth"
 	metricMaxBatch     = "pmu_max_batch"
 	metricStageSeconds = "pmu_stage_seconds"
+	metricIngestFrames = "pmu_ingest_frames_total"
 
 	labelShard = "shard"
 	labelStage = "stage"
+	labelMode  = "mode"
 )
 
 // Stage identifies one instrumented span of a request's path through a
@@ -59,6 +61,35 @@ func (st Stage) String() string {
 		return "detect"
 	default:
 		return "encode"
+	}
+}
+
+// IngestMode identifies which transport carried a streaming sample into
+// the service; each mode gets its own admission counter per shard
+// (pmu_ingest_frames_total{shard,mode}).
+type IngestMode int
+
+const (
+	// IngestJSON: the sample arrived as a JSON body on /v1/ingest.
+	IngestJSON IngestMode = iota
+	// IngestBinary: the sample arrived as a binary wire frame on
+	// /v1/ingest.
+	IngestBinary
+	// IngestStream: the sample arrived as a decoded frame through
+	// StreamIngest (the collector path — no HTTP, no JSON).
+	IngestStream
+	numModes
+)
+
+// String renders the mode label value.
+func (m IngestMode) String() string {
+	switch m {
+	case IngestJSON:
+		return "json"
+	case IngestBinary:
+		return "binary"
+	default:
+		return "stream"
 	}
 }
 
@@ -99,6 +130,9 @@ func (s *Stats) shard(name string) *ShardCounters {
 		for st := Stage(0); st < numStages; st++ {
 			c.stage[st] = s.reg.Histogram(metricStageSeconds, "per-stage request latency", labelShard, name, labelStage, st.String())
 		}
+		for m := IngestMode(0); m < numModes; m++ {
+			c.frames[m] = s.reg.Counter(metricIngestFrames, "samples admitted per ingest transport", labelShard, name, labelMode, m.String())
+		}
 		s.reg.GaugeFunc(metricMaxBatch, "largest coalesced batch seen", func() float64 { return float64(c.maxBatch.Load()) }, labelShard, name)
 		s.shards[name] = c
 	}
@@ -129,7 +163,17 @@ type ShardCounters struct {
 	Reloads     *obs.Counter // successful hot model swaps
 
 	stage    [numStages]*obs.Histogram
-	maxBatch atomic.Int64 // largest coalesced batch seen
+	frames   [numModes]*obs.Counter // admitted samples per ingest transport
+	maxBatch atomic.Int64           // largest coalesced batch seen
+}
+
+// Frames returns the admission counter of one ingest transport — the
+// HTTP layer counts its json and binary admissions through this.
+func (c *ShardCounters) Frames(m IngestMode) *obs.Counter {
+	if c == nil || m < 0 || m >= numModes {
+		return nil
+	}
+	return c.frames[m]
 }
 
 // StageSeconds returns the latency histogram of one stage — the HTTP
@@ -168,6 +212,9 @@ type ShardSnapshot struct {
 	Unavailable  uint64  `json:"unavailable"`
 	Restarts     uint64  `json:"restarts"`
 	Reloads      uint64  `json:"reloads"`
+	FramesJSON   uint64  `json:"frames_json"`
+	FramesBinary uint64  `json:"frames_binary"`
+	FramesStream uint64  `json:"frames_stream"`
 	MaxBatch     int     `json:"max_batch"`
 	AvgBatch     float64 `json:"avg_batch"`
 	AvgLatencyMS float64 `json:"avg_latency_ms"`
@@ -179,15 +226,18 @@ type ShardSnapshot struct {
 
 func (c *ShardCounters) snapshot() ShardSnapshot {
 	snap := ShardSnapshot{
-		Requests:    c.Requests.Load(),
-		Ingests:     c.Ingests.Load(),
-		Samples:     c.Samples.Load(),
-		Batches:     c.Batches.Load(),
-		Shed:        c.Shed.Load(),
-		Unavailable: c.Unavailable.Load(),
-		Restarts:    c.Restarts.Load(),
-		Reloads:     c.Reloads.Load(),
-		MaxBatch:    int(c.maxBatch.Load()),
+		Requests:     c.Requests.Load(),
+		Ingests:      c.Ingests.Load(),
+		Samples:      c.Samples.Load(),
+		Batches:      c.Batches.Load(),
+		Shed:         c.Shed.Load(),
+		Unavailable:  c.Unavailable.Load(),
+		Restarts:     c.Restarts.Load(),
+		Reloads:      c.Reloads.Load(),
+		FramesJSON:   c.frames[IngestJSON].Load(),
+		FramesBinary: c.frames[IngestBinary].Load(),
+		FramesStream: c.frames[IngestStream].Load(),
+		MaxBatch:     int(c.maxBatch.Load()),
 	}
 	det := c.stage[StageDetect]
 	if n := det.Count(); n > 0 {

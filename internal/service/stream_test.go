@@ -1,0 +1,305 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"pmuoutage"
+	"pmuoutage/internal/wire"
+)
+
+// sampleFrame packs a facade sample into a pooled wire frame.
+func sampleFrame(t *testing.T, seq uint32, s pmuoutage.Sample) *wire.Frame {
+	t.Helper()
+	f := wire.GetFrame()
+	if err := f.Pack(seq, s.Vm, s.Va, missingMask(s)); err != nil {
+		wire.PutFrame(f)
+		t.Fatal(err)
+	}
+	return f
+}
+
+// missingMask converts the facade's missing-index form into the codec's
+// per-bus bitmap form.
+func missingMask(s pmuoutage.Sample) []bool {
+	if len(s.Missing) == 0 {
+		return nil
+	}
+	m := make([]bool, len(s.Vm))
+	for _, i := range s.Missing {
+		m[i] = true
+	}
+	return m
+}
+
+// waitIngests polls until the shard's monitor has scored n samples —
+// stream frames are consumed asynchronously.
+func waitIngests(t *testing.T, svc *Service, shard string, n uint64) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for svc.Stats()[shard].Ingests < n {
+		if time.Now().After(deadline) {
+			t.Fatalf("shard %q scored %d samples, want %d", shard, svc.Stats()[shard].Ingests, n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// streamEvent pairs a confirmed event with the wire sequence number of
+// the frame that confirmed it, for byte-level comparison across
+// transports.
+type streamEvent struct {
+	WireSeq uint32           `json:"wire_seq"`
+	Event   *pmuoutage.Event `json:"event"`
+}
+
+// TestStreamIngestMatchesDirectIngest pins the tentpole contract: the
+// same samples pushed as binary frames through StreamIngest and as
+// plain values through Ingest yield byte-identical detection events.
+// Both services boot from one trained artifact; the stream run's events
+// arrive through Config.OnEvent, the direct run's as return values.
+func TestStreamIngestMatchesDirectIngest(t *testing.T) {
+	m, err := pmuoutage.TrainModel(quickOpts(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	var streamed []streamEvent
+	cfgStream := Config{
+		Shards:         []ShardSpec{{Name: "east", Model: m}},
+		RestartBackoff: time.Millisecond,
+		OnEvent: func(shard string, seq uint32, ev *pmuoutage.Event) {
+			if shard != "east" {
+				return
+			}
+			mu.Lock()
+			streamed = append(streamed, streamEvent{WireSeq: seq, Event: ev})
+			mu.Unlock()
+		},
+	}
+	svcStream, err := New(context.Background(), cfgStream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svcStream.Close()
+	svcDirect, err := New(context.Background(), Config{
+		Shards:         []ShardSpec{{Name: "east", Model: m}},
+		RestartBackoff: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svcDirect.Close()
+	waitState(t, svcStream, "east", "ready")
+	waitState(t, svcDirect, "east", "ready")
+
+	// An outage trace with missing measurements injected on every third
+	// sample — the bitmap path must not perturb detection.
+	sys := mustSystem(t, svcStream, "east")
+	samples := testSamples(t, sys, 30)
+	for i := range samples {
+		if i%3 == 0 {
+			samples[i] = samples[i].WithMissing(0, len(samples[i].Vm)-1)
+		}
+	}
+
+	var direct []streamEvent
+	for i, s := range samples {
+		ev, err := svcDirect.Ingest(context.Background(), "east", s)
+		if err != nil {
+			t.Fatalf("direct ingest of sample %d: %v", i, err)
+		}
+		if ev != nil {
+			direct = append(direct, streamEvent{WireSeq: uint32(i), Event: ev})
+		}
+	}
+	if len(direct) == 0 {
+		t.Fatal("outage trace confirmed no events; the equivalence check is vacuous")
+	}
+
+	for i, s := range samples {
+		if err := svcStream.StreamIngest("east", sampleFrame(t, uint32(i), s)); err != nil {
+			t.Fatalf("stream ingest of sample %d: %v", i, err)
+		}
+	}
+	waitIngests(t, svcStream, "east", uint64(len(samples)))
+
+	wantJSON, err := json.Marshal(direct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	gotJSON, err := json.Marshal(streamed)
+	mu.Unlock()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(gotJSON) != string(wantJSON) {
+		t.Fatalf("stream events diverge from direct ingest:\nstream: %s\ndirect: %s", gotJSON, wantJSON)
+	}
+	if shed := svcStream.Stats()["east"].Shed; shed != 0 {
+		t.Fatalf("stream run shed %d frames", shed)
+	}
+}
+
+// TestStreamIngestRejectsBadFrames: nil frames and frames sized for a
+// different grid are refused as ErrBadSample before touching the queue.
+func TestStreamIngestRejectsBadFrames(t *testing.T) {
+	svc, err := New(context.Background(), Config{
+		Shards:         []ShardSpec{{Name: "east", Opts: quickOpts(3)}},
+		RestartBackoff: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	waitState(t, svc, "east", "ready")
+
+	if err := svc.StreamIngest("east", nil); !isBadSample(err) {
+		t.Fatalf("nil frame error = %v, want ErrBadSample", err)
+	}
+	f := wire.GetFrame()
+	defer wire.PutFrame(f)
+	f.Reset(3) // ieee14 serves 14 buses
+	if err := svc.StreamIngest("east", f); !isBadSample(err) {
+		t.Fatalf("wrong-size frame error = %v, want ErrBadSample", err)
+	}
+	if err := svc.StreamIngest("west", f); err == nil {
+		t.Fatal("unknown shard accepted a frame")
+	}
+	if snap := svc.Stats()["east"]; snap.FramesStream != 0 {
+		t.Fatalf("rejected frames were counted as admitted: %+v", snap)
+	}
+}
+
+func isBadSample(err error) bool {
+	return errors.Is(err, pmuoutage.ErrBadSample)
+}
+
+// TestStreamIngestAllocs pins the zero-allocation contract on the
+// steady-state hot path: decoding a wire frame into a warm Frame and
+// admitting it with StreamIngest allocates nothing. The stream consumer
+// is parked on the streamHook seam so concurrent scoring cannot perturb
+// the global allocation counter testing.AllocsPerRun reads.
+func TestStreamIngestAllocs(t *testing.T) {
+	var consumed atomic.Int64
+	svc, err := New(context.Background(), Config{
+		Shards:         []ShardSpec{{Name: "east", Opts: quickOpts(3)}},
+		RestartBackoff: time.Millisecond,
+		streamHook:     func(string, *wire.Frame) { consumed.Add(1) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	waitState(t, svc, "east", "ready")
+	sample := testSamples(t, mustSystem(t, svc, "east"), 1)[0]
+
+	// AllocsPerRun invokes the body runs+1 times (one warmup). Each
+	// invocation consumes a distinct pre-sized frame: ownership moves to
+	// the service on admission, and decoding into a warm frame reuses
+	// its slices.
+	const runs = 100
+	encs := make([][]byte, runs+1)
+	frames := make([]*wire.Frame, runs+1)
+	for i := range frames {
+		f := sampleFrame(t, uint32(i), sample)
+		enc, err := wire.AppendFrame(nil, f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		encs[i] = enc
+		frames[i] = f
+		if _, err := wire.DecodeFrame(enc, f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var i int
+	var failed error
+	allocs := testing.AllocsPerRun(runs, func() {
+		f := frames[i]
+		if _, err := wire.DecodeFrame(encs[i], f); err != nil {
+			failed = err
+			return
+		}
+		if err := svc.StreamIngest("east", f); err != nil {
+			failed = err
+			return
+		}
+		i++
+	})
+	if failed != nil {
+		t.Fatal(failed)
+	}
+	if allocs != 0 {
+		t.Fatalf("frame decode + StreamIngest allocated %.1f/op, want 0", allocs)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for consumed.Load() < runs+1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("stream consumer saw %d of %d admitted frames", consumed.Load(), runs+1)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// BenchmarkStreamIngest measures the decode+admit hot path with the
+// consumer recycling frames — the per-sample cost of the collector
+// transport without detector time.
+func BenchmarkStreamIngest(b *testing.B) {
+	svc, err := New(context.Background(), Config{
+		Shards:         []ShardSpec{{Name: "east", Opts: quickOpts(3)}},
+		RestartBackoff: time.Millisecond,
+		streamHook:     func(_ string, f *wire.Frame) { wire.PutFrame(f) },
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer svc.Close()
+	deadline := time.Now().Add(time.Minute)
+	for !svc.Ready() {
+		if time.Now().After(deadline) {
+			b.Fatal("shard never became ready")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	sys, err := svc.System("east")
+	if err != nil {
+		b.Fatal(err)
+	}
+	samples, err := sys.SimulateOutage([]int{sys.ValidLines()[0]}, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	proto := wire.GetFrame()
+	defer wire.PutFrame(proto)
+	if err := proto.Pack(7, samples[0].Vm, samples[0].Va, nil); err != nil {
+		b.Fatal(err)
+	}
+	enc, err := wire.AppendFrame(nil, proto)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f := wire.GetFrame()
+		if _, err := wire.DecodeFrame(enc, f); err != nil {
+			b.Fatal(err)
+		}
+		for {
+			err := svc.StreamIngest("east", f)
+			if err == nil {
+				break
+			}
+			if err != ErrOverloaded {
+				b.Fatal(err)
+			}
+		}
+	}
+}
