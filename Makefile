@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet lint lint-report test race bench bench-serve bench-serve-smoke serve-smoke verify
+.PHONY: build vet lint lint-report test race bench bench-serve bench-serve-smoke serve-smoke serve-fleet-smoke verify
 
 build:
 	$(GO) build ./...
@@ -59,6 +59,15 @@ bench-serve-smoke:
 serve-smoke:
 	$(GO) run ./cmd/outaged -smoke
 
+# Fleet smoke: an in-process fleet — model registry, two primary
+# backends booted by fingerprint, one canary backend, the router in
+# full-shadow mode — driven over real HTTP. Asserts byte-identical
+# proxying, fail-over with one backend killed mid-stream (zero dropped
+# detects), shadow responses byte-identical to the primary's, a 304
+# conditional registry pull, and a gated canary promotion.
+serve-fleet-smoke:
+	$(GO) run ./cmd/outagerouter -smoke
+
 # The tier-1 gate (see ROADMAP.md): build, vet, gridlint, race tests,
 # benchmark smoke.
-verify: build vet lint race bench bench-serve-smoke serve-smoke
+verify: build vet lint race bench bench-serve-smoke serve-smoke serve-fleet-smoke

@@ -1,13 +1,19 @@
 // Package client is the Go client for the outaged detection daemon
-// (cmd/outaged): JSON over HTTP with bounded, deterministic retries.
+// (cmd/outaged) and the outagerouter front-end: JSON over HTTP with
+// bounded, deterministic retries.
 //
-// Transient conditions — transport errors, 429 (load-shedding), and
-// 503 (shard training or restarting) — are retried up to
-// Config.MaxRetries times with exponential backoff, honouring the
-// server's Retry-After header when present. Terminal HTTP statuses
-// (bad request, unknown shard, ...) fail immediately with ErrRequest.
+// Transient conditions — transport errors and responses whose error
+// envelope carries a retryable code (overloaded, unavailable; for
+// servers that predate the code field, HTTP 429/503) — are retried up
+// to Config.MaxRetries times with exponential backoff, honouring the
+// server's Retry-After header when present. Terminal responses (bad
+// request, unknown shard, ...) fail immediately with ErrRequest.
 // Every wait is context-aware: a cancelled context stops the retry
 // loop mid-backoff.
+//
+// All request and response bodies are the shared wire types of the api
+// package — the same structs the server encodes, so the two sides
+// cannot drift.
 package client
 
 import (
@@ -24,6 +30,7 @@ import (
 	"time"
 
 	"pmuoutage"
+	"pmuoutage/api"
 	"pmuoutage/internal/obs"
 )
 
@@ -33,12 +40,12 @@ var (
 	// ErrConfig reports an invalid Config passed to New.
 	ErrConfig = errors.New("client: invalid config")
 	// ErrRequest reports a terminal server response — a non-retryable
-	// HTTP status. The wrapped detail carries the status code and the
-	// server's error body.
+	// error code (or HTTP status, for code-less servers). The wrapped
+	// detail carries the code, status, and the server's error body.
 	ErrRequest = errors.New("client: request failed")
 	// ErrExhausted reports that every attempt hit a retryable condition
-	// (transport error, 429, 503). The wrapped detail carries the last
-	// failure.
+	// (transport error, overloaded, unavailable). The wrapped detail
+	// carries the last failure.
 	ErrExhausted = errors.New("client: retries exhausted")
 )
 
@@ -52,7 +59,7 @@ type Config struct {
 	// the first attempt (default 3; negative disables retries).
 	MaxRetries int
 	// BaseBackoff is the delay before the first retry; it doubles per
-	// attempt up to MaxBackoff. A Retry-After header on a 429/503
+	// attempt up to MaxBackoff. A Retry-After header on a retryable
 	// response overrides the computed delay for that attempt. Defaults
 	// 100ms and 2s.
 	BaseBackoff time.Duration
@@ -82,7 +89,8 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// Client talks to one outaged daemon. It is safe for concurrent use.
+// Client talks to one outaged daemon (or router). It is safe for
+// concurrent use.
 type Client struct {
 	cfg Config
 }
@@ -96,37 +104,19 @@ func New(cfg Config) (*Client, error) {
 	return &Client{cfg: cfg.withDefaults()}, nil
 }
 
-// detectRequest mirrors the daemon's POST /v1/detect body.
-type detectRequest struct {
-	Shard   string             `json:"shard"`
-	Samples []pmuoutage.Sample `json:"samples"`
-}
-
-type detectResponse struct {
-	Shard   string              `json:"shard"`
-	Reports []*pmuoutage.Report `json:"reports"`
-}
-
-// reloadRequest mirrors the daemon's POST /v1/reload body.
-type reloadRequest struct {
-	Shard string `json:"shard"`
-	Path  string `json:"path,omitempty"`
-}
+// BaseURL returns the normalised server root the client talks to.
+func (c *Client) BaseURL() string { return c.cfg.BaseURL }
 
 // ReloadResult is the daemon's reply to a reload: the shard's new
 // incarnation counter and the fingerprint of the model now serving.
-type ReloadResult struct {
-	Shard      string `json:"shard"`
-	Generation uint64 `json:"generation"`
-	Model      string `json:"model"`
-}
+type ReloadResult = api.ReloadResult
 
 // Detect classifies samples on the named shard and returns one report
 // per sample, in order — exactly what the shard's System.DetectBatch
 // returns. Overload and not-ready conditions are retried.
 func (c *Client) Detect(ctx context.Context, shard string, samples []pmuoutage.Sample) ([]*pmuoutage.Report, error) {
-	var out detectResponse
-	if err := c.post(ctx, "/v1/detect", detectRequest{Shard: shard, Samples: samples}, &out); err != nil {
+	var out api.DetectResponse
+	if err := c.postJSON(ctx, "/v1/detect", api.DetectRequest{Shard: shard, Samples: samples}, &out); err != nil {
 		return nil, err
 	}
 	return out.Reports, nil
@@ -136,81 +126,259 @@ func (c *Client) Detect(ctx context.Context, shard string, samples []pmuoutage.S
 // (a file on the daemon's filesystem) or, with an empty path, onto a
 // freshly retrained model. The shard keeps serving throughout.
 func (c *Client) Reload(ctx context.Context, shard, path string) (*ReloadResult, error) {
+	return c.reload(ctx, api.ReloadRequest{Shard: shard, Path: path})
+}
+
+// ReloadModel hot-swaps the named shard onto the registry artifact with
+// the given content fingerprint — the daemon pulls it from its
+// configured registry and verifies the fingerprint on receipt.
+func (c *Client) ReloadModel(ctx context.Context, shard, fingerprint string) (*ReloadResult, error) {
+	return c.reload(ctx, api.ReloadRequest{Shard: shard, Fingerprint: fingerprint})
+}
+
+func (c *Client) reload(ctx context.Context, req api.ReloadRequest) (*ReloadResult, error) {
 	var out ReloadResult
-	if err := c.post(ctx, "/v1/reload", reloadRequest{Shard: shard, Path: path}, &out); err != nil {
+	if err := c.postJSON(ctx, "/v1/reload", req, &out); err != nil {
 		return nil, err
 	}
 	return &out, nil
 }
 
-// post marshals the body once and runs the retry loop: attempt,
-// classify, wait (server-directed or exponential), repeat. One trace ID
-// spans every attempt of a request: the caller's, when the context
-// carries one, otherwise minted here — so the daemon's logs show all
-// retries of one call under one ID.
-func (c *Client) post(ctx context.Context, path string, body, out any) error {
+// Shards lists the daemon's shards with their serving state, model
+// fingerprint, and generation — GET /v1/shards, typed.
+func (c *Client) Shards(ctx context.Context) ([]api.ShardStatus, error) {
+	var out []api.ShardStatus
+	if err := c.getJSON(ctx, "/v1/shards", &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Stats snapshots the daemon's per-shard counters — GET /v1/stats,
+// typed. The router's health prober reads queue depths from this.
+func (c *Client) Stats(ctx context.Context) (map[string]api.ShardSnapshot, error) {
+	var out map[string]api.ShardSnapshot
+	if err := c.getJSON(ctx, "/v1/stats", &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Health probes GET /healthz: nil when the daemon reports at least one
+// shard serving, the typed server error otherwise. Health never
+// retries — a prober wants the current truth, not eventual success.
+func (c *Client) Health(ctx context.Context) error {
+	raw, err := c.roundTrip(ctx, http.MethodGet, "/healthz", "", nil)
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrExhausted, err)
+	}
+	if raw.Status != http.StatusOK {
+		return raw.serverError()
+	}
+	return nil
+}
+
+// postJSON marshals the body once and runs the retry loop over a JSON
+// round trip.
+func (c *Client) postJSON(ctx context.Context, path string, body, out any) error {
 	payload, err := json.Marshal(body)
 	if err != nil {
 		return fmt.Errorf("%w: encoding body: %v", ErrConfig, err)
 	}
-	traceID := obs.TraceID(ctx)
-	if traceID == "" {
-		traceID = obs.NewTraceID()
-		ctx = obs.WithTraceID(ctx, traceID)
+	raw, err := c.do(ctx, http.MethodPost, path, "application/json", payload)
+	if err != nil {
+		return err
 	}
+	if err := json.Unmarshal(raw.Body, out); err != nil {
+		return fmt.Errorf("%w: decoding %s response: %v", ErrRequest, path, err)
+	}
+	return nil
+}
+
+// getJSON runs the retry loop over a bodyless GET.
+func (c *Client) getJSON(ctx context.Context, path string, out any) error {
+	raw, err := c.do(ctx, http.MethodGet, path, "", nil)
+	if err != nil {
+		return err
+	}
+	if err := json.Unmarshal(raw.Body, out); err != nil {
+		return fmt.Errorf("%w: decoding %s response: %v", ErrRequest, path, err)
+	}
+	return nil
+}
+
+// RawResponse is one complete HTTP response as PostRaw captured it —
+// everything a proxy needs to relay the answer byte-identically.
+type RawResponse struct {
+	// Status is the HTTP status code.
+	Status int
+	// ContentType is the response Content-Type header ("" if none).
+	ContentType string
+	// RetryAfter is the response Retry-After header ("" if none).
+	RetryAfter string
+	// TraceID is the X-Trace-Id the server echoed ("" if none).
+	TraceID string
+	// Body is the full response body.
+	Body []byte
+}
+
+// Retryable classifies the response by its error envelope's code
+// (falling back to HTTP status for code-less servers): true for
+// transient conditions another attempt — or another backend — might
+// clear.
+func (r *RawResponse) Retryable() bool {
+	if r.Status == http.StatusOK {
+		return false
+	}
+	return api.RetryableResponse(r.Status, r.Body)
+}
+
+// serverError builds the typed failure for a non-OK raw response.
+func (r *RawResponse) serverError() *ServerError {
+	env, _ := api.DecodeError(r.Body)
+	body := r.Body
+	if len(body) > maxErrBody {
+		body = body[:maxErrBody]
+	}
+	return &ServerError{
+		Status:    r.Status,
+		Code:      env.Code,
+		Body:      strings.TrimSpace(string(body)),
+		TraceID:   r.TraceID,
+		retryable: r.Retryable(),
+	}
+}
+
+// PostRaw posts body to pathAndQuery and returns the server's complete
+// response, whatever its status — the proxy primitive the router's
+// data plane is built on. Only transport errors (no HTTP response at
+// all) enter the retry loop; HTTP-level failures come back as a
+// RawResponse so the caller can fail over to another backend or relay
+// the bytes verbatim. A transport failure after every retry wraps
+// ErrExhausted.
+func (c *Client) PostRaw(ctx context.Context, pathAndQuery, contentType string, body []byte) (*RawResponse, error) {
+	return c.raw(ctx, http.MethodPost, pathAndQuery, contentType, body)
+}
+
+// GetRaw is PostRaw for bodyless GETs.
+func (c *Client) GetRaw(ctx context.Context, pathAndQuery string) (*RawResponse, error) {
+	return c.raw(ctx, http.MethodGet, pathAndQuery, "", nil)
+}
+
+func (c *Client) raw(ctx context.Context, method, pathAndQuery, contentType string, body []byte) (*RawResponse, error) {
+	ctx, traceID := c.ensureTrace(ctx)
 	backoff := c.cfg.BaseBackoff
 	var lastErr error
 	for attempt := 0; attempt <= c.cfg.MaxRetries; attempt++ {
 		if attempt > 0 {
 			if err := sleepCtx(ctx, backoff); err != nil {
-				return err
+				return nil, err
 			}
-			backoff *= 2
-			if backoff > c.cfg.MaxBackoff {
-				backoff = c.cfg.MaxBackoff
-			}
+			backoff = nextBackoff(backoff, c.cfg.MaxBackoff)
 		}
-		retryAfter, err := c.attempt(ctx, path, payload, out)
+		raw, err := c.roundTrip(ctx, method, pathAndQuery, contentType, body)
 		if err == nil {
-			return nil
+			return raw, nil
 		}
 		if ctx.Err() != nil {
-			return ctx.Err()
-		}
-		if !errors.Is(err, errRetryable) {
-			return err
+			return nil, ctx.Err()
 		}
 		lastErr = err
-		if retryAfter > 0 {
-			backoff = retryAfter
-		}
-		if lg := c.cfg.Logger; lg != nil && attempt < c.cfg.MaxRetries {
-			lg.LogAttrs(ctx, slog.LevelWarn, "retrying request",
-				slog.String(obs.AttrComponent, "client"),
-				slog.String(obs.AttrTraceID, traceID),
-				slog.String("path", path),
-				slog.Int("attempt", attempt+1),
-				slog.Duration("backoff", backoff),
-				slog.String("cause", err.Error()))
-		}
+		c.logRetry(ctx, traceID, pathAndQuery, attempt, backoff, err)
 	}
-	return fmt.Errorf("%w after %d attempts: %w", ErrExhausted, c.cfg.MaxRetries+1, lastErr)
+	return nil, fmt.Errorf("%w after %d attempts: %w", ErrExhausted, c.cfg.MaxRetries+1, lastErr)
 }
 
-// errRetryable marks transient attempt failures internally; callers of
-// the package only ever see it wrapped inside ErrExhausted.
-var errRetryable = errors.New("retryable")
+// do runs the full JSON retry loop: attempt, classify, wait
+// (server-directed or exponential), repeat. One trace ID spans every
+// attempt of a request: the caller's, when the context carries one,
+// otherwise minted here — so the daemon's logs show all retries of one
+// call under one ID. It returns the 200 response; every other outcome
+// is an error.
+func (c *Client) do(ctx context.Context, method, path, contentType string, payload []byte) (*RawResponse, error) {
+	ctx, traceID := c.ensureTrace(ctx)
+	backoff := c.cfg.BaseBackoff
+	var lastErr error
+	for attempt := 0; attempt <= c.cfg.MaxRetries; attempt++ {
+		if attempt > 0 {
+			if err := sleepCtx(ctx, backoff); err != nil {
+				return nil, err
+			}
+			backoff = nextBackoff(backoff, c.cfg.MaxBackoff)
+		}
+		raw, err := c.roundTrip(ctx, method, path, contentType, payload)
+		if err == nil {
+			if raw.Status == http.StatusOK {
+				return raw, nil
+			}
+			serr := raw.serverError()
+			if !serr.retryable {
+				return nil, serr
+			}
+			err = serr
+			if d := parseRetryAfter(raw.RetryAfter); d > 0 {
+				backoff = d
+			}
+		}
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		lastErr = err
+		c.logRetry(ctx, traceID, path, attempt, backoff, err)
+	}
+	return nil, fmt.Errorf("%w after %d attempts: %w", ErrExhausted, c.cfg.MaxRetries+1, lastErr)
+}
+
+// ensureTrace resolves the request's trace ID: the caller's, when the
+// context carries one, otherwise minted here.
+func (c *Client) ensureTrace(ctx context.Context) (context.Context, string) {
+	traceID := obs.TraceID(ctx)
+	if traceID == "" {
+		traceID = obs.NewTraceID()
+		ctx = obs.WithTraceID(ctx, traceID)
+	}
+	return ctx, traceID
+}
+
+func (c *Client) logRetry(ctx context.Context, traceID, path string, attempt int, backoff time.Duration, cause error) {
+	lg := c.cfg.Logger
+	if lg == nil || attempt >= c.cfg.MaxRetries {
+		return
+	}
+	lg.LogAttrs(ctx, slog.LevelWarn, "retrying request",
+		slog.String(obs.AttrComponent, "client"),
+		slog.String(obs.AttrTraceID, traceID),
+		slog.String("path", path),
+		slog.Int("attempt", attempt+1),
+		slog.Duration("backoff", backoff),
+		slog.String("cause", cause.Error()))
+}
+
+func nextBackoff(cur, max time.Duration) time.Duration {
+	cur *= 2
+	if cur > max {
+		cur = max
+	}
+	return cur
+}
+
+// maxErrBody bounds the error text a ServerError carries (full bodies
+// still flow through RawResponse for proxying).
+const maxErrBody = 4096
 
 // ServerError is the typed detail behind every non-OK daemon response:
-// the HTTP status, the server's error body, and the trace ID the daemon
-// echoed — the handle that finds this exact failed request in the
-// server's structured logs. It unwraps to ErrRequest (terminal) or to
-// the internal retryable marker, so errors.Is keeps working; reach it
-// with errors.As.
+// the machine-readable error code, the HTTP status, the server's error
+// body, and the trace ID the daemon echoed — the handle that finds
+// this exact failed request in the server's structured logs. It
+// unwraps to ErrRequest (terminal) or to the internal retryable
+// marker, so errors.Is keeps working; reach it with errors.As.
 type ServerError struct {
 	// Status is the HTTP status code the daemon answered with.
 	Status int
-	// Body is the server's error text (truncated to 1 KiB).
+	// Code is the stable classification from the error envelope ("" when
+	// the server sent none). Branch on this, not on Body's prose.
+	Code api.Code
+	// Body is the server's error text (truncated to 4 KiB).
 	Body string
 	// TraceID is the X-Trace-Id the server echoed ("" if none).
 	TraceID string
@@ -218,12 +386,19 @@ type ServerError struct {
 	retryable bool
 }
 
-// Error renders the status, body, and trace ID.
+// Error renders the status, code, body, and trace ID.
 func (e *ServerError) Error() string {
-	if e.TraceID == "" {
-		return fmt.Sprintf("HTTP %d: %s", e.Status, e.Body)
+	var b strings.Builder
+	fmt.Fprintf(&b, "HTTP %d", e.Status)
+	if e.Code != "" {
+		fmt.Fprintf(&b, " [%s]", e.Code)
 	}
-	return fmt.Sprintf("HTTP %d (trace %s): %s", e.Status, e.TraceID, e.Body)
+	if e.TraceID != "" {
+		fmt.Fprintf(&b, " (trace %s)", e.TraceID)
+	}
+	b.WriteString(": ")
+	b.WriteString(e.Body)
+	return b.String()
 }
 
 // Unwrap ties the error into the package's sentinel taxonomy.
@@ -234,47 +409,46 @@ func (e *ServerError) Unwrap() error {
 	return ErrRequest
 }
 
-// attempt performs one HTTP round trip. It returns the server-directed
-// retry delay (0 if none) alongside the classification: nil on success,
-// an error wrapping errRetryable on transient conditions, a terminal
-// error otherwise. The context's trace ID rides the X-Trace-Id request
-// header, and the server's echo lands in the ServerError.
-func (c *Client) attempt(ctx context.Context, path string, payload []byte, out any) (time.Duration, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.cfg.BaseURL+path, bytes.NewReader(payload))
-	if err != nil {
-		return 0, fmt.Errorf("%w: %v", ErrConfig, err)
+// errRetryable marks transient attempt failures internally; callers of
+// the package only ever see it wrapped inside ErrExhausted.
+var errRetryable = errors.New("retryable")
+
+// roundTrip performs one HTTP exchange and captures the complete
+// response. The context's trace ID rides the X-Trace-Id request
+// header; the error return is non-nil only for transport failures
+// (wrapping the internal retryable marker) or an unbuildable request
+// (ErrConfig).
+func (c *Client) roundTrip(ctx context.Context, method, pathAndQuery, contentType string, body []byte) (*RawResponse, error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
 	}
-	req.Header.Set("Content-Type", "application/json")
+	req, err := http.NewRequestWithContext(ctx, method, c.cfg.BaseURL+pathAndQuery, rd)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrConfig, err)
+	}
+	if contentType != "" {
+		req.Header.Set("Content-Type", contentType)
+	}
 	if id := obs.TraceID(ctx); id != "" {
 		req.Header.Set(obs.TraceHeader, id)
 	}
 	resp, err := c.cfg.HTTPClient.Do(req)
 	if err != nil {
-		return 0, fmt.Errorf("%w: %v", errRetryable, err)
+		return nil, fmt.Errorf("%w: %v", errRetryable, err)
 	}
 	defer func() { _ = resp.Body.Close() }()
-	switch {
-	case resp.StatusCode == http.StatusOK:
-		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
-			return 0, fmt.Errorf("%w: decoding %s response: %v", ErrRequest, path, err)
-		}
-		return 0, nil
-	case resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode == http.StatusServiceUnavailable:
-		return parseRetryAfter(resp.Header.Get("Retry-After")), serverError(resp, true)
-	default:
-		return 0, serverError(resp, false)
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("%w: reading response: %v", errRetryable, err)
 	}
-}
-
-// serverError builds the typed failure for one non-OK response.
-func serverError(resp *http.Response, retryable bool) *ServerError {
-	msg, _ := io.ReadAll(io.LimitReader(resp.Body, 1024))
-	return &ServerError{
-		Status:    resp.StatusCode,
-		Body:      strings.TrimSpace(string(msg)),
-		TraceID:   resp.Header.Get(obs.TraceHeader),
-		retryable: retryable,
-	}
+	return &RawResponse{
+		Status:      resp.StatusCode,
+		ContentType: resp.Header.Get("Content-Type"),
+		RetryAfter:  resp.Header.Get("Retry-After"),
+		TraceID:     resp.Header.Get(obs.TraceHeader),
+		Body:        data,
+	}, nil
 }
 
 // parseRetryAfter reads the delay-seconds form of Retry-After (the only

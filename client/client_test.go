@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"pmuoutage"
+	"pmuoutage/api"
 )
 
 // writeJSON and jsonDecode are tiny test-server helpers.
@@ -55,13 +56,13 @@ func TestNewValidation(t *testing.T) {
 // TestDetectSuccess: a plain 200 round trip decodes the reports and
 // sends the expected request body.
 func TestDetectSuccess(t *testing.T) {
-	var gotBody detectRequest
+	var gotBody api.DetectRequest
 	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		if r.URL.Path != "/v1/detect" || r.Method != http.MethodPost {
 			t.Errorf("unexpected %s %s", r.Method, r.URL.Path)
 		}
 		decodeInto(t, r, &gotBody)
-		writeJSON(w, http.StatusOK, detectResponse{Shard: gotBody.Shard, Reports: []*pmuoutage.Report{{Outage: true}}})
+		writeJSON(w, http.StatusOK, api.DetectResponse{Shard: gotBody.Shard, Reports: []*pmuoutage.Report{{Outage: true}}})
 	}))
 	defer ts.Close()
 
@@ -91,7 +92,7 @@ func TestRetryOn503ThenSuccess(t *testing.T) {
 		case 2:
 			writeJSON(w, http.StatusTooManyRequests, map[string]any{"error": "overloaded", "retryable": true})
 		default:
-			writeJSON(w, http.StatusOK, detectResponse{Reports: []*pmuoutage.Report{{}}})
+			writeJSON(w, http.StatusOK, api.DetectResponse{Reports: []*pmuoutage.Report{{}}})
 		}
 	}))
 	defer ts.Close()
@@ -172,7 +173,7 @@ func TestReload(t *testing.T) {
 		if r.URL.Path != "/v1/reload" {
 			t.Errorf("unexpected path %s", r.URL.Path)
 		}
-		var req reloadRequest
+		var req api.ReloadRequest
 		decodeInto(t, r, &req)
 		if req.Shard != "east" || req.Path != "/tmp/m.json" {
 			t.Errorf("request = %+v", req)

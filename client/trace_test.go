@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"pmuoutage"
+	"pmuoutage/api"
 	"pmuoutage/internal/obs"
 )
 
@@ -31,7 +32,7 @@ func TestTraceHeaderRoundTrip(t *testing.T) {
 			http.Error(w, "overloaded", http.StatusTooManyRequests)
 			return
 		}
-		writeJSON(w, http.StatusOK, detectResponse{Shard: "east"})
+		writeJSON(w, http.StatusOK, api.DetectResponse{Shard: "east"})
 	}))
 	defer ts.Close()
 
@@ -70,7 +71,7 @@ func TestTraceMintedWhenAbsent(t *testing.T) {
 	var got atomic.Value
 	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		got.Store(r.Header.Get(obs.TraceHeader))
-		writeJSON(w, http.StatusOK, detectResponse{Shard: "east"})
+		writeJSON(w, http.StatusOK, api.DetectResponse{Shard: "east"})
 	}))
 	defer ts.Close()
 	if _, err := testClient(t, ts).Detect(context.Background(), "east", []pmuoutage.Sample{{}}); err != nil {

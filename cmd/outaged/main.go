@@ -43,6 +43,7 @@ import (
 	"pmuoutage/client"
 	"pmuoutage/internal/httpserve"
 	"pmuoutage/internal/obs"
+	"pmuoutage/internal/registry"
 	"pmuoutage/internal/service"
 	"pmuoutage/internal/wire"
 )
@@ -53,7 +54,8 @@ func main() {
 		debugAddr  = flag.String("debug-addr", "", "optional listen address for pprof and expvar (e.g. localhost:6060); empty disables")
 		logLevel   = flag.String("log-level", "info", "log verbosity: debug (per-request spans), info, warn, error")
 		shards     = flag.String("shards", "main=ieee14", "comma-separated name=case shard list")
-		models     = flag.String("models", "", "comma-separated name=path list of model artifacts to boot shards from (skips training)")
+		models     = flag.String("models", "", "comma-separated name=ref list of model artifacts to boot shards from (skips training); a ref is a file path or, with -registry, a hex SHA-256 fingerprint")
+		regURL     = flag.String("registry", "", "model registry base URL (e.g. http://localhost:8090); enables boot and hot reload by fingerprint")
 		replicas   = flag.Int("replicas", 0, "serve loops per shard sharing one model (0 = 1)")
 		trainSteps = flag.Int("train-steps", 0, "training window length per scenario (0 = library default)")
 		seed       = flag.Int64("seed", 1, "base seed; shard i trains with seed+i")
@@ -85,16 +87,22 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := applyModels(&cfg, *models); err != nil {
+	var reg *registry.Client
+	if *regURL != "" {
+		if reg, err = registry.NewClient(*regURL, nil); err != nil {
+			log.Fatal(err)
+		}
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := applyModels(ctx, &cfg, *models, reg); err != nil {
 		log.Fatal(err)
 	}
 	for i := range cfg.Shards {
 		cfg.Shards[i].Replicas = *replicas
 	}
 	cfg.Logger = logger
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
-	if err := run(ctx, *addr, *debugAddr, cfg, *timeout, logger); err != nil {
+	if err := run(ctx, *addr, *debugAddr, cfg, *timeout, logger, reg); err != nil {
 		log.Fatal(err)
 	}
 }
@@ -128,18 +136,29 @@ func buildConfig(shardFlag string, trainSteps int, seed int64, dc bool, workers,
 
 // applyModels parses the -models flag ("east=/path/a.json,...") and
 // pins each named shard to the decoded artifact, so the daemon boots
-// serving without retraining.
-func applyModels(cfg *service.Config, modelFlag string) error {
+// serving without retraining. A value that is a hex SHA-256
+// fingerprint is pulled from the registry (verified on receipt)
+// instead of the filesystem.
+func applyModels(ctx context.Context, cfg *service.Config, modelFlag string, reg *registry.Client) error {
 	for _, spec := range strings.Split(modelFlag, ",") {
 		spec = strings.TrimSpace(spec)
 		if spec == "" {
 			continue
 		}
-		name, path, ok := strings.Cut(spec, "=")
-		if !ok || path == "" {
-			return fmt.Errorf("%w: -models entry %q is not name=path", service.ErrConfig, spec)
+		name, ref, ok := strings.Cut(spec, "=")
+		if !ok || ref == "" {
+			return fmt.Errorf("%w: -models entry %q is not name=ref", service.ErrConfig, spec)
 		}
-		m, err := httpserve.LoadModel(path)
+		var m *pmuoutage.Model
+		var err error
+		if isFingerprint(ref) {
+			if reg == nil {
+				return fmt.Errorf("%w: -models entry %q names a fingerprint but no -registry is set", service.ErrConfig, spec)
+			}
+			m, err = reg.Model(ctx, ref)
+		} else {
+			m, err = httpserve.LoadModel(ref)
+		}
 		if err != nil {
 			return fmt.Errorf("loading model for shard %q: %w", name, err)
 		}
@@ -157,6 +176,20 @@ func applyModels(cfg *service.Config, modelFlag string) error {
 	return nil
 }
 
+// isFingerprint reports whether ref looks like a hex SHA-256 content
+// fingerprint (64 hex chars) rather than a file path.
+func isFingerprint(ref string) bool {
+	if len(ref) != 64 {
+		return false
+	}
+	for _, c := range ref {
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
 // shardGeneration reads one shard's incarnation counter (0 if absent).
 func shardGeneration(svc *service.Service, name string) uint64 {
 	for _, st := range svc.Shards() {
@@ -170,7 +203,7 @@ func shardGeneration(svc *service.Service, name string) uint64 {
 // run starts the service, serves HTTP (plus the optional pprof/expvar
 // debug listener) until ctx cancels, then shuts everything down
 // gracefully.
-func run(ctx context.Context, addr, debugAddr string, cfg service.Config, timeout time.Duration, logger *slog.Logger) error {
+func run(ctx context.Context, addr, debugAddr string, cfg service.Config, timeout time.Duration, logger *slog.Logger, reg *registry.Client) error {
 	svc, err := service.New(ctx, cfg)
 	if err != nil {
 		return err
@@ -178,6 +211,9 @@ func run(ctx context.Context, addr, debugAddr string, cfg service.Config, timeou
 	defer svc.Close()
 
 	srv := httpserve.New(svc, timeout, logger)
+	if reg != nil {
+		srv.SetModelSource(reg)
+	}
 	httpSrv := &http.Server{Addr: addr, Handler: srv.Routes()}
 	servers := []*http.Server{httpSrv}
 	errc := make(chan error, 2)

@@ -1,0 +1,72 @@
+// Command outageregistry serves the content-addressed model-artifact
+// registry over HTTP.
+//
+// Artifacts are keyed by their hex SHA-256 content fingerprint; an
+// artifact under a key can never change, so GETs carry an immutable
+// Cache-Control and answer If-None-Match revalidations with 304 Not
+// Modified. With -dir set, artifacts persist across restarts.
+//
+// Endpoints:
+//
+//	GET  /v1/models                 list artifacts, publish order
+//	GET  /v1/models/{fingerprint}   the artifact; ETag = fingerprint
+//	POST /v1/models                 publish an encoded artifact
+//	GET  /healthz                   liveness
+//
+// Example:
+//
+//	outageregistry -addr :8090 -dir /var/lib/pmu/models
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"pmuoutage/internal/obs"
+	"pmuoutage/internal/registry"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8090", "listen address")
+		dir      = flag.String("dir", "", "artifact directory (empty: in-memory only)")
+		logLevel = flag.String("log-level", "info", "log verbosity: debug, info, warn, error")
+	)
+	flag.Parse()
+
+	level, err := obs.ParseLevel(*logLevel)
+	if err != nil {
+		log.Fatal(err)
+	}
+	logger := obs.NewTextLogger(os.Stderr, level)
+
+	store, err := registry.NewStore(*dir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := &http.Server{Addr: *addr, Handler: registry.NewServer(store, logger).Routes()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	logger.Info("outageregistry listening", "addr", *addr, "dir", *dir, "artifacts", store.Len())
+
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+	sdCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(sdCtx); err != nil {
+		log.Fatal(fmt.Errorf("shutdown: %w", err))
+	}
+}

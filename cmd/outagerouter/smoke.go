@@ -1,0 +1,329 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"net"
+	"net/http"
+	"os"
+	"strconv"
+	"time"
+
+	"pmuoutage"
+	"pmuoutage/api"
+	"pmuoutage/internal/httpserve"
+	"pmuoutage/internal/obs"
+	"pmuoutage/internal/registry"
+	"pmuoutage/internal/router"
+	"pmuoutage/internal/service"
+)
+
+// runFleetSmoke is the -smoke self-test wired to `make
+// serve-fleet-smoke`: an in-process fleet — registry, two primary
+// backends booted by fingerprint, one canary backend, the router in
+// full-shadow mode — driven over real HTTP. It asserts the acceptance
+// path end to end: byte-identical proxying, fail-over with one backend
+// killed mid-stream and zero dropped detects, shadow responses
+// byte-identical to the primary's, conditional registry pulls
+// answering 304 on the reload, and a gated canary promotion.
+func runFleetSmoke() error {
+	ctx, cancel := context.WithTimeout(context.Background(), 4*time.Minute)
+	defer cancel()
+	quiet := obs.NewTextLogger(io.Discard, slog.LevelDebug)
+
+	// One trained artifact, published once: every backend boots from the
+	// registry by fingerprint, and the same fingerprint is the promotion
+	// candidate (a byte-identical candidate must always pass the gates).
+	opts := pmuoutage.Options{Case: "ieee14", TrainSteps: 12, UseDC: true, Seed: 7, Workers: 2}
+	model, err := pmuoutage.TrainModelContext(ctx, opts)
+	if err != nil {
+		return err
+	}
+	fp := model.Fingerprint()
+
+	regDir, err := os.MkdirTemp("", "outagerouter-smoke-registry-")
+	if err != nil {
+		return err
+	}
+	defer func() { _ = os.RemoveAll(regDir) }()
+	store, err := registry.NewStore(regDir)
+	if err != nil {
+		return err
+	}
+	if _, err := store.Publish(model); err != nil {
+		return err
+	}
+	regSrv, err := newSmokeServer(registry.NewServer(store, quiet).Routes())
+	if err != nil {
+		return err
+	}
+	defer regSrv.stop()
+
+	// Three backends: two primaries and one canary, each with its own
+	// registry client and its shard booted from the published artifact.
+	var backends []*smokeBackend
+	defer func() {
+		for _, b := range backends {
+			b.stop()
+		}
+	}()
+	for i := 0; i < 3; i++ {
+		b, err := newSmokeBackend(ctx, regSrv.base, fp, opts, quiet)
+		if err != nil {
+			return err
+		}
+		backends = append(backends, b)
+	}
+	primA, primB, canary := backends[0], backends[1], backends[2]
+
+	rt, err := router.New(ctx, router.Config{
+		Backends:       []string{primA.srv.base, primB.srv.base},
+		CanaryBackends: []string{canary.srv.base},
+		Candidate:      fp,
+		CanaryPercent:  100, // full shadow: every detect is mirrored
+		MinPairs:       1,
+		ProbeEvery:     20 * time.Millisecond,
+		Logger:         quiet,
+	})
+	if err != nil {
+		return err
+	}
+	defer rt.Close()
+	rtSrv, err := newSmokeServer(rt.Routes())
+	if err != nil {
+		return err
+	}
+	defer rtSrv.stop()
+
+	// Known-truth traffic: an outage on the first valid line, with the
+	// expected reports computed against the same model locally.
+	sys, err := pmuoutage.NewSystemFromModel(model)
+	if err != nil {
+		return err
+	}
+	line := sys.ValidLines()[0]
+	samples, err := sys.SimulateOutageContext(ctx, []int{line}, 2)
+	if err != nil {
+		return err
+	}
+	want, err := sys.DetectBatchContext(ctx, samples)
+	if err != nil {
+		return err
+	}
+	body, err := json.Marshal(api.DetectRequest{Shard: "smoke", Samples: samples})
+	if err != nil {
+		return err
+	}
+
+	detect := func() error {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, rtSrv.base+"/v1/detect", bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set(api.EvalScenarioHeader, "outage-line-"+strconv.Itoa(line))
+		req.Header.Set(api.EvalTruthHeader, strconv.Itoa(line))
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			return err
+		}
+		defer func() { _ = resp.Body.Close() }()
+		data, err := io.ReadAll(resp.Body)
+		if err != nil {
+			return err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("detect via router: HTTP %d: %s", resp.StatusCode, data)
+		}
+		var out api.DetectResponse
+		if err := json.Unmarshal(data, &out); err != nil {
+			return err
+		}
+		if err := httpserve.CompareReports(out.Reports, want); err != nil {
+			return fmt.Errorf("routed reports differ from the library answer: %w", err)
+		}
+		return nil
+	}
+
+	// Phase 1: both primaries serving. Then kill one mid-stream and keep
+	// going — every detect must still succeed (the router fails in-flight
+	// requests over to the surviving backend) and keep answering
+	// byte-identically.
+	for i := 0; i < 10; i++ {
+		if err := detect(); err != nil {
+			return fmt.Errorf("fleet detect %d: %w", i, err)
+		}
+	}
+	killed := make(chan error, 1)
+	go func() { killed <- primA.kill() }()
+	for i := 10; i < 30; i++ {
+		if err := detect(); err != nil {
+			return fmt.Errorf("detect %d after backend kill: %w", i, err)
+		}
+	}
+	if err := <-killed; err != nil {
+		return fmt.Errorf("killing backend: %w", err)
+	}
+
+	// The canary report: every pair must be byte-identical (same model on
+	// both arms) and the gates must pass.
+	var report api.CanaryReport
+	if err := getJSON(ctx, rtSrv.base+"/v1/canary/report", &report); err != nil {
+		return err
+	}
+	if report.Pairs == 0 {
+		return errors.New("canary report has no shadow pairs")
+	}
+	if report.Identical != report.Pairs || report.Mismatched != 0 {
+		return fmt.Errorf("shadow responses not byte-identical: %d/%d identical, %d mismatched",
+			report.Identical, report.Pairs, report.Mismatched)
+	}
+	if !report.Promotable {
+		return fmt.Errorf("canary report not promotable: %v", report.Reasons)
+	}
+
+	// Promotion: the surviving primary reloads onto the candidate by
+	// fingerprint, which exercises the registry's conditional pull — the
+	// artifact is already cached from boot, so the second fetch must be
+	// answered 304 Not Modified.
+	var promoted api.PromoteResponse
+	if err := postJSON(ctx, rtSrv.base+"/v1/canary/promote", api.PromoteRequest{}, &promoted); err != nil {
+		return err
+	}
+	reloaded := 0
+	for _, br := range promoted.Results {
+		if br.Backend == primB.srv.base && br.Error == "" {
+			for _, res := range br.Results {
+				if res.Model != fp {
+					return fmt.Errorf("promotion loaded model %s, want candidate %s", res.Model, fp)
+				}
+				reloaded++
+			}
+		}
+	}
+	if reloaded == 0 {
+		return errors.New("promotion reloaded no shard on the surviving backend")
+	}
+	if pulls, notMod := primB.reg.Stats(); notMod == 0 {
+		return fmt.Errorf("registry conditional pull not exercised: %d pulls, %d not-modified", pulls, notMod)
+	}
+	if err := detect(); err != nil {
+		return fmt.Errorf("detect after promotion: %w", err)
+	}
+	return nil
+}
+
+// smokeBackend is one in-process outaged: a service booted from the
+// registry by fingerprint behind a real HTTP listener.
+type smokeBackend struct {
+	svc *service.Service
+	reg *registry.Client
+	srv *smokeServer
+}
+
+func newSmokeBackend(ctx context.Context, regURL, fp string, opts pmuoutage.Options, logger *slog.Logger) (*smokeBackend, error) {
+	reg, err := registry.NewClient(regURL, nil)
+	if err != nil {
+		return nil, err
+	}
+	model, err := reg.Model(ctx, fp)
+	if err != nil {
+		return nil, err
+	}
+	svc, err := service.New(ctx, service.Config{
+		Shards: []service.ShardSpec{{Name: "smoke", Opts: opts, Model: model}},
+		Logger: logger,
+	})
+	if err != nil {
+		return nil, err
+	}
+	hs := httpserve.New(svc, 30*time.Second, logger)
+	hs.SetModelSource(reg)
+	srv, err := newSmokeServer(hs.Routes())
+	if err != nil {
+		svc.Close()
+		return nil, err
+	}
+	return &smokeBackend{svc: svc, reg: reg, srv: srv}, nil
+}
+
+// kill tears the backend down abruptly — in-flight proxied requests see
+// a transport error, which is exactly the fail-over case under test.
+func (b *smokeBackend) kill() error {
+	err := b.srv.httpSrv.Close()
+	b.svc.Close()
+	return err
+}
+
+func (b *smokeBackend) stop() {
+	b.srv.stop()
+	b.svc.Close()
+}
+
+// smokeServer serves a handler on an ephemeral localhost port.
+type smokeServer struct {
+	base    string
+	httpSrv *http.Server
+	done    chan error
+}
+
+func newSmokeServer(h http.Handler) (*smokeServer, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	s := &smokeServer{
+		base:    "http://" + ln.Addr().String(),
+		httpSrv: &http.Server{Handler: h},
+		done:    make(chan error, 1),
+	}
+	go func() { s.done <- s.httpSrv.Serve(ln) }()
+	return s, nil
+}
+
+func (s *smokeServer) stop() {
+	_ = s.httpSrv.Close()
+	<-s.done
+}
+
+func getJSON(ctx context.Context, url string, out any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return err
+	}
+	return doJSON(req, out)
+}
+
+func postJSON(ctx context.Context, url string, in, out any) error {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	return doJSON(req, out)
+}
+
+func doJSON(req *http.Request, out any) error {
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer func() { _ = resp.Body.Close() }()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s %s: HTTP %d: %s", req.Method, req.URL.Path, resp.StatusCode, data)
+	}
+	return json.Unmarshal(data, out)
+}

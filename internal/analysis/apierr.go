@@ -34,6 +34,9 @@ var apiErrPackages = map[string]bool{
 	"pmuoutage": true,
 	"service":   true,
 	"client":    true,
+	"api":       true,
+	"registry":  true,
+	"router":    true,
 }
 
 func runApiErr(pass *Pass) error {

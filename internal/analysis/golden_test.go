@@ -18,6 +18,7 @@ import (
 // its directives have real findings to match or miss.
 var goldenDirs = map[string]string{
 	"apierr":        "apierr",
+	"apierrfleet":   "apierr",
 	"ctxflow":       "ctxflow",
 	"floatcmp":      "floatcmp",
 	"framewire":     "framewire",
@@ -28,6 +29,7 @@ var goldenDirs = map[string]string{
 	"metricname":    "metricname",
 	"dimcheck":      "dimcheck",
 	"modelio":       "modelio",
+	"modeliowire":   "modelio",
 	"suppress":      "floatcmp",
 	"units":         "units",
 	"allocfree":     "allocfree",

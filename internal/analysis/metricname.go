@@ -28,11 +28,12 @@ var MetricName = &Analyzer{
 // GaugeFunc and AttachCounter carry an extra payload argument (the
 // callback / the counter) between help and the labels.
 var metricRegMethods = map[string]int{
-	"Counter":       2,
-	"Gauge":         2,
-	"Histogram":     2,
-	"GaugeFunc":     3,
-	"AttachCounter": 3,
+	"Counter":        2,
+	"Gauge":          2,
+	"Histogram":      2,
+	"ValueHistogram": 2,
+	"GaugeFunc":      3,
+	"AttachCounter":  3,
 }
 
 // snakeCaseRE is the shape every metric name and label key must have:

@@ -21,7 +21,19 @@ var ModelIO = &Analyzer{
 	Run:  runModelIO,
 }
 
+// wireTagPackages are packages whose entire exported struct surface is
+// wire format: every exported struct is an HTTP request/response body,
+// so every exported field must pin its wire name with a json tag — the
+// same rename-safety argument as the Model closure, applied to the
+// serving API instead of the artifact file.
+var wireTagPackages = map[string]bool{
+	"api": true,
+}
+
 func runModelIO(pass *Pass) error {
+	if wireTagPackages[pass.Pkg.Name()] {
+		runWireTags(pass)
+	}
 	tn, ok := pass.Pkg.Scope().Lookup("Model").(*types.TypeName)
 	if !ok || tn.IsAlias() {
 		return nil
@@ -36,6 +48,33 @@ func runModelIO(pass *Pass) error {
 	w := &modelWalker{pass: pass, root: tn, seen: map[*types.Named]bool{}}
 	w.visit(named)
 	return nil
+}
+
+// runWireTags checks every package-level exported struct of a wire-type
+// package: exported, non-embedded fields must carry a json tag.
+func runWireTags(pass *Pass) {
+	scope := pass.Pkg.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok || tn.IsAlias() || !tn.Exported() {
+			continue
+		}
+		st, ok := tn.Type().Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		for i := 0; i < st.NumFields(); i++ {
+			f := st.Field(i)
+			if !f.Exported() || f.Embedded() {
+				continue
+			}
+			if _, ok := reflect.StructTag(st.Tag(i)).Lookup("json"); ok {
+				continue
+			}
+			pass.Report(f.Pos(), "exported field %s.%s is a wire type of package %s but has no json tag; untagged fields pin the wire name to the Go identifier, so a rename silently breaks deployed clients",
+				name, f.Name(), pass.Pkg.Name())
+		}
+	}
 }
 
 // modelWalker traverses the type closure of one Model declaration.

@@ -1,0 +1,31 @@
+// Package router is golden-test input pinning that the apierr typed-
+// error contract extends to the fleet-serving packages (api, registry,
+// router key on their package names like the facade does).
+package router
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrNoBackends is a proper package-level sentinel: clean.
+var ErrNoBackends = errors.New("router: no backend available")
+
+// Forward wraps the sentinel: clean.
+func Forward() error {
+	return fmt.Errorf("%w: pool empty", ErrNoBackends)
+}
+
+// Promote builds an unmatchable error on the exported surface.
+func Promote() error {
+	return fmt.Errorf("promotion blocked") // want `exported function Promote returns fmt.Errorf without wrapping a sentinel`
+}
+
+// probe may build bare detail freely, but one-off dynamic errors are
+// still flagged anywhere.
+func probe() error {
+	if true {
+		return errors.New("probe failed") // want `errors.New inside function probe builds a one-off error`
+	}
+	return fmt.Errorf("probe detail %d", 1)
+}

@@ -1,0 +1,25 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+)
+
+// Figures is the figure registry shared by cmd/experiments and the
+// fleet-worker handler (internal/expserve): every runnable figure of
+// the paper's evaluation, by its table name.
+var Figures = map[string]func(context.Context, Config) ([]Row, error){
+	"fig4":     Fig4,
+	"fig5":     Fig5,
+	"fig7":     Fig7,
+	"fig8":     Fig8,
+	"fig9":     Fig9,
+	"fig10":    Fig10,
+	"ablation": Ablation,
+	"recovery": Recovery,
+	"multi":    MultiOutage,
+	"all":      All,
+}
+
+// ErrUnknownFigure reports a figure name outside the Figures registry.
+var ErrUnknownFigure = errors.New("experiments: unknown figure")

@@ -1,0 +1,99 @@
+// Package expserve is the experiments fleet worker: the HTTP surface
+// cmd/experiments exposes under -serve so a router can distribute
+// figure jobs across processes. It lives apart from
+// internal/experiments because the wire types (package api) depend on
+// the root pmuoutage package, whose own tests import the experiments
+// engine — the split keeps that edge acyclic.
+package expserve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"pmuoutage/api"
+	"pmuoutage/internal/experiments"
+)
+
+// FromRequest maps the wire request onto an experiments Config;
+// zero-valued fields keep the package defaults.
+func FromRequest(req api.ExperimentRequest) experiments.Config {
+	return experiments.Config{
+		Systems:    req.Systems,
+		TrainSteps: req.TrainSteps,
+		TestSteps:  req.TestSteps,
+		Seed:       req.Seed,
+		UseDC:      req.UseDC,
+		Clusters:   req.Clusters,
+		Workers:    req.Workers,
+	}
+}
+
+// Run executes one named figure over the request's scope and returns
+// its rows as wire rows, in the figure's deterministic order.
+func Run(ctx context.Context, req api.ExperimentRequest) ([]api.ExperimentRow, error) {
+	fn, ok := experiments.Figures[req.Figure]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", experiments.ErrUnknownFigure, req.Figure)
+	}
+	rows, err := fn(ctx, FromRequest(req))
+	if err != nil {
+		return nil, err
+	}
+	out := make([]api.ExperimentRow, len(rows))
+	for i, r := range rows {
+		out[i] = api.ExperimentRow{
+			Figure: r.Figure, System: r.System, Method: r.Method,
+			X: r.X, IA: r.IA, FA: r.FA, N: r.N,
+		}
+	}
+	return out, nil
+}
+
+// Handler is the worker HTTP surface: POST /v1/experiments runs one
+// figure synchronously and returns its rows; GET /healthz and GET
+// /v1/shards answer so the router's pool machinery can probe a worker
+// like any other backend (a worker has no shards).
+func Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	mux.HandleFunc("GET /v1/shards", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, []api.ShardStatus{})
+	})
+	mux.HandleFunc("POST /v1/experiments", func(w http.ResponseWriter, r *http.Request) {
+		var req api.ExperimentRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeError(w, api.CodeBadRequest, err)
+			return
+		}
+		rows, err := Run(r.Context(), req)
+		switch {
+		case errors.Is(err, experiments.ErrUnknownFigure):
+			writeError(w, api.CodeBadRequest, err)
+			return
+		case err != nil:
+			writeError(w, api.CodeInternal, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, api.ExperimentResponse{Rows: rows})
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code api.Code, err error) {
+	writeJSON(w, code.HTTPStatus(), api.ErrorEnvelope{
+		Code:      code,
+		Error:     err.Error(),
+		Retryable: code.Retryable(),
+	})
+}

@@ -27,7 +27,9 @@ import (
 	"time"
 
 	"pmuoutage"
+	"pmuoutage/api"
 	"pmuoutage/internal/obs"
+	"pmuoutage/internal/registry"
 	"pmuoutage/internal/service"
 	"pmuoutage/internal/wire"
 )
@@ -57,11 +59,21 @@ var routePaths = []string{
 	"/v1/shards", "/v1/stats", "/healthz", "/metrics",
 }
 
+// ModelFetcher resolves a model artifact by content fingerprint — the
+// seam the registry client plugs into so POST /v1/reload can name
+// artifacts by fingerprint instead of daemon-local file paths.
+// Implementations must verify the decoded model's fingerprint matches
+// the requested one.
+type ModelFetcher interface {
+	Model(ctx context.Context, fingerprint string) (*pmuoutage.Model, error)
+}
+
 // Server adapts the service layer to HTTP.
 type Server struct {
 	svc     *service.Service
 	timeout time.Duration // per-request deadline applied to detect/ingest
 	logger  *slog.Logger  // nil disables access logs
+	models  ModelFetcher  // nil: reload-by-fingerprint is rejected
 
 	httpReqs    map[string]*obs.Counter
 	httpErrs    map[string]*obs.Counter
@@ -165,54 +177,28 @@ func DebugMux() *http.ServeMux {
 	return mux
 }
 
-// DetectRequest is the body of POST /v1/detect.
-type DetectRequest struct {
-	Shard   string             `json:"shard"`
-	Samples []pmuoutage.Sample `json:"samples"`
-}
-
-// DetectResponse is its reply: one report per sample, in order.
-type DetectResponse struct {
-	Shard   string              `json:"shard"`
-	Reports []*pmuoutage.Report `json:"reports"`
-}
-
-// IngestRequest is the JSON body of POST /v1/ingest.
-type IngestRequest struct {
-	Shard  string           `json:"shard"`
-	Sample pmuoutage.Sample `json:"sample"`
-}
-
-// IngestResponse carries the confirmed event, if the sample triggered
-// one. Binary-mode ingest answers with the same shape.
-type IngestResponse struct {
-	Shard string           `json:"shard"`
-	Event *pmuoutage.Event `json:"event"`
-}
-
-// ReloadRequest is the body of POST /v1/reload: swap the named shard
-// onto the model artifact at Path (on the daemon's filesystem), or
-// retrain from the shard's options when Path is empty.
-type ReloadRequest struct {
-	Shard string `json:"shard"`
-	Path  string `json:"path,omitempty"`
-}
-
-// ReloadResponse reports the shard's new incarnation after the swap.
-type ReloadResponse struct {
-	Shard      string `json:"shard"`
-	Generation uint64 `json:"generation"`
-	Model      string `json:"model"`
-}
-
-// ErrorResponse is the uniform error body; Retryable mirrors the
-// Retry-After header so non-HTTP-savvy clients can branch on the JSON,
-// and TraceID names the failing request in the daemon's logs.
-type ErrorResponse struct {
-	Error     string `json:"error"`
-	Retryable bool   `json:"retryable"`
-	TraceID   string `json:"trace_id,omitempty"`
-}
+// The wire types are shared with every other transport participant
+// through the public api package — the aliases below keep this
+// package's identifiers working while guaranteeing there is exactly one
+// definition of each body.
+type (
+	// DetectRequest is the body of POST /v1/detect.
+	DetectRequest = api.DetectRequest
+	// DetectResponse is its reply: one report per sample, in order.
+	DetectResponse = api.DetectResponse
+	// IngestRequest is the JSON body of POST /v1/ingest.
+	IngestRequest = api.IngestRequest
+	// IngestResponse carries the confirmed event, if the sample
+	// triggered one. Binary-mode ingest answers with the same shape.
+	IngestResponse = api.IngestResponse
+	// ReloadRequest is the body of POST /v1/reload.
+	ReloadRequest = api.ReloadRequest
+	// ReloadResponse reports the shard's new incarnation after the swap.
+	ReloadResponse = api.ReloadResult
+	// ErrorResponse is the uniform error body, carrying the stable
+	// machine-readable code clients branch on.
+	ErrorResponse = api.ErrorEnvelope
+)
 
 func (s *Server) handleDetect(w http.ResponseWriter, r *http.Request) {
 	var req DetectRequest
@@ -300,22 +286,24 @@ func frameSample(f *wire.Frame) pmuoutage.Sample {
 	return s
 }
 
+// SetModelSource wires a registry-backed artifact resolver into the
+// reload path. Call before Routes; a nil fetcher (the default) makes
+// reload-by-fingerprint answer a config error.
+func (s *Server) SetModelSource(f ModelFetcher) { s.models = f }
+
 func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 	var req ReloadRequest
 	if err := decodeJSON(r.Body, &req); err != nil {
 		s.writeError(w, r, err)
 		return
 	}
-	var m *pmuoutage.Model
-	if req.Path != "" {
-		var err error
-		if m, err = LoadModel(req.Path); err != nil {
-			s.writeError(w, r, err)
-			return
-		}
-	}
 	ctx, cancel := s.requestCtx(r)
 	defer cancel()
+	m, err := s.resolveModel(ctx, req)
+	if err != nil {
+		s.writeError(w, r, err)
+		return
+	}
 	if err := s.svc.Reload(ctx, req.Shard, m); err != nil {
 		s.writeError(w, r, err)
 		return
@@ -327,6 +315,25 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	s.writeError(w, r, fmt.Errorf("%w: %q vanished after reload", service.ErrUnknownShard, req.Shard))
+}
+
+// resolveModel turns a reload request into the model to swap in: nil
+// (retrain from the shard's options), a file artifact, or a registry
+// artifact pulled by fingerprint.
+func (s *Server) resolveModel(ctx context.Context, req ReloadRequest) (*pmuoutage.Model, error) {
+	switch {
+	case req.Path != "" && req.Fingerprint != "":
+		return nil, fmt.Errorf("%w: reload names both path and fingerprint; pick one", ErrBadRequest)
+	case req.Path != "":
+		return LoadModel(req.Path)
+	case req.Fingerprint != "":
+		if s.models == nil {
+			return nil, fmt.Errorf("%w: reload by fingerprint needs a registry (-registry)", service.ErrConfig)
+		}
+		return s.models.Model(ctx, req.Fingerprint)
+	default:
+		return nil, nil
+	}
 }
 
 // LoadModel reads one model artifact from disk.
@@ -378,28 +385,50 @@ func decodeJSON(body io.Reader, v any) error {
 	return nil
 }
 
-// statusOf maps the typed error taxonomy onto HTTP statuses.
-func statusOf(err error) int {
+// CodeOf maps the typed error taxonomy onto the stable wire codes the
+// error envelope carries — the single classification both the HTTP
+// status (via Code.HTTPStatus) and the clients' branch decisions derive
+// from.
+func CodeOf(err error) api.Code {
 	switch {
 	case errors.Is(err, service.ErrUnknownShard):
-		return http.StatusNotFound
-	case errors.Is(err, pmuoutage.ErrBadSample),
-		errors.Is(err, pmuoutage.ErrBadLine),
-		errors.Is(err, pmuoutage.ErrUnknownCase),
-		errors.Is(err, pmuoutage.ErrBadModel),
-		errors.Is(err, pmuoutage.ErrModelVersion),
-		errors.Is(err, service.ErrConfig),
-		errors.Is(err, ErrBadRequest):
-		return http.StatusBadRequest
+		return api.CodeUnknownShard
+	case errors.Is(err, pmuoutage.ErrBadSample):
+		return api.CodeBadSample
+	case errors.Is(err, pmuoutage.ErrBadLine):
+		return api.CodeBadLine
+	case errors.Is(err, pmuoutage.ErrUnknownCase):
+		return api.CodeUnknownCase
+	case errors.Is(err, pmuoutage.ErrModelVersion):
+		return api.CodeModelVersion
+	case errors.Is(err, pmuoutage.ErrBadModel):
+		return api.CodeBadModel
+	case errors.Is(err, registry.ErrUnknownModel):
+		return api.CodeUnknownModel
+	case errors.Is(err, registry.ErrBadArtifact), errors.Is(err, registry.ErrMismatch):
+		return api.CodeBadModel
+	case errors.Is(err, registry.ErrFetch):
+		return api.CodeUnavailable
+	case errors.Is(err, service.ErrConfig):
+		return api.CodeConfig
+	case errors.Is(err, ErrBadRequest):
+		return api.CodeBadRequest
 	case errors.Is(err, service.ErrOverloaded):
-		return http.StatusTooManyRequests
-	case errors.Is(err, service.ErrUnavailable), errors.Is(err, service.ErrClosed):
-		return http.StatusServiceUnavailable
+		return api.CodeOverloaded
+	case errors.Is(err, service.ErrUnavailable):
+		return api.CodeUnavailable
+	case errors.Is(err, service.ErrClosed):
+		return api.CodeClosed
 	case errors.Is(err, context.DeadlineExceeded):
-		return http.StatusGatewayTimeout
+		return api.CodeDeadline
 	default:
-		return http.StatusInternalServerError
+		return api.CodeInternal
 	}
+}
+
+// statusOf maps the typed error taxonomy onto HTTP statuses.
+func statusOf(err error) int {
+	return CodeOf(err).HTTPStatus()
 }
 
 func (s *Server) writeError(w http.ResponseWriter, r *http.Request, err error) {
@@ -414,7 +443,8 @@ func (s *Server) writeError(w http.ResponseWriter, r *http.Request, err error) {
 			slog.Bool("retryable", retry),
 			slog.String("cause", err.Error()))
 	}
-	writeJSON(w, statusOf(err), ErrorResponse{Error: err.Error(), Retryable: retry, TraceID: obs.TraceID(r.Context())})
+	code := CodeOf(err)
+	writeJSON(w, code.HTTPStatus(), ErrorResponse{Code: code, Error: err.Error(), Retryable: retry, TraceID: obs.TraceID(r.Context())})
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

@@ -37,6 +37,8 @@ func TestHotPathAllocations(t *testing.T) {
 		{"gauge add disabled", 0, func() { nilG.Add(-1) }},
 		{"histogram observe enabled", 0, func() { h.Observe(123 * time.Microsecond) }},
 		{"histogram observe disabled", 0, func() { nilH.Observe(123 * time.Microsecond) }},
+		{"histogram observe value enabled", 0, func() { h.ObserveValue(0.5) }},
+		{"histogram observe value disabled", 0, func() { nilH.ObserveValue(0.5) }},
 		{"trace id read", 0, func() { _ = TraceID(ctx) }},
 		{"trace id mint", 1, func() { _ = NewTraceID() }},
 	}

@@ -103,6 +103,14 @@ var LatencyBuckets = []float64{
 	0.1, 0.25, 0.5, 1, 2.5, 5, 10,
 }
 
+// ValueBuckets are the fixed upper bounds for dimensionless value
+// histograms (ValueHistogram): 1e-12 — numerical noise between
+// byte-identical detectors — up to 100, so genuine model divergence
+// lands in resolvable buckets.
+var ValueBuckets = []float64{
+	1e-12, 1e-9, 1e-6, 1e-4, 1e-3, 1e-2, 0.1, 1, 10, 100,
+}
+
 // Histogram is a fixed-bucket latency histogram. Observe is a bucket
 // scan plus three atomic adds — no allocation, no lock. Methods on a nil
 // *Histogram are no-ops.
@@ -137,6 +145,27 @@ func (h *Histogram) Observe(d time.Duration) {
 	h.buckets[i].Add(1)
 	h.count.Add(1)
 	h.sumNS.Add(d.Nanoseconds())
+}
+
+// ObserveValue records one dimensionless value (e.g. a score
+// divergence) into the histogram, bucketed by magnitude. Negative
+// values record their absolute value — callers measure distances.
+//
+//gridlint:zeroalloc
+func (h *Histogram) ObserveValue(v float64) {
+	if h == nil {
+		return
+	}
+	if v < 0 {
+		v = -v
+	}
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	h.sumNS.Add(int64(v * 1e9))
 }
 
 // Count returns the number of observations.
@@ -304,6 +333,19 @@ func (r *Registry) Histogram(name, help string, labels ...string) *Histogram {
 		return nil
 	}
 	h := newHistogram(LatencyBuckets)
+	r.register(name, help, KindHistogram, &series{labels: labels, hist: h})
+	return h
+}
+
+// ValueHistogram registers a dimensionless value histogram series
+// (ValueBuckets bounds — decade-ish spacing from 1e-12 to 100, sized
+// for score divergences) and returns its cell. Record through
+// Histogram.ObserveValue.
+func (r *Registry) ValueHistogram(name, help string, labels ...string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	h := newHistogram(ValueBuckets)
 	r.register(name, help, KindHistogram, &series{labels: labels, hist: h})
 	return h
 }

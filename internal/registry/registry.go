@@ -1,0 +1,189 @@
+// Package registry is the content-addressed model-artifact registry:
+// a store keyed by the artifact's hex SHA-256 fingerprint, an HTTP
+// server exposing it with ETag/If-None-Match conditional pulls, and a
+// fetch client that caches by fingerprint and verifies every artifact
+// on receipt.
+//
+// The fingerprint IS the address: an artifact under a given key can
+// never change, so a client that holds a fingerprint's bytes never
+// needs to transfer them again — a conditional GET answers 304 Not
+// Modified from the ETag alone. outaged hot-reloads shards from a
+// registry URL through this package (httpserve.ModelFetcher), and the
+// router's canary promotion rides the same pull path.
+package registry
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"pmuoutage"
+	"pmuoutage/api"
+)
+
+// Typed errors of the registry. Everything the package returns wraps
+// one of these.
+var (
+	// ErrConfig reports an invalid store directory or client base URL.
+	ErrConfig = errors.New("registry: invalid config")
+	// ErrUnknownModel reports a fingerprint the store has no artifact for.
+	ErrUnknownModel = errors.New("registry: unknown model")
+	// ErrBadArtifact reports bytes that do not decode as a valid,
+	// self-consistent model artifact.
+	ErrBadArtifact = errors.New("registry: bad artifact")
+	// ErrMismatch reports an artifact whose content fingerprint differs
+	// from the address it was fetched under — a corrupt or lying server.
+	ErrMismatch = errors.New("registry: fingerprint mismatch")
+	// ErrFetch reports a failed pull: transport error or a non-OK
+	// registry response.
+	ErrFetch = errors.New("registry: fetch failed")
+)
+
+// artifactSuffix names persisted artifacts: <fingerprint>.model.json.
+const artifactSuffix = ".model.json"
+
+// entry is one stored artifact: its exact encoded bytes and metadata.
+type entry struct {
+	data []byte
+	info api.ModelInfo
+}
+
+// Store is the content-addressed artifact store. In-memory always;
+// with a directory configured, every published artifact is also
+// persisted (atomically, via rename) and reloaded on restart. Safe for
+// concurrent use.
+type Store struct {
+	dir string
+
+	mu        sync.RWMutex
+	artifacts map[string]entry
+	order     []string // publish order, oldest first
+}
+
+// NewStore opens a store. dir == "" keeps artifacts in memory only;
+// otherwise the directory is created if needed and every existing
+// *.model.json artifact in it is loaded and verified.
+func NewStore(dir string) (*Store, error) {
+	s := &Store{dir: dir, artifacts: map[string]entry{}}
+	if dir == "" {
+		return s, nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrConfig, err)
+	}
+	paths, err := filepath.Glob(filepath.Join(dir, "*"+artifactSuffix))
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrConfig, err)
+	}
+	sort.Strings(paths)
+	for _, p := range paths {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			return nil, fmt.Errorf("%w: reading %s: %v", ErrConfig, p, err)
+		}
+		info, err := s.add(data, false)
+		if err != nil {
+			return nil, fmt.Errorf("%w (from %s)", err, p)
+		}
+		if want := strings.TrimSuffix(filepath.Base(p), artifactSuffix); want != info.Fingerprint {
+			return nil, fmt.Errorf("%w: %s holds artifact %s", ErrMismatch, p, info.Fingerprint)
+		}
+	}
+	return s, nil
+}
+
+// Publish encodes the model and stores it under its content
+// fingerprint. Publishing the same content twice is a no-op.
+func (s *Store) Publish(m *pmuoutage.Model) (api.ModelInfo, error) {
+	var buf bytes.Buffer
+	if err := m.Encode(&buf); err != nil {
+		return api.ModelInfo{}, fmt.Errorf("%w: %v", ErrBadArtifact, err)
+	}
+	return s.PublishBytes(buf.Bytes())
+}
+
+// PublishBytes stores one encoded artifact after full verification
+// (decode, format version, embedded fingerprint, structural checks).
+func (s *Store) PublishBytes(data []byte) (api.ModelInfo, error) {
+	return s.add(data, true)
+}
+
+// add verifies and stores the artifact; persist also writes it to the
+// store directory (used for live publishes, skipped on reload).
+func (s *Store) add(data []byte, persist bool) (api.ModelInfo, error) {
+	m, err := pmuoutage.DecodeModel(bytes.NewReader(data))
+	if err != nil {
+		return api.ModelInfo{}, fmt.Errorf("%w: %v", ErrBadArtifact, err)
+	}
+	info := api.ModelInfo{
+		Fingerprint:   m.Fingerprint(),
+		Case:          m.Case(),
+		FormatVersion: m.FormatVersion(),
+		Bytes:         int64(len(data)),
+	}
+	dup := s.insert(data, info)
+	if dup || !persist || s.dir == "" {
+		return info, nil
+	}
+	path := filepath.Join(s.dir, info.Fingerprint+artifactSuffix)
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return info, fmt.Errorf("%w: persisting artifact: %v", ErrConfig, err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return info, fmt.Errorf("%w: persisting artifact: %v", ErrConfig, err)
+	}
+	return info, nil
+}
+
+// insert books the artifact into memory, reporting whether it was
+// already present.
+func (s *Store) insert(data []byte, info api.ModelInfo) (dup bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup = s.artifacts[info.Fingerprint]; !dup {
+		s.artifacts[info.Fingerprint] = entry{data: append([]byte(nil), data...), info: info}
+		s.order = append(s.order, info.Fingerprint)
+	}
+	return dup
+}
+
+// Get returns the exact bytes and metadata of one artifact.
+func (s *Store) Get(fingerprint string) ([]byte, api.ModelInfo, error) {
+	e, ok := s.lookup(fingerprint)
+	if !ok {
+		return nil, api.ModelInfo{}, fmt.Errorf("%w: %q", ErrUnknownModel, fingerprint)
+	}
+	return e.data, e.info, nil
+}
+
+func (s *Store) lookup(fingerprint string) (entry, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	e, ok := s.artifacts[fingerprint]
+	return e, ok
+}
+
+// List returns every artifact's metadata in publish order, oldest
+// first — the last entry is the newest model.
+func (s *Store) List() api.ModelList {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := api.ModelList{Models: make([]api.ModelInfo, 0, len(s.order))}
+	for _, fp := range s.order {
+		out.Models = append(out.Models, s.artifacts[fp].info)
+	}
+	return out
+}
+
+// Len reports how many distinct artifacts the store holds.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.artifacts)
+}

@@ -1,0 +1,231 @@
+package registry
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"pmuoutage"
+)
+
+// testModel trains one small model per process and shares it — training
+// dominates test time and the artifact is immutable.
+var (
+	modelOnce sync.Once
+	model     *pmuoutage.Model
+	modelErr  error
+)
+
+func testModel(t *testing.T) *pmuoutage.Model {
+	t.Helper()
+	modelOnce.Do(func() {
+		model, modelErr = pmuoutage.TrainModel(pmuoutage.Options{
+			Case: "ieee14", TrainSteps: 12, Seed: 3, UseDC: true, Workers: 4,
+		})
+	})
+	if modelErr != nil {
+		t.Fatal(modelErr)
+	}
+	return model
+}
+
+func testServer(t *testing.T, dir string) (*Store, *httptest.Server) {
+	t.Helper()
+	store, err := NewStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(NewServer(store, nil).Routes())
+	t.Cleanup(ts.Close)
+	return store, ts
+}
+
+// TestPublishGetRoundTrip: a published artifact comes back byte-exact
+// under its fingerprint, and the list reports it.
+func TestPublishGetRoundTrip(t *testing.T) {
+	m := testModel(t)
+	store, ts := testServer(t, "")
+	c, err := NewClient(ts.URL, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := c.Publish(context.Background(), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Fingerprint != m.Fingerprint() || info.Case != "ieee14" || info.Bytes <= 0 {
+		t.Fatalf("publish info = %+v", info)
+	}
+	var want bytes.Buffer
+	if err := m.Encode(&want); err != nil {
+		t.Fatal(err)
+	}
+	data, _, err := store.Get(m.Fingerprint())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, want.Bytes()) {
+		t.Fatal("stored bytes differ from the encoded artifact")
+	}
+	list, err := c.List(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(list.Models) != 1 || list.Models[0].Fingerprint != m.Fingerprint() {
+		t.Fatalf("list = %+v", list)
+	}
+	// Publishing the same content again is a no-op, not a duplicate.
+	if _, err := c.Publish(context.Background(), m); err != nil {
+		t.Fatal(err)
+	}
+	if store.Len() != 1 {
+		t.Fatalf("store holds %d artifacts after duplicate publish, want 1", store.Len())
+	}
+}
+
+// TestConditionalPull304: the first pull transfers the artifact; the
+// repeat pull revalidates with If-None-Match and the server answers 304
+// with no body.
+func TestConditionalPull304(t *testing.T) {
+	m := testModel(t)
+	store, ts := testServer(t, "")
+	if _, err := store.Publish(m); err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewClient(ts.URL, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Model(context.Background(), m.Fingerprint())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Fingerprint() != m.Fingerprint() {
+		t.Fatalf("fetched fingerprint %s, want %s", got.Fingerprint(), m.Fingerprint())
+	}
+	again, err := c.Model(context.Background(), m.Fingerprint())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != got {
+		t.Fatal("repeat pull did not return the cached model")
+	}
+	pulls, notModified := c.Stats()
+	if pulls != 1 || notModified != 1 {
+		t.Fatalf("pulls=%d notModified=%d, want 1 and 1", pulls, notModified)
+	}
+
+	// The raw HTTP exchange: If-None-Match with the ETag → 304, empty body.
+	req, _ := http.NewRequest(http.MethodGet, ts.URL+"/v1/models/"+m.Fingerprint(), nil)
+	req.Header.Set("If-None-Match", `"`+m.Fingerprint()+`"`)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusNotModified {
+		t.Fatalf("status = %d, want 304", resp.StatusCode)
+	}
+	if resp.Header.Get("ETag") != `"`+m.Fingerprint()+`"` {
+		t.Fatalf("ETag = %q", resp.Header.Get("ETag"))
+	}
+}
+
+// TestFingerprintVerifiedOnReceipt: a registry that serves different
+// content under a fingerprint is caught by the client.
+func TestFingerprintVerifiedOnReceipt(t *testing.T) {
+	m := testModel(t)
+	var good bytes.Buffer
+	if err := m.Encode(&good); err != nil {
+		t.Fatal(err)
+	}
+	// A lying server: valid artifact bytes, but served under a wrong key.
+	wrongKey := "0000000000000000000000000000000000000000000000000000000000000000"
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write(good.Bytes())
+	}))
+	defer ts.Close()
+	c, err := NewClient(ts.URL, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Model(context.Background(), wrongKey); !errors.Is(err, ErrMismatch) {
+		t.Fatalf("got %v, want ErrMismatch", err)
+	}
+}
+
+// TestUnknownModel404: fetching a missing fingerprint maps to
+// ErrUnknownModel via the server's 404.
+func TestUnknownModel404(t *testing.T) {
+	_, ts := testServer(t, "")
+	c, err := NewClient(ts.URL, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp := "ffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffff"
+	if _, err := c.Model(context.Background(), fp); !errors.Is(err, ErrUnknownModel) {
+		t.Fatalf("got %v, want ErrUnknownModel", err)
+	}
+}
+
+// TestPublishRejectsGarbage: non-artifact bytes answer 400 with the
+// bad_model code and do not enter the store.
+func TestPublishRejectsGarbage(t *testing.T) {
+	store, ts := testServer(t, "")
+	resp, err := http.Post(ts.URL+"/v1/models", "application/json", bytes.NewReader([]byte(`{"not":"a model"}`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status = %d, want 400", resp.StatusCode)
+	}
+	if store.Len() != 0 {
+		t.Fatal("garbage entered the store")
+	}
+}
+
+// TestDirPersistence: artifacts published into a directory-backed store
+// survive a restart, loaded and re-verified from disk.
+func TestDirPersistence(t *testing.T) {
+	m := testModel(t)
+	dir := t.TempDir()
+	store, err := NewStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := store.Publish(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, info.Fingerprint+artifactSuffix)
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("artifact not persisted: %v", err)
+	}
+
+	reopened, err := NewStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reopened.Len() != 1 {
+		t.Fatalf("reopened store holds %d artifacts, want 1", reopened.Len())
+	}
+	if _, _, err := reopened.Get(info.Fingerprint); err != nil {
+		t.Fatal(err)
+	}
+
+	// A tampered file fails the reload verification loudly.
+	if err := os.WriteFile(path, []byte(`{"broken":true}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewStore(dir); !errors.Is(err, ErrBadArtifact) {
+		t.Fatalf("tampered artifact: got %v, want ErrBadArtifact", err)
+	}
+}

@@ -1,0 +1,369 @@
+package router
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"pmuoutage"
+	"pmuoutage/api"
+	"pmuoutage/client"
+	"pmuoutage/internal/grid"
+	"pmuoutage/internal/metrics"
+	"pmuoutage/internal/obs"
+)
+
+// Differ runs the canary evaluation: a deterministic fraction of
+// detect traffic is mirrored to the canary pool (the primary always
+// answers the caller), and each pair of responses is compared — bytes,
+// detection quality per labelled scenario (IA/FA per the paper's
+// Eq. 12), and numeric score divergence. The accumulated evidence
+// becomes the CanaryReport that gates promotion.
+type Differ struct {
+	candidate string
+	percent   int // 0..100: fraction of detect requests mirrored
+	minPairs  uint64
+	tolerance float64
+
+	counter      atomic.Uint64 // deterministic selection, no randomness
+	requests     atomic.Uint64
+	canaryServed atomic.Uint64
+	pairs        atomic.Uint64
+	identical    atomic.Uint64
+	mismatched   atomic.Uint64
+	primaryErrs  atomic.Uint64
+	canaryErrs   atomic.Uint64
+
+	divergence *obs.Histogram // |Δ deviation energy| per report pair
+	divMax     atomicFloatMax
+
+	mu        sync.Mutex
+	scenarios map[string]*scenarioAcc
+
+	wg sync.WaitGroup
+}
+
+// scenarioAcc accumulates both arms of one labelled scenario.
+type scenarioAcc struct {
+	truth   []int
+	primary metrics.Accumulator
+	canary  metrics.Accumulator
+	pErrs   uint64
+	cErrs   uint64
+}
+
+// atomicFloatMax is a lock-free running maximum over float64 bits.
+type atomicFloatMax struct{ bits atomic.Uint64 }
+
+func (m *atomicFloatMax) observe(v float64) {
+	for {
+		cur := m.bits.Load()
+		if v <= math.Float64frombits(cur) {
+			return
+		}
+		if m.bits.CompareAndSwap(cur, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
+func (m *atomicFloatMax) load() float64 { return math.Float64frombits(m.bits.Load()) }
+
+// newDiffer wires the differ onto the router's registry. percent is
+// clamped to [0,100]; minPairs ≤ 0 defaults to 1.
+func newDiffer(candidate string, percent int, minPairs int, tolerance float64, reg *obs.Registry) *Differ {
+	if percent < 0 {
+		percent = 0
+	}
+	if percent > 100 {
+		percent = 100
+	}
+	if minPairs <= 0 {
+		minPairs = 1
+	}
+	if tolerance < 0 {
+		tolerance = 0
+	}
+	d := &Differ{
+		candidate: candidate,
+		percent:   percent,
+		minPairs:  uint64(minPairs),
+		tolerance: tolerance,
+		scenarios: map[string]*scenarioAcc{},
+	}
+	if reg != nil {
+		d.divergence = reg.ValueHistogram(metricDivergence, "absolute deviation-energy divergence between primary and canary reports")
+	}
+	return d
+}
+
+// selects reports whether this request is mirrored to the canary:
+// requests are numbered and the first percent of every hundred are
+// selected, so the split is deterministic and exact over any window of
+// 100 requests.
+func (d *Differ) selects() bool {
+	if d == nil || d.percent == 0 {
+		return false
+	}
+	n := d.counter.Add(1) - 1
+	return int(n%100) < d.percent
+}
+
+// noteRequest counts one routed detect request.
+func (d *Differ) noteRequest() {
+	if d != nil {
+		d.requests.Add(1)
+	}
+}
+
+// shadow mirrors one detect request to the canary pool in the
+// background and diffs the pair when the copy completes. primary is
+// the response the caller was served. The goroutine detaches from the
+// request's cancellation (the caller is already answered) but keeps
+// its values (trace ID).
+func (d *Differ) shadow(ctx context.Context, r *Router, pathAndQuery, contentType string, body []byte, scenario, truth string, primary *client.RawResponse) {
+	if d == nil || r.canary == nil {
+		return
+	}
+	d.canaryServed.Add(1)
+	bodyCopy := append([]byte(nil), body...)
+	bg := context.WithoutCancel(ctx)
+	d.wg.Add(1)
+	go func() {
+		defer d.wg.Done()
+		canary, _, err := r.forward(bg, r.canary, pathAndQuery, contentType, bodyCopy)
+		if err != nil {
+			d.pairs.Add(1)
+			d.canaryErrs.Add(1)
+			d.scoreErr(scenario, truth, false)
+			return
+		}
+		d.compare(scenario, truth, primary, canary)
+	}()
+}
+
+// DrainShadow blocks until every outstanding shadow copy has been
+// diffed — tests and the promotion path call this so the report is
+// complete before it is read.
+func (d *Differ) DrainShadow() {
+	if d != nil {
+		d.wg.Wait()
+	}
+}
+
+// compare diffs one primary/canary response pair.
+func (d *Differ) compare(scenario, truth string, primary, canary *client.RawResponse) {
+	d.pairs.Add(1)
+	pOK, cOK := primary.Status == 200, canary.Status == 200
+	if !pOK {
+		d.primaryErrs.Add(1)
+		d.scoreErr(scenario, truth, true)
+	}
+	if !cOK {
+		d.canaryErrs.Add(1)
+		d.scoreErr(scenario, truth, false)
+	}
+	if !pOK || !cOK {
+		return
+	}
+	if bytes.Equal(primary.Body, canary.Body) {
+		d.identical.Add(1)
+	} else {
+		d.mismatched.Add(1)
+	}
+
+	var pResp, cResp api.DetectResponse
+	if json.Unmarshal(primary.Body, &pResp) != nil || json.Unmarshal(canary.Body, &cResp) != nil {
+		return
+	}
+	for i := range pResp.Reports {
+		if i >= len(cResp.Reports) {
+			break
+		}
+		p, c := pResp.Reports[i], cResp.Reports[i]
+		if p == nil || c == nil {
+			continue
+		}
+		div := math.Abs(p.DeviationEnergy - c.DeviationEnergy)
+		d.divergence.ObserveValue(div)
+		d.divMax.observe(div)
+	}
+
+	truthLines, labelled := parseTruth(truth)
+	if scenario == "" || !labelled {
+		return
+	}
+	d.scoreBatch(scenario, truthLines, pResp, cResp)
+}
+
+// scoreBatch books both arms' reports against the scenario's
+// accumulators.
+func (d *Differ) scoreBatch(scenario string, truthLines []int, pResp, cResp api.DetectResponse) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	acc := d.scenario(scenario, truthLines)
+	for i := range pResp.Reports {
+		if i >= len(cResp.Reports) || pResp.Reports[i] == nil || cResp.Reports[i] == nil {
+			continue
+		}
+		acc.primary.Add(truthGrid(truthLines), reportLines(pResp.Reports[i].Lines))
+		acc.canary.Add(truthGrid(truthLines), reportLines(cResp.Reports[i].Lines))
+	}
+}
+
+// scoreErr books an arm error against the scenario (primary arm when
+// primaryArm, else canary).
+func (d *Differ) scoreErr(scenario, truth string, primaryArm bool) {
+	if scenario == "" {
+		return
+	}
+	truthLines, labelled := parseTruth(truth)
+	if !labelled {
+		truthLines = nil
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	acc := d.scenario(scenario, truthLines)
+	if primaryArm {
+		acc.pErrs++
+	} else {
+		acc.cErrs++
+	}
+}
+
+// scenario returns (creating on first use) one scenario's accumulator.
+// Callers hold d.mu.
+func (d *Differ) scenario(name string, truth []int) *scenarioAcc {
+	acc := d.scenarios[name]
+	if acc == nil {
+		acc = &scenarioAcc{truth: truth}
+		d.scenarios[name] = acc
+	}
+	return acc
+}
+
+// parseTruth decodes the X-Eval-Truth header: comma-separated line
+// indices; an empty list ("none"/"" with the header present) means the
+// scenario is normal operation. ok is false when the header is absent.
+func parseTruth(h string) (lines []int, ok bool) {
+	if h == "" {
+		return nil, false
+	}
+	if h == "none" {
+		return nil, true
+	}
+	for _, part := range strings.Split(h, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		n, err := strconv.Atoi(part)
+		if err != nil {
+			return nil, false
+		}
+		lines = append(lines, n)
+	}
+	return lines, true
+}
+
+func truthGrid(idx []int) []grid.Line {
+	out := make([]grid.Line, len(idx))
+	for i, n := range idx {
+		out[i] = grid.Line(n)
+	}
+	return out
+}
+
+func reportLines(ls []pmuoutage.Line) []grid.Line {
+	out := make([]grid.Line, len(ls))
+	for i, l := range ls {
+		out[i] = grid.Line(l.Index)
+	}
+	return out
+}
+
+// scenarioDiffs snapshots every labelled scenario's per-arm quality,
+// sorted by name for a stable report.
+func (d *Differ) scenarioDiffs() []api.ScenarioDiff {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	names := make([]string, 0, len(d.scenarios))
+	for name := range d.scenarios {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var out []api.ScenarioDiff
+	for _, name := range names {
+		acc := d.scenarios[name]
+		sd := api.ScenarioDiff{
+			Scenario: name,
+			Truth:    acc.truth,
+			Primary:  api.ArmStats{Detections: acc.primary.N(), Errors: acc.pErrs, IA: acc.primary.IA(), FA: acc.primary.FA()},
+			Canary:   api.ArmStats{Detections: acc.canary.N(), Errors: acc.cErrs, IA: acc.canary.IA(), FA: acc.canary.FA()},
+		}
+		sd.DeltaIA = sd.Canary.IA - sd.Primary.IA
+		sd.DeltaFA = sd.Canary.FA - sd.Primary.FA
+		out = append(out, sd)
+	}
+	return out
+}
+
+// Report assembles the structured canary evaluation and runs the
+// promotion gates: enough pairs, a clean canary arm, and per-scenario
+// quality deltas within tolerance (ΔIA ≥ −tol, ΔFA ≤ tol). A byte
+// mismatch alone does NOT block promotion — two correct models may
+// disagree in low-order bits; the quality gates decide.
+func (d *Differ) Report() api.CanaryReport {
+	rep := api.CanaryReport{
+		Candidate:     d.candidate,
+		Requests:      d.requests.Load(),
+		CanaryServed:  d.canaryServed.Load(),
+		Pairs:         d.pairs.Load(),
+		Identical:     d.identical.Load(),
+		Mismatched:    d.mismatched.Load(),
+		PrimaryErrors: d.primaryErrs.Load(),
+		CanaryErrors:  d.canaryErrs.Load(),
+	}
+	if h := d.divergence; h != nil {
+		rep.Divergence = api.DivergenceSummary{
+			Count: h.Count(),
+			Max:   d.divMax.load(),
+			P50:   h.Quantile(0.50),
+			P95:   h.Quantile(0.95),
+			P99:   h.Quantile(0.99),
+		}
+		if n := h.Count(); n > 0 {
+			rep.Divergence.Mean = h.SumSeconds() / float64(n)
+		}
+	}
+
+	rep.Scenarios = d.scenarioDiffs()
+
+	rep.Promotable = true
+	fail := func(format string, args ...any) {
+		rep.Promotable = false
+		rep.Reasons = append(rep.Reasons, fmt.Sprintf(format, args...))
+	}
+	if rep.Pairs < d.minPairs {
+		fail("only %d shadow pairs evaluated, need %d", rep.Pairs, d.minPairs)
+	}
+	if rep.CanaryErrors > 0 {
+		fail("canary arm returned %d errors", rep.CanaryErrors)
+	}
+	for _, sd := range rep.Scenarios {
+		if sd.DeltaIA < -d.tolerance {
+			fail("scenario %s: IA regressed by %.6f (tolerance %.6f)", sd.Scenario, -sd.DeltaIA, d.tolerance)
+		}
+		if sd.DeltaFA > d.tolerance {
+			fail("scenario %s: FA regressed by %.6f (tolerance %.6f)", sd.Scenario, sd.DeltaFA, d.tolerance)
+		}
+	}
+	return rep
+}

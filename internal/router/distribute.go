@@ -1,0 +1,75 @@
+package router
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+
+	"pmuoutage/api"
+	"pmuoutage/internal/cases"
+	"pmuoutage/internal/par"
+)
+
+// fleetFigures is the deterministic expansion order of "all" when a
+// run is distributed: the same figures cmd/experiments runs locally, in
+// the paper's presentation order.
+var fleetFigures = []string{"fig4", "fig5", "fig7", "fig8", "fig9", "fig10", "ablation", "recovery", "multi"}
+
+// Experiments distributes one figure request across the primary pool's
+// workers: the run is split into (figure, system) jobs, each job is
+// forwarded to the least-loaded worker with the same failover loop the
+// data plane uses, and the rows come back concatenated in job order —
+// byte-identical to a local run, because every row derives its own
+// seeds from (figure, system, seed) and job order is fixed.
+func (r *Router) Experiments(ctx context.Context, req api.ExperimentRequest) ([]api.ExperimentRow, error) {
+	figures := []string{req.Figure}
+	if req.Figure == "all" {
+		figures = fleetFigures
+	}
+	systems := req.Systems
+	if len(systems) == 0 {
+		systems = cases.Names()
+	}
+	type job struct {
+		figure, system string
+	}
+	var jobs []job
+	for _, f := range figures {
+		for _, s := range systems {
+			jobs = append(jobs, job{figure: f, system: s})
+		}
+	}
+
+	workers := len(r.primary.backends) * 2
+	results, err := par.Map(ctx, workers, len(jobs), func(ctx context.Context, i int) ([]api.ExperimentRow, error) {
+		jreq := req
+		jreq.Figure = jobs[i].figure
+		jreq.Systems = []string{jobs[i].system}
+		body, err := json.Marshal(jreq)
+		if err != nil {
+			return nil, err
+		}
+		raw, _, err := r.forward(ctx, r.primary, "/v1/experiments", "application/json", body)
+		if err != nil {
+			return nil, fmt.Errorf("job %s/%s: %w", jobs[i].figure, jobs[i].system, err)
+		}
+		if raw.Status != 200 {
+			env, _ := api.DecodeError(raw.Body)
+			return nil, fmt.Errorf("%w: job %s/%s: status %d code %s: %s",
+				ErrWorker, jobs[i].figure, jobs[i].system, raw.Status, env.Code, env.Error)
+		}
+		var resp api.ExperimentResponse
+		if err := json.Unmarshal(raw.Body, &resp); err != nil {
+			return nil, fmt.Errorf("%w: job %s/%s: decoding rows: %v", ErrWorker, jobs[i].figure, jobs[i].system, err)
+		}
+		return resp.Rows, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var rows []api.ExperimentRow
+	for _, rs := range results {
+		rows = append(rows, rs...)
+	}
+	return rows, nil
+}

@@ -1,0 +1,503 @@
+// Package router is the fleet front-end for outaged: it spreads
+// detect and ingest traffic across N backend processes with
+// health-aware least-loaded balancing, fails requests over when a
+// backend dies mid-stream, and runs canary/shadow evaluation of a
+// candidate model with a structured diff report gating promotion.
+//
+// The data plane is byte-transparent: request bodies are forwarded
+// verbatim and the chosen backend's response — status, Content-Type,
+// Retry-After, trace ID, body — is relayed byte-identically, so a
+// caller cannot distinguish the router from the backend it picked.
+// Wire types are the shared api package; the proxy primitive is
+// client.PostRaw (transport retries only, every HTTP response returned
+// whole).
+package router
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"sync"
+	"time"
+
+	"pmuoutage/api"
+	"pmuoutage/client"
+	"pmuoutage/internal/obs"
+)
+
+// Typed errors of the router.
+var (
+	// ErrConfig reports an invalid Config.
+	ErrConfig = errors.New("router: invalid config")
+	// ErrNoBackends reports that no healthy backend could take the
+	// request — every pool member is ejected or at its in-flight bound.
+	ErrNoBackends = errors.New("router: no backend available")
+	// ErrPromotionBlocked reports a promotion whose canary report gates
+	// failed.
+	ErrPromotionBlocked = errors.New("router: promotion blocked")
+	// ErrWorker reports an experiments-fleet job a worker answered with
+	// an error or an undecodable reply.
+	ErrWorker = errors.New("router: experiment worker failed")
+)
+
+// Metric names of the router's registry.
+const (
+	metricProxied     = "router_requests_total"
+	metricFailovers   = "router_failovers_total"
+	metricNoBackend   = "router_no_backend_total"
+	metricShadow      = "router_shadow_total"
+	metricDivergence  = "router_score_divergence"
+	metricProxySecs   = "router_proxy_seconds"
+	labelRoute        = "route"
+	labelRouterPool   = "pool"
+	routeDetect       = "detect"
+	routeIngest       = "ingest"
+	poolNamePrimary   = "primary"
+	poolNameCanary    = "canary"
+	defaultMaxBody    = 64 << 20
+	defaultProbeEvery = 250 * time.Millisecond
+)
+
+// Config configures New.
+type Config struct {
+	// Backends are the primary pool's base URLs (at least one).
+	Backends []string
+	// CanaryBackends are the candidate pool's base URLs (empty disables
+	// canary evaluation).
+	CanaryBackends []string
+	// Candidate is the fingerprint under evaluation; it labels the
+	// canary report and is the default artifact POST /v1/canary/promote
+	// reloads onto.
+	Candidate string
+	// CanaryPercent is the percentage (0–100) of detect traffic mirrored
+	// to the canary pool. Shadow mode is CanaryPercent = 100.
+	CanaryPercent int
+	// MinPairs is the promotion gate's minimum shadow-pair count
+	// (default 1).
+	MinPairs int
+	// Tolerance bounds acceptable per-scenario quality regression:
+	// promotion needs ΔIA ≥ −Tolerance and ΔFA ≤ Tolerance (default 0 —
+	// byte-identical models always pass; quality must not regress at
+	// all).
+	Tolerance float64
+	// MaxInFlight bounds concurrent proxied requests per backend
+	// (default 256).
+	MaxInFlight int
+	// ProbeEvery is the health-probe period (default 250ms).
+	ProbeEvery time.Duration
+	// HTTPClient overrides the transport to the backends.
+	HTTPClient *http.Client
+	// Logger receives structured ejection/readmission/promotion logs;
+	// nil disables logging.
+	Logger *slog.Logger
+}
+
+// Router is the fleet front-end. Create with New, serve Routes, stop
+// with Close.
+type Router struct {
+	cfg     Config
+	primary *Pool
+	canary  *Pool
+	differ  *Differ
+	reg     *obs.Registry
+	log     *slog.Logger
+
+	proxied   map[string]*obs.Counter
+	failovers *obs.Counter
+	noBackend *obs.Counter
+	shadowed  *obs.Counter
+	proxyLat  map[string]*obs.Histogram
+
+	stop   context.CancelFunc
+	probes sync.WaitGroup
+}
+
+// New validates cfg, builds the pools, and starts the health prober.
+// The prober stops when ctx ends or Close is called, whichever first.
+func New(ctx context.Context, cfg Config) (*Router, error) {
+	if len(cfg.Backends) == 0 {
+		return nil, fmt.Errorf("%w: no backends", ErrConfig)
+	}
+	if cfg.ProbeEvery <= 0 {
+		cfg.ProbeEvery = defaultProbeEvery
+	}
+	primary, err := NewPool(poolNamePrimary, cfg.Backends, cfg.MaxInFlight, cfg.HTTPClient)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrConfig, err)
+	}
+	var canary *Pool
+	if len(cfg.CanaryBackends) > 0 {
+		if canary, err = NewPool(poolNameCanary, cfg.CanaryBackends, cfg.MaxInFlight, cfg.HTTPClient); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrConfig, err)
+		}
+	}
+	reg := obs.NewRegistry()
+	r := &Router{
+		cfg:       cfg,
+		primary:   primary,
+		canary:    canary,
+		reg:       reg,
+		log:       cfg.Logger,
+		proxied:   map[string]*obs.Counter{},
+		proxyLat:  map[string]*obs.Histogram{},
+		failovers: reg.Counter(metricFailovers, "proxied requests retried on another backend"),
+		noBackend: reg.Counter(metricNoBackend, "requests refused with no backend available"),
+		shadowed:  reg.Counter(metricShadow, "detect requests mirrored to the canary pool"),
+	}
+	for _, route := range []string{routeDetect, routeIngest} {
+		r.proxied[route] = reg.Counter(metricProxied, "requests proxied per route", labelRoute, route)
+		r.proxyLat[route] = reg.Histogram(metricProxySecs, "proxy latency per route", labelRoute, route)
+	}
+	r.differ = newDiffer(cfg.Candidate, cfg.CanaryPercent, cfg.MinPairs, cfg.Tolerance, reg)
+
+	pctx, stop := context.WithCancel(ctx)
+	r.stop = stop
+	r.probes.Add(1)
+	go r.probeLoop(pctx)
+	return r, nil
+}
+
+// Close stops the prober and waits for outstanding shadow copies.
+func (r *Router) Close() {
+	r.stop()
+	r.probes.Wait()
+	r.differ.DrainShadow()
+}
+
+// Differ exposes the canary evaluation (tests and the promote path
+// drain and read it).
+func (r *Router) Differ() *Differ { return r.differ }
+
+// Registry exposes the router's metrics registry (/metrics).
+func (r *Router) Registry() *obs.Registry { return r.reg }
+
+// probeLoop refreshes every backend's health each period.
+func (r *Router) probeLoop(ctx context.Context) {
+	defer r.probes.Done()
+	t := time.NewTicker(r.cfg.ProbeEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case now := <-t.C:
+			r.probeAll(ctx, now)
+		}
+	}
+}
+
+func (r *Router) probeAll(ctx context.Context, now time.Time) {
+	// Probes get at least a second regardless of the probe period: a
+	// busy backend answering slowly must not read as a dead one.
+	pctx, cancel := context.WithTimeout(ctx, max(4*r.cfg.ProbeEvery, time.Second))
+	defer cancel()
+	for _, p := range []*Pool{r.primary, r.canary} {
+		if p == nil {
+			continue
+		}
+		for _, b := range p.backends {
+			was := b.healthy.Load()
+			p.probe(pctx, b, now, r.cfg.ProbeEvery)
+			if is := b.healthy.Load(); is != was && r.log != nil {
+				verb := "backend readmitted"
+				if !is {
+					verb = "backend ejected"
+				}
+				r.log.LogAttrs(ctx, slog.LevelWarn, verb,
+					slog.String(obs.AttrComponent, "router"),
+					slog.String(labelRouterPool, p.name),
+					slog.String("backend", b.url),
+					slog.Uint64("ejections", b.ejections.Load()))
+			}
+		}
+	}
+}
+
+// Routes builds the router's handler.
+func (r *Router) Routes() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/detect", r.handleDetect)
+	mux.HandleFunc("POST /v1/ingest", r.handleIngest)
+	mux.HandleFunc("POST /v1/reload", r.handleReload)
+	mux.HandleFunc("GET /v1/backends", r.handleBackends)
+	mux.HandleFunc("GET /v1/canary/report", r.handleCanaryReport)
+	mux.HandleFunc("POST /v1/canary/promote", r.handlePromote)
+	mux.HandleFunc("GET /healthz", r.handleHealth)
+	mux.Handle("GET /metrics", r.reg)
+	return traceMiddleware(mux)
+}
+
+// traceMiddleware resolves each request's trace ID (a caller's
+// X-Trace-Id is kept so traces span router and backend, one is minted
+// otherwise), carries it on the context, and echoes it on the response.
+func traceMiddleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		id := req.Header.Get(obs.TraceHeader)
+		if id == "" {
+			id = obs.NewTraceID()
+		}
+		w.Header().Set(obs.TraceHeader, id)
+		next.ServeHTTP(w, req.WithContext(obs.WithTraceID(req.Context(), id)))
+	})
+}
+
+// forward sends the body to the pool's least-loaded backend, failing
+// over to the next-best member on transport errors and retryable-coded
+// responses. Healthy backends are tried first; once they are exhausted
+// a desperate pass tries ejected ones too, so a transient mass
+// ejection cannot black-hole traffic. The final response — success or
+// a terminal error from the backend — is returned whole for
+// byte-identical relay. A fully exhausted pool returns the last
+// retryable response if any backend produced one, else ErrNoBackends.
+func (r *Router) forward(ctx context.Context, pool *Pool, pathAndQuery, contentType string, body []byte) (*client.RawResponse, *Backend, error) {
+	tried := map[*Backend]bool{}
+	var lastShed *client.RawResponse
+	var lastShedBackend *Backend
+	first := true
+	for _, desperate := range []bool{false, true} {
+		for {
+			b, release, ok := pool.acquire(tried, desperate)
+			if !ok {
+				break
+			}
+			if !first {
+				r.failovers.Inc()
+			}
+			first = false
+			tried[b] = true
+			raw, err := b.cli.PostRaw(ctx, pathAndQuery, contentType, body)
+			release()
+			if err != nil {
+				if ctx.Err() != nil {
+					return nil, nil, ctx.Err()
+				}
+				b.markFault(err)
+				continue
+			}
+			if raw.Retryable() {
+				// The backend answered but is shedding or not ready;
+				// remember its answer (it carries Retry-After) and try a
+				// peer.
+				lastShed, lastShedBackend = raw, b
+				continue
+			}
+			return raw, b, nil
+		}
+	}
+	if lastShed != nil {
+		return lastShed, lastShedBackend, nil
+	}
+	r.noBackend.Inc()
+	return nil, nil, fmt.Errorf("%w: pool %s has no admissible backend", ErrNoBackends, pool.name)
+}
+
+func (r *Router) handleDetect(w http.ResponseWriter, req *http.Request) {
+	start := time.Now()
+	body, err := readBody(req)
+	if err != nil {
+		r.writeError(w, req, api.CodeBadRequest, err)
+		return
+	}
+	r.proxied[routeDetect].Inc()
+	r.differ.noteRequest()
+	raw, _, err := r.forward(req.Context(), r.primary, "/v1/detect", contentTypeOf(req), body)
+	if err != nil {
+		r.writeError(w, req, api.CodeUnavailable, err)
+		return
+	}
+	if r.canary != nil && raw.Status == http.StatusOK && r.differ.selects() {
+		r.shadowed.Inc()
+		r.differ.shadow(req.Context(), r, "/v1/detect", contentTypeOf(req), body,
+			req.Header.Get(api.EvalScenarioHeader), req.Header.Get(api.EvalTruthHeader), raw)
+	}
+	relay(w, raw)
+	r.proxyLat[routeDetect].Observe(time.Since(start))
+}
+
+// handleIngest proxies both JSON and binary-frame ingest bodies
+// verbatim, preserving the query string (binary frames carry the shard
+// in ?shard=).
+func (r *Router) handleIngest(w http.ResponseWriter, req *http.Request) {
+	start := time.Now()
+	body, err := readBody(req)
+	if err != nil {
+		r.writeError(w, req, api.CodeBadRequest, err)
+		return
+	}
+	r.proxied[routeIngest].Inc()
+	path := "/v1/ingest"
+	if q := req.URL.RawQuery; q != "" {
+		path += "?" + q
+	}
+	raw, _, err := r.forward(req.Context(), r.primary, path, contentTypeOf(req), body)
+	if err != nil {
+		r.writeError(w, req, api.CodeUnavailable, err)
+		return
+	}
+	relay(w, raw)
+	r.proxyLat[routeIngest].Observe(time.Since(start))
+}
+
+// handleReload broadcasts one reload to every primary backend.
+func (r *Router) handleReload(w http.ResponseWriter, req *http.Request) {
+	var rr api.ReloadRequest
+	if err := json.NewDecoder(req.Body).Decode(&rr); err != nil {
+		r.writeError(w, req, api.CodeBadRequest, err)
+		return
+	}
+	out := api.FleetReload{}
+	for _, b := range r.primary.backends {
+		res, err := b.cli.Reload(req.Context(), rr.Shard, rr.Path)
+		if rr.Fingerprint != "" {
+			res, err = b.cli.ReloadModel(req.Context(), rr.Shard, rr.Fingerprint)
+		}
+		br := api.BackendReload{Backend: b.url}
+		if err != nil {
+			br.Error = err.Error()
+		} else {
+			br.Results = []api.ReloadResult{*res}
+		}
+		out.Results = append(out.Results, br)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (r *Router) handleBackends(w http.ResponseWriter, req *http.Request) {
+	writeJSON(w, http.StatusOK, api.FleetStatus{
+		Primary: r.primary.Statuses(),
+		Canary:  r.canary.Statuses(),
+	})
+}
+
+func (r *Router) handleCanaryReport(w http.ResponseWriter, req *http.Request) {
+	r.differ.DrainShadow()
+	writeJSON(w, http.StatusOK, r.differ.Report())
+}
+
+// handlePromote reloads every primary backend onto the candidate
+// artifact, gated on the canary report unless forced. The canary
+// evidence must exist and pass; a blocked promotion answers 409 with
+// the failed gates.
+func (r *Router) handlePromote(w http.ResponseWriter, req *http.Request) {
+	var pr api.PromoteRequest
+	if err := json.NewDecoder(req.Body).Decode(&pr); err != nil {
+		r.writeError(w, req, api.CodeBadRequest, err)
+		return
+	}
+	fp := pr.Fingerprint
+	if fp == "" {
+		fp = r.cfg.Candidate
+	}
+	if fp == "" {
+		r.writeError(w, req, api.CodeBadRequest, fmt.Errorf("%w: no candidate fingerprint", ErrConfig))
+		return
+	}
+	r.differ.DrainShadow()
+	report := r.differ.Report()
+	if !report.Promotable && !pr.Force {
+		r.writeError(w, req, api.CodePromotionBlocked,
+			fmt.Errorf("%w: %v", ErrPromotionBlocked, report.Reasons))
+		return
+	}
+	resp := api.PromoteResponse{Report: report}
+	for _, b := range r.primary.backends {
+		br := api.BackendReload{Backend: b.url}
+		shards := pr.Shards
+		if len(shards) == 0 {
+			shards = readyShards(b)
+		}
+		for _, shard := range shards {
+			res, err := b.cli.ReloadModel(req.Context(), shard, fp)
+			if err != nil {
+				br.Error = err.Error()
+				break
+			}
+			br.Results = append(br.Results, *res)
+		}
+		resp.Results = append(resp.Results, br)
+	}
+	if r.log != nil {
+		r.log.LogAttrs(req.Context(), slog.LevelInfo, "candidate promoted",
+			slog.String(obs.AttrComponent, "router"),
+			slog.String("fingerprint", fp),
+			slog.Bool("forced", pr.Force),
+			slog.Int("backends", len(resp.Results)))
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// readyShards lists the shards the backend's last probe saw serving.
+func readyShards(b *Backend) []string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	var out []string
+	for _, st := range b.shards {
+		if st.State == "ready" || st.Model != "" {
+			out = append(out, st.Name)
+		}
+	}
+	return out
+}
+
+func (r *Router) handleHealth(w http.ResponseWriter, req *http.Request) {
+	for _, b := range r.primary.backends {
+		if b.healthy.Load() {
+			writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+			return
+		}
+	}
+	r.writeError(w, req, api.CodeUnavailable, fmt.Errorf("%w: every primary backend is ejected", ErrNoBackends))
+}
+
+// relay writes the backend's response byte-identically.
+func relay(w http.ResponseWriter, raw *client.RawResponse) {
+	if raw.ContentType != "" {
+		w.Header().Set("Content-Type", raw.ContentType)
+	}
+	if raw.RetryAfter != "" {
+		w.Header().Set("Retry-After", raw.RetryAfter)
+	}
+	if raw.TraceID != "" {
+		w.Header().Set(obs.TraceHeader, raw.TraceID)
+	}
+	w.WriteHeader(raw.Status)
+	_, _ = w.Write(raw.Body)
+}
+
+func (r *Router) writeError(w http.ResponseWriter, req *http.Request, code api.Code, err error) {
+	env := api.ErrorEnvelope{
+		Code:      code,
+		Error:     err.Error(),
+		Retryable: code.Retryable(),
+		TraceID:   obs.TraceID(req.Context()),
+	}
+	if code == api.CodeUnavailable || code == api.CodeOverloaded {
+		w.Header().Set("Retry-After", "1")
+	}
+	writeJSON(w, code.HTTPStatus(), env)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func readBody(req *http.Request) ([]byte, error) {
+	data, err := io.ReadAll(io.LimitReader(req.Body, defaultMaxBody))
+	if err != nil {
+		return nil, fmt.Errorf("%w: reading request body: %v", ErrConfig, err)
+	}
+	return data, nil
+}
+
+func contentTypeOf(req *http.Request) string {
+	if ct := req.Header.Get("Content-Type"); ct != "" {
+		return ct
+	}
+	return "application/json"
+}

@@ -1,0 +1,337 @@
+package router
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"pmuoutage"
+	"pmuoutage/api"
+)
+
+// stubBackend mimics outaged's HTTP surface with a canned detect
+// answer, so router behavior is tested without training models.
+type stubBackend struct {
+	ts      *httptest.Server
+	detects atomic.Uint64
+	reply   func() (int, []byte) // nil: the default healthy answer
+}
+
+// stubReports is the canned detect payload every healthy stub serves.
+func stubReports(energy float64) []byte {
+	body, err := json.Marshal(api.DetectResponse{
+		Shard: "east",
+		Reports: []*pmuoutage.Report{{
+			Outage:          true,
+			Lines:           []pmuoutage.Line{{Index: 3, FromBus: 1, ToBus: 4}},
+			DeviationEnergy: energy,
+		}},
+	})
+	if err != nil {
+		panic(err)
+	}
+	return body
+}
+
+func newStubBackend(t *testing.T, reply func() (int, []byte)) *stubBackend {
+	t.Helper()
+	b := &stubBackend{reply: reply}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write([]byte(`{"status":"ok"}`))
+	})
+	mux.HandleFunc("GET /v1/shards", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode([]api.ShardStatus{{Name: "east", State: "ready", QueueDepth: 0}})
+	})
+	mux.HandleFunc("POST /v1/detect", func(w http.ResponseWriter, r *http.Request) {
+		b.detects.Add(1)
+		status, body := http.StatusOK, stubReports(1.5)
+		if b.reply != nil {
+			status, body = b.reply()
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(status)
+		_, _ = w.Write(body)
+	})
+	mux.HandleFunc("POST /v1/ingest", func(w http.ResponseWriter, r *http.Request) {
+		body, _ := io.ReadAll(r.Body)
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(map[string]string{
+			"query": r.URL.RawQuery,
+			"ct":    r.Header.Get("Content-Type"),
+			"len":   string(rune('0' + len(body)%10)),
+		})
+	})
+	b.ts = httptest.NewServer(mux)
+	t.Cleanup(b.ts.Close)
+	return b
+}
+
+func newTestRouter(t *testing.T, cfg Config) (*Router, *httptest.Server) {
+	t.Helper()
+	if cfg.ProbeEvery == 0 {
+		cfg.ProbeEvery = 10 * time.Millisecond
+	}
+	rt, err := New(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(rt.Close)
+	ts := httptest.NewServer(rt.Routes())
+	t.Cleanup(ts.Close)
+	return rt, ts
+}
+
+func postDetect(t *testing.T, base string, headers map[string]string) (*http.Response, []byte) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPost, base+"/v1/detect",
+		strings.NewReader(`{"shard":"east","samples":[{"vm":[1],"va":[0]}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	for k, v := range headers {
+		req.Header.Set(k, v)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, body
+}
+
+// TestFailoverMidStream is the acceptance case: a fleet of two
+// backends, one killed while detect traffic is in flight, and not one
+// request is dropped — the router retries transport failures on the
+// surviving backend.
+func TestFailoverMidStream(t *testing.T) {
+	b1 := newStubBackend(t, nil)
+	b2 := newStubBackend(t, nil)
+	_, ts := newTestRouter(t, Config{Backends: []string{b1.ts.URL, b2.ts.URL}})
+
+	want := stubReports(1.5)
+	wantLF := append(append([]byte(nil), want...), '\n')
+	var wg sync.WaitGroup
+	var failed atomic.Uint64
+	start := make(chan struct{})
+	for i := 0; i < 40; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			resp, body := postDetect(t, ts.URL, nil)
+			if resp.StatusCode != http.StatusOK || !bytes.Equal(body, wantLF) && !bytes.Equal(body, want) {
+				failed.Add(1)
+			}
+		}()
+	}
+	close(start)
+	// Kill b1 abruptly while requests are in flight: open connections are
+	// dropped, which the router must absorb as fail-over, not errors.
+	b1.ts.CloseClientConnections()
+	b1.ts.Close()
+	wg.Wait()
+	if n := failed.Load(); n != 0 {
+		t.Fatalf("%d of 40 in-flight detects dropped during backend kill", n)
+	}
+	if b2.detects.Load() == 0 {
+		t.Fatal("surviving backend served no traffic")
+	}
+}
+
+// TestShadowByteIdentical pins the canary contract: with an identical
+// candidate every shadow pair compares byte-identical, the scenario
+// deltas are zero, and the report is promotable.
+func TestShadowByteIdentical(t *testing.T) {
+	prim := newStubBackend(t, nil)
+	can := newStubBackend(t, nil)
+	rt, ts := newTestRouter(t, Config{
+		Backends:       []string{prim.ts.URL},
+		CanaryBackends: []string{can.ts.URL},
+		Candidate:      "cafe",
+		CanaryPercent:  100,
+		MinPairs:       5,
+	})
+
+	headers := map[string]string{
+		api.EvalScenarioHeader: "outage-3",
+		api.EvalTruthHeader:    "3",
+	}
+	for i := 0; i < 8; i++ {
+		resp, _ := postDetect(t, ts.URL, headers)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("detect %d: HTTP %d", i, resp.StatusCode)
+		}
+	}
+	rt.Differ().DrainShadow()
+	rep := rt.Differ().Report()
+	if rep.Pairs != 8 || rep.Identical != 8 || rep.Mismatched != 0 {
+		t.Fatalf("pairs=%d identical=%d mismatched=%d, want 8/8/0", rep.Pairs, rep.Identical, rep.Mismatched)
+	}
+	if len(rep.Scenarios) != 1 {
+		t.Fatalf("got %d scenarios, want 1", len(rep.Scenarios))
+	}
+	sd := rep.Scenarios[0]
+	if sd.Scenario != "outage-3" || sd.DeltaIA != 0 || sd.DeltaFA != 0 {
+		t.Fatalf("scenario diff = %+v, want zero deltas for outage-3", sd)
+	}
+	if sd.Primary.IA != 1 {
+		t.Fatalf("primary IA = %v, want 1 (stub always identifies line 3)", sd.Primary.IA)
+	}
+	if !rep.Promotable {
+		t.Fatalf("identical candidate not promotable: %v", rep.Reasons)
+	}
+	if can.detects.Load() != 8 {
+		t.Fatalf("canary served %d detects, want 8 (full shadow)", can.detects.Load())
+	}
+}
+
+// TestCanaryGatesBlockPromotion drives a canary that misidentifies the
+// outage (IA regression) and asserts both the report verdict and the
+// promote endpoint's 409 with the stable promotion_blocked code.
+func TestCanaryGatesBlockPromotion(t *testing.T) {
+	prim := newStubBackend(t, nil)
+	wrong := func() (int, []byte) {
+		body, _ := json.Marshal(api.DetectResponse{
+			Shard:   "east",
+			Reports: []*pmuoutage.Report{{Outage: true, Lines: []pmuoutage.Line{{Index: 9}}, DeviationEnergy: 1.5}},
+		})
+		return http.StatusOK, body
+	}
+	can := newStubBackend(t, wrong)
+	_, ts := newTestRouter(t, Config{
+		Backends:       []string{prim.ts.URL},
+		CanaryBackends: []string{can.ts.URL},
+		Candidate:      "cafe",
+		CanaryPercent:  100,
+		MinPairs:       1,
+	})
+
+	headers := map[string]string{api.EvalScenarioHeader: "outage-3", api.EvalTruthHeader: "3"}
+	for i := 0; i < 4; i++ {
+		postDetect(t, ts.URL, headers)
+	}
+	resp, err := http.Post(ts.URL+"/v1/canary/promote", "application/json", strings.NewReader(`{}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("promote of regressing canary: HTTP %d, want 409", resp.StatusCode)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	env, ok := api.DecodeError(body)
+	if !ok || env.Code != api.CodePromotionBlocked {
+		t.Fatalf("promote error code = %q (ok=%v), want %q", env.Code, ok, api.CodePromotionBlocked)
+	}
+}
+
+// TestIngestProxyPreservesQuery pins the binary-ingest contract: the
+// router forwards the query string and content type untouched.
+func TestIngestProxyPreservesQuery(t *testing.T) {
+	b := newStubBackend(t, nil)
+	_, ts := newTestRouter(t, Config{Backends: []string{b.ts.URL}})
+
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/ingest?shard=east", bytes.NewReader([]byte{1, 2, 3}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/x-pmu-frame")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	var got map[string]string
+	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	if got["query"] != "shard=east" {
+		t.Fatalf("backend saw query %q, want shard=east", got["query"])
+	}
+	if got["ct"] != "application/x-pmu-frame" {
+		t.Fatalf("backend saw content type %q", got["ct"])
+	}
+}
+
+// TestErrorRelayedByteIdentical pins that a terminal backend error —
+// status, code, body — reaches the caller exactly as the backend wrote
+// it, so router and backend are indistinguishable to clients.
+func TestErrorRelayedByteIdentical(t *testing.T) {
+	errBody, _ := json.Marshal(api.ErrorEnvelope{Code: api.CodeUnknownShard, Error: "no shard west"})
+	b := newStubBackend(t, func() (int, []byte) { return http.StatusNotFound, errBody })
+	_, ts := newTestRouter(t, Config{Backends: []string{b.ts.URL}})
+
+	resp, body := postDetect(t, ts.URL, nil)
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("HTTP %d, want 404 relayed", resp.StatusCode)
+	}
+	if !bytes.Equal(body, errBody) {
+		t.Fatalf("relayed error body %q differs from backend's %q", body, errBody)
+	}
+	env, ok := api.DecodeError(body)
+	if !ok || env.Code != api.CodeUnknownShard {
+		t.Fatalf("relayed code = %q, want unknown_shard", env.Code)
+	}
+	// A terminal error must not trip fail-over accounting: one backend,
+	// one attempt.
+	if n := b.detects.Load(); n != 1 {
+		t.Fatalf("backend saw %d detect calls, want 1 (no retry on terminal error)", n)
+	}
+}
+
+// TestEjectionAndReadmission watches the prober's lifecycle: a backend
+// that dies is ejected (healthz flips), and readmitted once it
+// answers again.
+func TestEjectionAndReadmission(t *testing.T) {
+	mux := http.NewServeMux()
+	var down atomic.Bool
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		if down.Load() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+	})
+	mux.HandleFunc("GET /v1/shards", func(w http.ResponseWriter, _ *http.Request) {
+		_ = json.NewEncoder(w).Encode([]api.ShardStatus{})
+	})
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+
+	rt, _ := newTestRouter(t, Config{Backends: []string{ts.URL}, ProbeEvery: 5 * time.Millisecond})
+	waitHealthy := func(want bool) {
+		t.Helper()
+		deadline := time.Now().Add(3 * time.Second)
+		for time.Now().Before(deadline) {
+			if rt.primary.backends[0].healthy.Load() == want {
+				return
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+		t.Fatalf("backend healthy != %v within deadline", want)
+	}
+	waitHealthy(true)
+	down.Store(true)
+	waitHealthy(false)
+	if rt.primary.backends[0].ejections.Load() == 0 {
+		t.Fatal("ejection not counted")
+	}
+	down.Store(false)
+	waitHealthy(true)
+}

@@ -31,6 +31,7 @@ import (
 	"time"
 
 	"pmuoutage"
+	"pmuoutage/api"
 	"pmuoutage/internal/obs"
 	"pmuoutage/internal/wire"
 )
@@ -310,24 +311,10 @@ func (s *Service) Ready() bool {
 	return false
 }
 
-// ShardStatus is one shard's public state snapshot.
-type ShardStatus struct {
-	Name       string `json:"name"`
-	Case       string `json:"case"`
-	State      string `json:"state"`
-	Err        string `json:"err,omitempty"`
-	Buses      int    `json:"buses,omitempty"`
-	Lines      int    `json:"lines,omitempty"`
-	Restarts   uint64 `json:"restarts"`
-	QueueDepth int    `json:"queue_depth"`
-	// Replicas is the number of serve loops sharing the shard's model.
-	Replicas int `json:"replicas"`
-	// Generation counts model activations (initial training, rebuilds,
-	// hot reloads); it bumps exactly when Model may have changed.
-	Generation uint64 `json:"generation"`
-	// Model is the serving model's content fingerprint.
-	Model string `json:"model,omitempty"`
-}
+// ShardStatus is one shard's public state snapshot. The definition
+// lives in the shared api package (it is the GET /v1/shards wire
+// element); the alias keeps service-level callers working.
+type ShardStatus = api.ShardStatus
 
 // Shards snapshots every shard's status in configuration order.
 func (s *Service) Shards() []ShardStatus {

@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"pmuoutage/api"
 	"pmuoutage/internal/obs"
 )
 
@@ -202,27 +203,10 @@ func (c *ShardCounters) observeBatch(samples int, d time.Duration) {
 
 // ShardSnapshot is a point-in-time copy of one shard's counters, shaped
 // for JSON. Latency fields derive from the detect-stage histogram —
-// the same cells /metrics renders.
-type ShardSnapshot struct {
-	Requests     uint64  `json:"requests"`
-	Ingests      uint64  `json:"ingests"`
-	Samples      uint64  `json:"samples"`
-	Batches      uint64  `json:"batches"`
-	Shed         uint64  `json:"shed"`
-	Unavailable  uint64  `json:"unavailable"`
-	Restarts     uint64  `json:"restarts"`
-	Reloads      uint64  `json:"reloads"`
-	FramesJSON   uint64  `json:"frames_json"`
-	FramesBinary uint64  `json:"frames_binary"`
-	FramesStream uint64  `json:"frames_stream"`
-	MaxBatch     int     `json:"max_batch"`
-	AvgBatch     float64 `json:"avg_batch"`
-	AvgLatencyMS float64 `json:"avg_latency_ms"`
-	P50LatencyMS float64 `json:"p50_latency_ms"`
-	P95LatencyMS float64 `json:"p95_latency_ms"`
-	P99LatencyMS float64 `json:"p99_latency_ms"`
-	QueueDepth   int     `json:"queue_depth"`
-}
+// the same cells /metrics renders. The definition lives in the shared
+// api package (it is the GET /v1/stats wire value); the alias keeps
+// service-level callers working.
+type ShardSnapshot = api.ShardSnapshot
 
 func (c *ShardCounters) snapshot() ShardSnapshot {
 	snap := ShardSnapshot{
