@@ -168,9 +168,12 @@ type FleetStatus struct {
 }
 
 // FleetReload is the router's POST /v1/reload reply: one entry per
-// primary backend the reload was broadcast to.
+// primary backend the reload was broadcast to. Failed is the top-level
+// signal that at least one backend's reload errored — callers must not
+// have to scan Results to notice a split fleet.
 type FleetReload struct {
 	Results []BackendReload `json:"results"`
+	Failed  bool            `json:"failed,omitempty"`
 }
 
 // BackendReload is one backend's outcome within a fleet-wide reload or
@@ -263,10 +266,14 @@ type PromoteRequest struct {
 }
 
 // PromoteResponse carries the gating report alongside the per-backend
-// reload outcomes.
+// reload outcomes. Failed reports that at least one backend's reload
+// errored: the promotion is incomplete and the fleet may be split
+// across models (the router also answers 502 when no backend
+// succeeded at all).
 type PromoteResponse struct {
 	Report  CanaryReport    `json:"report"`
 	Results []BackendReload `json:"results"`
+	Failed  bool            `json:"failed,omitempty"`
 }
 
 // ExperimentRequest is the body of POST /v1/experiments on an

@@ -135,6 +135,7 @@ func TestCodeStatusTable(t *testing.T) {
 		retry  bool
 	}{
 		{CodeBadRequest, 400, false},
+		{CodeTooLarge, 413, false},
 		{CodeBadSample, 400, false},
 		{CodeBadLine, 400, false},
 		{CodeUnknownCase, 400, false},

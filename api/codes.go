@@ -14,6 +14,9 @@ const (
 	// CodeBadRequest: the request body could not be parsed (malformed
 	// JSON, corrupt wire frame, conflicting fields).
 	CodeBadRequest Code = "bad_request"
+	// CodeTooLarge: the request body exceeds the server's size bound;
+	// the request was rejected whole, never truncated.
+	CodeTooLarge Code = "too_large"
 	// CodeBadSample: a sample failed facade validation
 	// (pmuoutage.ErrBadSample).
 	CodeBadSample Code = "bad_sample"
@@ -75,6 +78,8 @@ func (c Code) HTTPStatus() int {
 		return 404
 	case CodePromotionBlocked:
 		return 409
+	case CodeTooLarge:
+		return 413
 	case CodeOverloaded:
 		return 429
 	case CodeUnavailable, CodeClosed:

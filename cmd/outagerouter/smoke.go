@@ -195,6 +195,11 @@ func runFleetSmoke() error {
 	if err := postJSON(ctx, rtSrv.base+"/v1/canary/promote", api.PromoteRequest{}, &promoted); err != nil {
 		return err
 	}
+	// The killed primary cannot reload, so the promotion must flag itself
+	// incomplete at the top level — a split fleet is never a silent 200.
+	if !promoted.Failed {
+		return errors.New("promotion with a dead backend did not set failed")
+	}
 	reloaded := 0
 	for _, br := range promoted.Results {
 		if br.Backend == primB.srv.base && br.Error == "" {

@@ -127,17 +127,21 @@ func (d *Differ) noteRequest() {
 // background and diffs the pair when the copy completes. primary is
 // the response the caller was served. The goroutine detaches from the
 // request's cancellation (the caller is already answered) but keeps
-// its values (trace ID).
+// its values (trace ID), and gets its own deadline
+// (Config.ShadowTimeout): a canary backend that accepts the connection
+// and never answers must count as a canary error, not pin the
+// goroutine forever and wedge DrainShadow (report, promote, Close).
 func (d *Differ) shadow(ctx context.Context, r *Router, pathAndQuery, contentType string, body []byte, scenario, truth string, primary *client.RawResponse) {
 	if d == nil || r.canary == nil {
 		return
 	}
 	d.canaryServed.Add(1)
 	bodyCopy := append([]byte(nil), body...)
-	bg := context.WithoutCancel(ctx)
+	bg, cancel := context.WithTimeout(context.WithoutCancel(ctx), r.cfg.ShadowTimeout)
 	d.wg.Add(1)
 	go func() {
 		defer d.wg.Done()
+		defer cancel()
 		canary, _, err := r.forward(bg, r.canary, pathAndQuery, contentType, bodyCopy)
 		if err != nil {
 			d.pairs.Add(1)

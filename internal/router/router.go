@@ -21,6 +21,7 @@ import (
 	"io"
 	"log/slog"
 	"net/http"
+	"strings"
 	"sync"
 	"time"
 
@@ -33,6 +34,12 @@ import (
 var (
 	// ErrConfig reports an invalid Config.
 	ErrConfig = errors.New("router: invalid config")
+	// ErrBadRequest reports a request the router itself rejects before
+	// proxying (conflicting reload sources, unreadable body).
+	ErrBadRequest = errors.New("router: bad request")
+	// ErrBodyTooLarge reports a request body over the router's 64 MiB
+	// bound — rejected with 413 Payload Too Large, never truncated.
+	ErrBodyTooLarge = errors.New("router: request body too large")
 	// ErrNoBackends reports that no healthy backend could take the
 	// request — every pool member is ejected or at its in-flight bound.
 	ErrNoBackends = errors.New("router: no backend available")
@@ -46,20 +53,21 @@ var (
 
 // Metric names of the router's registry.
 const (
-	metricProxied     = "router_requests_total"
-	metricFailovers   = "router_failovers_total"
-	metricNoBackend   = "router_no_backend_total"
-	metricShadow      = "router_shadow_total"
-	metricDivergence  = "router_score_divergence"
-	metricProxySecs   = "router_proxy_seconds"
-	labelRoute        = "route"
-	labelRouterPool   = "pool"
-	routeDetect       = "detect"
-	routeIngest       = "ingest"
-	poolNamePrimary   = "primary"
-	poolNameCanary    = "canary"
-	defaultMaxBody    = 64 << 20
-	defaultProbeEvery = 250 * time.Millisecond
+	metricProxied        = "router_requests_total"
+	metricFailovers      = "router_failovers_total"
+	metricNoBackend      = "router_no_backend_total"
+	metricShadow         = "router_shadow_total"
+	metricDivergence     = "router_score_divergence"
+	metricProxySecs      = "router_proxy_seconds"
+	labelRoute           = "route"
+	labelRouterPool      = "pool"
+	routeDetect          = "detect"
+	routeIngest          = "ingest"
+	poolNamePrimary      = "primary"
+	poolNameCanary       = "canary"
+	defaultMaxBody       = 64 << 20
+	defaultProbeEvery    = 250 * time.Millisecond
+	defaultShadowTimeout = 30 * time.Second
 )
 
 // Config configures New.
@@ -89,6 +97,10 @@ type Config struct {
 	MaxInFlight int
 	// ProbeEvery is the health-probe period (default 250ms).
 	ProbeEvery time.Duration
+	// ShadowTimeout bounds each mirrored shadow copy (default 30s), so a
+	// canary backend that accepts a connection and never answers cannot
+	// wedge report/promote draining or Close.
+	ShadowTimeout time.Duration
 	// HTTPClient overrides the transport to the backends.
 	HTTPClient *http.Client
 	// Logger receives structured ejection/readmission/promotion logs;
@@ -124,6 +136,9 @@ func New(ctx context.Context, cfg Config) (*Router, error) {
 	}
 	if cfg.ProbeEvery <= 0 {
 		cfg.ProbeEvery = defaultProbeEvery
+	}
+	if cfg.ShadowTimeout <= 0 {
+		cfg.ShadowTimeout = defaultShadowTimeout
 	}
 	primary, err := NewPool(poolNamePrimary, cfg.Backends, cfg.MaxInFlight, cfg.HTTPClient)
 	if err != nil {
@@ -299,7 +314,7 @@ func (r *Router) handleDetect(w http.ResponseWriter, req *http.Request) {
 	start := time.Now()
 	body, err := readBody(req)
 	if err != nil {
-		r.writeError(w, req, api.CodeBadRequest, err)
+		r.writeError(w, req, bodyCode(err), err)
 		return
 	}
 	r.proxied[routeDetect].Inc()
@@ -325,7 +340,7 @@ func (r *Router) handleIngest(w http.ResponseWriter, req *http.Request) {
 	start := time.Now()
 	body, err := readBody(req)
 	if err != nil {
-		r.writeError(w, req, api.CodeBadRequest, err)
+		r.writeError(w, req, bodyCode(err), err)
 		return
 	}
 	r.proxied[routeIngest].Inc()
@@ -342,26 +357,44 @@ func (r *Router) handleIngest(w http.ResponseWriter, req *http.Request) {
 	r.proxyLat[routeIngest].Observe(time.Since(start))
 }
 
-// handleReload broadcasts one reload to every primary backend.
+// handleReload broadcasts one reload to every primary backend. The
+// model source is exactly one of fingerprint or path (or neither:
+// retrain) — the same contract the backend enforces, checked here so
+// an ambiguous request is rejected once instead of fanning out.
 func (r *Router) handleReload(w http.ResponseWriter, req *http.Request) {
 	var rr api.ReloadRequest
 	if err := json.NewDecoder(req.Body).Decode(&rr); err != nil {
 		r.writeError(w, req, api.CodeBadRequest, err)
 		return
 	}
+	if rr.Path != "" && rr.Fingerprint != "" {
+		r.writeError(w, req, api.CodeBadRequest,
+			fmt.Errorf("%w: reload names both path and fingerprint; pick one", ErrBadRequest))
+		return
+	}
 	out := api.FleetReload{}
 	for _, b := range r.primary.backends {
-		res, err := b.cli.Reload(req.Context(), rr.Shard, rr.Path)
+		var res *client.ReloadResult
+		var err error
 		if rr.Fingerprint != "" {
 			res, err = b.cli.ReloadModel(req.Context(), rr.Shard, rr.Fingerprint)
+		} else {
+			res, err = b.cli.Reload(req.Context(), rr.Shard, rr.Path)
 		}
 		br := api.BackendReload{Backend: b.url}
 		if err != nil {
 			br.Error = err.Error()
+			out.Failed = true
 		} else {
 			br.Results = []api.ReloadResult{*res}
 		}
 		out.Results = append(out.Results, br)
+	}
+	if out.Failed && r.log != nil {
+		r.log.LogAttrs(req.Context(), slog.LevelWarn, "fleet reload incomplete",
+			slog.String(obs.AttrComponent, "router"),
+			slog.String("shard", rr.Shard),
+			slog.Int("backends", len(out.Results)))
 	}
 	writeJSON(w, http.StatusOK, out)
 }
@@ -404,30 +437,57 @@ func (r *Router) handlePromote(w http.ResponseWriter, req *http.Request) {
 		return
 	}
 	resp := api.PromoteResponse{Report: report}
+	okBackends := 0
 	for _, b := range r.primary.backends {
 		br := api.BackendReload{Backend: b.url}
 		shards := pr.Shards
 		if len(shards) == 0 {
 			shards = readyShards(b)
 		}
+		// Every shard is attempted even after one fails: stopping early
+		// would widen the split, not contain it.
+		var errs []string
+		if len(shards) == 0 && !b.healthy.Load() {
+			// No shard set was ever probed (or given) and the backend is
+			// ejected: nothing can be promoted onto it, and counting the
+			// no-op as success would hide a fleet split behind a 200.
+			errs = append(errs, "backend unreachable, shard set unknown")
+		}
 		for _, shard := range shards {
 			res, err := b.cli.ReloadModel(req.Context(), shard, fp)
 			if err != nil {
-				br.Error = err.Error()
-				break
+				errs = append(errs, fmt.Sprintf("shard %s: %v", shard, err))
+				continue
 			}
 			br.Results = append(br.Results, *res)
+		}
+		if len(errs) > 0 {
+			br.Error = strings.Join(errs, "; ")
+			resp.Failed = true
+		} else {
+			okBackends++
 		}
 		resp.Results = append(resp.Results, br)
 	}
 	if r.log != nil {
-		r.log.LogAttrs(req.Context(), slog.LevelInfo, "candidate promoted",
+		level, verb := slog.LevelInfo, "candidate promoted"
+		if resp.Failed {
+			// A partial promotion leaves the fleet split across models —
+			// operators must notice.
+			level, verb = slog.LevelWarn, "promotion incomplete, fleet split across models"
+		}
+		r.log.LogAttrs(req.Context(), level, verb,
 			slog.String(obs.AttrComponent, "router"),
 			slog.String("fingerprint", fp),
 			slog.Bool("forced", pr.Force),
+			slog.Bool("failed", resp.Failed),
 			slog.Int("backends", len(resp.Results)))
 	}
-	writeJSON(w, http.StatusOK, resp)
+	status := http.StatusOK
+	if resp.Failed && okBackends == 0 {
+		status = http.StatusBadGateway
+	}
+	writeJSON(w, status, resp)
 }
 
 // readyShards lists the shards the backend's last probe saw serving.
@@ -487,12 +547,28 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
+// readBody reads a proxied request body, rejecting — never silently
+// truncating — anything over the 64 MiB bound: one byte past the limit
+// proves the body is oversized, and forwarding a truncated payload
+// would surface as a confusing decode error on the backend (or worse,
+// silently dropped trailing data).
 func readBody(req *http.Request) ([]byte, error) {
-	data, err := io.ReadAll(io.LimitReader(req.Body, defaultMaxBody))
+	data, err := io.ReadAll(io.LimitReader(req.Body, defaultMaxBody+1))
 	if err != nil {
-		return nil, fmt.Errorf("%w: reading request body: %v", ErrConfig, err)
+		return nil, fmt.Errorf("%w: reading body: %v", ErrBadRequest, err)
+	}
+	if len(data) > defaultMaxBody {
+		return nil, fmt.Errorf("%w: body exceeds %d bytes", ErrBodyTooLarge, defaultMaxBody)
 	}
 	return data, nil
+}
+
+// bodyCode maps a readBody failure onto its wire code.
+func bodyCode(err error) api.Code {
+	if errors.Is(err, ErrBodyTooLarge) {
+		return api.CodeTooLarge
+	}
+	return api.CodeBadRequest
 }
 
 func contentTypeOf(req *http.Request) string {

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"io"
 	"net/http"
 	"net/http/httptest"
@@ -23,6 +24,16 @@ type stubBackend struct {
 	ts      *httptest.Server
 	detects atomic.Uint64
 	reply   func() (int, []byte) // nil: the default healthy answer
+
+	mu      sync.Mutex
+	reloads []api.ReloadRequest // every /v1/reload body, in order
+}
+
+// reloadLog snapshots the reload requests the backend has served.
+func (b *stubBackend) reloadLog() []api.ReloadRequest {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return append([]api.ReloadRequest(nil), b.reloads...)
 }
 
 // stubReports is the canned detect payload every healthy stub serves.
@@ -62,6 +73,18 @@ func newStubBackend(t *testing.T, reply func() (int, []byte)) *stubBackend {
 		w.Header().Set("Content-Type", "application/json")
 		w.WriteHeader(status)
 		_, _ = w.Write(body)
+	})
+	mux.HandleFunc("POST /v1/reload", func(w http.ResponseWriter, r *http.Request) {
+		var rr api.ReloadRequest
+		if err := json.NewDecoder(r.Body).Decode(&rr); err != nil {
+			w.WriteHeader(http.StatusBadRequest)
+			return
+		}
+		b.mu.Lock()
+		b.reloads = append(b.reloads, rr)
+		b.mu.Unlock()
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(api.ReloadResult{Shard: rr.Shard, Generation: 2, Model: rr.Fingerprint})
 	})
 	mux.HandleFunc("POST /v1/ingest", func(w http.ResponseWriter, r *http.Request) {
 		body, _ := io.ReadAll(r.Body)
@@ -292,6 +315,186 @@ func TestErrorRelayedByteIdentical(t *testing.T) {
 	// one attempt.
 	if n := b.detects.Load(); n != 1 {
 		t.Fatalf("backend saw %d detect calls, want 1 (no retry on terminal error)", n)
+	}
+}
+
+// TestReloadFingerprintSingleCall pins the fleet-reload fan-out: a
+// fingerprint reload reaches each backend as exactly one
+// fingerprint-only call — never a preceding empty-path reload, which
+// the backend would take as "retrain a fresh model" and transiently
+// serve before the requested artifact — and a request naming both
+// sources is rejected at the router without touching any backend.
+func TestReloadFingerprintSingleCall(t *testing.T) {
+	b := newStubBackend(t, nil)
+	_, ts := newTestRouter(t, Config{Backends: []string{b.ts.URL}})
+
+	resp, err := http.Post(ts.URL+"/v1/reload", "application/json",
+		strings.NewReader(`{"shard":"east","fingerprint":"cafe"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out api.FleetReload
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	_ = resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || out.Failed {
+		t.Fatalf("fingerprint reload: HTTP %d failed=%v, want clean 200", resp.StatusCode, out.Failed)
+	}
+	calls := b.reloadLog()
+	if len(calls) != 1 {
+		t.Fatalf("backend saw %d reload calls, want exactly 1", len(calls))
+	}
+	if calls[0].Fingerprint != "cafe" || calls[0].Path != "" {
+		t.Fatalf("backend saw reload %+v, want fingerprint-only", calls[0])
+	}
+
+	resp, err = http.Post(ts.URL+"/v1/reload", "application/json",
+		strings.NewReader(`{"shard":"east","path":"a.json","fingerprint":"cafe"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	_ = resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("reload with both sources: HTTP %d, want 400", resp.StatusCode)
+	}
+	if env, ok := api.DecodeError(body); !ok || env.Code != api.CodeBadRequest {
+		t.Fatalf("reload with both sources: code %q, want bad_request", env.Code)
+	}
+	if n := len(b.reloadLog()); n != 1 {
+		t.Fatalf("ambiguous reload reached the backend (%d calls)", n)
+	}
+}
+
+// TestPromotePartialFailureSurfaced pins that a promotion which cannot
+// reach every backend is never a silent success: the response carries a
+// top-level failed flag (200 while at least one backend took the
+// model; 502 when none did), with the per-backend error embedded.
+func TestPromotePartialFailureSurfaced(t *testing.T) {
+	alive := newStubBackend(t, nil)
+	dead := newStubBackend(t, nil)
+	_, ts := newTestRouter(t, Config{Backends: []string{alive.ts.URL, dead.ts.URL}})
+	dead.ts.CloseClientConnections()
+	dead.ts.Close()
+
+	promote := func(base string) (int, api.PromoteResponse) {
+		t.Helper()
+		resp, err := http.Post(base+"/v1/canary/promote", "application/json",
+			strings.NewReader(`{"fingerprint":"cafe","shards":["east"],"force":true}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer func() { _ = resp.Body.Close() }()
+		var out api.PromoteResponse
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, out
+	}
+
+	status, out := promote(ts.URL)
+	if status != http.StatusOK {
+		t.Fatalf("partial promotion: HTTP %d, want 200 (one backend succeeded)", status)
+	}
+	if !out.Failed {
+		t.Fatal("partial promotion did not set the top-level failed flag")
+	}
+	var okResults, errResults int
+	for _, br := range out.Results {
+		switch {
+		case br.Error != "":
+			errResults++
+		case len(br.Results) == 1 && br.Results[0].Model == "cafe":
+			okResults++
+		}
+	}
+	if okResults != 1 || errResults != 1 {
+		t.Fatalf("results = %+v, want one reloaded backend and one errored", out.Results)
+	}
+
+	// With every backend unreachable the promotion answers non-200.
+	_, tsAllDead := newTestRouter(t, Config{Backends: []string{dead.ts.URL}})
+	status, out = promote(tsAllDead.URL)
+	if status != http.StatusBadGateway || !out.Failed {
+		t.Fatalf("all-dead promotion: HTTP %d failed=%v, want 502 with failed set", status, out.Failed)
+	}
+}
+
+// TestShadowTimeoutUnwedgesDrain pins the shadow deadline: a canary
+// backend that accepts the request and never answers must resolve as a
+// canary error within Config.ShadowTimeout, not pin the shadow
+// goroutine and wedge DrainShadow (report, promote, Close).
+func TestShadowTimeoutUnwedgesDrain(t *testing.T) {
+	prim := newStubBackend(t, nil)
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	})
+	mux.HandleFunc("GET /v1/shards", func(w http.ResponseWriter, _ *http.Request) {
+		_ = json.NewEncoder(w).Encode([]api.ShardStatus{{Name: "east", State: "ready"}})
+	})
+	// The handler hangs until the test ends (the server cannot observe
+	// the client-side shadow-deadline abort while the request body sits
+	// unread, so an explicit stop channel unblocks it for Close).
+	stop := make(chan struct{})
+	mux.HandleFunc("POST /v1/detect", func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case <-r.Context().Done():
+		case <-stop:
+		}
+	})
+	hung := httptest.NewServer(mux)
+	t.Cleanup(hung.Close)
+	t.Cleanup(func() { close(stop) })
+
+	rt, ts := newTestRouter(t, Config{
+		Backends:       []string{prim.ts.URL},
+		CanaryBackends: []string{hung.URL},
+		Candidate:      "cafe",
+		CanaryPercent:  100,
+		ShadowTimeout:  50 * time.Millisecond,
+	})
+	resp, _ := postDetect(t, ts.URL, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("primary detect: HTTP %d", resp.StatusCode)
+	}
+	done := make(chan struct{})
+	go func() {
+		rt.Differ().DrainShadow()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("DrainShadow wedged on a hung canary backend")
+	}
+	if rep := rt.Differ().Report(); rep.CanaryErrors != 1 {
+		t.Fatalf("canary errors = %d, want 1 (timed-out shadow copy)", rep.CanaryErrors)
+	}
+}
+
+// endlessZeros is a body that never ends — the oversize-rejection probe.
+type endlessZeros struct{}
+
+func (endlessZeros) Read(p []byte) (int, error) {
+	for i := range p {
+		p[i] = 0
+	}
+	return len(p), nil
+}
+
+// TestOversizeBodyRejected pins that a body past the 64 MiB bound is
+// rejected whole with the too_large code (413), never truncated and
+// forwarded.
+func TestOversizeBodyRejected(t *testing.T) {
+	req := httptest.NewRequest(http.MethodPost, "/v1/detect", endlessZeros{})
+	_, err := readBody(req)
+	if !errors.Is(err, ErrBodyTooLarge) {
+		t.Fatalf("readBody(oversized) = %v, want ErrBodyTooLarge", err)
+	}
+	if code := bodyCode(err); code != api.CodeTooLarge {
+		t.Fatalf("bodyCode = %q, want too_large", code)
 	}
 }
 
