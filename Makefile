@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet lint lint-report test race bench bench-serve bench-serve-smoke serve-smoke serve-fleet-smoke verify
+.PHONY: build vet lint lint-report test race bench bench-full bench-serve bench-serve-smoke serve-smoke serve-fleet-smoke smoke-scale verify
 
 build:
 	$(GO) build ./...
@@ -39,6 +39,13 @@ bench:
 	$(GO) test -run='^$$' -bench='Histogram|CounterInc|NewTraceID' -benchtime=10000x ./internal/obs
 	$(GO) run ./cmd/benchpipeline -o BENCH_pipeline.json
 
+# Full benchmark including the 1000-bus power-flow scaling rows (the
+# synth1000 grid alone takes ~30 s to build, so verify runs the plain
+# bench target instead). This is what the committed BENCH_pipeline.json
+# is produced with.
+bench-full:
+	$(GO) run ./cmd/benchpipeline -full -o BENCH_pipeline.json
+
 # Serving benchmark: open-loop QPS tiers against the real HTTP handler
 # in both ingest modes (JSON and binary wire frames), plus the ingress
 # decode comparison. Writes BENCH_serve.json; the smoke variant runs one
@@ -59,6 +66,14 @@ bench-serve-smoke:
 serve-smoke:
 	$(GO) run ./cmd/outaged -smoke
 
+# Scale smoke: the serve-smoke flow on the 300-bus synthetic grid —
+# trains synth300 over the sparse power-flow path (short DC window),
+# serves it over real HTTP, and hot-reloads it. This is the check that
+# the sparse numerics stack works end to end at scale, not just in
+# unit tests.
+smoke-scale:
+	$(GO) run ./cmd/outaged -smoke -smoke-case synth300 -smoke-steps 8
+
 # Fleet smoke: an in-process fleet — model registry, two primary
 # backends booted by fingerprint, one canary backend, the router in
 # full-shadow mode — driven over real HTTP. Asserts byte-identical
@@ -70,4 +85,4 @@ serve-fleet-smoke:
 
 # The tier-1 gate (see ROADMAP.md): build, vet, gridlint, race tests,
 # benchmark smoke.
-verify: build vet lint race bench bench-serve-smoke serve-smoke serve-fleet-smoke
+verify: build vet lint race bench bench-serve-smoke serve-smoke smoke-scale serve-fleet-smoke

@@ -47,12 +47,16 @@ type IngestResponse struct {
 // onto a new model. Exactly one source may be set — Path names an
 // artifact file on the daemon's filesystem, Fingerprint names an
 // artifact in the daemon's configured model registry (pulled with a
-// conditional GET and verified against the fingerprint on receipt) —
-// or neither, which retrains from the shard's options.
+// conditional GET and verified against the fingerprint on receipt),
+// PatchPath names an incremental patch file applied to the model the
+// shard is currently serving (the patch is fingerprint-pinned to
+// exactly one base, so a shard on any other model rejects it) — or
+// none of the three, which retrains from the shard's options.
 type ReloadRequest struct {
 	Shard       string `json:"shard"`
 	Path        string `json:"path,omitempty"`
 	Fingerprint string `json:"fingerprint,omitempty"`
+	PatchPath   string `json:"patch_path,omitempty"`
 }
 
 // ReloadResult reports the shard's new incarnation after the swap: the

@@ -31,6 +31,14 @@ const (
 	// CodeModelVersion: an artifact written under a different format
 	// version (pmuoutage.ErrModelVersion).
 	CodeModelVersion Code = "model_version"
+	// CodeBadPatch: a model patch failed decoding, fingerprint
+	// verification, or carried a foreign format version
+	// (pmuoutage.ErrBadPatch, pmuoutage.ErrPatchVersion).
+	CodeBadPatch Code = "bad_patch"
+	// CodePatchBase: a patch was applied to a shard serving a model
+	// other than the patch's pinned base (pmuoutage.ErrPatchBase).
+	// Terminal for this request; reload the base first, then re-apply.
+	CodePatchBase Code = "patch_base"
 	// CodeConfig: an invalid service or client configuration reached a
 	// handler (service.ErrConfig).
 	CodeConfig Code = "config"
@@ -72,11 +80,11 @@ func (c Code) Retryable() bool {
 func (c Code) HTTPStatus() int {
 	switch c {
 	case CodeBadRequest, CodeBadSample, CodeBadLine, CodeUnknownCase,
-		CodeBadModel, CodeModelVersion, CodeConfig:
+		CodeBadModel, CodeModelVersion, CodeBadPatch, CodeConfig:
 		return 400
 	case CodeUnknownShard, CodeUnknownModel:
 		return 404
-	case CodePromotionBlocked:
+	case CodePromotionBlocked, CodePatchBase:
 		return 409
 	case CodeTooLarge:
 		return 413

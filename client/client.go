@@ -136,6 +136,15 @@ func (c *Client) ReloadModel(ctx context.Context, shard, fingerprint string) (*R
 	return c.reload(ctx, api.ReloadRequest{Shard: shard, Fingerprint: fingerprint})
 }
 
+// ReloadPatch applies the incremental patch artifact at patchPath (a
+// file on the daemon's filesystem) to the model the shard is serving
+// right now. The patch is fingerprint-pinned to one base model: a
+// shard on any other model rejects the request (code patch_base) and
+// keeps serving unchanged.
+func (c *Client) ReloadPatch(ctx context.Context, shard, patchPath string) (*ReloadResult, error) {
+	return c.reload(ctx, api.ReloadRequest{Shard: shard, PatchPath: patchPath})
+}
+
 func (c *Client) reload(ctx context.Context, req api.ReloadRequest) (*ReloadResult, error) {
 	var out ReloadResult
 	if err := c.postJSON(ctx, "/v1/reload", req, &out); err != nil {

@@ -66,6 +66,8 @@ func main() {
 		timeout    = flag.Duration("timeout", 30*time.Second, "per-request deadline")
 		confirm    = flag.Int("confirm", 0, "streaming confirmation streak (0 = default)")
 		smoke      = flag.Bool("smoke", false, "self-test: serve on an ephemeral port, round-trip one detect, exit")
+		smokeCase  = flag.String("smoke-case", "ieee14", "grid case the -smoke shard trains on (e.g. synth300 for the scale smoke)")
+		smokeSteps = flag.Int("smoke-steps", 12, "training window length of the -smoke shard")
 	)
 	flag.Parse()
 
@@ -76,7 +78,7 @@ func main() {
 	logger := obs.NewTextLogger(os.Stderr, level)
 
 	if *smoke {
-		if err := runSmoke(); err != nil {
+		if err := runSmoke(*smokeCase, *smokeSteps); err != nil {
 			log.Fatalf("serve-smoke: %v", err)
 		}
 		fmt.Println("serve-smoke ok")
@@ -242,19 +244,20 @@ func run(ctx context.Context, addr, debugAddr string, cfg service.Config, timeou
 	return nil
 }
 
-// runSmoke is the -smoke self-test wired to `make serve-smoke`: bring a
-// one-shard service up on an ephemeral port, round-trip one detect
-// request over real HTTP, check it against the library answer, and shut
-// down cleanly.
-func runSmoke() error {
-	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+// runSmoke is the -smoke self-test wired to `make serve-smoke` (and,
+// with -smoke-case synth300, `make smoke-scale`): bring a one-shard
+// service up on an ephemeral port, round-trip one detect request over
+// real HTTP, check it against the library answer, and shut down
+// cleanly.
+func runSmoke(caseName string, trainSteps int) error {
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
 	defer cancel()
 	// Debug-level logging to a discard sink: the smoke run exercises the
 	// full span/access-log path without polluting its own output.
 	smokeLog := obs.NewTextLogger(io.Discard, slog.LevelDebug)
 	cfg := service.Config{
 		Shards: []service.ShardSpec{{Name: "smoke", Opts: pmuoutage.Options{
-			Case: "ieee14", TrainSteps: 12, UseDC: true, Seed: 7,
+			Case: caseName, TrainSteps: trainSteps, UseDC: true, Seed: 7,
 		}}},
 		Logger: smokeLog,
 	}

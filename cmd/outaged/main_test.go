@@ -344,7 +344,7 @@ func TestBuildConfig(t *testing.T) {
 // TestServeSmoke runs the -smoke self-test end to end: real listener,
 // real HTTP round trip, graceful shutdown.
 func TestServeSmoke(t *testing.T) {
-	if err := runSmoke(); err != nil {
+	if err := runSmoke("ieee14", 12); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -7,10 +7,18 @@
 // pmuoutage.DecodeModel + NewSystemFromModel — all without repeating
 // the power-flow simulation or SVD training.
 //
+// It also owns the incremental-update path: -patch-lines re-simulates
+// a handful of lines against a saved base model and writes a small
+// fingerprint-pinned patch artifact, and -apply splices such a patch
+// into its base offline — the same artifact POST /v1/reload
+// (patch_path) applies to a live shard without restarting it.
+//
 // Usage:
 //
 //	outagetrain -case ieee14 -o ieee14.model.json [-dc] [-steps 40] [-seed 1]
 //	outagetrain -describe ieee14.model.json
+//	outagetrain -base ieee14.model.json -patch-lines 3,7 -seed 77 -o delta.patch.json
+//	outagetrain -base ieee14.model.json -apply delta.patch.json -o ieee14.v2.model.json
 package main
 
 import (
@@ -20,6 +28,8 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 
 	"pmuoutage"
@@ -35,6 +45,9 @@ func main() {
 		dc       = flag.Bool("dc", false, "use the linear DC power-flow substrate (faster)")
 		workers  = flag.Int("workers", 0, "training worker pool (0 = GOMAXPROCS)")
 		describe = flag.String("describe", "", "print a saved artifact's metadata and exit")
+		base     = flag.String("base", "", "base model artifact for -patch-lines / -apply")
+		lines    = flag.String("patch-lines", "", "comma-separated line indices to refresh into a patch (needs -base, -o)")
+		apply    = flag.String("apply", "", "patch artifact to splice into -base, writing the patched model to -o")
 	)
 	flag.Parse()
 
@@ -48,6 +61,10 @@ func main() {
 	case *out == "":
 		flag.Usage()
 		os.Exit(2)
+	case *lines != "":
+		err = runPatch(ctx, os.Stdout, *base, *lines, *seed, *steps, *out)
+	case *apply != "":
+		err = runApply(os.Stdout, *base, *apply, *out)
 	default:
 		opts := pmuoutage.Options{
 			Case: *caseName, Clusters: *clusters, TrainSteps: *steps,
@@ -81,6 +98,97 @@ func runTrain(ctx context.Context, w io.Writer, opts pmuoutage.Options, path str
 	fmt.Fprintf(w, "trained  %s (seed %d)\n", m.Case(), m.Options().Seed)
 	fmt.Fprintf(w, "saved    %s\n", path)
 	return describeModel(w, m)
+}
+
+// runPatch re-simulates the named lines against the base model and
+// writes the incremental patch artifact.
+func runPatch(ctx context.Context, w io.Writer, basePath, lineList string, seed int64, steps int, outPath string) error {
+	if basePath == "" {
+		return fmt.Errorf("-patch-lines needs -base")
+	}
+	var idx []int
+	for _, tok := range strings.Split(lineList, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(tok))
+		if err != nil {
+			return fmt.Errorf("-patch-lines %q: %v", lineList, err)
+		}
+		idx = append(idx, n)
+	}
+	base, err := loadModel(basePath)
+	if err != nil {
+		return err
+	}
+	p, err := pmuoutage.TrainModelPatchContext(ctx, base, pmuoutage.PatchSpec{Lines: idx, Seed: seed, Steps: steps})
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(outPath)
+	if err != nil {
+		return err
+	}
+	if err := p.Encode(f); err != nil {
+		_ = f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "patched  lines %v (seed %d)\n", p.Lines(), seed)
+	fmt.Fprintf(w, "saved    %s\n", outPath)
+	fmt.Fprintf(w, "patch    %s\n", p.Fingerprint())
+	fmt.Fprintf(w, "base     %s\n", p.BaseFingerprint())
+	fmt.Fprintf(w, "result   %s\n", p.ResultFingerprint())
+	return nil
+}
+
+// runApply splices a patch into its base model offline and writes the
+// patched artifact — the same operation POST /v1/reload (patch_path)
+// performs against a live shard.
+func runApply(w io.Writer, basePath, patchPath, outPath string) error {
+	if basePath == "" {
+		return fmt.Errorf("-apply needs -base")
+	}
+	base, err := loadModel(basePath)
+	if err != nil {
+		return err
+	}
+	pf, err := os.Open(patchPath)
+	if err != nil {
+		return err
+	}
+	p, err := pmuoutage.DecodePatch(pf)
+	_ = pf.Close()
+	if err != nil {
+		return err
+	}
+	m, err := p.Apply(base)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(outPath)
+	if err != nil {
+		return err
+	}
+	if err := m.Encode(f); err != nil {
+		_ = f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "applied  %s\n", patchPath)
+	fmt.Fprintf(w, "saved    %s\n", outPath)
+	return describeModel(w, m)
+}
+
+// loadModel reads one model artifact from disk.
+func loadModel(path string) (*pmuoutage.Model, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return pmuoutage.DecodeModel(f)
 }
 
 // runDescribe prints a saved artifact's metadata after a full decode —

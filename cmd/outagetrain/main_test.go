@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"context"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
@@ -52,6 +53,65 @@ func TestTrainSaveDescribeServe(t *testing.T) {
 	}
 	if _, err := pmuoutage.NewSystemFromModel(m); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestPatchApplyRoundTrip drives the CLI's incremental-update path:
+// train a base artifact, emit a two-line patch against it, splice the
+// patch back in offline, and check the output model carries exactly
+// the fingerprint the patch promised.
+func TestPatchApplyRoundTrip(t *testing.T) {
+	opts := pmuoutage.Options{Case: "ieee14", TrainSteps: 12, Seed: 3, UseDC: true, Workers: 2}
+	dir := t.TempDir()
+	basePath := filepath.Join(dir, "base.model.json")
+	patchPath := filepath.Join(dir, "delta.patch.json")
+	outPath := filepath.Join(dir, "patched.model.json")
+
+	var out bytes.Buffer
+	if err := runTrain(context.Background(), &out, opts, basePath); err != nil {
+		t.Fatal(err)
+	}
+	base, err := loadModel(basePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := pmuoutage.NewSystemFromModel(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	valid := sys.ValidLines()
+	lineList := fmt.Sprintf("%d,%d", valid[0], valid[2])
+
+	out.Reset()
+	if err := runPatch(context.Background(), &out, basePath, lineList, 77, 0, patchPath); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "base     "+base.Fingerprint()) {
+		t.Fatalf("patch output lacks the base fingerprint:\n%s", out.String())
+	}
+
+	out.Reset()
+	if err := runApply(&out, basePath, patchPath, outPath); err != nil {
+		t.Fatal(err)
+	}
+	pf, err := os.Open(patchPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := pmuoutage.DecodePatch(pf)
+	_ = pf.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	patched, err := loadModel(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if patched.Fingerprint() != p.ResultFingerprint() {
+		t.Fatalf("patched artifact %s, patch promised %s", patched.Fingerprint(), p.ResultFingerprint())
+	}
+	if patched.Fingerprint() == base.Fingerprint() {
+		t.Fatal("fresh-seed patch left the model unchanged")
 	}
 }
 

@@ -34,4 +34,18 @@ var (
 	// ErrModelVersion reports a model artifact written under a different
 	// (newer or older) format version than this build understands.
 	ErrModelVersion = errors.New("pmuoutage: model format version mismatch")
+
+	// ErrBadPatch reports a model patch that cannot be built, decoded, or
+	// applied: unparsable content, a failed fingerprint check, or a splice
+	// whose result does not hash to the fingerprint the trainer sealed in.
+	ErrBadPatch = errors.New("pmuoutage: bad model patch")
+
+	// ErrPatchVersion reports a patch artifact written under a different
+	// format version than this build understands.
+	ErrPatchVersion = errors.New("pmuoutage: patch format version mismatch")
+
+	// ErrPatchBase reports a patch applied to a model other than the one
+	// it was trained against. Patches are fingerprint-pinned to exactly
+	// one base.
+	ErrPatchBase = errors.New("pmuoutage: patch base model mismatch")
 )

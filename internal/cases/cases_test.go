@@ -3,6 +3,7 @@ package cases
 import (
 	"math"
 	"reflect"
+	"strings"
 	"testing"
 
 	"pmuoutage/internal/grid"
@@ -63,6 +64,12 @@ func TestSyntheticSameSeedDeepEqual(t *testing.T) {
 
 func TestLoadRegistry(t *testing.T) {
 	for _, name := range Names() {
+		if raceEnabled && strings.HasPrefix(name, "synth") {
+			// The scale builds are pure numeric loops that race
+			// instrumentation slows ~100x; the scale tests and
+			// `make smoke-scale` cover them uninstrumented.
+			continue
+		}
 		g, err := Load(name)
 		if err != nil {
 			t.Fatal(err)

@@ -1,0 +1,7 @@
+//go:build !race
+
+package cases
+
+// raceEnabled reports whether the race detector is compiled in; see
+// race_on.go for why the scale tests consult it.
+const raceEnabled = false

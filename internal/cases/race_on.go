@@ -1,0 +1,10 @@
+//go:build race
+
+package cases
+
+// raceEnabled reports whether the race detector is compiled in. The
+// 1000-bus scale test skips under it: the feasibility loop inside the
+// builder solves dozens of AC power flows, and instrumentation turns a
+// ~30 s build into minutes, blowing the verify budget for no extra
+// coverage (the numerics are identical either way).
+const raceEnabled = true

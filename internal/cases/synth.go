@@ -3,6 +3,7 @@ package cases
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 
 	"pmuoutage/internal/grid"
 	"pmuoutage/internal/powerflow"
@@ -109,8 +110,16 @@ func Synthetic(cfg SynthConfig) (*grid.Grid, error) {
 		addBranch(hubs[r], hubs[(r+1)%cfg.Regions])
 	}
 	// 3) Chords up to the branch budget: mostly intra-region shortcuts,
-	//    occasionally inter-region ties.
-	for guard := 0; len(g.Branches) < cfg.Branches && guard < 100000; guard++ {
+	//    occasionally inter-region ties. The draw guard bounds rejection
+	//    sampling on dense graphs; when it trips, fail loudly — an
+	//    under-connected grid would silently skew every experiment run
+	//    on it.
+	const chordGuard = 100000
+	for guard := 0; len(g.Branches) < cfg.Branches; guard++ {
+		if guard >= chordGuard {
+			return nil, fmt.Errorf("cases: chord guard tripped after %d draws with %d of %d branches — refusing to emit an under-connected grid",
+				chordGuard, len(g.Branches), cfg.Branches)
+		}
 		var a, b int
 		if rng.Float64() < 0.75 {
 			r := rng.Intn(cfg.Regions)
@@ -129,9 +138,6 @@ func Synthetic(cfg SynthConfig) (*grid.Grid, error) {
 			b = rng.Intn(n)
 		}
 		addBranch(a, b)
-	}
-	if len(g.Branches) != cfg.Branches {
-		return nil, fmt.Errorf("cases: could not reach %d branches (got %d)", cfg.Branches, len(g.Branches))
 	}
 
 	// Generators: slack at bus 0 plus cfg.Gens PV buses spread over regions.
@@ -241,4 +247,50 @@ func IEEE118() *grid.Grid {
 		panic(err)
 	}
 	return g
+}
+
+// The scale grids take seconds to build (the feasibility loop solves
+// AC power flows during construction), so each builds once per process
+// and hands out clones, matching the fresh-grid semantics of the small
+// builders at amortised cost.
+var (
+	synth300Once  sync.Once
+	synth300Grid  *grid.Grid
+	synth1000Once sync.Once
+	synth1000Grid *grid.Grid
+)
+
+// Synth300 returns a 300-bus synthetic system scaled from the 118-bus
+// stand-in's density (≈1.6 branches and ≈36 MW of load per bus, one PV
+// bus per ~6.5). It is the smallest grid that exercises the sparse
+// powerflow path (≥ powerflow.SparseBusThreshold buses) end to end.
+func Synth300() *grid.Grid {
+	synth300Once.Do(func() {
+		g, err := Synthetic(SynthConfig{
+			Name: "synth300", Buses: 300, Branches: 475,
+			Regions: 20, Gens: 46, LoadMW: 10800, Seed: 300,
+		})
+		if err != nil {
+			panic(err) // deterministic build; failure is a programming error
+		}
+		synth300Grid = g
+	})
+	return synth300Grid.Clone()
+}
+
+// Synth1000 returns a 1000-bus synthetic system at the same density,
+// the scaling target of the sparse numerics core (ROADMAP: "bigger
+// grids, faster math").
+func Synth1000() *grid.Grid {
+	synth1000Once.Do(func() {
+		g, err := Synthetic(SynthConfig{
+			Name: "synth1000", Buses: 1000, Branches: 1580,
+			Regions: 66, Gens: 150, LoadMW: 36000, Seed: 1000,
+		})
+		if err != nil {
+			panic(err)
+		}
+		synth1000Grid = g
+	})
+	return synth1000Grid.Clone()
 }

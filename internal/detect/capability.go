@@ -74,6 +74,13 @@ func clamp01(v float64) float64 {
 type Capabilities struct {
 	Ellipses []*ellipse.Ellipse
 	P        [][]float64
+	// Case holds the per-case capability rows of Eq. (5): Case[e][k] is
+	// how reliably node k flags an outage of line e. P derives from these
+	// rows by the Eq. (6)-(7) union over each node's incident lines; they
+	// are kept so an incremental model patch can recompute the affected
+	// union rows from refreshed case rows alone, without the outage data
+	// of the untouched lines.
+	Case map[grid.Line][]float64
 }
 
 // FitEllipses fits Ω_k for every node from the normal-operation
@@ -198,5 +205,5 @@ func LearnCapabilitiesContext(ctx context.Context, d *dataset.Data, margin float
 	if err != nil {
 		return nil, err
 	}
-	return &Capabilities{Ellipses: ells, P: p}, nil
+	return &Capabilities{Ellipses: ells, P: p, Case: caseCap}, nil
 }

@@ -19,7 +19,11 @@ import (
 // any other version with ErrModelVersion: the format has no migration
 // story by design — a model is cheap to retrain, so version bumps are
 // honest breaks rather than silent best-effort reads.
-const ModelVersion = 1
+//
+// Version history: 1 had no per-case capability rows; 2 added
+// CaseCapability so incremental patches can rebuild node capability
+// rows locally.
+const ModelVersion = 2
 
 // Sentinel errors of the model codec. Everything Encode/Decode/FromModel
 // mint wraps one of these so callers branch with errors.Is.
@@ -103,6 +107,11 @@ type Model struct {
 	Ellipses []ModelEllipse `json:"ellipses"`
 	// Capability is the matrix P with P[i][k] = p_{i,k} of Eq. (6).
 	Capability [][]float64 `json:"capability"`
+	// CaseCapability holds the per-case rows of Eq. (5), one per
+	// ValidLines entry, from which Capability's union rows derive. Stored
+	// so a Patch can recompute the rows of the nodes it touches without
+	// the training data of the untouched lines.
+	CaseCapability [][]float64 `json:"case_capability"`
 	// Groups are the per-cluster detection groups.
 	Groups []Group `json:"groups"`
 
@@ -129,8 +138,12 @@ func (det *Detector) Snapshot() (*Model, error) {
 		NodeLines:         det.nodeLines,
 		Ellipses:          make([]ModelEllipse, len(det.caps.Ellipses)),
 		Capability:        det.caps.P,
+		CaseCapability:    make([][]float64, len(det.validLines)),
 		Groups:            det.groups,
 		NoOutageThreshold: det.noOutageThresh,
+	}
+	for k, e := range det.validLines {
+		m.CaseCapability[k] = det.caps.Case[e]
 	}
 	for k, e := range det.validLines {
 		m.LineBases[k] = basisOf(det.lineSubs[e])
@@ -256,6 +269,14 @@ func (m *Model) validate() error {
 			return bad("capability row %d has %d entries, grid has %d buses", i, len(row), n)
 		}
 	}
+	if len(m.CaseCapability) != len(m.ValidLines) {
+		return bad("%d case-capability rows for %d valid lines", len(m.CaseCapability), len(m.ValidLines))
+	}
+	for k, row := range m.CaseCapability {
+		if len(row) != n {
+			return bad("case-capability row %d has %d entries, grid has %d buses", k, len(row), n)
+		}
+	}
 	if len(m.Groups) != len(m.Clusters) {
 		return bad("%d detection groups for %d clusters", len(m.Groups), len(m.Clusters))
 	}
@@ -316,11 +337,16 @@ func FromModel(m *Model) (*Detector, error) {
 		normalSub:      m.NormalBasis.subspace(),
 		noOutageThresh: m.NoOutageThreshold,
 		validLines:     m.ValidLines,
-		caps:           &Capabilities{Ellipses: make([]*ellipse.Ellipse, n), P: m.Capability},
-		groups:         m.Groups,
+		caps: &Capabilities{
+			Ellipses: make([]*ellipse.Ellipse, n),
+			P:        m.Capability,
+			Case:     make(map[grid.Line][]float64, len(m.ValidLines)),
+		},
+		groups: m.Groups,
 	}
 	for k, e := range m.ValidLines {
 		det.lineSubs[e] = m.LineBases[k].subspace()
+		det.caps.Case[e] = m.CaseCapability[k]
 	}
 	for i := 0; i < n; i++ {
 		det.unionSubs[i] = m.UnionBases[i].subspace()

@@ -1,0 +1,489 @@
+package detect
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+
+	"pmuoutage/internal/dataset"
+	"pmuoutage/internal/ellipse"
+	"pmuoutage/internal/grid"
+	"pmuoutage/internal/mat"
+	"pmuoutage/internal/par"
+	"pmuoutage/internal/pmunet"
+	"pmuoutage/internal/subspace"
+)
+
+// PatchVersion is the current patch artifact format version. Like the
+// model format, it has no migration story: foreign versions are
+// rejected outright.
+const PatchVersion = 1
+
+// Sentinel errors of the patch codec and applier.
+var (
+	// ErrPatchVersion reports a patch artifact of a foreign format
+	// version.
+	ErrPatchVersion = errors.New("detect: patch format version mismatch")
+	// ErrPatchCorrupt reports a patch that fails to parse, fails its
+	// fingerprint check, or is structurally inconsistent with the model
+	// it is applied to.
+	ErrPatchCorrupt = errors.New("detect: corrupt patch artifact")
+	// ErrPatchBase reports a patch applied to a model other than the one
+	// it was trained against.
+	ErrPatchBase = errors.New("detect: patch base mismatch")
+)
+
+// Patch is the incremental counterpart of Model: the delta produced by
+// re-learning a handful of lines' signatures from fresh outage data,
+// sealed against the exact base model it was computed from. A patch
+// carries only what those lines touch — their refreshed signature
+// bases and Eq. (5) capability rows, the union/intersection bases and
+// Eq. (6) capability rows of their endpoint nodes, and the rebuilt
+// detection groups — so its size and the work of producing it scale
+// with the lines refreshed, not the grid.
+//
+// Both ends of the application are pinned by fingerprint: Apply
+// refuses a base whose fingerprint differs from BaseFingerprint, and
+// verifies the patched model hashes to ResultFingerprint before
+// returning it. A patched model is therefore indistinguishable from
+// the full artifact the trainer would have produced — same codec, same
+// validation, same fingerprint discipline.
+type Patch struct {
+	// FormatVersion is PatchVersion at encode time.
+	FormatVersion int `json:"format_version"`
+	// Fingerprint is the hex SHA-256 over the canonical encoding of the
+	// patch with this field empty (the patch's own registry identity).
+	Fingerprint string `json:"fingerprint,omitempty"`
+	// BaseFingerprint is the fingerprint of the exact model this patch
+	// was trained against; Apply refuses any other base.
+	BaseFingerprint string `json:"base_fingerprint"`
+	// ResultFingerprint is the fingerprint the patched model must hash
+	// to — the post-apply integrity check.
+	ResultFingerprint string `json:"result_fingerprint"`
+
+	// Lines are the refreshed lines, in the base model's ValidLines
+	// order; LineBases and CaseRows align with it.
+	Lines     []grid.Line `json:"lines"`
+	LineBases []Basis     `json:"line_bases"`
+	// CaseRows are the refreshed Eq. (5) capability rows.
+	CaseRows [][]float64 `json:"case_rows"`
+
+	// Nodes are the endpoints of Lines (sorted, unique); UnionBases,
+	// InterBases, and PRows align with it.
+	Nodes      []int       `json:"nodes"`
+	UnionBases []Basis     `json:"union_bases"`
+	InterBases []Basis     `json:"inter_bases"`
+	PRows      [][]float64 `json:"p_rows"`
+
+	// Groups are the detection groups rebuilt from the patched
+	// capability table (group membership depends on every node's rows,
+	// so the full set rides along; it is small).
+	Groups []Group `json:"groups"`
+}
+
+// TrainPatch re-learns the signature subspaces of the refreshed lines
+// from fresh outage data and derives everything downstream of them,
+// against the frozen remainder of the base model. normal must be the
+// base model's normal-operation training set (the patch reuses the
+// base mean, S⁰, and ellipses, so capability rows stay commensurable);
+// refreshed maps each line to its new outage sample set. Every
+// refreshed line must already be a valid line of the base model.
+//
+// The per-line SVD work — the expensive part of training — runs only
+// for the refreshed lines; node subspaces are rebuilt by rank-one
+// Extend updates over the incident line bases. Applying the returned
+// patch to base reproduces, fingerprint for fingerprint, the model a
+// full retrain on the swapped dataset would produce.
+func TrainPatch(ctx context.Context, base *Model, normal *dataset.Set, refreshed map[grid.Line]*dataset.Set) (*Patch, error) {
+	if base.FormatVersion != ModelVersion {
+		return nil, fmt.Errorf("%w: base has format version %d, this build patches %d",
+			ErrModelVersion, base.FormatVersion, ModelVersion)
+	}
+	if err := base.validate(); err != nil {
+		return nil, err
+	}
+	cfg := base.Config
+	if cfg.Groups.Mix < 1 {
+		return nil, fmt.Errorf("detect: cannot patch a model with PCA-mixed detection groups (mix %g): the pooled loadings need every line's outage data",
+			cfg.Groups.Mix)
+	}
+	if len(refreshed) == 0 {
+		return nil, fmt.Errorf("detect: patch refreshes no lines")
+	}
+	n := base.Grid.N()
+	if normal == nil || normal.T() < 2 {
+		return nil, fmt.Errorf("detect: patch needs the base normal set (at least 2 samples)")
+	}
+	pos := make(map[grid.Line]int, len(base.ValidLines))
+	for k, e := range base.ValidLines {
+		pos[e] = k
+	}
+	p := &Patch{FormatVersion: PatchVersion, BaseFingerprint: base.Fingerprint}
+	for _, e := range base.ValidLines { // ValidLines order, like Train
+		if refreshed[e] != nil {
+			p.Lines = append(p.Lines, e)
+		}
+	}
+	if len(p.Lines) != len(refreshed) {
+		for e := range refreshed {
+			if _, ok := pos[e]; !ok {
+				return nil, fmt.Errorf("detect: line %d is not a valid line of the base model", e)
+			}
+			if refreshed[e] == nil {
+				return nil, fmt.Errorf("detect: refreshed set for line %d is nil", e)
+			}
+		}
+	}
+	for _, e := range p.Lines {
+		set := refreshed[e]
+		if set.T() == 0 || set.Samples[0].N() != n {
+			return nil, fmt.Errorf("detect: refreshed set for line %d is empty or sized for the wrong grid", e)
+		}
+	}
+
+	mean := base.Mean
+	normalSub := base.NormalBasis.subspace()
+	ells := make([]*ellipse.Ellipse, n)
+	for i := range ells {
+		ells[i] = &ellipse.Ellipse{C: base.Ellipses[i].C, A: base.Ellipses[i].A}
+	}
+
+	// Refreshed per-line signatures (Eq. 2) and capability rows (Eq. 5):
+	// the same operations Train runs, restricted to the touched lines.
+	type lineDelta struct {
+		sub     *subspace.Subspace
+		caseRow []float64
+	}
+	deltas, err := par.Map(ctx, cfg.Workers, len(p.Lines), func(_ context.Context, j int) (lineDelta, error) {
+		e := p.Lines[j]
+		set := refreshed[e]
+		x := deviationMatrixOf(set, mean, cfg.Channel)
+		s, err := subspace.Learn(normalSub.ProjectOut(x), cfg.LineRank)
+		if err != nil {
+			return lineDelta{}, fmt.Errorf("detect: subspace for line %d: %w", e, err)
+		}
+		row := make([]float64, n)
+		for k := 0; k < n; k++ {
+			row[k] = CaseCapability(ells[k], set, normal, k)
+		}
+		return lineDelta{sub: s, caseRow: row}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	newSubs := map[grid.Line]*subspace.Subspace{}
+	newCase := map[grid.Line][]float64{}
+	for j, e := range p.Lines {
+		p.LineBases = append(p.LineBases, basisOf(deltas[j].sub))
+		p.CaseRows = append(p.CaseRows, deltas[j].caseRow)
+		newSubs[e] = deltas[j].sub
+		newCase[e] = deltas[j].caseRow
+	}
+
+	// Touched nodes: endpoints of the refreshed lines.
+	seen := map[int]bool{}
+	for _, e := range p.Lines {
+		a, b := base.Grid.Endpoints(e)
+		for _, i := range []int{a, b} {
+			if !seen[i] {
+				seen[i] = true
+				p.Nodes = append(p.Nodes, i)
+			}
+		}
+	}
+	sort.Ints(p.Nodes)
+
+	lineSub := func(e grid.Line) *subspace.Subspace {
+		if s, ok := newSubs[e]; ok {
+			return s
+		}
+		return base.LineBases[pos[e]].subspace()
+	}
+	caseRow := func(e grid.Line) []float64 {
+		if r, ok := newCase[e]; ok {
+			return r
+		}
+		return base.CaseCapability[pos[e]]
+	}
+	type nodeDelta struct {
+		union, inter Basis
+		pRow         []float64
+	}
+	nodes, err := par.Map(ctx, cfg.Workers, len(p.Nodes), func(_ context.Context, j int) (nodeDelta, error) {
+		i := p.Nodes[j]
+		incident := base.NodeLines[i]
+		subs := make([]*subspace.Subspace, len(incident))
+		for k, e := range incident {
+			subs[k] = lineSub(e)
+		}
+		var nd nodeDelta
+		if len(subs) == 0 {
+			z := basisOf(subspace.Zero(len(mean)))
+			nd.union, nd.inter = z, z
+		} else {
+			u, err := subspace.Union(subs...)
+			if err != nil {
+				return nd, err
+			}
+			in, err := subspace.Intersection(cfg.InterShare, subs...)
+			if err != nil {
+				return nd, err
+			}
+			nd.union, nd.inter = basisOf(u), basisOf(in)
+		}
+		// Eq. (6)-(7) union row over the node's incident cases, with the
+		// refreshed Eq. (5) rows swapped in — the same loop
+		// LearnCapabilities runs.
+		nd.pRow = make([]float64, n)
+		if len(incident) > 0 {
+			ps := make([]float64, len(incident))
+			for k := 0; k < n; k++ {
+				for c, e := range incident {
+					ps[c] = caseRow(e)[k]
+				}
+				nd.pRow[k] = UnionProb(ps)
+			}
+		}
+		return nd, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, nd := range nodes {
+		p.UnionBases = append(p.UnionBases, nd.union)
+		p.InterBases = append(p.InterBases, nd.inter)
+		p.PRows = append(p.PRows, nd.pRow)
+	}
+
+	// Rebuild the detection groups from the patched capability table:
+	// membership ranks nodes across the whole grid, so the full (small)
+	// group set rides in the patch.
+	nw, err := pmunet.FromClusters(base.Grid, base.Clusters)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrModelCorrupt, err)
+	}
+	caps := &Capabilities{Ellipses: ells, P: patchedMatrix(base.Capability, p.Nodes, p.PRows)}
+	gcfg := cfg.Groups
+	gcfg.Channel = cfg.Channel
+	maxDeg := 0
+	for i := 0; i < n; i++ {
+		if deg := base.Grid.Degree(i); deg > maxDeg {
+			maxDeg = deg
+		}
+	}
+	minSize := maxDeg*cfg.LineRank + normalSub.Rank() + 4
+	if minSize > n {
+		minSize = n
+	}
+	if gcfg.Size < minSize {
+		gcfg.Size = minSize
+	}
+	groups, err := BuildGroups(nw, caps, nil, gcfg)
+	if err != nil {
+		return nil, err
+	}
+	p.Groups = groups
+
+	// Seal both ends: the patch's own fingerprint and the fingerprint
+	// the patched model must land on.
+	result, err := p.patchedModel(base)
+	if err != nil {
+		return nil, err
+	}
+	p.ResultFingerprint = result.Fingerprint
+	fp, err := p.computeFingerprint()
+	if err != nil {
+		return nil, err
+	}
+	p.Fingerprint = fp
+	return p, nil
+}
+
+// deviationMatrixOf centers a sample set's channel vectors on the given
+// mean — Train's deviationMatrix, detached from the Detector.
+func deviationMatrixOf(set *dataset.Set, mean []float64, ch dataset.Channel) *mat.Dense {
+	x := mat.NewDense(len(mean), set.T())
+	for t, s := range set.Samples {
+		v := s.Vector(ch)
+		for i := range v {
+			v[i] -= mean[i]
+		}
+		x.SetCol(t, v)
+	}
+	return x
+}
+
+// patchedMatrix returns rows with the given replacements applied; the
+// untouched rows are shared with the base.
+func patchedMatrix(baseRows [][]float64, idx []int, repl [][]float64) [][]float64 {
+	out := append([][]float64(nil), baseRows...)
+	for j, i := range idx {
+		out[i] = repl[j]
+	}
+	return out
+}
+
+// Apply produces the patched model: the base with the refreshed line
+// signatures, node subspaces, capability rows, and detection groups
+// swapped in, re-sealed and verified against ResultFingerprint. The
+// base is not mutated; untouched payload is shared between the two
+// models (both are immutable). A base whose fingerprint differs from
+// BaseFingerprint fails with ErrPatchBase.
+func (p *Patch) Apply(base *Model) (*Model, error) {
+	if p.FormatVersion != PatchVersion {
+		return nil, fmt.Errorf("%w: patch has format version %d, this build applies %d",
+			ErrPatchVersion, p.FormatVersion, PatchVersion)
+	}
+	if base.FormatVersion != ModelVersion {
+		return nil, fmt.Errorf("%w: base has format version %d, this build patches %d",
+			ErrModelVersion, base.FormatVersion, ModelVersion)
+	}
+	if base.Fingerprint != p.BaseFingerprint {
+		return nil, fmt.Errorf("%w: patch was trained against %.12s…, base is %.12s…",
+			ErrPatchBase, p.BaseFingerprint, base.Fingerprint)
+	}
+	m, err := p.patchedModel(base)
+	if err != nil {
+		return nil, err
+	}
+	if m.Fingerprint != p.ResultFingerprint {
+		return nil, fmt.Errorf("%w: patched model hashes to %.12s…, patch expects %.12s…",
+			ErrPatchCorrupt, m.Fingerprint, p.ResultFingerprint)
+	}
+	return m, nil
+}
+
+// patchedModel splices the patch into a copy of base, revalidates, and
+// re-seals. Shared by TrainPatch (to stamp ResultFingerprint) and
+// Apply (to produce and verify the result).
+func (p *Patch) patchedModel(base *Model) (*Model, error) {
+	if err := p.checkShape(base); err != nil {
+		return nil, err
+	}
+	pos := make(map[grid.Line]int, len(base.ValidLines))
+	for k, e := range base.ValidLines {
+		pos[e] = k
+	}
+	m := *base
+	m.LineBases = append([]Basis(nil), base.LineBases...)
+	m.CaseCapability = append([][]float64(nil), base.CaseCapability...)
+	for j, e := range p.Lines {
+		k, ok := pos[e]
+		if !ok {
+			return nil, fmt.Errorf("%w: patch refreshes line %d, not a valid line of the base", ErrPatchCorrupt, e)
+		}
+		m.LineBases[k] = p.LineBases[j]
+		m.CaseCapability[k] = p.CaseRows[j]
+	}
+	m.UnionBases = append([]Basis(nil), base.UnionBases...)
+	m.InterBases = append([]Basis(nil), base.InterBases...)
+	m.Capability = append([][]float64(nil), base.Capability...)
+	n := base.Grid.N()
+	for j, i := range p.Nodes {
+		if i < 0 || i >= n {
+			return nil, fmt.Errorf("%w: patch touches node %d, grid has %d buses", ErrPatchCorrupt, i, n)
+		}
+		m.UnionBases[i] = p.UnionBases[j]
+		m.InterBases[i] = p.InterBases[j]
+		m.Capability[i] = p.PRows[j]
+	}
+	m.Groups = p.Groups
+	if err := m.validate(); err != nil {
+		return nil, err
+	}
+	if err := m.Seal(); err != nil {
+		return nil, err
+	}
+	return &m, nil
+}
+
+// checkShape verifies the patch's internal alignment against the base
+// dimensions before any splicing.
+func (p *Patch) checkShape(base *Model) error {
+	bad := func(format string, args ...any) error {
+		return fmt.Errorf("%w: %s", ErrPatchCorrupt, fmt.Sprintf(format, args...))
+	}
+	if len(p.LineBases) != len(p.Lines) || len(p.CaseRows) != len(p.Lines) {
+		return bad("%d lines with %d bases and %d case rows", len(p.Lines), len(p.LineBases), len(p.CaseRows))
+	}
+	if len(p.UnionBases) != len(p.Nodes) || len(p.InterBases) != len(p.Nodes) || len(p.PRows) != len(p.Nodes) {
+		return bad("%d nodes with %d/%d bases and %d capability rows",
+			len(p.Nodes), len(p.UnionBases), len(p.InterBases), len(p.PRows))
+	}
+	n := base.Grid.N()
+	for j := range p.CaseRows {
+		if len(p.CaseRows[j]) != n {
+			return bad("case row %d has %d entries, grid has %d buses", j, len(p.CaseRows[j]), n)
+		}
+	}
+	for j := range p.PRows {
+		if len(p.PRows[j]) != n {
+			return bad("capability row %d has %d entries, grid has %d buses", j, len(p.PRows[j]), n)
+		}
+	}
+	if len(p.Groups) != len(base.Clusters) {
+		return bad("%d detection groups for %d clusters", len(p.Groups), len(base.Clusters))
+	}
+	return nil
+}
+
+// computeFingerprint hashes the canonical encoding with the
+// fingerprint field blanked, mirroring the model codec.
+func (p *Patch) computeFingerprint() (string, error) {
+	c := *p
+	c.Fingerprint = ""
+	b, err := json.Marshal(&c)
+	if err != nil {
+		return "", fmt.Errorf("%w: unencodable content: %v", ErrPatchCorrupt, err)
+	}
+	h := sha256.Sum256(b)
+	return hex.EncodeToString(h[:]), nil
+}
+
+// Encode writes the patch artifact to w, fingerprint recomputed from
+// content so the written artifact is always self-consistent.
+func (p *Patch) Encode(w io.Writer) error {
+	if p.FormatVersion != PatchVersion {
+		return fmt.Errorf("%w: cannot encode version %d, this build writes %d",
+			ErrPatchVersion, p.FormatVersion, PatchVersion)
+	}
+	fp, err := p.computeFingerprint()
+	if err != nil {
+		return err
+	}
+	c := *p
+	c.Fingerprint = fp
+	if err := json.NewEncoder(w).Encode(&c); err != nil {
+		return fmt.Errorf("detect: encode patch: %w", err)
+	}
+	return nil
+}
+
+// DecodePatch reads one patch artifact from r, rejecting foreign
+// format versions with ErrPatchVersion and unparseable or
+// fingerprint-mismatched content with ErrPatchCorrupt. Structural
+// validation against the base model happens in Apply.
+func DecodePatch(r io.Reader) (*Patch, error) {
+	var p Patch
+	if err := json.NewDecoder(r).Decode(&p); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrPatchCorrupt, err)
+	}
+	if p.FormatVersion != PatchVersion {
+		return nil, fmt.Errorf("%w: artifact has format version %d, this build reads %d",
+			ErrPatchVersion, p.FormatVersion, PatchVersion)
+	}
+	fp, err := p.computeFingerprint()
+	if err != nil {
+		return nil, err
+	}
+	if p.Fingerprint != fp {
+		return nil, fmt.Errorf("%w: fingerprint mismatch: artifact says %q, content hashes to %q",
+			ErrPatchCorrupt, p.Fingerprint, fp)
+	}
+	return &p, nil
+}

@@ -299,14 +299,30 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := s.requestCtx(r)
 	defer cancel()
-	m, err := s.resolveModel(ctx, req)
-	if err != nil {
-		s.writeError(w, r, err)
-		return
-	}
-	if err := s.svc.Reload(ctx, req.Shard, m); err != nil {
-		s.writeError(w, r, err)
-		return
+	if req.PatchPath != "" {
+		if req.Path != "" || req.Fingerprint != "" {
+			s.writeError(w, r, fmt.Errorf("%w: reload names a patch alongside a model source; pick one", ErrBadRequest))
+			return
+		}
+		p, err := LoadPatch(req.PatchPath)
+		if err != nil {
+			s.writeError(w, r, err)
+			return
+		}
+		if err := s.svc.ApplyPatch(ctx, req.Shard, p); err != nil {
+			s.writeError(w, r, err)
+			return
+		}
+	} else {
+		m, err := s.resolveModel(ctx, req)
+		if err != nil {
+			s.writeError(w, r, err)
+			return
+		}
+		if err := s.svc.Reload(ctx, req.Shard, m); err != nil {
+			s.writeError(w, r, err)
+			return
+		}
 	}
 	for _, st := range s.svc.Shards() {
 		if st.Name == req.Shard {
@@ -344,6 +360,16 @@ func LoadModel(path string) (*pmuoutage.Model, error) {
 	}
 	defer func() { _ = f.Close() }()
 	return pmuoutage.DecodeModel(f)
+}
+
+// LoadPatch reads one model patch artifact from disk.
+func LoadPatch(path string) (*pmuoutage.Patch, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	defer func() { _ = f.Close() }()
+	return pmuoutage.DecodePatch(f)
 }
 
 func (s *Server) handleShards(w http.ResponseWriter, r *http.Request) {
@@ -401,6 +427,10 @@ func CodeOf(err error) api.Code {
 		return api.CodeUnknownCase
 	case errors.Is(err, pmuoutage.ErrModelVersion):
 		return api.CodeModelVersion
+	case errors.Is(err, pmuoutage.ErrPatchBase):
+		return api.CodePatchBase
+	case errors.Is(err, pmuoutage.ErrBadPatch), errors.Is(err, pmuoutage.ErrPatchVersion):
+		return api.CodeBadPatch
 	case errors.Is(err, pmuoutage.ErrBadModel):
 		return api.CodeBadModel
 	case errors.Is(err, registry.ErrUnknownModel):

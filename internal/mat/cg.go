@@ -20,9 +20,20 @@ type CGOptions struct {
 // systems grow. Returns ErrSingular (wrapped) when A is detectably not
 // positive definite and a convergence error when MaxIter is exhausted.
 func SolveCG(a *Dense, b []float64, opts CGOptions) ([]float64, error) {
-	n := a.rows
-	if a.cols != n {
-		return nil, fmt.Errorf("mat: SolveCG requires square matrix, got %dx%d", a.rows, a.cols)
+	return SolveCGOp(a, b, opts)
+}
+
+// SolveCGOp is SolveCG over a matrix-free operator: any Op whose
+// action is symmetric positive definite. When the operator also
+// implements Diagonal, its diagonal builds the Jacobi preconditioner
+// (and must be strictly positive); otherwise the identity
+// preconditioner is used. Dense matrices take the exact code path the
+// dense-only solver historically did, so results are bit-identical.
+func SolveCGOp(a Op, b []float64, opts CGOptions) ([]float64, error) {
+	rows, cols := a.Dims()
+	n := rows
+	if cols != n {
+		return nil, fmt.Errorf("mat: SolveCG requires square matrix, got %dx%d", rows, cols)
 	}
 	if len(b) != n {
 		return nil, fmt.Errorf("mat: SolveCG rhs length %d != %d", len(b), n)
@@ -33,14 +44,21 @@ func SolveCG(a *Dense, b []float64, opts CGOptions) ([]float64, error) {
 	if opts.MaxIter <= 0 {
 		opts.MaxIter = 4 * n
 	}
-	// Jacobi preconditioner.
+	// Jacobi preconditioner from the operator diagonal when available.
 	m := make([]float64, n)
-	for i := 0; i < n; i++ {
-		d := a.At(i, i)
-		if d <= 0 {
-			return nil, fmt.Errorf("mat: SolveCG diagonal %d = %g: %w", i, d, ErrSingular)
+	if dg, ok := a.(Diagonal); ok {
+		diag := dg.Diag()
+		for i := 0; i < n; i++ {
+			d := diag[i]
+			if d <= 0 {
+				return nil, fmt.Errorf("mat: SolveCG diagonal %d = %g: %w", i, d, ErrSingular)
+			}
+			m[i] = 1 / d
 		}
-		m[i] = 1 / d
+	} else {
+		for i := range m {
+			m[i] = 1
+		}
 	}
 	bn := Norm2(b)
 	if bn == 0 { //gridlint:ignore floatcmp exact-zero RHS has the exact solution x=0
@@ -58,17 +76,7 @@ func SolveCG(a *Dense, b []float64, opts CGOptions) ([]float64, error) {
 	rz := Dot(r, z)
 	ap := make([]float64, n)
 	for iter := 0; iter < opts.MaxIter; iter++ {
-		// ap = A p
-		for i := 0; i < n; i++ {
-			row := a.RawRow(i)
-			var s float64
-			for j, v := range row {
-				if v != 0 { //gridlint:ignore floatcmp sparse accumulate skips exact structural zeros only
-					s += v * p[j]
-				}
-			}
-			ap[i] = s
-		}
+		a.MulVecTo(ap, p)
 		pap := Dot(p, ap)
 		if pap <= 0 || math.IsNaN(pap) {
 			return nil, fmt.Errorf("mat: SolveCG curvature %g at iteration %d: %w", pap, iter, ErrSingular)

@@ -209,3 +209,55 @@ func BenchmarkSVD118x40(b *testing.B) {
 		FactorSVD(a)
 	}
 }
+
+// TestFactorSVDBlockedBitIdentical pins the cache-blocked tall path to
+// the row-major reference: same rotations, same tolerances, so the
+// factors must agree to the last bit, not just to a tolerance.
+func TestFactorSVDBlockedBitIdentical(t *testing.T) {
+	for _, dims := range [][2]int{{300, 8}, {512, 24}, {257, 3}, {300, 1}} {
+		m, n := dims[0], dims[1]
+		rng := rand.New(rand.NewSource(int64(m + n)))
+		a := NewDense(m, n)
+		for i := 0; i < m; i++ {
+			for j := 0; j < n; j++ {
+				a.Set(i, j, rng.NormFloat64())
+			}
+		}
+		// Plant a few exactly-zero columns' worth of structure to hit the
+		// null-column skip in both paths.
+		if n > 2 {
+			for i := 0; i < m; i++ {
+				a.Set(i, n-1, 0)
+			}
+		}
+		ref := factorSVDRef(a)
+		blk := factorSVDBlocked(a)
+		for k := range ref.S {
+			if ref.S[k] != blk.S[k] {
+				t.Fatalf("%dx%d: S[%d] %v != %v", m, n, k, ref.S[k], blk.S[k])
+			}
+		}
+		if !ref.U.Equalf(blk.U, 0) || !ref.V.Equalf(blk.V, 0) {
+			t.Fatalf("%dx%d: factors differ between reference and blocked path", m, n)
+		}
+		// And FactorSVD's dispatch picks the blocked path here.
+		if got := FactorSVD(a); !got.U.Equalf(blk.U, 0) {
+			t.Fatalf("%dx%d: dispatch did not match blocked path", m, n)
+		}
+	}
+}
+
+func BenchmarkFactorSVDTall(b *testing.B) {
+	rng := rand.New(rand.NewSource(9))
+	m, n := 2000, 24
+	a := NewDense(m, n)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			a.Set(i, j, rng.NormFloat64())
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		FactorSVD(a)
+	}
+}

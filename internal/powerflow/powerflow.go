@@ -26,6 +26,10 @@ type Options struct {
 	// FlatStart forces the initial guess to Vm=1, Va=0 instead of the
 	// voltages stored in the grid (which allow warm starts).
 	FlatStart bool
+	// Solver selects the linear-algebra backend: SolverAuto (default)
+	// dispatches on grid size — dense below SparseBusThreshold buses,
+	// CSR operators with iterative solves at or above it.
+	Solver Solver
 }
 
 func (o Options) withDefaults() Options {
@@ -56,6 +60,9 @@ func (s *Solution) Phasor(i int) complex128 {
 // Q_i = Qg_i - Qd_i (per unit).
 func SolveAC(g *grid.Grid, opts Options) (*Solution, error) {
 	opts = opts.withDefaults()
+	if opts.Solver.sparse(g.N()) {
+		return solveACSparse(g, opts)
+	}
 	n := g.N()
 	slack, err := g.SlackIndex()
 	if err != nil {
@@ -265,8 +272,18 @@ func jacobian(n int, gm, bm *mat.Dense, vm, va, pcalc, qcalc []float64, pvpq, pq
 
 // SolveDC computes the linear DC power-flow angles: B' * theta = P,
 // with the slack angle fixed at zero and magnitudes all 1. Used as the
-// fast approximate fallback and by baseline studies.
+// fast approximate fallback and by baseline studies. Grids at or above
+// SparseBusThreshold buses solve on the sparse CG path; use
+// SolveDCWith to force a backend.
 func SolveDC(g *grid.Grid) (*Solution, error) {
+	return SolveDCWith(g, SolverAuto)
+}
+
+// SolveDCWith is SolveDC with an explicit solver backend selection.
+func SolveDCWith(g *grid.Grid, solver Solver) (*Solution, error) {
+	if solver.sparse(g.N()) {
+		return solveDCSparse(g)
+	}
 	n := g.N()
 	slack, err := g.SlackIndex()
 	if err != nil {

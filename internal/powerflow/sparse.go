@@ -1,0 +1,573 @@
+// Sparse power-flow path: the same Newton–Raphson (AC) and reduced
+// B-matrix (DC) formulations as powerflow.go, restaged on CSR
+// operators and iterative solves so cost scales with the number of
+// branches instead of buses². Grids at or above SparseBusThreshold
+// buses dispatch here automatically; smaller grids keep the historical
+// dense path bit for bit.
+
+package powerflow
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"pmuoutage/internal/grid"
+	"pmuoutage/internal/mat"
+)
+
+// SparseBusThreshold is the bus count at which SolveAC and SolveDC
+// switch from the dense kernels to the sparse operator path. Below it
+// the dense path runs unchanged, so every grid the detector was tuned
+// on (14–118 buses) produces byte-identical results to the pre-sparse
+// code.
+const SparseBusThreshold = 150
+
+// Solver selects the linear-algebra backend for a solve.
+type Solver int
+
+const (
+	// SolverAuto dispatches on grid size: dense below
+	// SparseBusThreshold buses, sparse at or above it.
+	SolverAuto Solver = iota
+	// SolverDense forces the historical dense kernels (LU).
+	SolverDense
+	// SolverSparse forces the CSR + iterative path regardless of size.
+	SolverSparse
+)
+
+func (s Solver) sparse(n int) bool {
+	switch s {
+	case SolverDense:
+		return false
+	case SolverSparse:
+		return true
+	default:
+		return n >= SparseBusThreshold
+	}
+}
+
+// ybusAdj is the CSR adjacency view of the bus admittance matrix:
+// row i's neighbors are cols[rowPtr[i]:rowPtr[i+1]] with conductance
+// gv and susceptance bv. It is scanned once from the grid's Ybus so
+// the sparse path shares the dense path's single source of truth for
+// taps, shifts, and shunts.
+type ybusAdj struct {
+	rowPtr []int
+	cols   []int
+	gv     []float64 //gridlint:unit pu // conductance entries (p.u.)
+	bv     []float64 //gridlint:unit pu // susceptance entries (p.u.)
+}
+
+func newYbusAdj(g *grid.Grid) *ybusAdj {
+	n := g.N()
+	ybus := g.Ybus()
+	a := &ybusAdj{rowPtr: make([]int, n+1)}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			y := ybus.At(i, j)
+			if y == 0 { //gridlint:ignore floatcmp admittance entries are exactly zero off the graph
+				continue
+			}
+			a.cols = append(a.cols, j)
+			a.gv = append(a.gv, real(y))
+			a.bv = append(a.bv, imag(y))
+		}
+		a.rowPtr[i+1] = len(a.cols)
+	}
+	return a
+}
+
+// normalEqOp is the matrix-free normal-equations operator JᵀJ used to
+// solve the nonsymmetric Newton step J dx = f by CGNR: JᵀJ is SPD
+// whenever J has full column rank, and each application is two sparse
+// mat-vec passes. Its diagonal (column norms² of J) is the Jacobi
+// preconditioner.
+type normalEqOp struct {
+	j   *mat.Sparse
+	tmp []float64
+	d   []float64
+}
+
+func newNormalEqOp(j *mat.Sparse) *normalEqOp {
+	rows, cols := j.Dims()
+	o := &normalEqOp{j: j, tmp: make([]float64, rows), d: make([]float64, cols)}
+	j.VisitNonzero(func(_, c int, v float64) {
+		o.d[c] += v * v
+	})
+	return o
+}
+
+func (o *normalEqOp) Dims() (int, int) {
+	_, c := o.j.Dims()
+	return c, c
+}
+
+func (o *normalEqOp) MulVecTo(dst, x []float64) {
+	o.j.MulVecTo(o.tmp, x)
+	o.j.MulVecTTo(dst, o.tmp)
+}
+
+func (o *normalEqOp) Diag() []float64 { return o.d }
+
+// solveACSparse is SolveAC on the CSR path: identical state setup and
+// mismatch definition (max |ΔP|, |ΔQ| in p.u.), but the iteration is
+// fast-decoupled (XB scheme): the P–θ half-step solves the constant
+// series-reactance Laplacian B′ and the Q–V half-step the constant
+// −Im(Ybus) matrix B″, both SPD for inductive transmission grids and
+// both solved by Jacobi-preconditioned CG on CSR operators. The
+// matrices never change across iterations, so their preconditioners
+// are built once, and every inner solve is O(nnz·iters) instead of
+// the dense path's O(n³) LU. When decoupling fails (capacitive B″,
+// CG breakdown, or no convergence), the full-Newton sparse path with
+// CGNR inner solves takes over, and dense LU backs that.
+func solveACSparse(g *grid.Grid, opts Options) (*Solution, error) {
+	sol, err := solveACDecoupled(g, opts)
+	if err == nil {
+		return sol, nil
+	}
+	if errors.Is(err, errSlack) {
+		return nil, err
+	}
+	return solveACSparseNewton(g, opts)
+}
+
+// errSlack tags slack-index failures so the decoupled→Newton fallback
+// does not retry a structurally invalid grid.
+var errSlack = errors.New("powerflow: invalid slack")
+
+// acState is the shared state setup of both sparse AC iterations —
+// identical to the dense solver's.
+type acState struct {
+	n          int
+	adj        *ybusAdj
+	pvpq, pq   []int
+	posA, posM []int
+	vm         []float64 //gridlint:unit pu // iterate voltage magnitudes
+	va         []float64 //gridlint:unit rad // iterate voltage angles
+	pSched     []float64 //gridlint:unit pu // scheduled P injections
+	qSched     []float64 //gridlint:unit pu // scheduled Q injections
+	pcalc      []float64 //gridlint:unit pu // calculated P injections
+	qcalc      []float64 //gridlint:unit pu // calculated Q injections
+}
+
+func newACState(g *grid.Grid, opts Options) (*acState, error) {
+	n := g.N()
+	slack, err := g.SlackIndex()
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", errSlack, err)
+	}
+	st := &acState{n: n, adj: newYbusAdj(g)}
+	for i := 0; i < n; i++ {
+		if i == slack {
+			continue
+		}
+		if g.Buses[i].Type == PQint {
+			st.pq = append(st.pq, i)
+		}
+		st.pvpq = append(st.pvpq, i)
+	}
+	st.vm = make([]float64, n)
+	st.va = make([]float64, n)
+	for i := 0; i < n; i++ {
+		if opts.FlatStart {
+			st.vm[i], st.va[i] = 1, 0
+		} else {
+			st.vm[i], st.va[i] = g.Buses[i].Vm, g.Buses[i].Va
+			if st.vm[i] <= 0 {
+				st.vm[i] = 1
+			}
+		}
+		if g.Buses[i].Type != PQint {
+			st.vm[i] = g.Buses[i].Vm
+			if st.vm[i] <= 0 {
+				st.vm[i] = 1
+			}
+		}
+	}
+	st.va[slack] = g.Buses[slack].Va
+
+	st.pSched = make([]float64, n)
+	st.qSched = make([]float64, n)
+	for i := 0; i < n; i++ {
+		st.pSched[i] = g.Buses[i].Pg - g.Buses[i].Pd
+		st.qSched[i] = g.Buses[i].Qg - g.Buses[i].Qd
+	}
+	st.posA = make([]int, n)
+	st.posM = make([]int, n)
+	for i := range st.posA {
+		st.posA[i], st.posM[i] = -1, -1
+	}
+	for k, i := range st.pvpq {
+		st.posA[i] = k
+	}
+	nb := len(st.pvpq)
+	for k, i := range st.pq {
+		st.posM[i] = nb + k
+	}
+	st.pcalc = make([]float64, n)
+	st.qcalc = make([]float64, n)
+	return st, nil
+}
+
+// calc computes the AC power injections at the current iterate —
+// adjacency-driven, O(nnz).
+func (st *acState) calc() {
+	for i := 0; i < st.n; i++ {
+		var pi, qi float64
+		for k := st.adj.rowPtr[i]; k < st.adj.rowPtr[i+1]; k++ {
+			j := st.adj.cols[k]
+			gv, bv := st.adj.gv[k], st.adj.bv[k]
+			d := st.va[i] - st.va[j]
+			c, s := math.Cos(d), math.Sin(d)
+			pi += st.vm[j] * (gv*c + bv*s)
+			qi += st.vm[j] * (gv*s - bv*c)
+		}
+		st.pcalc[i] = st.vm[i] * pi
+		st.qcalc[i] = st.vm[i] * qi
+	}
+}
+
+// mismatch fills f with the stacked P (pvpq) and Q (pq) mismatches and
+// returns the max magnitude — the dense solver's convergence metric,
+// unchanged.
+func (st *acState) mismatch(f []float64) float64 {
+	nb := len(st.pvpq)
+	var mx float64
+	for k, i := range st.pvpq {
+		f[k] = st.pcalc[i] - st.pSched[i]
+		if a := math.Abs(f[k]); a > mx {
+			mx = a
+		}
+	}
+	for k, i := range st.pq {
+		f[nb+k] = st.qcalc[i] - st.qSched[i]
+		if a := math.Abs(f[nb+k]); a > mx {
+			mx = a
+		}
+	}
+	return mx
+}
+
+// solveACDecoupled runs the XB fast-decoupled iteration.
+func solveACDecoupled(g *grid.Grid, opts Options) (*Solution, error) {
+	st, err := newACState(g, opts)
+	if err != nil {
+		return nil, err
+	}
+	nb, nq := len(st.pvpq), len(st.pq)
+	dim := nb + nq
+	if dim == 0 {
+		return &Solution{Vm: st.vm, Va: st.va}, nil
+	}
+
+	// B′: the 1/X series-reactance Laplacian over non-slack buses — a
+	// grounded Laplacian (slack row/col dropped), hence SPD on any grid
+	// connected through the slack.
+	bpTrips := make([]mat.Triplet, 0, 4*len(g.Branches))
+	for _, br := range g.Branches {
+		if !br.Status || br.X == 0 { //gridlint:ignore floatcmp X==0 marks an unmodelled branch sentinel, never a computed reactance
+			continue
+		}
+		w := 1 / br.X
+		f, t := st.posA[br.From], st.posA[br.To]
+		if f >= 0 {
+			bpTrips = append(bpTrips, mat.Triplet{Row: f, Col: f, Val: w})
+		}
+		if t >= 0 {
+			bpTrips = append(bpTrips, mat.Triplet{Row: t, Col: t, Val: w})
+		}
+		if f >= 0 && t >= 0 {
+			bpTrips = append(bpTrips,
+				mat.Triplet{Row: f, Col: t, Val: -w},
+				mat.Triplet{Row: t, Col: f, Val: -w},
+			)
+		}
+	}
+	bp := mat.NewSparse(nb, nb, bpTrips)
+
+	// B″: −Im(Ybus) restricted to PQ buses (shunts, charging, and taps
+	// included). Inductive grids make it SPD; if shunt compensation
+	// breaks that, CG's curvature check reports it and the Newton
+	// fallback takes over.
+	var bpp *mat.Sparse
+	if nq > 0 {
+		qpos := make([]int, st.n)
+		for i := range qpos {
+			qpos[i] = -1
+		}
+		for k, i := range st.pq {
+			qpos[i] = k
+		}
+		bppTrips := make([]mat.Triplet, 0, len(st.adj.cols))
+		for _, i := range st.pq {
+			ri := qpos[i]
+			for k := st.adj.rowPtr[i]; k < st.adj.rowPtr[i+1]; k++ {
+				if cj := qpos[st.adj.cols[k]]; cj >= 0 {
+					bppTrips = append(bppTrips, mat.Triplet{Row: ri, Col: cj, Val: -st.adj.bv[k]})
+				}
+			}
+		}
+		bpp = mat.NewSparse(nq, nq, bppTrips)
+	}
+
+	cgOpts := mat.CGOptions{Tol: 1e-10, MaxIter: 40 * dim}
+	fp := make([]float64, nb)
+	fq := make([]float64, nq)
+	f := make([]float64, dim)
+	// The decoupled iteration converges linearly, so give it more outer
+	// steps than Newton's default before declaring failure — but bail
+	// out early on divergence or stall, so infeasible draws (the
+	// builder's load-shedding loop probes many) fail cheaply instead of
+	// burning the full budget before the Newton fallback runs.
+	maxIter := 6 * opts.MaxIter
+	best := math.Inf(1)
+	stall := 0
+	for iter := 0; iter <= maxIter; iter++ {
+		st.calc()
+		mx := st.mismatch(f)
+		if mx < opts.Tol {
+			return &Solution{Vm: st.vm, Va: st.va, Iterations: iter, Mismatch: mx}, nil
+		}
+		if math.IsNaN(mx) || mx > 1e6 {
+			return nil, fmt.Errorf("%w: decoupled iteration diverged (mismatch %g)", ErrNoConvergence, mx)
+		}
+		if mx < 0.9*best {
+			best = mx
+			stall = 0
+		} else if stall++; stall > 10 {
+			return nil, fmt.Errorf("%w: decoupled iteration stalled at mismatch %g", ErrNoConvergence, mx)
+		}
+		if iter == maxIter {
+			break
+		}
+		// P–θ half-step: B′ Δθ = ΔP / Vm.
+		for k, i := range st.pvpq {
+			fp[k] = (st.pcalc[i] - st.pSched[i]) / st.vm[i]
+		}
+		dva, err := mat.SolveCGOp(bp, fp, cgOpts)
+		if err != nil {
+			return nil, fmt.Errorf("powerflow: decoupled P-theta solve: %w", err)
+		}
+		for k, i := range st.pvpq {
+			st.va[i] -= dva[k]
+		}
+		if nq > 0 {
+			// Q–V half-step on refreshed injections: B″ ΔV = ΔQ / Vm.
+			st.calc()
+			for k, i := range st.pq {
+				fq[k] = (st.qcalc[i] - st.qSched[i]) / st.vm[i]
+			}
+			dvm, err := mat.SolveCGOp(bpp, fq, cgOpts)
+			if err != nil {
+				return nil, fmt.Errorf("powerflow: decoupled Q-V solve: %w", err)
+			}
+			for k, i := range st.pq {
+				st.vm[i] -= dvm[k]
+				if st.vm[i] < 0.2 {
+					st.vm[i] = 0.2 // keep the iteration away from voltage collapse
+				}
+			}
+		}
+	}
+	return nil, fmt.Errorf("%w after %d decoupled iterations", ErrNoConvergence, maxIter)
+}
+
+// solveACSparseNewton is the full-Newton sparse fallback: the dense
+// solver's exact iteration with sparse Jacobian assembly and CGNR
+// inner solves (dense LU backing those).
+func solveACSparseNewton(g *grid.Grid, opts Options) (*Solution, error) {
+	st, err := newACState(g, opts)
+	if err != nil {
+		return nil, err
+	}
+	nb, nq := len(st.pvpq), len(st.pq)
+	dim := nb + nq
+	if dim == 0 {
+		return &Solution{Vm: st.vm, Va: st.va}, nil
+	}
+
+	f := make([]float64, dim)
+	var iter int
+	for iter = 0; iter <= opts.MaxIter; iter++ {
+		st.calc()
+		mx := st.mismatch(f)
+		if mx < opts.Tol {
+			return &Solution{Vm: st.vm, Va: st.va, Iterations: iter, Mismatch: mx}, nil
+		}
+		if math.IsNaN(mx) || mx > 1e6 {
+			return nil, fmt.Errorf("%w: Newton iteration diverged (mismatch %g)", ErrNoConvergence, mx)
+		}
+		if iter == opts.MaxIter {
+			break
+		}
+		js := jacobianSparse(st.adj, st.vm, st.va, st.pcalc, st.qcalc, st.pvpq, st.pq, st.posA, st.posM)
+		dx, err := solveNewtonStep(js, f, iter)
+		if err != nil {
+			return nil, err
+		}
+		for k, i := range st.pvpq {
+			st.va[i] -= dx[k]
+		}
+		for k, i := range st.pq {
+			st.vm[i] -= dx[nb+k]
+			if st.vm[i] < 0.2 {
+				st.vm[i] = 0.2 // keep the iteration away from voltage collapse
+			}
+		}
+	}
+	return nil, fmt.Errorf("%w after %d iterations", ErrNoConvergence, opts.MaxIter)
+}
+
+// luFallbackDim caps the dense-LU rescue inside the sparse Newton
+// path: above this system size an O(dim³) factorization costs more
+// than reporting failure (callers shed load or drop the scenario), so
+// the iterative error propagates instead.
+const luFallbackDim = 800
+
+// solveNewtonStep solves J dx = f by preconditioned CGNR with a loose
+// forcing tolerance (inexact Newton: the outer iteration checks true
+// power mismatch, so the step only needs to point the right way),
+// falling back to dense LU on breakdown for systems small enough that
+// the O(dim³) rescue is cheaper than failing.
+func solveNewtonStep(js *mat.Sparse, f []float64, iter int) ([]float64, error) {
+	dim := len(f)
+	op := newNormalEqOp(js)
+	rhs := js.MulVecT(f)
+	dx, cgErr := mat.SolveCGOp(op, rhs, mat.CGOptions{Tol: 1e-6, MaxIter: 4 * dim})
+	if cgErr == nil {
+		return dx, nil
+	}
+	if dim > luFallbackDim {
+		return nil, fmt.Errorf("powerflow: Newton step CGNR failed at iteration %d: %w", iter, cgErr)
+	}
+	lu, err := mat.FactorLU(js.ToDense())
+	if err != nil {
+		return nil, fmt.Errorf("powerflow: singular Jacobian at iteration %d: %w", iter, err)
+	}
+	dx, err = lu.Solve(f)
+	if err != nil {
+		return nil, fmt.Errorf("powerflow: Jacobian solve failed: %w", err)
+	}
+	return dx, nil
+}
+
+// jacobianSparse assembles the polar Newton-Raphson Jacobian as CSR
+// triplets using the exact per-entry identities of the dense jacobian
+// (powerflow.go), walking only stored admittance entries.
+//
+//gridlint:unit vm pu
+//gridlint:unit va rad
+func jacobianSparse(adj *ybusAdj, vm, va, pcalc, qcalc []float64, pvpq, pq []int, posA, posM []int) *mat.Sparse {
+	nb, nq := len(pvpq), len(pq)
+	dim := nb + nq
+	trips := make([]mat.Triplet, 0, 4*len(adj.cols))
+	for _, i := range pvpq {
+		ri := posA[i]
+		var gii, bii float64
+		for kk := adj.rowPtr[i]; kk < adj.rowPtr[i+1]; kk++ {
+			if adj.cols[kk] == i {
+				gii, bii = adj.gv[kk], adj.bv[kk]
+				break
+			}
+		}
+		// Diagonal terms in P_calc/Q_calc form.
+		trips = append(trips, mat.Triplet{Row: ri, Col: ri, Val: -qcalc[i] - bii*vm[i]*vm[i]})
+		if qi := posM[i]; qi >= 0 {
+			trips = append(trips,
+				mat.Triplet{Row: ri, Col: qi, Val: pcalc[i]/vm[i] + gii*vm[i]},
+				mat.Triplet{Row: qi, Col: ri, Val: pcalc[i] - gii*vm[i]*vm[i]},
+				mat.Triplet{Row: qi, Col: qi, Val: qcalc[i]/vm[i] - bii*vm[i]},
+			)
+		}
+		for kk := adj.rowPtr[i]; kk < adj.rowPtr[i+1]; kk++ {
+			k := adj.cols[kk]
+			if k == i {
+				continue
+			}
+			gik, bik := adj.gv[kk], adj.bv[kk]
+			d := va[i] - va[k]
+			c, s := math.Cos(d), math.Sin(d)
+			vivk := vm[i] * vm[k]
+			dpdva := vivk * (gik*s - bik*c)
+			dqdva := -vivk * (gik*c + bik*s)
+			dpdvm := vm[i] * (gik*c + bik*s)
+			dqdvm := vm[i] * (gik*s - bik*c)
+			if ck := posA[k]; ck >= 0 {
+				trips = append(trips, mat.Triplet{Row: ri, Col: ck, Val: dpdva})
+				if qi := posM[i]; qi >= 0 {
+					trips = append(trips, mat.Triplet{Row: qi, Col: ck, Val: dqdva})
+				}
+			}
+			if ck := posM[k]; ck >= 0 {
+				trips = append(trips, mat.Triplet{Row: ri, Col: ck, Val: dpdvm})
+				if qi := posM[i]; qi >= 0 {
+					trips = append(trips, mat.Triplet{Row: qi, Col: ck, Val: dqdvm})
+				}
+			}
+		}
+	}
+	return mat.NewSparse(dim, dim, trips)
+}
+
+// solveDCSparse solves the reduced DC system B' θ = P with CG on a CSR
+// operator instead of dense LU. The reduced Laplacian of a connected
+// grid is SPD, so plain preconditioned CG applies directly.
+func solveDCSparse(g *grid.Grid) (*Solution, error) {
+	n := g.N()
+	slack, err := g.SlackIndex()
+	if err != nil {
+		return nil, err
+	}
+	// Reduced index map: bus i -> row red[i], slack dropped.
+	red := make([]int, n)
+	idx := make([]int, 0, n-1)
+	for i := 0; i < n; i++ {
+		if i == slack {
+			red[i] = -1
+			continue
+		}
+		red[i] = len(idx)
+		idx = append(idx, i)
+	}
+	// Stamp the reduced Laplacian directly from branches — the same 1/X
+	// weights grid.Laplacian uses, without the n² dense detour.
+	trips := make([]mat.Triplet, 0, 4*len(g.Branches))
+	for _, br := range g.Branches {
+		if !br.Status || br.X == 0 { //gridlint:ignore floatcmp X==0 marks an unmodelled branch sentinel, never a computed reactance
+			continue
+		}
+		w := 1 / br.X
+		f, t := red[br.From], red[br.To]
+		if f >= 0 {
+			trips = append(trips, mat.Triplet{Row: f, Col: f, Val: w})
+		}
+		if t >= 0 {
+			trips = append(trips, mat.Triplet{Row: t, Col: t, Val: w})
+		}
+		if f >= 0 && t >= 0 {
+			trips = append(trips,
+				mat.Triplet{Row: f, Col: t, Val: -w},
+				mat.Triplet{Row: t, Col: f, Val: -w},
+			)
+		}
+	}
+	b := mat.NewSparse(len(idx), len(idx), trips)
+	p := make([]float64, len(idx))
+	for k, i := range idx {
+		p[k] = g.Buses[i].Pg - g.Buses[i].Pd
+	}
+	th, err := mat.SolveCGOp(b, p, mat.CGOptions{Tol: 1e-12, MaxIter: 20 * len(idx)})
+	if err != nil {
+		return nil, fmt.Errorf("powerflow: DC solve failed (islanded grid?): %w", err)
+	}
+	vm := make([]float64, n)
+	va := make([]float64, n)
+	for i := range vm {
+		vm[i] = 1
+	}
+	for k, i := range idx {
+		va[i] = th[k]
+	}
+	return &Solution{Vm: vm, Va: va, Iterations: 1}, nil
+}

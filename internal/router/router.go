@@ -367,18 +367,27 @@ func (r *Router) handleReload(w http.ResponseWriter, req *http.Request) {
 		r.writeError(w, req, api.CodeBadRequest, err)
 		return
 	}
-	if rr.Path != "" && rr.Fingerprint != "" {
+	sources := 0
+	for _, src := range []string{rr.Path, rr.Fingerprint, rr.PatchPath} {
+		if src != "" {
+			sources++
+		}
+	}
+	if sources > 1 {
 		r.writeError(w, req, api.CodeBadRequest,
-			fmt.Errorf("%w: reload names both path and fingerprint; pick one", ErrBadRequest))
+			fmt.Errorf("%w: reload names more than one of path, fingerprint, patch_path; pick one", ErrBadRequest))
 		return
 	}
 	out := api.FleetReload{}
 	for _, b := range r.primary.backends {
 		var res *client.ReloadResult
 		var err error
-		if rr.Fingerprint != "" {
+		switch {
+		case rr.Fingerprint != "":
 			res, err = b.cli.ReloadModel(req.Context(), rr.Shard, rr.Fingerprint)
-		} else {
+		case rr.PatchPath != "":
+			res, err = b.cli.ReloadPatch(req.Context(), rr.Shard, rr.PatchPath)
+		default:
 			res, err = b.cli.Reload(req.Context(), rr.Shard, rr.Path)
 		}
 		br := api.BackendReload{Backend: b.url}

@@ -367,6 +367,58 @@ func TestReloadFingerprintSingleCall(t *testing.T) {
 	}
 }
 
+// TestReloadPatchBroadcast pins the patch fan-out: a patch_path reload
+// reaches each backend as exactly one patch-only call, and a request
+// mixing a patch with a model source is rejected at the router.
+func TestReloadPatchBroadcast(t *testing.T) {
+	b1 := newStubBackend(t, nil)
+	b2 := newStubBackend(t, nil)
+	_, ts := newTestRouter(t, Config{Backends: []string{b1.ts.URL, b2.ts.URL}})
+
+	resp, err := http.Post(ts.URL+"/v1/reload", "application/json",
+		strings.NewReader(`{"shard":"east","patch_path":"delta.patch.json"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out api.FleetReload
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	_ = resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || out.Failed {
+		t.Fatalf("patch reload: HTTP %d failed=%v, want clean 200", resp.StatusCode, out.Failed)
+	}
+	if len(out.Results) != 2 {
+		t.Fatalf("fleet reload returned %d results, want 2", len(out.Results))
+	}
+	for _, b := range []*stubBackend{b1, b2} {
+		calls := b.reloadLog()
+		if len(calls) != 1 {
+			t.Fatalf("backend saw %d reload calls, want exactly 1", len(calls))
+		}
+		if calls[0].PatchPath != "delta.patch.json" || calls[0].Path != "" || calls[0].Fingerprint != "" {
+			t.Fatalf("backend saw reload %+v, want patch-only", calls[0])
+		}
+	}
+
+	resp, err = http.Post(ts.URL+"/v1/reload", "application/json",
+		strings.NewReader(`{"shard":"east","patch_path":"delta.patch.json","fingerprint":"cafe"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	_ = resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("reload mixing patch and fingerprint: HTTP %d, want 400", resp.StatusCode)
+	}
+	if env, ok := api.DecodeError(body); !ok || env.Code != api.CodeBadRequest {
+		t.Fatalf("reload mixing patch and fingerprint: code %q, want bad_request", env.Code)
+	}
+	if n := len(b1.reloadLog()) + len(b2.reloadLog()); n != 2 {
+		t.Fatalf("ambiguous reload reached a backend (%d total calls)", n)
+	}
+}
+
 // TestPromotePartialFailureSurfaced pins that a promotion which cannot
 // reach every backend is never a silent success: the response carries a
 // top-level failed flag (200 while at least one backend took the

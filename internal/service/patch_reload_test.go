@@ -1,0 +1,90 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+
+	"pmuoutage"
+)
+
+// TestApplyPatchHotSwap is the incremental-update acceptance test: a
+// rank-one patch trained against the serving model swaps the shard
+// onto the patched model through the reload path in well under a
+// second, the shard then answers exactly as a system built from the
+// patched artifact does, and the patched model is pinned for
+// supervisor rebuilds. Re-applying the same patch is refused with
+// ErrPatchBase — the shard no longer serves the pinned base.
+func TestApplyPatchHotSwap(t *testing.T) {
+	base, err := pmuoutage.TrainModel(quickOpts(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, err := New(context.Background(), Config{
+		Shards:            []ShardSpec{{Name: "east", Opts: quickOpts(3), Model: base}},
+		RestartBackoff:    time.Millisecond,
+		MaxRestartBackoff: 10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	waitState(t, svc, "east", "ready")
+
+	baseSys, err := pmuoutage.NewSystemFromModel(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := baseSys.ValidLines()[:2]
+	p, err := pmuoutage.TrainModelPatch(base, pmuoutage.PatchSpec{Lines: lines, Seed: 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	start := time.Now()
+	if err := svc.ApplyPatch(context.Background(), "east", p); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("patch apply + hot swap took %v, must be under 1s", elapsed)
+	}
+	if st := svc.Shards()[0]; st.Model != p.ResultFingerprint() {
+		t.Fatalf("shard serves %s after patch, want %s", st.Model, p.ResultFingerprint())
+	}
+
+	patched, err := p.Apply(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := pmuoutage.NewSystemFromModel(patched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples := testSamples(t, ref, 3)
+	want, err := ref.DetectBatch(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := svc.DetectBatch(context.Background(), "east", samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("patched shard detects differently from the patched artifact")
+	}
+
+	if err := svc.ApplyPatch(context.Background(), "east", p); !errors.Is(err, pmuoutage.ErrPatchBase) {
+		t.Fatalf("re-apply onto patched model: got %v, want ErrPatchBase", err)
+	}
+
+	// A kill + rebuild must come back serving the patched artifact.
+	if err := svc.Kill("east"); err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, svc, "east", "ready")
+	if st := svc.Shards()[0]; st.Model != p.ResultFingerprint() {
+		t.Fatalf("rebuilt shard serves %s, want pinned patched model %s", st.Model, p.ResultFingerprint())
+	}
+}

@@ -288,6 +288,41 @@ func (s *Service) Reload(ctx context.Context, shardName string, m *pmuoutage.Mod
 	return nil
 }
 
+// ApplyPatch hot-swaps the named shard onto the patched version of the
+// model it is serving right now. The patch is fingerprint-pinned: a
+// shard serving any model but the patch's base fails with
+// pmuoutage.ErrPatchBase and keeps its current model. The splice
+// itself is pure in-memory state surgery — no simulation, no SVD —
+// so the swap completes in milliseconds regardless of grid size, and
+// the same old-or-new-never-mixed reload guarantee applies. The
+// patched model is pinned for future supervisor rebuilds, exactly as
+// if it had been reloaded whole.
+func (s *Service) ApplyPatch(ctx context.Context, shardName string, p *pmuoutage.Patch) error {
+	sh, err := s.shard(shardName)
+	if err != nil {
+		return err
+	}
+	sys := sh.system()
+	if sys == nil {
+		return sh.availErr()
+	}
+	m, err := p.Apply(sys.Model())
+	if err != nil {
+		return err
+	}
+	if err := sh.reload(m); err != nil {
+		return err
+	}
+	if lg := sh.logger; lg != nil {
+		lg.LogAttrs(ctx, slog.LevelInfo, "model patched",
+			slog.String(obs.AttrTraceID, obs.TraceID(ctx)),
+			slog.Uint64(obs.AttrGeneration, sh.gen.Load()),
+			slog.String("patch", p.Fingerprint()),
+			slog.String("model", m.Fingerprint()))
+	}
+	return nil
+}
+
 // Kill marks a ready shard failed: its queue drains with ErrUnavailable
 // and the supervisor rebuilds it after the restart backoff. Requests to
 // every other shard are unaffected. Killing a shard that is not ready

@@ -1,0 +1,113 @@
+package subspace
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"pmuoutage/internal/mat"
+)
+
+func randDense(rng *rand.Rand, r, c int) *mat.Dense {
+	a := mat.NewDense(r, c)
+	for i := 0; i < r; i++ {
+		for j := 0; j < c; j++ {
+			a.Set(i, j, rng.NormFloat64())
+		}
+	}
+	return a
+}
+
+// TestExtendFromZeroEqualsOrthonormalize pins the compatibility
+// contract: the rank-one update chain seeded from the zero subspace is
+// bit-identical to a one-shot orthonormalisation, which is what keeps
+// the Union refactor byte-stable against trained models.
+func TestExtendFromZeroEqualsOrthonormalize(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, dims := range [][2]int{{8, 3}, {20, 7}, {5, 9}} {
+		x := randDense(rng, dims[0], dims[1])
+		ext, err := Zero(dims[0]).Extend(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := mat.Orthonormalize(x)
+		if !reflect.DeepEqual(ext.Basis(), want) {
+			t.Fatalf("%v: Extend from zero differs from Orthonormalize", dims)
+		}
+	}
+}
+
+// TestExtendKeepsBasisVerbatim: the existing basis columns must pass
+// through untouched — re-normalising them would perturb every stored
+// model the patch path touches — and the extended basis must stay
+// orthonormal.
+func TestExtendKeepsBasisVerbatim(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	s, err := Learn(randDense(rng, 12, 4), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ext, err := s.Extend(randDense(rng, 12, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ext.Rank() != s.Rank()+2 {
+		t.Fatalf("rank %d after extending rank %d by 2 independent directions", ext.Rank(), s.Rank())
+	}
+	for j := 0; j < s.Rank(); j++ {
+		if !reflect.DeepEqual(s.Basis().Col(j), ext.Basis().Col(j)) {
+			t.Fatalf("existing basis column %d changed", j)
+		}
+	}
+	b := ext.Basis()
+	g := b.T().Mul(b)
+	for i := 0; i < ext.Rank(); i++ {
+		for j := 0; j < ext.Rank(); j++ {
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if math.Abs(g.At(i, j)-want) > 1e-12 {
+				t.Fatalf("gram[%d][%d] = %g, basis not orthonormal", i, j, g.At(i, j))
+			}
+		}
+	}
+}
+
+// TestExtendDependentAddsNothing: vectors already inside the span must
+// be dropped by the dependence tolerance, leaving the subspace equal.
+func TestExtendDependentAddsNothing(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	s, err := Learn(randDense(rng, 10, 3), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Random combinations of the basis columns: inside the span.
+	inside := mat.NewDense(10, 3)
+	for j := 0; j < 3; j++ {
+		v := make([]float64, 10)
+		for c := 0; c < s.Rank(); c++ {
+			w := rng.NormFloat64()
+			col := s.Basis().Col(c)
+			for i := range v {
+				v[i] += w * col[i]
+			}
+		}
+		inside.SetCol(j, v)
+	}
+	ext, err := s.Extend(inside)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ext.Basis(), s.Basis()) {
+		t.Fatal("extending with contained vectors changed the basis")
+	}
+}
+
+func TestExtendDimMismatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	if _, err := Zero(5).Extend(randDense(rng, 6, 1)); err == nil {
+		t.Fatal("dimension mismatch not rejected")
+	}
+}

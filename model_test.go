@@ -3,10 +3,16 @@ package pmuoutage
 import (
 	"bytes"
 	"errors"
+	"fmt"
 	"reflect"
 	"strings"
 	"testing"
+
+	"pmuoutage/internal/detect"
 )
+
+// detectModelVersion pins the artifact format version the facade writes.
+const detectModelVersion = detect.ModelVersion
 
 // trainTestModel trains a small deterministic model for artifact tests.
 func trainTestModel(t *testing.T) *Model {
@@ -108,7 +114,7 @@ func TestNewSystemMatchesModelPath(t *testing.T) {
 		t.Fatalf("NewSystem model fingerprint %s differs from TrainModel %s",
 			sys.Model().Fingerprint(), m.Fingerprint())
 	}
-	if m.Case() != "ieee14" || m.FormatVersion() != 1 {
+	if m.Case() != "ieee14" || m.FormatVersion() != detectModelVersion {
 		t.Fatalf("model metadata wrong: case %q version %d", m.Case(), m.FormatVersion())
 	}
 }
@@ -135,7 +141,8 @@ func TestDecodeModelErrors(t *testing.T) {
 		}
 	})
 	t.Run("version mismatch", func(t *testing.T) {
-		tampered := strings.Replace(artifact, `"format_version":1`, `"format_version":99`, 1)
+		tampered := strings.Replace(artifact,
+			fmt.Sprintf(`"format_version":%d`, detectModelVersion), `"format_version":99`, 1)
 		if tampered == artifact {
 			t.Fatal("tamper target not found")
 		}

@@ -1,0 +1,147 @@
+package pmuoutage
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"testing"
+)
+
+// patchTestLines picks two learnable lines of the model to refresh.
+func patchTestLines(t *testing.T, m *Model) []int {
+	t.Helper()
+	sys, err := NewSystemFromModel(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	valid := sys.ValidLines()
+	if len(valid) < 2 {
+		t.Fatalf("fixture has only %d valid lines", len(valid))
+	}
+	return []int{valid[1], valid[4]}
+}
+
+// TestPatchIdentity is the strongest possible patch invariant: a patch
+// trained under the base model's own seed regenerates exactly the data
+// the base was trained on, so applying it must reproduce the base
+// model bit for bit — same fingerprint, same encoded artifact.
+func TestPatchIdentity(t *testing.T) {
+	m := trainTestModel(t)
+	p, err := TrainModelPatch(m, PatchSpec{Lines: patchTestLines(t, m), Seed: m.Options().Seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.ResultFingerprint() != m.Fingerprint() {
+		t.Fatalf("same-seed patch promises result %s, want base %s",
+			p.ResultFingerprint(), m.Fingerprint())
+	}
+	got, err := p.Apply(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a, b bytes.Buffer
+	if err := m.Encode(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := got.Encode(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("same-seed patch does not reproduce the base artifact bytes")
+	}
+}
+
+// TestPatchRoundTripServes: a fresh-seed patch round-trips through the
+// codec, applies to a new model that serves, and keeps the base
+// options; the sealed result fingerprint matches what Apply produces.
+func TestPatchRoundTripServes(t *testing.T) {
+	m := trainTestModel(t)
+	lines := patchTestLines(t, m)
+	p, err := TrainModelPatch(m, PatchSpec{Lines: lines, Seed: 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Lines(); !reflect.DeepEqual(got, lines) {
+		t.Fatalf("patch lines %v, want %v", got, lines)
+	}
+	if p.BaseFingerprint() != m.Fingerprint() {
+		t.Fatalf("patch pins base %s, want %s", p.BaseFingerprint(), m.Fingerprint())
+	}
+
+	var buf bytes.Buffer
+	if err := p.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	p2, err := DecodePatch(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	next, err := p2.Apply(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if next.Fingerprint() != p.ResultFingerprint() {
+		t.Fatalf("applied model %s, patch promised %s", next.Fingerprint(), p.ResultFingerprint())
+	}
+	if next.Fingerprint() == m.Fingerprint() {
+		t.Fatal("fresh-seed patch left the model unchanged")
+	}
+	if !reflect.DeepEqual(next.Options(), m.Options()) {
+		t.Fatal("patch changed the facade options")
+	}
+	sys, err := NewSystemFromModel(next)
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples, err := sys.SimulateOutage([]int{lines[0]}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Detect(samples[0]); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPatchErrors covers the facade patch error surface: empty specs,
+// bad line indices, wrong bases, and nil receivers all answer the
+// typed sentinels.
+func TestPatchErrors(t *testing.T) {
+	m := trainTestModel(t)
+	lines := patchTestLines(t, m)
+
+	t.Run("no lines", func(t *testing.T) {
+		if _, err := TrainModelPatch(m, PatchSpec{Seed: 9}); !errors.Is(err, ErrBadPatch) {
+			t.Fatalf("got %v, want ErrBadPatch", err)
+		}
+	})
+	t.Run("bad line", func(t *testing.T) {
+		if _, err := TrainModelPatch(m, PatchSpec{Lines: []int{-1}, Seed: 9}); !errors.Is(err, ErrBadLine) {
+			t.Fatalf("got %v, want ErrBadLine", err)
+		}
+	})
+	t.Run("wrong base", func(t *testing.T) {
+		p, err := TrainModelPatch(m, PatchSpec{Lines: lines, Seed: 9})
+		if err != nil {
+			t.Fatal(err)
+		}
+		other, err := TrainModel(Options{Case: "ieee14", TrainSteps: 12, Seed: 8, UseDC: true, Workers: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := p.Apply(other); !errors.Is(err, ErrPatchBase) {
+			t.Fatalf("got %v, want ErrPatchBase", err)
+		}
+	})
+	t.Run("nil", func(t *testing.T) {
+		var p *Patch
+		if _, err := p.Apply(m); !errors.Is(err, ErrBadPatch) {
+			t.Fatalf("got %v, want ErrBadPatch", err)
+		}
+		if err := p.Encode(&bytes.Buffer{}); !errors.Is(err, ErrBadPatch) {
+			t.Fatalf("got %v, want ErrBadPatch", err)
+		}
+		if _, err := TrainModelPatch(nil, PatchSpec{Lines: lines}); !errors.Is(err, ErrBadModel) {
+			t.Fatalf("got %v, want ErrBadModel", err)
+		}
+	})
+}

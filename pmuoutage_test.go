@@ -15,8 +15,17 @@ func newQuickSystem(t *testing.T) *System {
 
 func TestCasesList(t *testing.T) {
 	cs := Cases()
-	if len(cs) != 4 {
+	if len(cs) != 6 {
 		t.Fatalf("Cases = %v", cs)
+	}
+	have := make(map[string]bool, len(cs))
+	for _, c := range cs {
+		have[c] = true
+	}
+	for _, want := range []string{"ieee14", "ieee118", "synth300", "synth1000"} {
+		if !have[want] {
+			t.Fatalf("Cases %v is missing %q", cs, want)
+		}
 	}
 }
 
