@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet lint lint-report test race bench bench-full bench-serve bench-serve-smoke serve-smoke serve-fleet-smoke smoke-scale verify
+.PHONY: build vet lint lint-report test race bench bench-full bench-serve bench-serve-smoke serve-smoke serve-fleet-smoke smoke-scale soak-smoke verify
 
 build:
 	$(GO) build ./...
@@ -83,6 +83,16 @@ smoke-scale:
 serve-fleet-smoke:
 	$(GO) run ./cmd/outagerouter -smoke
 
+# Churn soak smoke: an in-process fleet (registry, two traced backends,
+# the traced router) under mixed detect + binary-ingest load while the
+# harness injects churn — rolling reloads, a patch broadcast, an abrupt
+# backend kill and restart. Writes SOAK_report.json (per-tick isolation
+# accuracy, false-alarm rate, per-stage p50/p95/p99, availability, the
+# slowest retained traces and one merged multi-hop trace) and asserts
+# zero client-visible errors and >= 0.9 isolation accuracy throughout.
+soak-smoke:
+	$(GO) run ./cmd/outagesoak -smoke
+
 # The tier-1 gate (see ROADMAP.md): build, vet, gridlint, race tests,
 # benchmark smoke.
-verify: build vet lint race bench bench-serve-smoke serve-smoke smoke-scale serve-fleet-smoke
+verify: build vet lint race bench bench-serve-smoke serve-smoke smoke-scale serve-fleet-smoke soak-smoke

@@ -110,6 +110,10 @@ type ShardSnapshot struct {
 	P95LatencyMS float64 `json:"p95_latency_ms"`
 	P99LatencyMS float64 `json:"p99_latency_ms"`
 	QueueDepth   int     `json:"queue_depth"`
+	// Stages maps pipeline stage name (queue/coalesce/detect/encode)
+	// to its cumulative latency histogram in seconds; the fleet
+	// aggregator merges these across backends with Hist.Merge.
+	Stages map[string]Hist `json:"stages,omitempty"`
 }
 
 // ErrorEnvelope is the uniform error body every daemon and the router

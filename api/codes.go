@@ -48,6 +48,10 @@ const (
 	// CodeUnknownModel: the registry holds no artifact under the
 	// requested fingerprint.
 	CodeUnknownModel Code = "unknown_model"
+	// CodeNotFound: a debug lookup (e.g. a trace ID at /debug/traces)
+	// matched nothing. Terminal; tail sampling may simply have dropped
+	// the trace.
+	CodeNotFound Code = "not_found"
 	// CodeOverloaded: load-shedding — a bounded queue is full
 	// (service.ErrOverloaded). Retryable after backoff.
 	CodeOverloaded Code = "overloaded"
@@ -82,7 +86,7 @@ func (c Code) HTTPStatus() int {
 	case CodeBadRequest, CodeBadSample, CodeBadLine, CodeUnknownCase,
 		CodeBadModel, CodeModelVersion, CodeBadPatch, CodeConfig:
 		return 400
-	case CodeUnknownShard, CodeUnknownModel:
+	case CodeUnknownShard, CodeUnknownModel, CodeNotFound:
 		return 404
 	case CodePromotionBlocked, CodePatchBase:
 		return 409

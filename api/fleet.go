@@ -1,0 +1,198 @@
+package api
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// ErrHistMismatch is returned by Hist.Merge when the operands have
+// different bucket layouts; merging them would corrupt both.
+var ErrHistMismatch = errors.New("histogram bucket layout mismatch")
+
+// Fleet wire types: GET /v1/fleet on the router. The router scrapes
+// each backend's /v1/stats, merges the per-shard stage histograms with
+// Hist.Merge, and reports rolling-window SLOs.
+
+// Hist is a fixed-bucket histogram snapshot on the wire: cumulative
+// counters (never reset), upper bucket bounds in ascending order, and
+// one overflow bucket (len(Counts) == len(Bounds)+1). It is the
+// exchange format that lets the router merge per-backend stage
+// histograms into fleet-level quantiles.
+type Hist struct {
+	Bounds []float64 `json:"bounds,omitempty"`
+	Counts []uint64  `json:"counts,omitempty"`
+	Count  uint64    `json:"count"`
+	Sum    float64   `json:"sum"`
+}
+
+// Merge folds o into h. Merging is commutative and associative as long
+// as every operand shares the same bucket bounds — the property the
+// fleet aggregator relies on when backends are scraped in arbitrary
+// order. An empty h adopts o's bounds wholesale.
+func (h *Hist) Merge(o Hist) error {
+	if o.Count == 0 && len(o.Counts) == 0 {
+		return nil
+	}
+	if len(h.Bounds) == 0 && len(h.Counts) == 0 {
+		h.Bounds = append([]float64(nil), o.Bounds...)
+		h.Counts = append([]uint64(nil), o.Counts...)
+		h.Count += o.Count
+		h.Sum += o.Sum
+		return nil
+	}
+	if len(h.Bounds) != len(o.Bounds) {
+		return fmt.Errorf("%w: bucket count %d vs %d", ErrHistMismatch, len(h.Bounds), len(o.Bounds))
+	}
+	for i, b := range h.Bounds {
+		//gridlint:ignore floatcmp bounds are copied verbatim from one bucket layout, never computed; any inexact difference IS a mismatch
+		if o.Bounds[i] != b {
+			return fmt.Errorf("%w: bound %d is %g vs %g", ErrHistMismatch, i, b, o.Bounds[i])
+		}
+	}
+	if len(h.Counts) != len(o.Counts) {
+		return fmt.Errorf("%w: counts length %d vs %d", ErrHistMismatch, len(h.Counts), len(o.Counts))
+	}
+	for i, c := range o.Counts {
+		h.Counts[i] += c
+	}
+	h.Count += o.Count
+	h.Sum += o.Sum
+	return nil
+}
+
+// Delta returns the histogram of observations that happened after prev
+// was captured: h - prev, bucket by bucket. If the counters went
+// backwards (the backend restarted and its cumulative counts reset),
+// the full current histogram is returned — everything in it is new.
+func (h Hist) Delta(prev Hist) Hist {
+	if len(prev.Counts) != len(h.Counts) || prev.Count > h.Count {
+		return h.clone()
+	}
+	d := Hist{
+		Bounds: append([]float64(nil), h.Bounds...),
+		Counts: make([]uint64, len(h.Counts)),
+		Count:  h.Count - prev.Count,
+		Sum:    h.Sum - prev.Sum,
+	}
+	for i := range h.Counts {
+		if prev.Counts[i] > h.Counts[i] {
+			return h.clone()
+		}
+		d.Counts[i] = h.Counts[i] - prev.Counts[i]
+	}
+	return d
+}
+
+func (h Hist) clone() Hist {
+	return Hist{
+		Bounds: append([]float64(nil), h.Bounds...),
+		Counts: append([]uint64(nil), h.Counts...),
+		Count:  h.Count,
+		Sum:    h.Sum,
+	}
+}
+
+// Quantile estimates the q-th quantile (0 ≤ q ≤ 1) by linear
+// interpolation within the bucket that crosses the target rank,
+// mirroring internal/obs. Observations in the overflow bucket clamp to
+// the largest finite bound. Returns 0 for an empty histogram.
+func (h Hist) Quantile(q float64) float64 {
+	if h.Count == 0 || len(h.Bounds) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(h.Count)
+	var cum float64
+	lower := 0.0
+	for i, c := range h.Counts {
+		if c == 0 {
+			if i < len(h.Bounds) {
+				lower = h.Bounds[i]
+			}
+			continue
+		}
+		next := cum + float64(c)
+		if rank <= next {
+			if i >= len(h.Bounds) {
+				return h.Bounds[len(h.Bounds)-1]
+			}
+			upper := h.Bounds[i]
+			frac := (rank - cum) / float64(c)
+			if frac < 0 {
+				frac = 0
+			}
+			return lower + (upper-lower)*frac
+		}
+		cum = next
+		if i < len(h.Bounds) {
+			lower = h.Bounds[i]
+		}
+	}
+	return h.Bounds[len(h.Bounds)-1]
+}
+
+// FleetBackend is one backend's slice of the fleet health report.
+// Counter fields are cumulative as reported by the backend; the
+// rolling-window rates live at the fleet level.
+type FleetBackend struct {
+	URL     string `json:"url"`
+	Pool    string `json:"pool"` // "primary" or "canary"
+	Healthy bool   `json:"healthy"`
+
+	Requests    uint64 `json:"requests"`
+	Samples     uint64 `json:"samples"`
+	Shed        uint64 `json:"shed"`
+	Unavailable uint64 `json:"unavailable"`
+
+	Ejections      uint64 `json:"ejections"`
+	Readmissions   uint64 `json:"readmissions"`
+	LastEjectionMS int64  `json:"last_ejection_ms,omitempty"` // unix ms; 0 = never ejected
+
+	P99DetectMS  float64 `json:"p99_detect_ms"`
+	LastScrapeMS int64   `json:"last_scrape_ms,omitempty"` // unix ms of the last stats scrape
+	ScrapeError  string  `json:"scrape_error,omitempty"`
+}
+
+// FleetHealth is the rolling-window fleet SLO report at GET /v1/fleet.
+// Rates and quantiles cover roughly the trailing WindowMS; counters are
+// fleet-cumulative sums over all primary and canary backends.
+type FleetHealth struct {
+	WindowMS int64 `json:"window_ms"`
+
+	// SLO signals, computed over the window and primary pool only:
+	// Availability is the healthy fraction of backend scrape points,
+	// P99DetectMS the merged detect-stage p99, ShedRate the shed
+	// fraction of requests.
+	Availability float64 `json:"availability"`
+	P99DetectMS  float64 `json:"p99_detect_ms"`
+	ShedRate     float64 `json:"shed_rate"`
+
+	Requests      uint64 `json:"requests"`
+	Samples       uint64 `json:"samples"`
+	Shed          uint64 `json:"shed"`
+	Errors        uint64 `json:"errors"`
+	DesperateUses uint64 `json:"desperate_uses"`
+
+	// Stages maps stage name → merged histogram across every backend
+	// and shard, windowed (only observations inside the window).
+	Stages map[string]Hist `json:"stages,omitempty"`
+
+	Backends []FleetBackend `json:"backends"`
+}
+
+// SortBackends orders the report's backends deterministically
+// (pool, then URL) so repeated fetches diff cleanly.
+func (f *FleetHealth) SortBackends() {
+	sort.Slice(f.Backends, func(i, j int) bool {
+		if f.Backends[i].Pool != f.Backends[j].Pool {
+			return f.Backends[i].Pool < f.Backends[j].Pool
+		}
+		return f.Backends[i].URL < f.Backends[j].URL
+	})
+}

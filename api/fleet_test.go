@@ -1,0 +1,205 @@
+package api
+
+import (
+	"encoding/json"
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// randHist builds a cumulative histogram over the shared bounds with
+// random bucket counts, keeping Count/Sum consistent with Counts.
+func randHist(rng *rand.Rand, bounds []float64) Hist {
+	h := Hist{
+		Bounds: append([]float64(nil), bounds...),
+		Counts: make([]uint64, len(bounds)+1),
+	}
+	for i := range h.Counts {
+		c := uint64(rng.Intn(50))
+		h.Counts[i] = c
+		h.Count += c
+		// Attribute mass at the bucket's upper bound (overflow at 2x
+		// the last bound) — any consistent rule works for the property.
+		b := 2 * bounds[len(bounds)-1]
+		if i < len(bounds) {
+			b = bounds[i]
+		}
+		h.Sum += float64(c) * b
+	}
+	return h
+}
+
+// TestHistMergeProperties is the property test behind the fleet
+// aggregator: merging per-backend fixed-bucket histograms must be
+// order-invariant and must preserve totals and cumulative-bucket
+// monotonicity, for any number of operands in any order.
+func TestHistMergeProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	bounds := []float64{0.001, 0.01, 0.1, 1, 10}
+	for trial := 0; trial < 200; trial++ {
+		n := 2 + rng.Intn(6)
+		parts := make([]Hist, n)
+		var wantCount uint64
+		var wantSum float64
+		for i := range parts {
+			parts[i] = randHist(rng, bounds)
+			wantCount += parts[i].Count
+			wantSum += parts[i].Sum
+		}
+
+		mergeAll := func(order []int) Hist {
+			var m Hist
+			for _, idx := range order {
+				if err := m.Merge(parts[idx]); err != nil {
+					t.Fatalf("trial %d: merge: %v", trial, err)
+				}
+			}
+			return m
+		}
+
+		fwd := make([]int, n)
+		for i := range fwd {
+			fwd[i] = i
+		}
+		shuf := append([]int(nil), fwd...)
+		rng.Shuffle(n, func(i, j int) { shuf[i], shuf[j] = shuf[j], shuf[i] })
+
+		a, b := mergeAll(fwd), mergeAll(shuf)
+
+		// Order invariance: identical result from any merge order.
+		if a.Count != b.Count || math.Abs(a.Sum-b.Sum) > 1e-9*math.Abs(a.Sum) {
+			t.Fatalf("trial %d: merge order changed totals: %v vs %v", trial, a, b)
+		}
+		for i := range a.Counts {
+			if a.Counts[i] != b.Counts[i] {
+				t.Fatalf("trial %d: merge order changed bucket %d: %d vs %d", trial, i, a.Counts[i], b.Counts[i])
+			}
+		}
+
+		// Totals preserved: Count is the sum of operands and of buckets.
+		if a.Count != wantCount {
+			t.Fatalf("trial %d: merged Count = %d, want %d", trial, a.Count, wantCount)
+		}
+		if math.Abs(a.Sum-wantSum) > 1e-9*math.Abs(wantSum) {
+			t.Fatalf("trial %d: merged Sum = %g, want %g", trial, a.Sum, wantSum)
+		}
+		var bucketSum uint64
+		for _, c := range a.Counts {
+			bucketSum += c
+		}
+		if bucketSum != a.Count {
+			t.Fatalf("trial %d: bucket sum %d != Count %d", trial, bucketSum, a.Count)
+		}
+
+		// Cumulative monotonicity: running bucket totals never decrease
+		// (trivially true for non-negative per-bucket counts, but this
+		// is the invariant Prometheus-style consumers read off the wire).
+		var cum, prev uint64
+		for i, c := range a.Counts {
+			cum += c
+			if cum < prev {
+				t.Fatalf("trial %d: cumulative count decreased at bucket %d", trial, i)
+			}
+			prev = cum
+		}
+	}
+}
+
+func TestHistMergeBoundMismatch(t *testing.T) {
+	a := Hist{Bounds: []float64{1, 2}, Counts: []uint64{1, 0, 0}, Count: 1, Sum: 1}
+	b := Hist{Bounds: []float64{1, 3}, Counts: []uint64{0, 1, 0}, Count: 1, Sum: 3}
+	if err := a.Merge(b); !errors.Is(err, ErrHistMismatch) {
+		t.Fatalf("merging histograms with different bounds: err = %v, want ErrHistMismatch", err)
+	}
+	c := Hist{Bounds: []float64{1}, Counts: []uint64{1, 0}, Count: 1, Sum: 1}
+	if err := a.Merge(c); !errors.Is(err, ErrHistMismatch) {
+		t.Fatalf("merging histograms with different bucket counts: err = %v, want ErrHistMismatch", err)
+	}
+}
+
+func TestHistDelta(t *testing.T) {
+	prev := Hist{Bounds: []float64{1, 2}, Counts: []uint64{1, 1, 0}, Count: 2, Sum: 2.5}
+	cur := Hist{Bounds: []float64{1, 2}, Counts: []uint64{3, 1, 2}, Count: 6, Sum: 9.5}
+	d := cur.Delta(prev)
+	if d.Count != 4 || d.Counts[0] != 2 || d.Counts[1] != 0 || d.Counts[2] != 2 {
+		t.Fatalf("delta = %+v", d)
+	}
+	if math.Abs(d.Sum-7.0) > 1e-12 {
+		t.Fatalf("delta sum = %g, want 7", d.Sum)
+	}
+
+	// Counter reset: the backend restarted, cumulative counts went
+	// backwards — the whole current histogram is the delta.
+	reset := cur.Delta(Hist{Bounds: []float64{1, 2}, Counts: []uint64{9, 9, 9}, Count: 27, Sum: 50})
+	if reset.Count != cur.Count || reset.Counts[0] != cur.Counts[0] {
+		t.Fatalf("reset delta should return current whole, got %+v", reset)
+	}
+}
+
+func TestHistQuantile(t *testing.T) {
+	h := Hist{Bounds: []float64{1, 2, 4}, Counts: []uint64{0, 10, 0, 0}, Count: 10, Sum: 15}
+	// All mass in the (1,2] bucket: the median interpolates inside it.
+	if q := h.Quantile(0.5); q < 1 || q > 2 {
+		t.Fatalf("p50 = %g, want within (1,2]", q)
+	}
+	// Overflow-only mass clamps to the largest finite bound.
+	o := Hist{Bounds: []float64{1, 2}, Counts: []uint64{0, 0, 5}, Count: 5, Sum: 50}
+	if q := o.Quantile(0.99); q != 2 {
+		t.Fatalf("overflow p99 = %g, want clamp to 2", q)
+	}
+	var empty Hist
+	if q := empty.Quantile(0.5); q != 0 {
+		t.Fatalf("empty quantile = %g, want 0", q)
+	}
+}
+
+// TestTraceFleetWireFieldNames pins the JSON field names of the trace
+// and fleet wire types, same contract rule as TestWireFieldNames.
+func TestTraceFleetWireFieldNames(t *testing.T) {
+	cases := []struct {
+		name string
+		v    any
+		want string
+	}{
+		{
+			"TraceSpan",
+			TraceSpan{ID: "a1", Parent: "b2", Stage: "detect", StartUnixNS: 5, DurationNS: 7, Err: "boom", Attrs: map[string]string{"shard": "east"}},
+			`{"id":"a1","parent":"b2","stage":"detect","start_unix_ns":5,"duration_ns":7,"err":"boom","attrs":{"shard":"east"}}`,
+		},
+		{
+			"Trace",
+			Trace{TraceID: "t1", Kept: TraceKeptSlow, StartUnixNS: 5, DurationNS: 9, Spans: []TraceSpan{{ID: "a1", Root: true, Stage: "http", StartUnixNS: 5, DurationNS: 9}}},
+			`{"trace_id":"t1","kept":"slow","start_unix_ns":5,"duration_ns":9,"spans":[{"id":"a1","root":true,"stage":"http","start_unix_ns":5,"duration_ns":9}]}`,
+		},
+		{
+			"TraceList",
+			TraceList{Traces: []Trace{}},
+			`{"traces":[]}`,
+		},
+		{
+			"Hist",
+			Hist{Bounds: []float64{1}, Counts: []uint64{2, 3}, Count: 5, Sum: 4.5},
+			`{"bounds":[1],"counts":[2,3],"count":5,"sum":4.5}`,
+		},
+		{
+			"FleetBackend",
+			FleetBackend{URL: "http://b", Pool: "primary", Healthy: true, Requests: 1, Samples: 2, Shed: 3, Unavailable: 4, Ejections: 5, Readmissions: 6, LastEjectionMS: 7, P99DetectMS: 8.5, LastScrapeMS: 9, ScrapeError: "x"},
+			`{"url":"http://b","pool":"primary","healthy":true,"requests":1,"samples":2,"shed":3,"unavailable":4,"ejections":5,"readmissions":6,"last_ejection_ms":7,"p99_detect_ms":8.5,"last_scrape_ms":9,"scrape_error":"x"}`,
+		},
+		{
+			"FleetHealth",
+			FleetHealth{WindowMS: 1, Availability: 0.5, P99DetectMS: 2.5, ShedRate: 0.25, Requests: 3, Samples: 4, Shed: 5, Errors: 6, DesperateUses: 7, Backends: []FleetBackend{}},
+			`{"window_ms":1,"availability":0.5,"p99_detect_ms":2.5,"shed_rate":0.25,"requests":3,"samples":4,"shed":5,"errors":6,"desperate_uses":7,"backends":[]}`,
+		},
+	}
+	for _, tc := range cases {
+		got, err := json.Marshal(tc.v)
+		if err != nil {
+			t.Fatalf("%s: marshal: %v", tc.name, err)
+		}
+		if string(got) != tc.want {
+			t.Errorf("%s wire shape drifted:\n got %s\nwant %s", tc.name, got, tc.want)
+		}
+	}
+}

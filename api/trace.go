@@ -1,0 +1,48 @@
+package api
+
+// Trace wire types: the JSON shape served by GET /debug/traces on
+// backends and the router. Traces are retained by tail-based sampling
+// (see internal/obs), so every trace in a list was kept for a reason —
+// the Kept field names it.
+
+// Reasons a trace survives tail sampling. The values appear verbatim
+// in Trace.Kept.
+const (
+	TraceKeptSlow    = "slow"    // root span exceeded the latency threshold
+	TraceKeptError   = "error"   // some span recorded an error
+	TraceKeptSampled = "sampled" // random low-rate sample
+)
+
+// TraceSpan is one completed span inside a retained trace. IDs are
+// 16-hex-character strings, matching the traceparent-style wire header.
+type TraceSpan struct {
+	ID     string `json:"id"`
+	Parent string `json:"parent,omitempty"` // empty for a span with no local or remote parent
+	// Root marks the span whose End finalized the trace on this
+	// process; its parent, if any, lives on the caller's side of the
+	// wire.
+	Root        bool              `json:"root,omitempty"`
+	Stage       string            `json:"stage"`
+	StartUnixNS int64             `json:"start_unix_ns"`
+	DurationNS  int64             `json:"duration_ns"`
+	Err         string            `json:"err,omitempty"`
+	Attrs       map[string]string `json:"attrs,omitempty"`
+}
+
+// Trace is one retained trace: every span recorded locally under a
+// single trace ID, finalized when its root span ended.
+type Trace struct {
+	TraceID     string `json:"trace_id"`
+	Kept        string `json:"kept"` // one of the TraceKept* reasons
+	StartUnixNS int64  `json:"start_unix_ns"`
+	DurationNS  int64  `json:"duration_ns"`
+	// DroppedSpans counts spans discarded because the trace hit its
+	// per-trace span cap; the retained spans are still coherent.
+	DroppedSpans int         `json:"dropped_spans,omitempty"`
+	Spans        []TraceSpan `json:"spans"`
+}
+
+// TraceList is the list form of GET /debug/traces, newest first.
+type TraceList struct {
+	Traces []Trace `json:"traces"`
+}

@@ -227,6 +227,10 @@ type RawResponse struct {
 	RetryAfter string
 	// TraceID is the X-Trace-Id the server echoed ("" if none).
 	TraceID string
+	// SpanID is the X-Span-Id of the span that served the request
+	// ("" when the server traces nothing) — the handle that finds this
+	// exact exchange inside the server's retained trace.
+	SpanID string
 	// Body is the full response body.
 	Body []byte
 }
@@ -441,6 +445,10 @@ func (c *Client) roundTrip(ctx context.Context, method, pathAndQuery, contentTyp
 	}
 	if id := obs.TraceID(ctx); id != "" {
 		req.Header.Set(obs.TraceHeader, id)
+		// Traceparent adds the parent span ID (the caller's active
+		// span, or one relayed from its own ingress) so the server's
+		// root span links into the distributed trace.
+		req.Header.Set(obs.TraceParentHeader, obs.FormatTraceParent(id, obs.ParentSpanID(ctx)))
 	}
 	resp, err := c.cfg.HTTPClient.Do(req)
 	if err != nil {
@@ -456,6 +464,7 @@ func (c *Client) roundTrip(ctx context.Context, method, pathAndQuery, contentTyp
 		ContentType: resp.Header.Get("Content-Type"),
 		RetryAfter:  resp.Header.Get("Retry-After"),
 		TraceID:     resp.Header.Get(obs.TraceHeader),
+		SpanID:      resp.Header.Get(obs.SpanHeader),
 		Body:        data,
 	}, nil
 }

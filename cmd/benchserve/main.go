@@ -16,6 +16,7 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"flag"
@@ -23,6 +24,7 @@ import (
 	"math"
 	"net"
 	"net/http"
+	"net/http/httptest"
 	"os"
 	"runtime"
 	"sort"
@@ -35,6 +37,7 @@ import (
 	"pmuoutage"
 	"pmuoutage/internal/httpserve"
 	"pmuoutage/internal/loadgen"
+	"pmuoutage/internal/obs"
 	"pmuoutage/internal/service"
 	"pmuoutage/internal/wire"
 )
@@ -70,13 +73,36 @@ type ingress struct {
 	DecodeAllocsPerOp float64 `json:"binary_decode_allocs_per_op"`
 }
 
-type report struct {
-	GOMAXPROCS int     `json:"gomaxprocs"`
-	Case       string  `json:"case"`
-	DurationMs int64   `json:"tier_duration_ms"`
-	Rows       []row   `json:"rows"`
-	Ingress    ingress `json:"ingress"`
+// traceRow is one tracing mode of the overhead comparison: the full
+// binary-ingest handler path (decode, score, respond), driven serially
+// in process so the two rows differ only by the tracer.
+type traceRow struct {
+	Tracing string `json:"tracing"` // "off" or "on"
+	NsPerOp int64  `json:"ns_per_op"`
 }
+
+// tracingOverhead pins the cost of leaving span tracing on: the "on"
+// row runs with tail sampling keeping every trace (the worst retention
+// case), and its per-op time must stay within Bound times the "off"
+// row.
+type tracingOverhead struct {
+	Rows  []traceRow `json:"rows"`
+	Ratio float64    `json:"ratio"`
+	Bound float64    `json:"bound"`
+}
+
+type report struct {
+	GOMAXPROCS int             `json:"gomaxprocs"`
+	Case       string          `json:"case"`
+	DurationMs int64           `json:"tier_duration_ms"`
+	Rows       []row           `json:"rows"`
+	Ingress    ingress         `json:"ingress"`
+	Tracing    tracingOverhead `json:"tracing"`
+}
+
+// tracingBound is the pinned overhead budget: the traced binary ingest
+// path must stay within this factor of the untraced one.
+const tracingBound = 1.5
 
 func main() {
 	out := flag.String("o", "BENCH_serve.json", "output file")
@@ -185,6 +211,21 @@ func run(out string, tiers []int, duration time.Duration, smoke bool) error {
 	}
 	if rep.Ingress.DecodeAllocsPerOp > 0 {
 		return fmt.Errorf("binary decode allocates %.1f/op, want 0", rep.Ingress.DecodeAllocsPerOp)
+	}
+
+	traceIters := 4000
+	if smoke {
+		traceIters = 800
+	}
+	if rep.Tracing, err = measureTracing(m, bins[0], traceIters); err != nil {
+		return err
+	}
+	fmt.Printf("tracing: off=%dns on=%dns ratio=%.2fx (bound %.1fx)\n",
+		rep.Tracing.Rows[0].NsPerOp, rep.Tracing.Rows[1].NsPerOp,
+		rep.Tracing.Ratio, rep.Tracing.Bound)
+	if rep.Tracing.Ratio > rep.Tracing.Bound {
+		return fmt.Errorf("tracing-on binary ingest is %.2fx the tracing-off path, bound %.1fx",
+			rep.Tracing.Ratio, rep.Tracing.Bound)
 	}
 	if smoke {
 		fmt.Println("benchserve: smoke ok")
@@ -375,6 +416,62 @@ func measureIngress(iters int) (ingress, error) {
 		}
 	})
 	return ing, nil
+}
+
+// measureTracing times the full binary-ingest handler path — decode,
+// synchronous score, response — with tracing disabled vs a tracer that
+// retains every trace (the worst retention case), using in-process
+// handler dispatch so the two rows differ only by the tracer.
+func measureTracing(m *pmuoutage.Model, enc []byte, iters int) (tracingOverhead, error) {
+	const reps = 3
+	run := func(tr *obs.Tracer) (int64, error) {
+		svc, err := service.New(context.Background(), service.Config{
+			Shards:         []service.ShardSpec{{Name: benchShard, Model: m}},
+			RestartBackoff: time.Millisecond,
+			Tracer:         tr,
+		})
+		if err != nil {
+			return 0, err
+		}
+		defer svc.Close()
+		if err := waitReady(svc); err != nil {
+			return 0, err
+		}
+		h := httpserve.New(svc, 30*time.Second, nil).Routes()
+		post := func() error {
+			req := httptest.NewRequest(http.MethodPost, "/v1/ingest?shard="+benchShard, bytes.NewReader(enc))
+			req.Header.Set("Content-Type", httpserve.FrameContentType)
+			rec := httptest.NewRecorder()
+			h.ServeHTTP(rec, req)
+			if rec.Code != http.StatusOK {
+				return fmt.Errorf("ingest status %d: %s", rec.Code, rec.Body.String())
+			}
+			return nil
+		}
+		// Warm the shard and the frame/buffer pools before timing.
+		for i := 0; i < 50; i++ {
+			if err := post(); err != nil {
+				return 0, err
+			}
+		}
+		return bestNs(reps, iters, post), nil
+	}
+
+	var to tracingOverhead
+	off, err := run(nil)
+	if err != nil {
+		return to, err
+	}
+	on, err := run(obs.NewTracer(obs.TracerConfig{Capacity: 256, SampleEvery: 1}))
+	if err != nil {
+		return to, err
+	}
+	to.Rows = []traceRow{{Tracing: "off", NsPerOp: off}, {Tracing: "on", NsPerOp: on}}
+	to.Bound = tracingBound
+	if off > 0 {
+		to.Ratio = float64(on) / float64(off)
+	}
+	return to, nil
 }
 
 // bestNs reports the fastest per-op time over reps runs of iters calls.

@@ -65,6 +65,9 @@ func main() {
 		queue      = flag.Int("queue", 0, "pending-sample bound per shard before load-shedding (0 = default)")
 		timeout    = flag.Duration("timeout", 30*time.Second, "per-request deadline")
 		confirm    = flag.Int("confirm", 0, "streaming confirmation streak (0 = default)")
+		traceCap   = flag.Int("trace-capacity", 256, "retained-trace ring size for GET /debug/traces (0 disables tracing)")
+		traceSlow  = flag.Duration("trace-slow", 100*time.Millisecond, "tail sampling keeps traces at least this slow (negative disables the latency rule)")
+		traceEvery = flag.Int("trace-sample", 0, "tail sampling also keeps every Nth trace regardless of latency (0 disables)")
 		smoke      = flag.Bool("smoke", false, "self-test: serve on an ephemeral port, round-trip one detect, exit")
 		smokeCase  = flag.String("smoke-case", "ieee14", "grid case the -smoke shard trains on (e.g. synth300 for the scale smoke)")
 		smokeSteps = flag.Int("smoke-steps", 12, "training window length of the -smoke shard")
@@ -104,6 +107,13 @@ func main() {
 		cfg.Shards[i].Replicas = *replicas
 	}
 	cfg.Logger = logger
+	if *traceCap > 0 {
+		cfg.Tracer = obs.NewTracer(obs.TracerConfig{
+			Capacity:      *traceCap,
+			SlowThreshold: *traceSlow,
+			SampleEvery:   *traceEvery,
+		})
+	}
 	if err := run(ctx, *addr, *debugAddr, cfg, *timeout, logger, reg); err != nil {
 		log.Fatal(err)
 	}

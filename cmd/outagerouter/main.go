@@ -10,8 +10,12 @@
 //	POST /v1/ingest         same, JSON or binary frames (query preserved)
 //	POST /v1/reload         broadcast a reload to every primary backend
 //	GET  /v1/backends       fleet view: health, ejections, load, shards
+//	GET  /v1/fleet          aggregated fleet health: scraped per-backend
+//	                        counters, ejection history, windowed SLOs
 //	GET  /v1/canary/report  the canary diff report and promotion gates
 //	POST /v1/canary/promote reload primaries onto the candidate (gated)
+//	GET  /debug/traces      tail-sampled traces; ?id= merges the backends'
+//	                        halves into one multi-hop tree
 //	GET  /healthz           200 while any primary backend is admissible
 //	GET  /metrics           router-level counters and latency histograms
 //
@@ -48,6 +52,10 @@ func main() {
 		tolerance  = flag.Float64("tolerance", 0, "promotion gate: tolerated per-scenario IA/FA regression")
 		maxInFl    = flag.Int("max-inflight", 0, "concurrent proxied requests per backend (0 = 256)")
 		probeEvery = flag.Duration("probe-every", 250*time.Millisecond, "backend health-probe period")
+		fleetWin   = flag.Duration("fleet-window", time.Minute, "rolling window the /v1/fleet SLO signals cover")
+		traceCap   = flag.Int("trace-capacity", 256, "retained-trace ring size for GET /debug/traces (0 disables tracing)")
+		traceSlow  = flag.Duration("trace-slow", 100*time.Millisecond, "tail sampling keeps traces at least this slow (negative disables the latency rule)")
+		traceEvery = flag.Int("trace-sample", 0, "tail sampling also keeps every Nth trace regardless of latency (0 disables)")
 		logLevel   = flag.String("log-level", "info", "log verbosity: debug, info, warn, error")
 		smoke      = flag.Bool("smoke", false, "self-test: run a 2-backend fleet with canary promotion in-process, exit")
 	)
@@ -76,7 +84,15 @@ func main() {
 		Tolerance:      *tolerance,
 		MaxInFlight:    *maxInFl,
 		ProbeEvery:     *probeEvery,
+		FleetWindow:    *fleetWin,
 		Logger:         logger,
+	}
+	if *traceCap > 0 {
+		cfg.Tracer = obs.NewTracer(obs.TracerConfig{
+			Capacity:      *traceCap,
+			SlowThreshold: *traceSlow,
+			SampleEvery:   *traceEvery,
+		})
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

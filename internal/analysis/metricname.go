@@ -36,6 +36,16 @@ var metricRegMethods = map[string]int{
 	"AttachCounter":  3,
 }
 
+// tracerStageMethods maps each Tracer span method to the index of its
+// stage argument. Stage names feed the same dashboards as metric labels
+// (per-stage SLO rows keyed by stage string), so they get the same
+// const + snake_case treatment — but not the single-call-site rule,
+// since a stage is naturally started from wherever that stage runs.
+var tracerStageMethods = map[string]int{
+	"StartSpan":  1,
+	"RecordSpan": 1,
+}
+
 // snakeCaseRE is the shape every metric name and label key must have:
 // lowercase words joined by single underscores, starting with a letter.
 var snakeCaseRE = regexp.MustCompile(`^[a-z][a-z0-9]*(_[a-z0-9]+)*$`)
@@ -46,6 +56,12 @@ func runMetricName(pass *Pass) error {
 		ast.Inspect(f, func(n ast.Node) bool {
 			call, ok := n.(*ast.CallExpr)
 			if !ok {
+				return true
+			}
+			if idx, ok := receiverMethod(pass, call, "Tracer", tracerStageMethods); ok {
+				if idx < len(call.Args) {
+					checkMetricIdent(pass, call.Args[idx], "span stage")
+				}
 				return true
 			}
 			labelStart, ok := registryMethod(pass, call)
@@ -77,11 +93,17 @@ func runMetricName(pass *Pass) error {
 // registryMethod reports whether call is a registration method on a
 // type named Registry, returning the index of its first label argument.
 func registryMethod(pass *Pass, call *ast.CallExpr) (int, bool) {
+	return receiverMethod(pass, call, "Registry", metricRegMethods)
+}
+
+// receiverMethod reports whether call is one of methods on a type with
+// the given name, returning the mapped argument index.
+func receiverMethod(pass *Pass, call *ast.CallExpr, recvName string, methods map[string]int) (int, bool) {
 	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
 	if !ok {
 		return 0, false
 	}
-	labelStart, ok := metricRegMethods[sel.Sel.Name]
+	idx, ok := methods[sel.Sel.Name]
 	if !ok {
 		return 0, false
 	}
@@ -98,10 +120,10 @@ func registryMethod(pass *Pass, call *ast.CallExpr) (int, bool) {
 		recv = p.Elem()
 	}
 	named, ok := recv.(*types.Named)
-	if !ok || named.Obj().Name() != "Registry" {
+	if !ok || named.Obj().Name() != recvName {
 		return 0, false
 	}
-	return labelStart, true
+	return idx, true
 }
 
 // checkMetricIdent validates one name-position argument (metric name or

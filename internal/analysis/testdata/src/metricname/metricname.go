@@ -50,6 +50,38 @@ func register(r *Registry, c *Counter, labels []string) {
 
 const goodHist2 = "pmu_other_seconds"
 
+// Tracer mimics the internal/obs span surface: stage names feed the
+// per-stage SLO rows, so StartSpan/RecordSpan stage arguments get the
+// same const + snake_case rules (but no single-call-site rule — a
+// stage is started from wherever it runs).
+type Tracer struct{}
+
+func (t *Tracer) StartSpan(ctx any, stage string) (any, any)       { return ctx, nil }
+func (t *Tracer) RecordSpan(ctx any, stage string, start, end int) {}
+
+const (
+	stageGood  = "detect"
+	stageCamel = "proxyHop"
+)
+
+func spans(tr *Tracer, ctx any) {
+	_, _ = tr.StartSpan(ctx, stageGood)
+	tr.RecordSpan(ctx, stageGood, 0, 0) // fine: stages may repeat across call sites
+	tr.RecordSpan(ctx, stageGood, 0, 0)
+
+	_, _ = tr.StartSpan(ctx, "queue") // want `span stage must be a package-level named constant, not a string literal`
+	tr.RecordSpan(ctx, stageCamel, 0, 0) // want `span stage "proxyHop" \(const stageCamel\) is not snake_case`
+}
+
+// notATracer proves the stage check keys on the receiver type too.
+type notATracer struct{}
+
+func (notATracer) StartSpan(ctx any, stage string) {}
+
+func unrelatedSpan(n notATracer, ctx any) {
+	n.StartSpan(ctx, "Whatever Goes")
+}
+
 // notARegistry proves the analyzer keys on the receiver type: same
 // method names elsewhere are ignored.
 type notARegistry struct{}

@@ -43,12 +43,20 @@ const FrameContentType = "application/x-pmu-frame"
 // /metrics page carries both views. Package-level snake_case consts
 // with one registration site each (gridlint metricname).
 const (
-	metricHTTPRequests = "pmu_http_requests_total"
-	metricHTTPErrors   = "pmu_http_errors_total"
-	metricHTTPSeconds  = "pmu_http_seconds"
-	metricFrameDecode  = "pmu_frame_decode_seconds"
+	metricHTTPRequests  = "pmu_http_requests_total"
+	metricHTTPErrors    = "pmu_http_errors_total"
+	metricHTTPSeconds   = "pmu_http_seconds"
+	metricFrameDecode   = "pmu_frame_decode_seconds"
+	metricTracesKept    = "pmu_traces_kept_total"
+	metricTracesDropped = "pmu_traces_dropped_total"
 
 	labelPath = "path"
+
+	// Span stage labels owned by the HTTP layer: the root span covering
+	// the whole exchange, and the response-encode child the detect
+	// handler records (the shard pipeline owns queue/coalesce/detect).
+	stageHTTP   = "http"
+	stageEncode = "encode"
 )
 
 // routePaths are the daemon's endpoints; per-route HTTP series are
@@ -57,6 +65,7 @@ const (
 var routePaths = []string{
 	"/v1/detect", "/v1/ingest", "/v1/reload",
 	"/v1/shards", "/v1/stats", "/healthz", "/metrics",
+	"/debug/traces",
 }
 
 // ModelFetcher resolves a model artifact by content fingerprint — the
@@ -101,6 +110,10 @@ func New(svc *service.Service, timeout time.Duration, logger *slog.Logger) *Serv
 		s.httpLat[p] = reg.Histogram(metricHTTPSeconds, "request latency, ingress to last byte", labelPath, p)
 	}
 	s.frameDecode = reg.Histogram(metricFrameDecode, "binary ingest frame decode latency")
+	if tr := svc.Tracer(); tr != nil {
+		reg.AttachCounter(metricTracesKept, "traces retained by tail sampling", tr.KeptCounter())
+		reg.AttachCounter(metricTracesDropped, "traces dropped by tail sampling", tr.DroppedCounter())
+	}
 	return s
 }
 
@@ -114,6 +127,7 @@ func (s *Server) Routes() http.Handler {
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.Handle("GET /metrics", s.svc.Metrics())
+	mux.HandleFunc("GET /debug/traces", s.handleTraces)
 	return s.instrument(mux)
 }
 
@@ -126,14 +140,32 @@ func (s *Server) Routes() http.Handler {
 func (s *Server) instrument(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
+		// Traceparent (trace ID + caller's span) wins over the plain
+		// X-Trace-Id; either way a caller-supplied ID is kept so
+		// traces span services, and one is minted otherwise.
+		var remoteParent uint64
 		id := r.Header.Get(obs.TraceHeader)
+		if tp, parent, ok := obs.ParseTraceParent(r.Header.Get(obs.TraceParentHeader)); ok {
+			id, remoteParent = tp, parent
+		}
 		if id == "" {
 			id = obs.NewTraceID()
 		}
 		w.Header().Set(obs.TraceHeader, id)
-		r = r.WithContext(obs.WithTraceID(r.Context(), id))
+		ctx := obs.WithTraceID(r.Context(), id)
+		ctx = obs.WithRemoteParent(ctx, remoteParent)
+		ctx, span := s.svc.Tracer().StartSpan(ctx, stageHTTP)
+		if span != nil {
+			span.SetAttr(labelPath, r.URL.Path)
+			w.Header().Set(obs.SpanHeader, span.ID())
+		}
+		r = r.WithContext(ctx)
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
 		next.ServeHTTP(sw, r)
+		if sw.status >= 500 {
+			span.SetErrorString(http.StatusText(sw.status))
+		}
+		span.End()
 		elapsed := time.Since(start)
 		path := r.URL.Path
 		s.httpReqs[path].Inc()
@@ -215,7 +247,9 @@ func (s *Server) handleDetect(w http.ResponseWriter, r *http.Request) {
 	}
 	encStart := time.Now()
 	writeJSON(w, http.StatusOK, DetectResponse{Shard: req.Shard, Reports: reports})
-	s.svc.Counters(req.Shard).StageSeconds(service.StageEncode).Observe(time.Since(encStart))
+	encEnd := time.Now()
+	s.svc.Counters(req.Shard).StageSeconds(service.StageEncode).Observe(encEnd.Sub(encStart))
+	s.svc.Tracer().RecordSpan(r.Context(), stageEncode, encStart, encEnd, nil)
 }
 
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {

@@ -20,6 +20,10 @@ func TestHotPathAllocations(t *testing.T) {
 	var nilC *Counter
 	var nilG *Gauge
 	var nilH *Histogram
+	var nilT *Tracer
+	var nilSpan *Span
+	tr := NewTracer(TracerConfig{})
+	now := time.Now()
 	ctx := WithTraceID(context.Background(), "deadbeef00000000")
 
 	cases := []struct {
@@ -41,6 +45,14 @@ func TestHotPathAllocations(t *testing.T) {
 		{"histogram observe value disabled", 0, func() { nilH.ObserveValue(0.5) }},
 		{"trace id read", 0, func() { _ = TraceID(ctx) }},
 		{"trace id mint", 1, func() { _ = NewTraceID() }},
+		{"span start disabled", 0, func() { _, sp := nilT.StartSpan(ctx, "stage"); sp.End() }},
+		{"span end disabled", 0, func() { nilSpan.End() }},
+		{"span attr disabled", 0, func() { nilSpan.SetAttr("k", "v") }},
+		{"span error string disabled", 0, func() { nilSpan.SetErrorString("boom") }},
+		{"record span disabled", 0, func() { nilT.RecordSpan(ctx, "stage", now, now, nil) }},
+		{"record span untraced", 0, func() { tr.RecordSpan(context.Background(), "stage", now, now, nil) }},
+		{"span from context", 0, func() { _ = SpanFromContext(ctx) }},
+		{"parent span id read", 0, func() { _ = ParentSpanID(ctx) }},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

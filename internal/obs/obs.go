@@ -215,6 +215,16 @@ func (h *Histogram) Quantile(q float64) float64 {
 	return h.bounds[len(h.bounds)-1]
 }
 
+// Snapshot copies the histogram into plain values; nil histograms
+// return an empty snapshot. Bounds aliases the histogram's bound slice
+// — callers must treat it as read-only.
+func (h *Histogram) Snapshot() *HistSnapshot {
+	if h == nil {
+		return &HistSnapshot{}
+	}
+	return h.snapshot()
+}
+
 // snapshot copies the histogram into plain values.
 func (h *Histogram) snapshot() *HistSnapshot {
 	s := &HistSnapshot{

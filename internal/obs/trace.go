@@ -51,11 +51,11 @@ func init() {
 	}
 }
 
-// NewTraceID mints a 16-hex-character trace ID: unique within the
-// process, collision-resistant across processes via the random seed.
-// One string allocation, minted only at request ingress — never on the
-// per-sample hot path.
-func NewTraceID() string {
+// mintID draws the next well-distributed 64-bit ID from the Weyl
+// sequence. Shared by trace IDs and span IDs: both live in the same
+// process-unique stream, so a span ID never collides with a trace ID
+// either.
+func mintID() uint64 {
 	z := traceSeq.Add(0x9e3779b97f4a7c15) // golden-ratio Weyl increment
 	// splitmix64 finalizer: consecutive sequence values become
 	// well-distributed IDs.
@@ -64,11 +64,46 @@ func NewTraceID() string {
 	z ^= z >> 27
 	z *= 0x94d049bb133111eb
 	z ^= z >> 31
-	const hexdigits = "0123456789abcdef"
+	return z
+}
+
+const hexdigits = "0123456789abcdef"
+
+// formatID renders an ID as 16 lowercase hex characters (one string
+// allocation).
+func formatID(z uint64) string {
 	var buf [16]byte
 	for i := 15; i >= 0; i-- {
 		buf[i] = hexdigits[z&0xf]
 		z >>= 4
 	}
 	return string(buf[:])
+}
+
+// parseID is the inverse of formatID: exactly 16 lowercase hex digits.
+func parseID(s string) (uint64, bool) {
+	if len(s) != 16 {
+		return 0, false
+	}
+	var z uint64
+	for i := 0; i < 16; i++ {
+		c := s[i]
+		switch {
+		case c >= '0' && c <= '9':
+			z = z<<4 | uint64(c-'0')
+		case c >= 'a' && c <= 'f':
+			z = z<<4 | uint64(c-'a'+10)
+		default:
+			return 0, false
+		}
+	}
+	return z, true
+}
+
+// NewTraceID mints a 16-hex-character trace ID: unique within the
+// process, collision-resistant across processes via the random seed.
+// One string allocation, minted only at request ingress — never on the
+// per-sample hot path.
+func NewTraceID() string {
+	return formatID(mintID())
 }

@@ -1,0 +1,294 @@
+package router
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"pmuoutage/api"
+)
+
+// fleetAggregator is the router's fleet-health view: riding the probe
+// loop, it scrapes every backend's /v1/stats, merges the per-shard
+// counters and stage histograms into per-backend points, and keeps a
+// rolling window of points per backend. SLO signals (availability, p99
+// detect latency, shed rate) are computed over the window by
+// differencing the cumulative histograms at its edges — counter resets
+// (a restarted backend) fold in as "everything is new" rather than as
+// negative rates.
+type fleetAggregator struct {
+	window time.Duration
+	views  []*backendView
+}
+
+// backendView is one backend's scrape history.
+type backendView struct {
+	b    *Backend
+	pool string
+
+	mu      sync.Mutex
+	points  []scrapePoint
+	lastErr string
+	lastAt  time.Time
+}
+
+// scrapePoint is one merged /v1/stats observation.
+type scrapePoint struct {
+	at      time.Time
+	ok      bool // scrape succeeded
+	healthy bool // prober's verdict at scrape time
+
+	requests    uint64
+	samples     uint64
+	shed        uint64
+	unavailable uint64
+	stages      map[string]api.Hist // cumulative, merged across shards
+}
+
+func newFleetAggregator(window time.Duration, pools []*Pool) *fleetAggregator {
+	if window <= 0 {
+		window = time.Minute
+	}
+	f := &fleetAggregator{window: window}
+	for _, p := range pools {
+		if p == nil {
+			continue
+		}
+		for _, b := range p.backends {
+			f.views = append(f.views, &backendView{b: b, pool: p.name})
+		}
+	}
+	return f
+}
+
+// scrape collects one stats point from every backend. Runs on the
+// probe goroutine right after the health pass.
+func (f *fleetAggregator) scrape(ctx context.Context, now time.Time) {
+	for _, v := range f.views {
+		pt := scrapePoint{at: now, healthy: v.b.healthy.Load()}
+		var errMsg string
+		if stats, err := v.b.cli.Stats(ctx); err != nil {
+			errMsg = err.Error()
+		} else {
+			pt.ok = true
+			pt.stages = map[string]api.Hist{}
+			for _, snap := range stats {
+				pt.requests += snap.Requests
+				pt.samples += snap.Samples
+				pt.shed += snap.Shed
+				pt.unavailable += snap.Unavailable
+				for stage, h := range snap.Stages {
+					merged := pt.stages[stage]
+					// Mismatched bounds cannot happen between shards of
+					// one process (shared LatencyBuckets); if a foreign
+					// backend ever disagrees, skip its histogram rather
+					// than corrupt the merge.
+					if err := merged.Merge(h); err == nil {
+						pt.stages[stage] = merged
+					}
+				}
+			}
+		}
+		v.record(now, errMsg, pt, f.window)
+	}
+}
+
+// record appends one scrape point and trims the window (keeping one
+// point past the edge so deltas cover a full window's worth of traffic).
+func (v *backendView) record(now time.Time, errMsg string, pt scrapePoint, window time.Duration) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.lastAt = now
+	v.lastErr = errMsg
+	v.points = append(v.points, pt)
+	cut := now.Add(-window)
+	drop := 0
+	for drop < len(v.points)-1 && v.points[drop+1].at.Before(cut) {
+		drop++
+	}
+	v.points = v.points[drop:]
+}
+
+// windowDelta returns the backend's first and last scrape points in the
+// window and whether it holds at least one successful scrape.
+func (v *backendView) windowDelta() (first, last scrapePoint, lastErr string, ok bool) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	lastErr = v.lastErr
+	var haveFirst bool
+	for _, pt := range v.points {
+		if !pt.ok {
+			continue
+		}
+		if !haveFirst {
+			first, haveFirst = pt, true
+		}
+		last, ok = pt, true
+	}
+	return first, last, lastErr, ok
+}
+
+// availability returns the healthy fraction of this backend's scrape
+// points (0 when no points).
+func (v *backendView) availability() (healthy, total int) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	for _, pt := range v.points {
+		total++
+		if pt.healthy {
+			healthy++
+		}
+	}
+	return healthy, total
+}
+
+// health assembles the GET /v1/fleet report. desperate is the router's
+// cumulative desperate-pass count.
+func (f *fleetAggregator) health(desperate uint64) api.FleetHealth {
+	out := api.FleetHealth{
+		WindowMS:      f.window.Milliseconds(),
+		DesperateUses: desperate,
+		Stages:        map[string]api.Hist{},
+	}
+	var healthyPts, totalPts int
+	var winRequests, winShed uint64
+	for _, v := range f.views {
+		first, last, lastErr, ok := v.windowDelta()
+		fb := api.FleetBackend{
+			URL:            v.b.url,
+			Pool:           v.pool,
+			Healthy:        v.b.healthy.Load(),
+			Ejections:      v.b.ejections.Load(),
+			Readmissions:   v.b.readmits.Load(),
+			LastEjectionMS: v.b.lastEject.Load(),
+			ScrapeError:    lastErr,
+		}
+		if ok {
+			fb.Requests = last.requests
+			fb.Samples = last.samples
+			fb.Shed = last.shed
+			fb.Unavailable = last.unavailable
+			fb.LastScrapeMS = last.at.UnixMilli()
+			if det, have := last.stages[stageDetect]; have {
+				fb.P99DetectMS = det.Quantile(0.99) * 1e3
+			}
+			out.Requests += last.requests
+			out.Samples += last.samples
+			out.Shed += last.shed
+			out.Errors += last.unavailable
+		}
+		if v.pool == poolNamePrimary {
+			h, t := v.availability()
+			healthyPts += h
+			totalPts += t
+			if ok {
+				// Windowed deltas feed the SLO signals; differencing the
+				// window edges keeps a long-running fleet's p99 current
+				// instead of diluted by hours-old observations.
+				winRequests += last.requests - min(first.requests, last.requests)
+				winShed += last.shed - min(first.shed, last.shed)
+				for stage, cur := range last.stages {
+					d := cur.Delta(first.stages[stage])
+					merged := out.Stages[stage]
+					if err := merged.Merge(d); err == nil {
+						out.Stages[stage] = merged
+					}
+				}
+			}
+		}
+		out.Backends = append(out.Backends, fb)
+	}
+	if totalPts > 0 {
+		out.Availability = float64(healthyPts) / float64(totalPts)
+	}
+	if det, have := out.Stages[stageDetect]; have {
+		out.P99DetectMS = det.Quantile(0.99) * 1e3
+	}
+	if winRequests > 0 {
+		out.ShedRate = float64(winShed) / float64(winRequests)
+	}
+	out.SortBackends()
+	return out
+}
+
+// sloP99Seconds returns the windowed primary-pool detect p99 in
+// seconds (the pmu_fleet gauge the /metrics page exports).
+func (f *fleetAggregator) sloP99Seconds() float64 {
+	var merged api.Hist
+	for _, v := range f.views {
+		if v.pool != poolNamePrimary {
+			continue
+		}
+		first, last, _, ok := v.windowDelta()
+		if !ok {
+			continue
+		}
+		if det, have := last.stages[stageDetect]; have {
+			_ = merged.Merge(det.Delta(first.stages[stageDetect]))
+		}
+	}
+	return merged.Quantile(0.99)
+}
+
+// sloAvailability returns the healthy fraction of primary scrape points
+// in the window.
+func (f *fleetAggregator) sloAvailability() float64 {
+	var healthy, total int
+	for _, v := range f.views {
+		if v.pool != poolNamePrimary {
+			continue
+		}
+		h, t := v.availability()
+		healthy += h
+		total += t
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(healthy) / float64(total)
+}
+
+// sloShedRate returns shed/requests over the window, primary pool.
+func (f *fleetAggregator) sloShedRate() float64 {
+	var reqs, shed uint64
+	for _, v := range f.views {
+		if v.pool != poolNamePrimary {
+			continue
+		}
+		first, last, _, ok := v.windowDelta()
+		if !ok {
+			continue
+		}
+		reqs += last.requests - min(first.requests, last.requests)
+		shed += last.shed - min(first.shed, last.shed)
+	}
+	if reqs == 0 {
+		return 0
+	}
+	return float64(shed) / float64(reqs)
+}
+
+// view finds one backend's view (per-backend gauge callbacks).
+func (f *fleetAggregator) view(b *Backend) *backendView {
+	for _, v := range f.views {
+		if v.b == b {
+			return v
+		}
+	}
+	return nil
+}
+
+// lastPoint returns the newest successful scrape point ({} when none).
+func (v *backendView) lastPoint() scrapePoint {
+	if v == nil {
+		return scrapePoint{}
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	for i := len(v.points) - 1; i >= 0; i-- {
+		if v.points[i].ok {
+			return v.points[i]
+		}
+	}
+	return scrapePoint{}
+}

@@ -1,0 +1,301 @@
+package router
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"pmuoutage/api"
+	"pmuoutage/internal/obs"
+)
+
+func getJSON(t *testing.T, url string, out any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != nil {
+		if err := json.Unmarshal(body, out); err != nil {
+			t.Fatalf("decoding %s: %v\n%s", url, err, body)
+		}
+	}
+	return resp.StatusCode
+}
+
+// TestFleetHealthReport drives detect traffic at a two-backend fleet
+// and checks the aggregated /v1/fleet view: per-backend rows with
+// scraped counters, the merged windowed detect histogram, and the SLO
+// signals, plus the pmu_fleet_* gauges on /metrics.
+func TestFleetHealthReport(t *testing.T) {
+	b1 := newStubBackend(t, nil)
+	b2 := newStubBackend(t, nil)
+	rt, ts := newTestRouter(t, Config{Backends: []string{b1.ts.URL, b2.ts.URL}, ProbeEvery: 5 * time.Millisecond})
+
+	// Wait for a pre-traffic baseline scrape of both backends, so the
+	// detects below land inside the SLO window's delta.
+	var fh api.FleetHealth
+	deadline := time.Now().Add(5 * time.Second)
+	for scraped := 0; scraped < 2; {
+		if status := getJSON(t, ts.URL+"/v1/fleet", &fh); status != http.StatusOK {
+			t.Fatalf("/v1/fleet: %d", status)
+		}
+		scraped = 0
+		for _, fb := range fh.Backends {
+			if fb.LastScrapeMS > 0 {
+				scraped++
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("backends never scraped: %+v", fh)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	for i := 0; i < 4; i++ {
+		if resp, body := postDetect(t, ts.URL, nil); resp.StatusCode != http.StatusOK {
+			t.Fatalf("detect %d: %d %s", i, resp.StatusCode, body)
+		}
+	}
+
+	for {
+		if status := getJSON(t, ts.URL+"/v1/fleet", &fh); status != http.StatusOK {
+			t.Fatalf("/v1/fleet: %d", status)
+		}
+		if fh.Requests >= 4 && len(fh.Backends) == 2 && fh.Stages["detect"].Count >= 4 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("fleet never aggregated 4 requests across 2 backends: %+v", fh)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if fh.WindowMS != time.Minute.Milliseconds() {
+		t.Errorf("WindowMS = %d, want default 60000", fh.WindowMS)
+	}
+	if fh.Availability != 1 {
+		t.Errorf("Availability = %v, want 1 (no backend ever ejected)", fh.Availability)
+	}
+	if fh.Samples != fh.Requests {
+		t.Errorf("Samples = %d, want %d (stub reports one sample per request)", fh.Samples, fh.Requests)
+	}
+	det, ok := fh.Stages["detect"]
+	if !ok || det.Count == 0 {
+		t.Fatalf("windowed detect histogram missing or empty: %+v", fh.Stages)
+	}
+	for _, fb := range fh.Backends {
+		if fb.Pool != poolNamePrimary || !fb.Healthy {
+			t.Errorf("backend %s: pool %q healthy %v, want healthy primary", fb.URL, fb.Pool, fb.Healthy)
+		}
+		if fb.Requests > 0 && fb.P99DetectMS <= 0 {
+			t.Errorf("backend %s: P99DetectMS = %v with %d requests", fb.URL, fb.P99DetectMS, fb.Requests)
+		}
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	page, _ := io.ReadAll(resp.Body)
+	_ = resp.Body.Close()
+	for _, want := range []string{metricFleetUp, metricFleetAvail, metricFleetSloP99, metricFleetShedRate, metricFleetHealthy, metricEjections, metricReadmissions, metricDesperate} {
+		if !strings.Contains(string(page), want) {
+			t.Errorf("/metrics missing %s", want)
+		}
+	}
+	if got := rt.reg.GaugeValue(metricFleetHealthy); got != 2 {
+		t.Errorf("%s = %v, want 2", metricFleetHealthy, got)
+	}
+}
+
+// TestEjectionCountersAndFleetHistory covers the ejection bookkeeping:
+// a probe-detected death bumps pmu_router_ejections_total{reason=probe}
+// and stamps the last-ejection time; recovery bumps readmissions. Both
+// land in the /v1/fleet backend rows.
+func TestEjectionCountersAndFleetHistory(t *testing.T) {
+	mux := http.NewServeMux()
+	var down atomic.Bool
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		if down.Load() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+	})
+	mux.HandleFunc("GET /v1/shards", func(w http.ResponseWriter, _ *http.Request) {
+		_ = json.NewEncoder(w).Encode([]api.ShardStatus{})
+	})
+	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, _ *http.Request) {
+		_ = json.NewEncoder(w).Encode(map[string]api.ShardSnapshot{})
+	})
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+
+	rt, rts := newTestRouter(t, Config{Backends: []string{ts.URL}, ProbeEvery: 5 * time.Millisecond})
+	b := rt.primary.backends[0]
+	waitHealthy := func(want bool) {
+		t.Helper()
+		deadline := time.Now().Add(3 * time.Second)
+		for time.Now().Before(deadline) {
+			if b.healthy.Load() == want {
+				return
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+		t.Fatalf("backend healthy != %v within deadline", want)
+	}
+	waitHealthy(true)
+	down.Store(true)
+	waitHealthy(false)
+	down.Store(false)
+	waitHealthy(true)
+
+	ejections := rt.reg.CounterValue(metricEjections, labelRouterPool, poolNamePrimary, labelBackend, b.url, labelReason, reasonProbe)
+	if ejections == 0 {
+		t.Error("probe ejection not counted in registry")
+	}
+	readmits := rt.reg.CounterValue(metricReadmissions, labelRouterPool, poolNamePrimary, labelBackend, b.url)
+	if readmits == 0 {
+		t.Error("readmission not counted in registry")
+	}
+
+	var fh api.FleetHealth
+	if status := getJSON(t, rts.URL+"/v1/fleet", &fh); status != http.StatusOK {
+		t.Fatalf("/v1/fleet: %d", status)
+	}
+	if len(fh.Backends) != 1 {
+		t.Fatalf("backends = %d, want 1", len(fh.Backends))
+	}
+	fb := fh.Backends[0]
+	if fb.Ejections == 0 || fb.Readmissions == 0 || fb.LastEjectionMS == 0 {
+		t.Errorf("fleet row %+v, want nonzero ejections, readmissions, last_ejection_ms", fb)
+	}
+	if fh.Availability >= 1 {
+		t.Errorf("Availability = %v, want < 1 after an ejection", fh.Availability)
+	}
+}
+
+// TestDesperatePassCounted ejects the only backend (health probe fails)
+// while its data plane still answers: the desperate pass serves the
+// request and is counted, both on /metrics and in /v1/fleet.
+func TestDesperatePassCounted(t *testing.T) {
+	b := newStubBackend(t, nil)
+	rt, ts := newTestRouter(t, Config{Backends: []string{b.ts.URL}, ProbeEvery: 5 * time.Millisecond})
+	// Eject by hand (the stub's healthz stays green, so this tests the
+	// desperate data plane, not the prober).
+	be := rt.primary.backends[0]
+	deadline := time.Now().Add(3 * time.Second)
+	for be.inflight.Load() != 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	be.healthy.Store(false)
+	resp, body := postDetect(t, ts.URL, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("desperate detect: %d %s", resp.StatusCode, body)
+	}
+	if rt.desperate.Load() == 0 {
+		t.Error("desperate pass not counted")
+	}
+	var fh api.FleetHealth
+	if status := getJSON(t, ts.URL+"/v1/fleet", &fh); status != http.StatusOK {
+		t.Fatalf("/v1/fleet: %d", status)
+	}
+	if fh.DesperateUses == 0 {
+		t.Error("desperate_uses = 0 in /v1/fleet")
+	}
+}
+
+// TestRouterTraceMergeMultiHop is the distributed half of the tracing
+// acceptance: a traced detect through the router retains a route span
+// and a proxy child naming the backend, the backend's Traceparent
+// parent IS that proxy span, and GET /debug/traces?id= on the router
+// stitches both halves into one tree.
+func TestRouterTraceMergeMultiHop(t *testing.T) {
+	b := newStubBackend(t, nil)
+	rt, ts := newTestRouter(t, Config{
+		Backends: []string{b.ts.URL},
+		Tracer:   obs.NewTracer(obs.TracerConfig{SampleEvery: 1}),
+	})
+	backendURL := rt.primary.backends[0].url
+	resp, body := postDetect(t, ts.URL, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("detect: %d %s", resp.StatusCode, body)
+	}
+	traceID := resp.Header.Get(obs.TraceHeader)
+	rootSpan := resp.Header.Get(obs.SpanHeader)
+	if traceID == "" || rootSpan == "" {
+		t.Fatalf("missing trace/span echo: trace %q span %q", traceID, rootSpan)
+	}
+
+	// The root span finalizes a hair after the response; poll.
+	var tr api.Trace
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp, err := http.Get(ts.URL + "/debug/traces?id=" + traceID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw, _ := io.ReadAll(resp.Body)
+		_ = resp.Body.Close()
+		if resp.StatusCode == http.StatusOK {
+			if err := json.Unmarshal(raw, &tr); err != nil {
+				t.Fatal(err)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("trace %s never retained: %d %s", traceID, resp.StatusCode, raw)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	stages := map[string]api.TraceSpan{}
+	for _, s := range tr.Spans {
+		stages[s.Stage] = s
+	}
+	route, ok := stages[stageRoute]
+	if !ok || !route.Root || route.ID != rootSpan {
+		t.Fatalf("route span %+v, want root with ID %s", route, rootSpan)
+	}
+	proxy, ok := stages[stageProxy]
+	if !ok || proxy.Parent != route.ID {
+		t.Fatalf("proxy span %+v, want child of route %s", proxy, route.ID)
+	}
+	if proxy.Attrs[labelBackend] != backendURL {
+		t.Errorf("proxy span backend attr = %q, want %q", proxy.Attrs[labelBackend], backendURL)
+	}
+	// The backend's root span (merged in from the stub) hangs off the
+	// proxy span — cross-process propagation worked end to end.
+	backendRoot, ok := stages["http"]
+	if !ok {
+		t.Fatalf("merged trace missing backend http span: %+v", tr.Spans)
+	}
+	if backendRoot.Parent != proxy.ID {
+		t.Errorf("backend span parent = %q, want proxy span %q", backendRoot.Parent, proxy.ID)
+	}
+
+	// List form serves the router's own ring.
+	var list api.TraceList
+	if status := getJSON(t, ts.URL+"/debug/traces", &list); status != http.StatusOK {
+		t.Fatalf("/debug/traces list: %d", status)
+	}
+	found := false
+	for _, item := range list.Traces {
+		if item.TraceID == traceID {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("trace %s absent from router list of %d", traceID, len(list.Traces))
+	}
+}

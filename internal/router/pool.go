@@ -9,6 +9,7 @@ import (
 
 	"pmuoutage/api"
 	"pmuoutage/client"
+	"pmuoutage/internal/obs"
 )
 
 // Backend is one outaged process as the router tracks it: a raw-mode
@@ -24,6 +25,13 @@ type Backend struct {
 	healthy    atomic.Bool
 	ejections  atomic.Uint64
 	queueDepth atomic.Int64 // summed shard queue depth, last probe
+	lastEject  atomic.Int64 // unix ms of the latest ejection; 0 = never
+
+	// Registry cells the router wires in after the pool is built; nil
+	// (a pool used without a router) records nothing.
+	ejectProxy *obs.Counter // ejections from data-plane faults
+	ejectProbe *obs.Counter // ejections from failed health probes
+	readmits   *obs.Counter // recoveries back to healthy
 
 	mu      sync.Mutex
 	lastErr string
@@ -53,6 +61,8 @@ func (b *Backend) markFault(err error) {
 	b.setErr(err.Error())
 	if b.healthy.CompareAndSwap(true, false) {
 		b.ejections.Add(1)
+		b.ejectProxy.Inc()
+		b.lastEject.Store(time.Now().UnixMilli())
 	}
 }
 
@@ -204,6 +214,8 @@ func (p *Pool) probe(ctx context.Context, b *Backend, now time.Time, base time.D
 		b.setErr(err.Error())
 		if b.healthy.CompareAndSwap(true, false) {
 			b.ejections.Add(1)
+			b.ejectProbe.Inc()
+			b.lastEject.Store(now.UnixMilli())
 			b.backoff = 0
 		}
 		if b.backoff < base {
@@ -221,5 +233,7 @@ func (p *Pool) probe(ctx context.Context, b *Backend, now time.Time, base time.D
 	b.queueDepth.Store(int64(depth))
 	b.setServing(shards)
 	b.backoff = 0
-	b.healthy.Store(true)
+	if !b.healthy.Swap(true) {
+		b.readmits.Inc()
+	}
 }

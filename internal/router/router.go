@@ -59,6 +59,8 @@ const (
 	metricShadow         = "router_shadow_total"
 	metricDivergence     = "router_score_divergence"
 	metricProxySecs      = "router_proxy_seconds"
+	metricTracesKept     = "router_traces_kept_total"
+	metricTracesDropped  = "router_traces_dropped_total"
 	labelRoute           = "route"
 	labelRouterPool      = "pool"
 	routeDetect          = "detect"
@@ -68,6 +70,34 @@ const (
 	defaultMaxBody       = 64 << 20
 	defaultProbeEvery    = 250 * time.Millisecond
 	defaultShadowTimeout = 30 * time.Second
+	defaultFleetWindow   = time.Minute
+
+	// Ejection/readmission accounting and the fleet-health aggregates
+	// scraped from backend /v1/stats pages.
+	metricEjections     = "pmu_router_ejections_total"
+	metricReadmissions  = "pmu_router_readmissions_total"
+	metricDesperate     = "pmu_router_desperate_total"
+	metricFleetUp       = "pmu_fleet_up"
+	metricFleetRequests = "pmu_fleet_requests_total"
+	metricFleetSamples  = "pmu_fleet_samples_total"
+	metricFleetShed     = "pmu_fleet_shed_total"
+	metricFleetP99      = "pmu_fleet_detect_p99_seconds"
+	metricFleetAvail    = "pmu_fleet_availability"
+	metricFleetSloP99   = "pmu_fleet_slo_detect_p99_seconds"
+	metricFleetShedRate = "pmu_fleet_shed_rate"
+	metricFleetHealthy  = "pmu_fleet_healthy_backends"
+	labelBackend        = "backend"
+	labelReason         = "reason"
+	reasonProxy         = "proxy"
+	reasonProbe         = "probe"
+
+	// Span stage labels owned by the router: the root span covering the
+	// whole routed exchange, and one proxy child per backend attempt.
+	// stageDetect names the backend-side detect stage the fleet SLOs
+	// read out of scraped histograms.
+	stageRoute  = "route"
+	stageProxy  = "proxy"
+	stageDetect = "detect"
 )
 
 // Config configures New.
@@ -106,6 +136,14 @@ type Config struct {
 	// Logger receives structured ejection/readmission/promotion logs;
 	// nil disables logging.
 	Logger *slog.Logger
+	// Tracer, when non-nil, records route/proxy spans with tail
+	// sampling and serves retained traces at GET /debug/traces. Span
+	// context propagates to the backends in the Traceparent header, so
+	// a router trace and the backend traces it caused share one ID.
+	Tracer *obs.Tracer
+	// FleetWindow is the rolling window the fleet-health SLOs cover
+	// (default 1 minute).
+	FleetWindow time.Duration
 }
 
 // Router is the fleet front-end. Create with New, serve Routes, stop
@@ -117,11 +155,14 @@ type Router struct {
 	differ  *Differ
 	reg     *obs.Registry
 	log     *slog.Logger
+	tracer  *obs.Tracer
+	fleet   *fleetAggregator
 
 	proxied   map[string]*obs.Counter
 	failovers *obs.Counter
 	noBackend *obs.Counter
 	shadowed  *obs.Counter
+	desperate *obs.Counter
 	proxyLat  map[string]*obs.Histogram
 
 	stop   context.CancelFunc
@@ -167,13 +208,80 @@ func New(ctx context.Context, cfg Config) (*Router, error) {
 		r.proxied[route] = reg.Counter(metricProxied, "requests proxied per route", labelRoute, route)
 		r.proxyLat[route] = reg.Histogram(metricProxySecs, "proxy latency per route", labelRoute, route)
 	}
+	r.desperate = reg.Counter(metricDesperate, "desperate-pass acquisitions: every healthy backend exhausted, ejected ones tried")
 	r.differ = newDiffer(cfg.Candidate, cfg.CanaryPercent, cfg.MinPairs, cfg.Tolerance, reg)
+	if cfg.Tracer != nil {
+		r.tracer = cfg.Tracer
+		reg.AttachCounter(metricTracesKept, "traces retained by tail sampling", r.tracer.KeptCounter())
+		reg.AttachCounter(metricTracesDropped, "traces dropped by tail sampling", r.tracer.DroppedCounter())
+	}
+	r.fleet = newFleetAggregator(cfg.FleetWindow, []*Pool{primary, canary})
+	r.wireFleetMetrics()
 
 	pctx, stop := context.WithCancel(ctx)
 	r.stop = stop
 	r.probes.Add(1)
 	go r.probeLoop(pctx)
 	return r, nil
+}
+
+// wireFleetMetrics registers the ejection/readmission counters and the
+// pmu_fleet_* gauges. Per-backend series carry pool+backend labels; the
+// SLO gauges summarize the primary pool over the rolling window. Each
+// metric name has exactly one registration site (labels fan the series
+// out), which keeps the /metrics page's help strings single-sourced.
+func (r *Router) wireFleetMetrics() {
+	reg := r.reg
+	for _, p := range []*Pool{r.primary, r.canary} {
+		if p == nil {
+			continue
+		}
+		pool := p.name
+		for _, b := range p.backends {
+			for _, reason := range []string{reasonProxy, reasonProbe} {
+				c := reg.Counter(metricEjections, "backend ejections per reason (proxy fault vs failed probe)",
+					labelRouterPool, pool, labelBackend, b.url, labelReason, reason)
+				if reason == reasonProxy {
+					b.ejectProxy = c
+				} else {
+					b.ejectProbe = c
+				}
+			}
+			b.readmits = reg.Counter(metricReadmissions, "backends readmitted to the healthy set",
+				labelRouterPool, pool, labelBackend, b.url)
+			bb, v := b, r.fleet.view(b)
+			reg.GaugeFunc(metricFleetUp, "1 when the prober holds the backend healthy", func() float64 {
+				if bb.healthy.Load() {
+					return 1
+				}
+				return 0
+			}, labelRouterPool, pool, labelBackend, b.url)
+			reg.GaugeFunc(metricFleetRequests, "cumulative requests per backend, scraped from /v1/stats", func() float64 {
+				return float64(v.lastPoint().requests)
+			}, labelRouterPool, pool, labelBackend, b.url)
+			reg.GaugeFunc(metricFleetSamples, "cumulative ingested samples per backend, scraped from /v1/stats", func() float64 {
+				return float64(v.lastPoint().samples)
+			}, labelRouterPool, pool, labelBackend, b.url)
+			reg.GaugeFunc(metricFleetShed, "cumulative shed requests per backend, scraped from /v1/stats", func() float64 {
+				return float64(v.lastPoint().shed)
+			}, labelRouterPool, pool, labelBackend, b.url)
+			reg.GaugeFunc(metricFleetP99, "detect p99 seconds per backend, cumulative histogram", func() float64 {
+				return v.lastPoint().stages[stageDetect].Quantile(0.99)
+			}, labelRouterPool, pool, labelBackend, b.url)
+		}
+	}
+	reg.GaugeFunc(metricFleetAvail, "healthy fraction of primary probe points over the SLO window", r.fleet.sloAvailability)
+	reg.GaugeFunc(metricFleetSloP99, "windowed primary-pool detect p99 seconds", r.fleet.sloP99Seconds)
+	reg.GaugeFunc(metricFleetShedRate, "windowed primary-pool shed/requests ratio", r.fleet.sloShedRate)
+	reg.GaugeFunc(metricFleetHealthy, "primary backends currently healthy", func() float64 {
+		n := 0
+		for _, b := range r.primary.backends {
+			if b.healthy.Load() {
+				n++
+			}
+		}
+		return float64(n)
+	})
 }
 
 // Close stops the prober and waits for outstanding shadow copies.
@@ -230,6 +338,9 @@ func (r *Router) probeAll(ctx context.Context, now time.Time) {
 			}
 		}
 	}
+	// Ride the probe pass with a stats scrape: the fleet aggregator's
+	// rolling window advances at probe cadence.
+	r.fleet.scrape(pctx, now)
 }
 
 // Routes builds the router's handler.
@@ -239,24 +350,55 @@ func (r *Router) Routes() http.Handler {
 	mux.HandleFunc("POST /v1/ingest", r.handleIngest)
 	mux.HandleFunc("POST /v1/reload", r.handleReload)
 	mux.HandleFunc("GET /v1/backends", r.handleBackends)
+	mux.HandleFunc("GET /v1/fleet", r.handleFleet)
 	mux.HandleFunc("GET /v1/canary/report", r.handleCanaryReport)
 	mux.HandleFunc("POST /v1/canary/promote", r.handlePromote)
+	mux.HandleFunc("GET /debug/traces", r.handleTraces)
 	mux.HandleFunc("GET /healthz", r.handleHealth)
 	mux.Handle("GET /metrics", r.reg)
-	return traceMiddleware(mux)
+	return r.traceMiddleware(mux)
 }
 
-// traceMiddleware resolves each request's trace ID (a caller's
-// X-Trace-Id is kept so traces span router and backend, one is minted
-// otherwise), carries it on the context, and echoes it on the response.
-func traceMiddleware(next http.Handler) http.Handler {
+// statusWriter observes the relayed status so the root span can record
+// server-class failures.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(status int) {
+	w.status = status
+	w.ResponseWriter.WriteHeader(status)
+}
+
+// traceMiddleware resolves each request's trace context (a caller's
+// Traceparent or X-Trace-Id is kept so traces span caller, router, and
+// backend; an ID is minted otherwise), opens the root route span, and
+// echoes trace and span IDs on the response. With no Tracer configured
+// the span calls are nil receivers — zero allocation, ID echo only.
+func (r *Router) traceMiddleware(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
-		id := req.Header.Get(obs.TraceHeader)
+		id, remoteParent, ok := obs.ParseTraceParent(req.Header.Get(obs.TraceParentHeader))
+		if !ok {
+			id = req.Header.Get(obs.TraceHeader)
+		}
 		if id == "" {
 			id = obs.NewTraceID()
 		}
 		w.Header().Set(obs.TraceHeader, id)
-		next.ServeHTTP(w, req.WithContext(obs.WithTraceID(req.Context(), id)))
+		ctx := obs.WithTraceID(req.Context(), id)
+		ctx = obs.WithRemoteParent(ctx, remoteParent)
+		ctx, span := r.tracer.StartSpan(ctx, stageRoute)
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		if span != nil {
+			span.SetAttr("path", req.URL.Path)
+			w.Header().Set(obs.SpanHeader, span.ID())
+		}
+		next.ServeHTTP(sw, req.WithContext(ctx))
+		if sw.status >= http.StatusInternalServerError {
+			span.SetErrorString(http.StatusText(sw.status))
+		}
+		span.End()
 	})
 }
 
@@ -279,20 +421,37 @@ func (r *Router) forward(ctx context.Context, pool *Pool, pathAndQuery, contentT
 			if !ok {
 				break
 			}
+			if desperate {
+				r.desperate.Inc()
+			}
 			if !first {
 				r.failovers.Inc()
 			}
 			first = false
 			tried[b] = true
-			raw, err := b.cli.PostRaw(ctx, pathAndQuery, contentType, body)
+			// One proxy child span per attempt: a failover leaves a failed
+			// proxy span beside the successful one, so the retained trace
+			// shows which backend was tried first and why it lost.
+			spanCtx, span := r.tracer.StartSpan(ctx, stageProxy)
+			if span != nil {
+				span.SetAttr(labelBackend, b.url)
+				span.SetAttr(labelRouterPool, pool.name)
+			}
+			raw, err := b.cli.PostRaw(spanCtx, pathAndQuery, contentType, body)
 			release()
 			if err != nil {
+				span.SetError(err)
+				span.End()
 				if ctx.Err() != nil {
 					return nil, nil, ctx.Err()
 				}
 				b.markFault(err)
 				continue
 			}
+			if raw.Status >= http.StatusInternalServerError {
+				span.SetErrorString(http.StatusText(raw.Status))
+			}
+			span.End()
 			if raw.Retryable() {
 				// The backend answered but is shedding or not ready;
 				// remember its answer (it carries Retry-After) and try a

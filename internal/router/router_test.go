@@ -5,6 +5,7 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
@@ -16,6 +17,7 @@ import (
 
 	"pmuoutage"
 	"pmuoutage/api"
+	"pmuoutage/internal/obs"
 )
 
 // stubBackend mimics outaged's HTTP surface with a canned detect
@@ -25,8 +27,9 @@ type stubBackend struct {
 	detects atomic.Uint64
 	reply   func() (int, []byte) // nil: the default healthy answer
 
-	mu      sync.Mutex
-	reloads []api.ReloadRequest // every /v1/reload body, in order
+	mu          sync.Mutex
+	reloads     []api.ReloadRequest // every /v1/reload body, in order
+	traceparent string              // Traceparent header of the last detect
 }
 
 // reloadLog snapshots the reload requests the backend has served.
@@ -66,6 +69,9 @@ func newStubBackend(t *testing.T, reply func() (int, []byte)) *stubBackend {
 	})
 	mux.HandleFunc("POST /v1/detect", func(w http.ResponseWriter, r *http.Request) {
 		b.detects.Add(1)
+		b.mu.Lock()
+		b.traceparent = r.Header.Get(obs.TraceParentHeader)
+		b.mu.Unlock()
 		status, body := http.StatusOK, stubReports(1.5)
 		if b.reply != nil {
 			status, body = b.reply()
@@ -93,6 +99,47 @@ func newStubBackend(t *testing.T, reply func() (int, []byte)) *stubBackend {
 			"query": r.URL.RawQuery,
 			"ct":    r.Header.Get("Content-Type"),
 			"len":   string(rune('0' + len(body)%10)),
+		})
+	})
+	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, _ *http.Request) {
+		n := b.detects.Load()
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(map[string]api.ShardSnapshot{"east": {
+			Requests: n,
+			Samples:  n,
+			Stages: map[string]api.Hist{"detect": {
+				Bounds: []float64{0.001, 0.01},
+				Counts: []uint64{n, n},
+				Count:  n,
+				Sum:    float64(n) * 0.0005,
+			}},
+		}})
+	})
+	// The backend's half of a distributed trace: one root span whose
+	// parent is whatever span ID the router's Traceparent named on the
+	// last detect — the shape a real outaged process retains.
+	mux.HandleFunc("GET /debug/traces", func(w http.ResponseWriter, r *http.Request) {
+		b.mu.Lock()
+		tp := b.traceparent
+		b.mu.Unlock()
+		tid, parent, ok := obs.ParseTraceParent(tp)
+		if id := r.URL.Query().Get("id"); !ok || id != tid {
+			w.WriteHeader(http.StatusNotFound)
+			_, _ = w.Write([]byte(`{"code":"not_found","error":"trace not retained"}`))
+			return
+		}
+		now := time.Now().UnixNano()
+		_ = json.NewEncoder(w).Encode(api.Trace{
+			TraceID: tid,
+			Kept:    api.TraceKeptSampled,
+			Spans: []api.TraceSpan{{
+				ID:          "feedfacefeedface",
+				Parent:      fmt.Sprintf("%016x", parent),
+				Root:        true,
+				Stage:       "http",
+				StartUnixNS: now,
+				DurationNS:  1000,
+			}},
 		})
 	})
 	b.ts = httptest.NewServer(mux)

@@ -212,7 +212,7 @@ func TestInstrumentationAllocs(t *testing.T) {
 	counters := silent.counters()
 	if got := testing.AllocsPerRun(200, func() {
 		counters.observeBatch(3, time.Millisecond)
-		silent.observeSpans(live, popped, time.Millisecond, 3)
+		silent.observeSpans(live, popped, popped, time.Millisecond, 3)
 	}); got > 0 {
 		t.Fatalf("disabled-telemetry batch instrumentation allocates %v per op, want 0", got)
 	}
@@ -220,7 +220,7 @@ func TestInstrumentationAllocs(t *testing.T) {
 	noisy := newTestShard(obs.NewTextLogger(io.Discard, slog.LevelDebug))
 	if got := testing.AllocsPerRun(200, func() {
 		noisy.counters().observeBatch(3, time.Millisecond)
-		noisy.observeSpans(live, popped, time.Millisecond, 3)
+		noisy.observeSpans(live, popped, popped, time.Millisecond, 3)
 	}); got > 64 {
 		t.Fatalf("enabled-telemetry batch instrumentation allocates %v per op, want a bounded constant", got)
 	}

@@ -101,6 +101,14 @@ type Config struct {
 	RestartBackoff    time.Duration
 	MaxRestartBackoff time.Duration
 
+	// Tracer, when non-nil, records queue/coalesce/detect stage spans
+	// for requests whose context carries a trace ID; the HTTP layer
+	// starts the root span and serves retained traces at /debug/traces.
+	// Like Logger, it is observational only: nil disables tracing with
+	// zero allocations on the hot path, and detector outputs are byte-
+	// identical either way.
+	Tracer *obs.Tracer
+
 	// Logger, when non-nil, receives structured span and lifecycle logs
 	// (per-request detect spans at debug, shard state changes at info).
 	// Logging is observational only: a nil Logger disables it entirely —
@@ -384,6 +392,13 @@ func (s *Service) peek(name string) *shard {
 // ServeHTTP (cmd/outaged mounts it at /metrics).
 func (s *Service) Metrics() *obs.Registry {
 	return s.stats.reg
+}
+
+// Tracer returns the service's span tracer (nil when tracing is
+// disabled) — the HTTP layer roots request spans on it and serves its
+// retained traces.
+func (s *Service) Tracer() *obs.Tracer {
+	return s.cfg.Tracer
 }
 
 // Counters returns the named shard's live counter cells (created on

@@ -243,6 +243,9 @@ func (sh *shard) serveReplica(ctx context.Context, killc chan struct{}, rep *rep
 			batch := sh.coalesce(rep, req)
 			popped := time.Now()
 			sh.counters().StageSeconds(StageCoalesce).Observe(popped.Sub(t0))
+			// The coalesce span is per batch; it hangs off the first
+			// request's trace (the one that opened the batch window).
+			sh.svc.cfg.Tracer.RecordSpan(req.ctx, stageNameCoalesce, t0, popped, nil)
 			sh.runBatch(ctx, batch, popped)
 		}
 	}
@@ -302,7 +305,7 @@ func (sh *shard) runBatch(ctx context.Context, batch []*request, popped time.Tim
 	reports, err := sys.DetectBatchContext(ctx, samples)
 	detectDur := time.Since(start)
 	sh.counters().observeBatch(len(samples), detectDur)
-	sh.observeSpans(live, popped, detectDur, len(samples))
+	sh.observeSpans(live, popped, start, detectDur, len(samples))
 	if err != nil {
 		for _, req := range live {
 			r, rerr := sys.DetectBatchContext(req.ctx, req.samples)
@@ -319,15 +322,22 @@ func (sh *shard) runBatch(ctx context.Context, batch []*request, popped time.Tim
 }
 
 // observeSpans records each batched request's queue-wait into the
-// queue-stage histogram and, when a logger is attached with debug
-// enabled, emits one span line per request carrying its trace ID.
-// Purely observational: with logging off it is two atomic adds per
-// request and allocates nothing (pinned by TestInstrumentationAllocs).
-func (sh *shard) observeSpans(live []*request, popped time.Time, detectDur time.Duration, batchSamples int) {
+// queue-stage histogram, files queue/detect child spans on the tracer
+// (per request — a batch's detector call appears in every member's
+// trace), and, when a logger is attached with debug enabled, emits one
+// span line per request carrying its trace ID. Purely observational:
+// with logging and tracing off it is two atomic adds plus two nil-
+// receiver calls per request and allocates nothing (pinned by
+// TestInstrumentationAllocs).
+func (sh *shard) observeSpans(live []*request, popped, detectStart time.Time, detectDur time.Duration, batchSamples int) {
 	st := sh.counters()
 	queue := st.StageSeconds(StageQueue)
+	tr := sh.svc.cfg.Tracer
+	detectEnd := detectStart.Add(detectDur)
 	for _, req := range live {
 		queue.Observe(popped.Sub(req.enqueued))
+		tr.RecordSpan(req.ctx, stageNameQueue, req.enqueued, popped, nil)
+		tr.RecordSpan(req.ctx, stageNameDetect, detectStart, detectEnd, nil)
 	}
 	lg := sh.logger
 	if lg == nil {

@@ -51,17 +51,27 @@ const (
 	numStages
 )
 
+// Stage label values, shared by the pmu_stage_seconds histograms and
+// the span stage labels (gridlint's metricname analyzer pins span
+// stages to package-level consts, exactly like metric names).
+const (
+	stageNameQueue    = "queue"
+	stageNameCoalesce = "coalesce"
+	stageNameDetect   = "detect"
+	stageNameEncode   = "encode"
+)
+
 // String renders the stage label value.
 func (st Stage) String() string {
 	switch st {
 	case StageQueue:
-		return "queue"
+		return stageNameQueue
 	case StageCoalesce:
-		return "coalesce"
+		return stageNameCoalesce
 	case StageDetect:
-		return "detect"
+		return stageNameDetect
 	default:
-		return "encode"
+		return stageNameEncode
 	}
 }
 
@@ -230,6 +240,19 @@ func (c *ShardCounters) snapshot() ShardSnapshot {
 		snap.P50LatencyMS = det.Quantile(0.50) * 1e3
 		snap.P95LatencyMS = det.Quantile(0.95) * 1e3
 		snap.P99LatencyMS = det.Quantile(0.99) * 1e3
+	}
+	// Full per-stage histograms ride along so the router's fleet
+	// aggregator can merge them across backends (api.Hist.Merge needs
+	// matching bounds, which every shard shares via LatencyBuckets).
+	snap.Stages = make(map[string]api.Hist, int(numStages))
+	for st := Stage(0); st < numStages; st++ {
+		hs := c.stage[st].Snapshot()
+		snap.Stages[st.String()] = api.Hist{
+			Bounds: hs.Bounds,
+			Counts: hs.Counts,
+			Count:  hs.Count,
+			Sum:    hs.Sum,
+		}
 	}
 	return snap
 }
